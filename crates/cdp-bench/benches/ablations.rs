@@ -1,0 +1,116 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! measures one knob's cost/benefit in simulated cycles (reported via
+//! Criterion's wall-clock, since run cycles are deterministic the wall
+//! clock tracks simulated work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdp_bench::{bench_workload, run};
+use cdp_types::{ContentConfig, MarkovConfig, SystemConfig};
+use cdp_workloads::suite::Benchmark;
+
+fn cfg_with(content: ContentConfig) -> SystemConfig {
+    let mut cfg = SystemConfig::asplos2002();
+    cfg.prefetchers.content = Some(content);
+    cfg
+}
+
+/// Chain-depth ablation (the Figure 9 depth axis at fixed width).
+fn ablate_depth(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Slsb);
+    let mut g = c.benchmark_group("ablate/depth");
+    g.sample_size(10);
+    for depth in [1u8, 3, 5, 9] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let cfg = cfg_with(ContentConfig {
+                depth_threshold: d,
+                ..ContentConfig::tuned()
+            });
+            b.iter(|| run(&cfg, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+/// Width ablation (next-line count at fixed depth).
+fn ablate_width(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Tpcc2);
+    let mut g = c.benchmark_group("ablate/width");
+    g.sample_size(10);
+    for n in [0u32, 1, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = cfg_with(ContentConfig {
+                next_lines: n,
+                ..ContentConfig::tuned()
+            });
+            b.iter(|| run(&cfg, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+/// Reinforcement-margin ablation: Figure 4(b) margin 1 vs Figure 4(c)
+/// margin 2 (the paper shows (c) halves the rescan traffic).
+fn ablate_reinforcement_margin(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::VerilogFunc);
+    let mut g = c.benchmark_group("ablate/reinf_margin");
+    g.sample_size(10);
+    for margin in [1u8, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(margin), &margin, |b, &m| {
+            let cfg = cfg_with(ContentConfig {
+                reinforcement_margin: m,
+                ..ContentConfig::tuned()
+            });
+            b.iter(|| run(&cfg, &w).mem.rescans)
+        });
+    }
+    g.finish();
+}
+
+/// Scan-step ablation: 1-byte scans examine 61 words per line, 4-byte
+/// scans 16 — the §3.3 hardware-cost argument.
+fn ablate_scan_step(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Slsb);
+    let mut g = c.benchmark_group("ablate/scan_step");
+    g.sample_size(10);
+    for step in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &s| {
+            let mut content = ContentConfig::tuned();
+            content.vam.scan_step = s;
+            let cfg = cfg_with(content);
+            b.iter(|| run(&cfg, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+/// Markov fan-out ablation (the STAB stores up to N successors).
+fn ablate_markov_fanout(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Tpcc3);
+    let mut g = c.benchmark_group("ablate/markov_fanout");
+    g.sample_size(10);
+    for fanout in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, &f| {
+            let cfg = SystemConfig::with_markov(
+                MarkovConfig {
+                    fanout: f,
+                    ..MarkovConfig::unbounded()
+                },
+                1 << 20,
+                8,
+            );
+            b.iter(|| run(&cfg, &w).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_depth,
+    ablate_width,
+    ablate_reinforcement_margin,
+    ablate_scan_step,
+    ablate_markov_fanout
+);
+criterion_main!(ablations);

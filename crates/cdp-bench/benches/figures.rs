@@ -1,0 +1,183 @@
+//! One Criterion benchmark per paper table/figure: each measures the cost
+//! of regenerating that artifact at smoke scale, so both correctness
+//! plumbing and performance regressions in any experiment path surface
+//! here. (`cargo run -p cdp-experiments -- <id> --full` produces the
+//! actual EXPERIMENTS.md numbers; these benches keep the machinery hot.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cdp_bench::{bench_workload, run};
+use cdp_experiments::{fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, tlb, ExpScale};
+use cdp_types::{SystemConfig, VamConfig};
+use cdp_workloads::suite::Benchmark;
+
+fn small(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g
+}
+
+fn bench_table1_fig2(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("table1", |b| b.iter(cdp_experiments::table1::run));
+    g.bench_function("fig2", |b| b.iter(|| fig2::run(VamConfig::tuned())));
+    g.finish();
+}
+
+fn bench_fig34(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig34_walkthrough", |b| b.iter(fig34::run));
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig1_mptu_trace", |b| b.iter(|| fig1::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_table2_row(c: &mut Criterion) {
+    // One Table 2 row (two cache sizes on one benchmark) rather than all
+    // fifteen, to keep the bench wall-clock sane.
+    let w = bench_workload(Benchmark::Tpcc2);
+    let cfg_1mb = SystemConfig::asplos2002();
+    let mut cfg_4mb = SystemConfig::asplos2002();
+    cfg_4mb.ul2.size_bytes = 4 << 20;
+    let mut g = small(c);
+    g.bench_function("table2_row_tpcc2", |b| {
+        b.iter(|| (run(&cfg_1mb, &w).mptu(), run(&cfg_4mb, &w).mptu()))
+    });
+    g.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Slsb);
+    let mut cfg = SystemConfig::with_content();
+    if let Some(cc) = cfg.prefetchers.content.as_mut() {
+        cc.vam = VamConfig {
+            compare_bits: 8,
+            filter_bits: 4,
+            ..VamConfig::tuned()
+        };
+    }
+    let mut g = small(c);
+    g.bench_function("fig7_point_08_4", |b| b.iter(|| run(&cfg, &w).mem.content.issued));
+    g.finish();
+}
+
+fn bench_fig8_point(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::Slsb);
+    let mut cfg = SystemConfig::with_content();
+    if let Some(cc) = cfg.prefetchers.content.as_mut() {
+        cc.vam = VamConfig {
+            align_bits: 1,
+            scan_step: 2,
+            ..VamConfig::tuned()
+        };
+    }
+    let mut g = small(c);
+    g.bench_function("fig8_point_8_4_1_2", |b| b.iter(|| run(&cfg, &w).mem.content.issued));
+    g.finish();
+}
+
+fn bench_fig9_cell(c: &mut Criterion) {
+    // One grid cell: the paper's winning configuration on one benchmark.
+    let w = bench_workload(Benchmark::Tpcc3);
+    let base = SystemConfig::asplos2002();
+    let cdp = SystemConfig::with_content();
+    let mut g = small(c);
+    g.bench_function("fig9_cell_d3_reinf_p0n3", |b| {
+        b.iter(|| {
+            let b0 = run(&base, &w);
+            let v = run(&cdp, &w);
+            b0.cycles as f64 / v.cycles as f64
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10_row(c: &mut Criterion) {
+    let w = bench_workload(Benchmark::SpecjbbVsnet);
+    let cfg = SystemConfig::with_content();
+    let mut g = small(c);
+    g.bench_function("fig10_row_specjbb", |b| {
+        b.iter(|| run(&cfg, &w).mem.distribution.fractions())
+    });
+    g.finish();
+}
+
+fn bench_fig11_bar(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig11_three_benchmarks", |b| {
+        b.iter(|| {
+            fig11::run_on(
+                ExpScale::Smoke,
+                &[Benchmark::Slsb, Benchmark::Tpcc2, Benchmark::B2e],
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_full_sweep(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig7_sweep_smoke", |b| b.iter(|| fig7::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_fig8_full_sweep(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig8_sweep_smoke", |b| b.iter(|| fig8::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_fig9_grid(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig9_grid_smoke", |b| b.iter(|| fig9::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_fig10_suite(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("fig10_suite_smoke", |b| b.iter(|| fig10::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_tlb_sweep(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("tlb_sweep_smoke", |b| b.iter(|| tlb::run(ExpScale::Smoke)));
+    g.finish();
+}
+
+fn bench_pollution(c: &mut Criterion) {
+    let mut g = small(c);
+    g.bench_function("pollution_two_benchmarks", |b| {
+        b.iter(|| {
+            cdp_experiments::pollution::run_on(
+                ExpScale::Smoke,
+                &[Benchmark::B2e, Benchmark::Tpcc2],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1_fig2,
+    bench_fig34,
+    bench_fig1,
+    bench_table2_row,
+    bench_fig7_point,
+    bench_fig8_point,
+    bench_fig9_cell,
+    bench_fig10_row,
+    bench_fig11_bar,
+    bench_fig7_full_sweep,
+    bench_fig8_full_sweep,
+    bench_fig9_grid,
+    bench_fig10_suite,
+    bench_tlb_sweep,
+    bench_pollution
+);
+criterion_main!(figures);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the simulator's hot kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cdp_mem::{AddressSpace, Bus, Cache};
+use cdp_prefetch::{scan_line, ContentPrefetcher, StridePrefetcher};
+use cdp_types::{BusConfig, ContentConfig, StrideConfig, VamConfig, VirtAddr, LINE_SIZE};
+
+fn bench_vam_scan(c: &mut Criterion) {
+    let cfg = VamConfig::tuned();
+    let trigger = VirtAddr(0x1040_2468);
+    // A line with a realistic mix: two pointers, rest junk.
+    let mut data = [0u8; LINE_SIZE];
+    data[4..8].copy_from_slice(&0x1023_4560u32.to_le_bytes());
+    data[36..40].copy_from_slice(&0x10ab_cd00u32.to_le_bytes());
+    for i in (8..32).step_by(4) {
+        data[i..i + 4].copy_from_slice(&(i as u32 * 37).to_le_bytes());
+    }
+    c.bench_function("vam/scan_line_8.4.1.2", |b| {
+        b.iter(|| scan_line(black_box(&data), black_box(trigger), black_box(&cfg)))
+    });
+    let byte_cfg = VamConfig {
+        scan_step: 1,
+        ..cfg
+    };
+    c.bench_function("vam/scan_line_byte_step", |b| {
+        b.iter(|| scan_line(black_box(&data), black_box(trigger), black_box(&byte_cfg)))
+    });
+}
+
+fn bench_content_scan_fill(c: &mut Criterion) {
+    let mut cdp = ContentPrefetcher::new(ContentConfig::tuned());
+    let mut data = [0u8; LINE_SIZE];
+    data[4..8].copy_from_slice(&0x1023_4560u32.to_le_bytes());
+    let mut out = Vec::with_capacity(16);
+    c.bench_function("content/scan_fill", |b| {
+        b.iter(|| {
+            out.clear();
+            cdp.scan_fill(black_box(VirtAddr(0x1000_0040)), black_box(&data), 0, &mut out);
+            out.len()
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache: Cache<u8> = Cache::new(2048, 8, 64);
+    for i in 0..16_384u32 {
+        cache.fill(i * 64, 0);
+    }
+    let mut i = 0u32;
+    c.bench_function("cache/access_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 16_384;
+            cache.access(black_box(i * 64)).is_some()
+        })
+    });
+    let mut j = 0u32;
+    c.bench_function("cache/fill_evict", |b| {
+        b.iter(|| {
+            j += 1;
+            cache.fill(black_box(0x100_0000 + j * 64), 1)
+        })
+    });
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let mut bus = Bus::new(&BusConfig::default());
+    let mut t = 0u64;
+    c.bench_function("bus/schedule", |b| {
+        b.iter(|| {
+            t += 10;
+            bus.schedule(black_box(t), t.is_multiple_of(3))
+        })
+    });
+}
+
+fn bench_stride(c: &mut Criterion) {
+    let mut sp = StridePrefetcher::new(&StrideConfig::default());
+    let mut out = Vec::with_capacity(8);
+    let mut a = 0u32;
+    c.bench_function("stride/observe_steady", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            out.clear();
+            sp.observe(0x40, VirtAddr(0x2000_0000 + a), &mut out);
+            out.len()
+        })
+    });
+}
+
+fn bench_page_walk(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    for p in 0..512u32 {
+        space.write_u32(VirtAddr(0x1000_0000 + p * 4096), 1);
+    }
+    let mut p = 0u32;
+    c.bench_function("vmem/walk", |b| {
+        b.iter(|| {
+            p = (p + 1) % 512;
+            space.walk(black_box(VirtAddr(0x1000_0000 + p * 4096)))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_vam_scan,
+    bench_content_scan_fill,
+    bench_cache,
+    bench_bus,
+    bench_stride,
+    bench_page_walk
+);
+criterion_main!(kernels);

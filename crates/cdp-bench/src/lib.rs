@@ -1,0 +1,44 @@
+//! Shared helpers for the Criterion benchmark suites.
+//!
+//! Three bench targets live in `benches/`:
+//!
+//! * `kernels` — micro-benchmarks of the hot simulator kernels (VAM line
+//!   scan, cache access, bus scheduling, gshare, full-hierarchy access).
+//! * `figures` — one benchmark per paper table/figure, running the
+//!   corresponding experiment at smoke scale so regressions in any
+//!   reproduced result's cost are visible.
+//! * `ablations` — design-choice sweeps called out in DESIGN.md
+//!   (chain depth, width, reinforcement margin, Markov fan-out).
+
+#![warn(missing_docs)]
+
+use cdp_sim::{RunStats, Simulator};
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::{Benchmark, Scale, Workload};
+
+/// The benchmark seed (distinct from the experiment seed so bench results
+/// never alias experiment caches).
+pub const BENCH_SEED: u64 = 0xbe7c_2002;
+
+/// Builds a smoke-scale workload for benching.
+pub fn bench_workload(bench: Benchmark) -> Workload {
+    bench.build(Scale::smoke(), BENCH_SEED)
+}
+
+/// Runs a configuration over a prebuilt workload (the unit of work most
+/// figure benches measure).
+pub fn run(cfg: &SystemConfig, w: &Workload) -> RunStats {
+    Simulator::new(cfg.clone()).run(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run() {
+        let w = bench_workload(Benchmark::B2e);
+        let r = run(&SystemConfig::asplos2002(), &w);
+        assert!(r.retired > 0);
+    }
+}

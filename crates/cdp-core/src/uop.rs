@@ -1,0 +1,291 @@
+//! The uop trace ISA.
+//!
+//! Workload generators emit sequences of [`Uop`]s with explicit register
+//! dependences. The register file is an abstraction: values are never
+//! computed (addresses were resolved at generation time against the real
+//! memory image), but *readiness* is tracked cycle-accurately, so
+//! dependence chains — especially loads feeding the addresses of later
+//! loads — serialize exactly as they would in hardware.
+
+use cdp_types::VirtAddr;
+
+/// Number of architectural registers available to trace generators.
+pub const NUM_REGS: usize = 64;
+
+/// The operation performed by one uop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UopKind {
+    /// Integer ALU operation completing after `latency` cycles.
+    Alu {
+        /// Execution latency in cycles (>= 1).
+        latency: u8,
+    },
+    /// Floating-point operation (uses the FP unit).
+    Fp {
+        /// Execution latency in cycles (>= 1).
+        latency: u8,
+    },
+    /// Data load from `vaddr` (uses a memory unit and a load-queue entry).
+    Load {
+        /// Effective address, resolved at trace-generation time.
+        vaddr: VirtAddr,
+    },
+    /// Data store to `vaddr` (uses a memory unit and a store-queue entry).
+    Store {
+        /// Effective address, resolved at trace-generation time.
+        vaddr: VirtAddr,
+    },
+    /// Conditional branch with its actual outcome; mispredictions cost the
+    /// configured redirect penalty.
+    Branch {
+        /// The branch's resolved direction.
+        taken: bool,
+    },
+}
+
+/// One micro-operation with its register dependences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uop {
+    /// Program counter (used by the stride prefetcher and gshare).
+    pub pc: u32,
+    /// The operation.
+    pub kind: UopKind,
+    /// Destination register, if any.
+    pub dst: Option<u8>,
+    /// Up to two source registers.
+    pub srcs: [Option<u8>; 2],
+}
+
+impl Uop {
+    /// A dependency-free single-cycle ALU uop (filler work).
+    pub fn alu(pc: u32) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Alu { latency: 1 },
+            dst: None,
+            srcs: [None, None],
+        }
+    }
+
+    /// An ALU uop computing `dst` from `srcs` in `latency` cycles.
+    pub fn alu_dep(pc: u32, dst: u8, srcs: [Option<u8>; 2], latency: u8) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Alu {
+                latency: latency.max(1),
+            },
+            dst: Some(dst),
+            srcs,
+        }
+    }
+
+    /// A load into `dst` whose address depends on `addr_reg` (None for an
+    /// address available immediately, e.g. a global).
+    pub fn load(pc: u32, vaddr: VirtAddr, dst: u8, addr_reg: Option<u8>) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Load { vaddr },
+            dst: Some(dst),
+            srcs: [addr_reg, None],
+        }
+    }
+
+    /// A store of `data_reg` to `vaddr` through `addr_reg`.
+    pub fn store(pc: u32, vaddr: VirtAddr, addr_reg: Option<u8>, data_reg: Option<u8>) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Store { vaddr },
+            dst: None,
+            srcs: [addr_reg, data_reg],
+        }
+    }
+
+    /// A conditional branch on `cond_reg` with outcome `taken`.
+    pub fn branch(pc: u32, taken: bool, cond_reg: Option<u8>) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Branch { taken },
+            dst: None,
+            srcs: [cond_reg, None],
+        }
+    }
+
+    /// Whether this uop needs a memory port.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, UopKind::Load { .. } | UopKind::Store { .. })
+    }
+
+    /// The effective address, if this is a memory uop.
+    pub fn vaddr(&self) -> Option<VirtAddr> {
+        match self.kind {
+            UopKind::Load { vaddr } | UopKind::Store { vaddr } => Some(vaddr),
+            _ => None,
+        }
+    }
+}
+
+/// An executable uop trace.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The uops, in program order.
+    pub uops: Vec<Uop>,
+}
+
+impl Program {
+    /// Creates a program from uops.
+    pub fn new(uops: Vec<Uop>) -> Self {
+        Program { uops }
+    }
+
+    /// Number of uops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Count of load uops.
+    pub fn num_loads(&self) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Load { .. }))
+            .count()
+    }
+
+    /// Count of store uops.
+    pub fn num_stores(&self) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+            .count()
+    }
+
+    /// Count of branch uops.
+    pub fn num_branches(&self) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Branch { .. }))
+            .count()
+    }
+}
+
+impl std::fmt::Display for UopKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UopKind::Alu { latency } => write!(f, "alu({latency})"),
+            UopKind::Fp { latency } => write!(f, "fp({latency})"),
+            UopKind::Load { vaddr } => write!(f, "ld [{vaddr}]"),
+            UopKind::Store { vaddr } => write!(f, "st [{vaddr}]"),
+            UopKind::Branch { taken } => {
+                write!(f, "br {}", if *taken { "taken" } else { "not-taken" })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Uop {
+    /// A disassembly-style line: `pc: kind dst <- srcs`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#06x}: {}", self.pc, self.kind)?;
+        if let Some(d) = self.dst {
+            write!(f, " r{d} <-")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, " r{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Renders a disassembly-style listing of `range` (clamped to the
+    /// program), one uop per line — a debugging aid for trace generators.
+    pub fn disasm(&self, range: std::ops::Range<usize>) -> String {
+        let end = range.end.min(self.uops.len());
+        let start = range.start.min(end);
+        let mut out = String::new();
+        for (i, u) in self.uops[start..end].iter().enumerate() {
+            out.push_str(&format!("{:>6}  {}\n", start + i, u));
+        }
+        out
+    }
+}
+
+impl FromIterator<Uop> for Program {
+    fn from_iter<I: IntoIterator<Item = Uop>>(iter: I) -> Self {
+        Program {
+            uops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Uop> for Program {
+    fn extend<I: IntoIterator<Item = Uop>>(&mut self, iter: I) {
+        self.uops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_dependences() {
+        let ld = Uop::load(0x10, VirtAddr(0x1000), 3, Some(2));
+        assert_eq!(ld.dst, Some(3));
+        assert_eq!(ld.srcs, [Some(2), None]);
+        assert!(ld.is_mem());
+        assert_eq!(ld.vaddr(), Some(VirtAddr(0x1000)));
+
+        let st = Uop::store(0x14, VirtAddr(0x2000), Some(3), Some(4));
+        assert!(st.is_mem());
+        assert_eq!(st.dst, None);
+
+        let br = Uop::branch(0x18, true, Some(1));
+        assert!(!br.is_mem());
+        assert_eq!(br.vaddr(), None);
+    }
+
+    #[test]
+    fn alu_latency_floor() {
+        let u = Uop::alu_dep(0, 1, [None, None], 0);
+        assert_eq!(u.kind, UopKind::Alu { latency: 1 });
+    }
+
+    #[test]
+    fn display_and_disasm() {
+        let u = Uop::load(0x10, VirtAddr(0x1000), 3, Some(2));
+        assert_eq!(u.to_string(), "0x0010: ld [0x00001000] r3 <- r2");
+        let b = Uop::branch(0x18, true, Some(1));
+        assert!(b.to_string().contains("br taken"));
+        let p = Program::new(vec![u, b]);
+        let d = p.disasm(0..10);
+        assert_eq!(d.lines().count(), 2);
+        assert!(d.contains("ld ["));
+        // Degenerate ranges are clamped, not panicking.
+        #[allow(clippy::reversed_empty_ranges)]
+        let degenerate = 5..3;
+        assert_eq!(p.disasm(degenerate), "");
+    }
+
+    #[test]
+    fn program_counts() {
+        let p: Program = vec![
+            Uop::alu(0),
+            Uop::load(4, VirtAddr(0x1000), 1, None),
+            Uop::store(8, VirtAddr(0x2000), None, Some(1)),
+            Uop::branch(12, false, None),
+            Uop::load(16, VirtAddr(0x3000), 2, Some(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.num_loads(), 2);
+        assert_eq!(p.num_stores(), 1);
+        assert_eq!(p.num_branches(), 1);
+        assert!(!p.is_empty());
+    }
+}

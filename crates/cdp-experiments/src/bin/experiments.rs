@@ -1,0 +1,143 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>... [--smoke|--quick|--full] [--csv <dir>]
+//! experiments all [--quick]
+//! ```
+//!
+//! Ids: `table1 fig1 table2 fig2 fig34 fig7 fig8 fig9 fig10 fig11 tlb
+//! pollution`.
+
+use std::time::Instant;
+
+use cdp_experiments::{
+    extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution, sensitivity,
+    suite_summary, table1, table2, tlb, ExpScale,
+};
+use cdp_types::VamConfig;
+
+const ALL: [&str; 19] = [
+    "table1", "fig1", "table2", "fig2", "fig34", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "tlb", "pollution", "suite", "margin", "adaptive", "streams", "latency", "l2size",
+    "backward",
+];
+
+fn run_one(id: &str, scale: ExpScale, csv_dir: Option<&std::path::Path>) -> Result<String, String> {
+    use cdp_experiments::report::ToDataset;
+    let save = |d: cdp_experiments::report::Dataset| -> Result<(), String> {
+        if let Some(dir) = csv_dir {
+            let path = d.write_to(dir).map_err(|e| format!("csv write failed: {e}"))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    };
+    match id {
+        "table1" => Ok(table1::run()),
+        "fig1" => {
+            let r = fig1::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "table2" => {
+            let r = table2::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "fig2" => Ok(fig2::run(VamConfig::tuned())),
+        "fig34" => Ok(fig34::run().render().to_string()),
+        "fig7" => {
+            let r = fig7::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "fig8" => {
+            let r = fig8::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "fig9" => {
+            let r = fig9::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "fig10" => {
+            let r = fig10::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "fig11" => {
+            let r = fig11::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "tlb" => {
+            let r = tlb::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "pollution" => {
+            let r = pollution::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "suite" => {
+            let r = suite_summary::run(scale);
+            save(r.dataset())?;
+            Ok(r.render())
+        }
+        "margin" => Ok(extensions::margin(scale).render()),
+        "adaptive" => Ok(extensions::adaptive(scale).render()),
+        "streams" => Ok(extensions::stream(scale).render()),
+        "latency" => Ok(sensitivity::latency(scale).render()),
+        "l2size" => Ok(sensitivity::l2size(scale).render()),
+        "backward" => Ok(extensions::backward(scale).render()),
+        other => Err(format!("unknown experiment id: {other}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExpScale::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut expect_csv_dir = false;
+    for a in &args {
+        if expect_csv_dir {
+            csv_dir = Some(std::path::PathBuf::from(a));
+            expect_csv_dir = false;
+            continue;
+        }
+        match a.as_str() {
+            "--smoke" => scale = ExpScale::Smoke,
+            "--quick" => scale = ExpScale::Quick,
+            "--full" => scale = ExpScale::Full,
+            "--csv" => expect_csv_dir = true,
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if expect_csv_dir {
+        eprintln!("--csv requires a directory argument");
+        std::process::exit(2);
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>... [--smoke|--quick|--full] [--csv <dir>]");
+        eprintln!("ids: {}  (or: all)", ALL.join(" "));
+        std::process::exit(2);
+    }
+    for id in ids {
+        let t0 = Instant::now();
+        match run_one(&id, scale, csv_dir.as_deref()) {
+            Ok(text) => {
+                println!("================================================================");
+                println!("== {id}  (scale: {scale:?}, {:.1?})", t0.elapsed());
+                println!("================================================================");
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared experiment plumbing: run sizing, workload caching, and plain
+//!-text table rendering.
+
+use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
+use cdp_sim::{RunStats, Simulator};
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::{Benchmark, Scale};
+use cdp_workloads::Workload;
+
+/// How big an experiment run is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpScale {
+    /// Minutes-scale smoke runs (CI / tests).
+    Smoke,
+    /// The default: every figure in a few minutes.
+    Quick,
+    /// Full runs (the EXPERIMENTS.md numbers).
+    Full,
+}
+
+impl ExpScale {
+    /// The workload scale.
+    pub fn scale(self) -> Scale {
+        match self {
+            ExpScale::Smoke => Scale::smoke(),
+            ExpScale::Quick => Scale::quick(),
+            ExpScale::Full => Scale::full(),
+        }
+    }
+
+    /// Parses `smoke` / `quick` / `full`.
+    pub fn parse(s: &str) -> Option<ExpScale> {
+        match s {
+            "smoke" => Some(ExpScale::Smoke),
+            "quick" => Some(ExpScale::Quick),
+            "full" => Some(ExpScale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A benchmark workload cache: experiments run many configurations over
+/// the same workloads; building each workload once matters.
+#[derive(Debug, Default)]
+pub struct WorkloadSet {
+    entries: Vec<(Benchmark, Workload)>,
+}
+
+impl WorkloadSet {
+    /// Builds (or reuses) the workload for `bench` at `scale`.
+    pub fn get(&mut self, bench: Benchmark, scale: Scale) -> &Workload {
+        if let Some(i) = self.entries.iter().position(|(b, _)| *b == bench) {
+            return &self.entries[i].1;
+        }
+        let w = build_workload(bench, scale);
+        self.entries.push((bench, w));
+        &self.entries.last().expect("just pushed").1
+    }
+}
+
+/// Runs `cfg` (with the §2.2 warm-up convention) on a cached workload.
+pub fn run_cfg(ws: &mut WorkloadSet, cfg: &SystemConfig, bench: Benchmark, scale: Scale) -> RunStats {
+    let cfg = with_warmup(cfg.clone(), scale);
+    let w = ws.get(bench, scale);
+    Simulator::new(cfg).run(w)
+}
+
+/// The experiment seed (re-exported for the few experiments that build
+/// custom structures).
+pub const SEED: u64 = DEFAULT_SEED;
+
+/// Renders a plain-text table: header row + aligned columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Right-align numeric-looking cells, left-align the first column.
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// The paper's "best coverage/accuracy trade-off" rule: among the points
+/// whose coverage is within one percentage point of the maximum, pick the
+/// most accurate (coverage is the scarce resource; accuracy is the
+/// tie-breaker).
+pub fn best_tradeoff(points: &[(f64, f64)]) -> usize {
+    let max_cov = points.iter().map(|p| p.0).fold(0.0, f64::max);
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.0 >= max_cov - 0.01)
+        .max_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("finite accuracy"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Renders a horizontal ASCII bar scaled so `max_value` fills `width`
+/// characters (values clamp into `[0, max_value]`).
+pub fn ascii_bar(value: f64, max_value: f64, width: usize) -> String {
+    if max_value <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let frac = (value / max_value).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut bar = "#".repeat(filled);
+    bar.push_str(&" ".repeat(width - filled));
+    bar
+}
+
+/// Formats a ratio as the paper's speedup convention (e.g. `1.126`).
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Formats a fraction as a percentage (e.g. `12.6%`).
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(ExpScale::parse("quick"), Some(ExpScale::Quick));
+        assert_eq!(ExpScale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn workload_set_caches() {
+        let mut ws = WorkloadSet::default();
+        let a = ws.get(Benchmark::B2e, Scale::smoke()).program.len();
+        let b = ws.get(Benchmark::B2e, Scale::smoke()).program.len();
+        assert_eq!(a, b);
+        assert_eq!(ws.entries.len(), 1);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "22.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(ascii_bar(0.5, 1.0, 4), "##  ");
+        assert_eq!(ascii_bar(2.0, 1.0, 4), "####", "clamps above max");
+        assert_eq!(ascii_bar(-1.0, 1.0, 4), "    ", "clamps below zero");
+        assert_eq!(ascii_bar(1.0, 0.0, 4), "", "degenerate max");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_speedup(1.1264), "1.126");
+        assert_eq!(fmt_pct(0.126), "12.6%");
+    }
+}

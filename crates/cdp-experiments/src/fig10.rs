@@ -1,0 +1,141 @@
+//! Figure 10: distribution of UL2 cache load requests (stride full/partial,
+//! content full/partial, unmasked misses) with per-benchmark speedups
+//! overlaid, plus the §4.2.3 headline shares:
+//!
+//! * the content prefetcher fully eliminates ~43% of the non-stride load
+//!   misses, and
+//! * of the content prefetches that masked any latency, ~72% masked it
+//!   fully.
+
+use cdp_sim::metrics::mean;
+use cdp_sim::{speedup, RequestDistribution};
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::Benchmark;
+
+use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// One benchmark's classification.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Fractions `[str-full, str-part, cpf-full, cpf-part, ul2-miss]`.
+    pub fractions: [f64; 5],
+    /// Speedup over the stride baseline (the overlaid line).
+    pub speedup: f64,
+    /// Raw distribution counters.
+    pub distribution: RequestDistribution,
+}
+
+/// The Figure 10 dataset.
+#[derive(Clone, Debug)]
+pub struct Figure10 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+    /// Suite-average speedup.
+    pub average_speedup: f64,
+    /// Share of non-stride misses fully eliminated by the content
+    /// prefetcher (paper: ~43%).
+    pub cpf_full_share_of_nonstride: f64,
+    /// Of masking content prefetches, the share that fully masked
+    /// (paper: ~72%).
+    pub cpf_fully_masked_share: f64,
+}
+
+impl Figure10 {
+    /// Renders the stacked-bar data as a table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 10: distribution of UL2 cache load requests\n\n");
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let f = r.fractions;
+                vec![
+                    r.name.clone(),
+                    format!("{:.1}%", f[0] * 100.0),
+                    format!("{:.1}%", f[1] * 100.0),
+                    format!("{:.1}%", f[2] * 100.0),
+                    format!("{:.1}%", f[3] * 100.0),
+                    format!("{:.1}%", f[4] * 100.0),
+                    format!("{:.3}", r.speedup),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "Benchmark", "str-full", "str-part", "cpf-full", "cpf-part", "ul2-miss",
+                "speedup",
+            ],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "\naverage speedup: {:.3} ({:.1}%)\n",
+            self.average_speedup,
+            (self.average_speedup - 1.0) * 100.0
+        ));
+        out.push_str(&format!(
+            "content prefetcher fully eliminates {:.0}% of non-stride load misses (paper: 43%)\n",
+            self.cpf_full_share_of_nonstride * 100.0
+        ));
+        out.push_str(&format!(
+            "{:.0}% of masking content prefetches fully masked the latency (paper: 72%)\n",
+            self.cpf_fully_masked_share * 100.0
+        ));
+        out
+    }
+}
+
+/// Runs the full suite under baseline and tuned-CDP configurations.
+pub fn run(scale: ExpScale) -> Figure10 {
+    let s = scale.scale();
+    let base_cfg = SystemConfig::asplos2002();
+    let cdp_cfg = SystemConfig::with_content();
+    let mut rows = Vec::new();
+    let mut agg = RequestDistribution::default();
+    for b in Benchmark::all() {
+        let mut ws = WorkloadSet::default();
+        let base = run_cfg(&mut ws, &base_cfg, b, s);
+        let cdp = run_cfg(&mut ws, &cdp_cfg, b, s);
+        let d = cdp.mem.distribution;
+        agg.stride_full += d.stride_full;
+        agg.stride_partial += d.stride_partial;
+        agg.cpf_full += d.cpf_full;
+        agg.cpf_partial += d.cpf_partial;
+        agg.unmasked_misses += d.unmasked_misses;
+        rows.push(Row {
+            name: b.name().to_string(),
+            fractions: d.fractions(),
+            speedup: speedup(&base, &cdp),
+            distribution: d,
+        });
+    }
+    let average_speedup = mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    Figure10 {
+        rows,
+        average_speedup,
+        cpf_full_share_of_nonstride: agg.cpf_full_share_of_nonstride(),
+        cpf_fully_masked_share: agg.cpf_fully_masked_share(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_distributions() {
+        let f = run(ExpScale::Smoke);
+        assert_eq!(f.rows.len(), 15);
+        for r in &f.rows {
+            let sum: f64 = r.fractions.iter().sum();
+            assert!(
+                r.distribution.total() == 0 || (sum - 1.0).abs() < 1e-9,
+                "{}: fractions sum {sum}",
+                r.name
+            );
+        }
+        assert!(f.average_speedup > 0.9);
+        assert!((0.0..=1.0).contains(&f.cpf_fully_masked_share));
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 11: Markov versus content prefetcher under equal silicon
+//! budgets (§5, Table 3).
+//!
+//! Four configurations, all relative to the 1 MB-UL2 stride baseline:
+//!
+//! * `markov_1/8` — 896 KB 7-way UL2 + 128 KB STAB;
+//! * `markov_1/2` — 512 KB 8-way UL2 + 512 KB STAB;
+//! * `markov_big` — full 1 MB UL2 + unbounded STAB (upper bound);
+//! * `content`    — full 1 MB UL2 + the tuned content prefetcher.
+//!
+//! Paper shape: the repartitioned Markov configurations lose (the STAB
+//! cannot buy back the lost cache capacity), `markov_big` gains only
+//! ~4.5% (training phase + resident lines), and the content prefetcher
+//! beats it by ~3x.
+
+use cdp_sim::metrics::mean;
+use cdp_sim::speedup;
+use cdp_types::{MarkovConfig, SystemConfig};
+use cdp_workloads::suite::Benchmark;
+
+use crate::common::{ascii_bar, render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// One configuration's result.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Configuration label (Figure 11 x-axis).
+    pub name: String,
+    /// Suite-average speedup over the stride baseline.
+    pub speedup: f64,
+    /// Per-benchmark speedups (Table 2 order).
+    pub per_bench: Vec<f64>,
+}
+
+/// The four-bar comparison.
+#[derive(Clone, Debug)]
+pub struct Figure11 {
+    /// `markov_1/8`, `markov_1/2`, `markov_big`, `content`.
+    pub configs: Vec<Config>,
+}
+
+impl Figure11 {
+    /// Renders the bars.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 11: Markov vs content prefetcher average speedup (vs 1MB-UL2 stride baseline)\n\n",
+        );
+        let max = self.configs.iter().map(|c| c.speedup).fold(1.0, f64::max);
+        let rows: Vec<Vec<String>> = self
+            .configs
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    format!("{:.3}", c.speedup),
+                    format!("{:+.1}%", (c.speedup - 1.0) * 100.0),
+                    format!("|{}|", ascii_bar(c.speedup, max * 1.05, 30)),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["configuration", "speedup", "gain", ""], &rows));
+        if let (Some(big), Some(content)) = (
+            self.configs.iter().find(|c| c.name == "markov_big"),
+            self.configs.iter().find(|c| c.name == "content"),
+        ) {
+            let ratio = if big.speedup > 1.0 {
+                (content.speedup - 1.0) / (big.speedup - 1.0)
+            } else {
+                f64::INFINITY
+            };
+            out.push_str(&format!(
+                "\ncontent gain is {ratio:.1}x the unbounded Markov gain (paper: ~3x)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the four configurations over the suite.
+pub fn run(scale: ExpScale) -> Figure11 {
+    run_on(scale, &Benchmark::all())
+}
+
+/// Runs the comparison on a benchmark subset (used by tests and the
+/// quick-look example).
+pub fn run_on(scale: ExpScale, benches: &[Benchmark]) -> Figure11 {
+    let s = scale.scale();
+    let base_cfg = SystemConfig::asplos2002();
+    let variants: Vec<(String, SystemConfig)> = vec![
+        (
+            "markov_1/8".into(),
+            SystemConfig::with_markov(MarkovConfig::eighth(), 896 * 1024, 7),
+        ),
+        (
+            "markov_1/2".into(),
+            SystemConfig::with_markov(MarkovConfig::half(), 512 * 1024, 8),
+        ),
+        (
+            "markov_big".into(),
+            SystemConfig::with_markov(MarkovConfig::unbounded(), 1024 * 1024, 8),
+        ),
+        ("content".into(), SystemConfig::with_content()),
+    ];
+    let mut baselines = Vec::new();
+    let mut sets: Vec<WorkloadSet> = benches.iter().map(|_| WorkloadSet::default()).collect();
+    for (i, &b) in benches.iter().enumerate() {
+        baselines.push(run_cfg(&mut sets[i], &base_cfg, b, s));
+    }
+    let mut configs = Vec::new();
+    for (name, cfg) in variants {
+        let mut per_bench = Vec::new();
+        for (i, &b) in benches.iter().enumerate() {
+            let r = run_cfg(&mut sets[i], &cfg, b, s);
+            per_bench.push(speedup(&baselines[i], &r));
+        }
+        configs.push(Config {
+            name,
+            speedup: mean(&per_bench),
+            per_bench,
+        });
+    }
+    Figure11 { configs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_beats_every_markov_configuration() {
+        let f = run_on(
+            ExpScale::Smoke,
+            &[Benchmark::Slsb, Benchmark::Tpcc2, Benchmark::B2e],
+        );
+        assert_eq!(f.configs.len(), 4);
+        let content = f.configs.iter().find(|c| c.name == "content").unwrap();
+        for c in &f.configs {
+            if c.name != "content" {
+                assert!(
+                    content.speedup >= c.speedup - 0.02,
+                    "content {:.3} must beat {} {:.3}",
+                    content.speedup,
+                    c.name,
+                    c.speedup
+                );
+            }
+        }
+        assert!(f.render().contains("markov_big"));
+    }
+}

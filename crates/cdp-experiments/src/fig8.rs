@@ -1,0 +1,128 @@
+//! Figure 8: adjusted coverage and accuracy versus alignment bits and
+//! scan step, with compare/filter fixed at 8.4.
+//!
+//! The paper sweeps "8.4.A.S" for A ∈ {0,1,2,4} and S ∈ {1,2,4} and picks
+//! 8.4.1.2: predicting only on 2-byte alignment with a 2-byte scan step.
+
+use cdp_types::VamConfig;
+
+use crate::common::{best_tradeoff, render_table, ExpScale, WorkloadSet};
+use crate::fig7::{baselines, measure_vam};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// "8.4.A.S" label.
+    pub label: String,
+    /// Configuration measured.
+    pub vam: VamConfig,
+    /// Suite-average adjusted coverage.
+    pub coverage: f64,
+    /// Suite-average adjusted accuracy.
+    pub accuracy: f64,
+}
+
+/// The full sweep.
+#[derive(Clone, Debug)]
+pub struct Figure8 {
+    /// Points in the paper's x-axis order.
+    pub points: Vec<Point>,
+    /// Best coverage x accuracy trade-off index.
+    pub best: usize,
+}
+
+impl Figure8 {
+    /// Renders the series.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 8: adjusted coverage and accuracy vs align bits and scan step\n\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                vec![
+                    p.label.clone(),
+                    format!("{:.1}%", p.coverage * 100.0),
+                    format!("{:.1}%", p.accuracy * 100.0),
+                    if i == self.best { "<= best trade-off".into() } else { String::new() },
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(&["N.M.A.S", "coverage", "accuracy", ""], &rows));
+        out
+    }
+}
+
+/// The paper's x-axis: (align_bits, scan_step) with N.M fixed at 8.4.
+pub fn paper_sweep() -> Vec<(u32, usize)> {
+    let mut v = Vec::new();
+    for step in [1usize, 2, 4] {
+        for align in [0u32, 1, 2, 4] {
+            v.push((align, step));
+        }
+    }
+    v
+}
+
+/// Runs the Figure 8 sweep.
+pub fn run(scale: ExpScale) -> Figure8 {
+    let mut ws = WorkloadSet::default();
+    let base = baselines(&mut ws, scale);
+    let mut points = Vec::new();
+    for (align, step) in paper_sweep() {
+        let vam = VamConfig {
+            compare_bits: 8,
+            filter_bits: 4,
+            align_bits: align,
+            scan_step: step,
+        };
+        let (cov, acc) = measure_vam(&mut ws, scale, vam, &base);
+        points.push(Point {
+            label: format!("8.4.{align}.{step}"),
+            vam,
+            coverage: cov,
+            accuracy: acc,
+        });
+    }
+    let best = best_tradeoff(&points.iter().map(|p| (p.coverage, p.accuracy)).collect::<Vec<_>>());
+    Figure8 { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_points() {
+        let s = paper_sweep();
+        assert_eq!(s.len(), 12);
+        assert!(s.contains(&(1, 2)), "the paper's chosen 8.4.1.2");
+    }
+
+    #[test]
+    fn four_byte_alignment_cannot_beat_two_byte_coverage() {
+        let mut ws = WorkloadSet::default();
+        let base = baselines(&mut ws, ExpScale::Smoke);
+        let mut at = |align: u32| {
+            measure_vam(
+                &mut ws,
+                ExpScale::Smoke,
+                VamConfig {
+                    compare_bits: 8,
+                    filter_bits: 4,
+                    align_bits: align,
+                    scan_step: 2,
+                },
+                &base,
+            )
+        };
+        let (cov1, _) = at(1);
+        let (cov4, _) = at(4);
+        assert!(
+            cov4 <= cov1 + 0.02,
+            "stricter alignment cannot add coverage: {cov1} -> {cov4}"
+        );
+    }
+}

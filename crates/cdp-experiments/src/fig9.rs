@@ -1,0 +1,161 @@
+//! Figure 9: speedup versus prefetch depth, previous/next-line width, and
+//! path reinforcement.
+//!
+//! The paper's key shape results, reproduced here:
+//!
+//! * without reinforcement ("nr"), *deeper* thresholds perform better
+//!   (terminated chains need a demand miss to restart);
+//! * with reinforcement ("reinf") the ordering flips — depth 3 wins;
+//! * previous-line prefetching does not pay for its bandwidth;
+//! * the best configuration is reinforcement + depth 3 + p0.n3.
+
+use cdp_sim::metrics::mean;
+use cdp_sim::runner::pointer_subset;
+use cdp_sim::speedup;
+use cdp_types::{ContentConfig, SystemConfig};
+
+use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// The width axis of Figure 9: (previous lines, next lines).
+pub const WIDTH_AXIS: [(u32, u32); 7] = [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1)];
+
+/// The depth curves of Figure 9.
+pub const DEPTHS: [u8; 3] = [9, 5, 3];
+
+/// One curve: a (depth, reinforcement) pair across the width axis.
+#[derive(Clone, Debug)]
+pub struct Curve {
+    /// Depth threshold.
+    pub depth: u8,
+    /// Whether path reinforcement was on.
+    pub reinforcement: bool,
+    /// Suite-average speedup per width point (same order as
+    /// [`WIDTH_AXIS`]).
+    pub speedups: Vec<f64>,
+}
+
+impl Curve {
+    /// Figure 9 legend label (e.g. `depth.3-reinf`).
+    pub fn label(&self) -> String {
+        format!(
+            "depth.{}-{}",
+            self.depth,
+            if self.reinforcement { "reinf" } else { "nr" }
+        )
+    }
+}
+
+/// The full grid.
+#[derive(Clone, Debug)]
+pub struct Figure9 {
+    /// Six curves (3 depths x {nr, reinf}).
+    pub curves: Vec<Curve>,
+}
+
+impl Figure9 {
+    /// The best (curve, width point) by speedup.
+    pub fn best(&self) -> (usize, usize, f64) {
+        let mut best = (0, 0, 0.0);
+        for (c, curve) in self.curves.iter().enumerate() {
+            for (w, &s) in curve.speedups.iter().enumerate() {
+                if s > best.2 {
+                    best = (c, w, s);
+                }
+            }
+        }
+        best
+    }
+
+    /// Renders the grid with width points as rows and curves as columns.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 9: speedup comparison — prefetch depth vs next-line count\n\n");
+        let mut headers: Vec<String> = vec!["p.n".to_string()];
+        headers.extend(self.curves.iter().map(|c| c.label()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = WIDTH_AXIS
+            .iter()
+            .enumerate()
+            .map(|(w, (p, n))| {
+                let mut row = vec![format!("p{p}.n{n}")];
+                row.extend(
+                    self.curves
+                        .iter()
+                        .map(|c| format!("{:.3}", c.speedups[w])),
+                );
+                row
+            })
+            .collect();
+        out.push_str(&render_table(&header_refs, &rows));
+        let (c, w, s) = self.best();
+        out.push_str(&format!(
+            "\nbest: {} at p{}.n{} -> {:.1}% speedup\n",
+            self.curves[c].label(),
+            WIDTH_AXIS[w].0,
+            WIDTH_AXIS[w].1,
+            (s - 1.0) * 100.0
+        ));
+        out
+    }
+}
+
+/// Runs the Figure 9 grid over the pointer subset.
+pub fn run(scale: ExpScale) -> Figure9 {
+    let s = scale.scale();
+    let benches = pointer_subset();
+    let mut ws = WorkloadSet::default();
+    let base_cfg = SystemConfig::asplos2002();
+    let baselines: Vec<_> = benches
+        .iter()
+        .map(|&b| run_cfg(&mut ws, &base_cfg, b, s))
+        .collect();
+    let mut curves = Vec::new();
+    for &reinf in &[false, true] {
+        for &depth in &DEPTHS {
+            let mut speedups = Vec::new();
+            for &(p, n) in &WIDTH_AXIS {
+                let mut cfg = SystemConfig::asplos2002();
+                cfg.prefetchers.content = Some(ContentConfig {
+                    depth_threshold: depth,
+                    reinforcement: reinf,
+                    prev_lines: p,
+                    next_lines: n,
+                    ..ContentConfig::tuned()
+                });
+                let sps: Vec<f64> = benches
+                    .iter()
+                    .zip(&baselines)
+                    .map(|(&b, base)| speedup(base, &run_cfg(&mut ws, &cfg, b, s)))
+                    .collect();
+                speedups.push(mean(&sps));
+            }
+            curves.push(Curve {
+                depth,
+                reinforcement: reinf,
+                speedups,
+            });
+        }
+    }
+    Figure9 { curves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_matches_paper() {
+        assert_eq!(WIDTH_AXIS.len(), 7);
+        assert_eq!(DEPTHS, [9, 5, 3]);
+    }
+
+    #[test]
+    fn curve_labels() {
+        let c = Curve {
+            depth: 3,
+            reinforcement: true,
+            speedups: vec![1.0],
+        };
+        assert_eq!(c.label(), "depth.3-reinf");
+    }
+}

@@ -1,0 +1,151 @@
+//! Sensitivity studies: how the content prefetcher's value scales with
+//! the machine balance.
+//!
+//! The paper motivates CDP with the widening processor/memory gap ("Such a
+//! configuration tries to approximate both the features and the
+//! performance of future processors", §2.1). These sweeps quantify that:
+//!
+//! * [`latency`] — bus/DRAM round-trip from half to double the Table 1
+//!   value: the CDP gain should grow with the gap;
+//! * [`l2size`] — UL2 from 512 KB to 4 MB: bigger caches absorb the misses
+//!   CDP would have masked, shrinking its headroom.
+
+use cdp_sim::metrics::mean;
+use cdp_sim::runner::pointer_subset;
+use cdp_sim::speedup;
+use cdp_types::SystemConfig;
+
+use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// The swept parameter's value.
+    pub value: u64,
+    /// Suite-average content-prefetcher speedup at this point.
+    pub speedup: f64,
+    /// Suite-average baseline MPTU at this point.
+    pub baseline_mptu: f64,
+}
+
+/// A parameter sweep result.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// What was swept (axis label).
+    pub parameter: &'static str,
+    /// The points, in sweep order.
+    pub points: Vec<Point>,
+}
+
+impl Sweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Sensitivity: content-prefetcher speedup vs {}\n\n",
+            self.parameter
+        );
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.value.to_string(),
+                    format!("{:.3}", p.speedup),
+                    format!("{:+.1}%", (p.speedup - 1.0) * 100.0),
+                    format!("{:.2}", p.baseline_mptu),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[self.parameter, "speedup", "gain", "base MPTU"],
+            &rows,
+        ));
+        out
+    }
+}
+
+fn sweep<F>(scale: ExpScale, parameter: &'static str, values: &[u64], mut apply: F) -> Sweep
+where
+    F: FnMut(&mut SystemConfig, u64),
+{
+    let s = scale.scale();
+    let benches = pointer_subset();
+    let mut points = Vec::new();
+    for &v in values {
+        let mut base_cfg = SystemConfig::asplos2002();
+        apply(&mut base_cfg, v);
+        let mut cdp_cfg = SystemConfig::with_content();
+        apply(&mut cdp_cfg, v);
+        let mut sps = Vec::new();
+        let mut mptus = Vec::new();
+        for &b in &benches {
+            let mut ws = WorkloadSet::default();
+            let base = run_cfg(&mut ws, &base_cfg, b, s);
+            let cdp = run_cfg(&mut ws, &cdp_cfg, b, s);
+            sps.push(speedup(&base, &cdp));
+            mptus.push(base.mptu());
+        }
+        points.push(Point {
+            value: v,
+            speedup: mean(&sps),
+            baseline_mptu: mean(&mptus),
+        });
+    }
+    Sweep { parameter, points }
+}
+
+/// Sweeps the bus/DRAM round-trip latency (Table 1 value: 460 cycles).
+pub fn latency(scale: ExpScale) -> Sweep {
+    sweep(
+        scale,
+        "bus latency (cycles)",
+        &[230, 460, 690, 920],
+        |cfg, v| cfg.bus.latency = v,
+    )
+}
+
+/// Sweeps the UL2 capacity (Table 1 value: 1 MB).
+pub fn l2size(scale: ExpScale) -> Sweep {
+    sweep(
+        scale,
+        "UL2 size (KB)",
+        &[512, 1024, 2048, 4096],
+        |cfg, v| cfg.ul2.size_bytes = (v as usize) * 1024,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_shapes() {
+        let s = latency(ExpScale::Smoke);
+        assert_eq!(s.points.len(), 4);
+        // The paper's motivation: a wider processor/memory gap makes the
+        // prefetcher more valuable. Compare the endpoints.
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        assert!(
+            last.speedup >= first.speedup - 0.05,
+            "gain should grow (or hold) with latency: {:.3} -> {:.3}",
+            first.speedup,
+            last.speedup
+        );
+        assert!(s.render().contains("bus latency"));
+    }
+
+    #[test]
+    fn l2_sweep_shrinks_mptu() {
+        let s = l2size(ExpScale::Smoke);
+        assert_eq!(s.points.len(), 4);
+        let small = &s.points[0];
+        let big = &s.points[3];
+        assert!(
+            big.baseline_mptu <= small.baseline_mptu + 0.5,
+            "bigger L2 cannot miss more: {:.2} -> {:.2}",
+            small.baseline_mptu,
+            big.baseline_mptu
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Suite summary: the headline comparison behind the paper's abstract —
+//! per-benchmark baseline MPTU, IPC, and content-prefetcher speedup, plus
+//! the stateless (no-reinforcement) variant's average.
+//!
+//! The paper reports 11.3% average speedup with no additional processor
+//! state, rising to 12.6% with the <½% reinforcement bits (abstract,
+//! §4.2.1).
+
+use cdp_sim::metrics::mean;
+use cdp_sim::speedup;
+use cdp_types::{ContentConfig, SystemConfig};
+use cdp_workloads::suite::Benchmark;
+
+use crate::common::{ascii_bar, render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// One benchmark's summary row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline (stride-only) L2 MPTU.
+    pub mptu: f64,
+    /// Baseline IPC.
+    pub ipc: f64,
+    /// Tuned content prefetcher speedup.
+    pub speedup_reinf: f64,
+    /// Stateless (no reinforcement bits) content prefetcher speedup.
+    pub speedup_stateless: f64,
+}
+
+/// The suite summary.
+#[derive(Clone, Debug)]
+pub struct SuiteSummary {
+    /// One row per benchmark.
+    pub rows: Vec<Row>,
+    /// Average tuned speedup (paper: 1.126).
+    pub average_reinf: f64,
+    /// Average stateless speedup (paper: 1.113).
+    pub average_stateless: f64,
+}
+
+impl SuiteSummary {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Suite summary: content-prefetcher speedups over the stride baseline\n\n",
+        );
+        let max = self
+            .rows
+            .iter()
+            .map(|r| r.speedup_reinf)
+            .fold(1.0, f64::max);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.2}", r.mptu),
+                    format!("{:.3}", r.ipc),
+                    format!("{:.3}", r.speedup_stateless),
+                    format!("{:.3}", r.speedup_reinf),
+                    format!("|{}|", ascii_bar(r.speedup_reinf - 1.0, (max - 1.0).max(0.01), 24)),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["Benchmark", "MPTU", "IPC", "stateless", "reinforced", "gain"],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "\naverage: stateless {:.3} ({:+.1}%), reinforced {:.3} ({:+.1}%)\n",
+            self.average_stateless,
+            (self.average_stateless - 1.0) * 100.0,
+            self.average_reinf,
+            (self.average_reinf - 1.0) * 100.0
+        ));
+        out.push_str("paper:   stateless 1.113 (+11.3%), reinforced 1.126 (+12.6%)\n");
+        out
+    }
+}
+
+/// Runs the summary across the full suite.
+pub fn run(scale: ExpScale) -> SuiteSummary {
+    let s = scale.scale();
+    let base_cfg = SystemConfig::asplos2002();
+    let reinf_cfg = SystemConfig::with_content();
+    let mut stateless_cfg = SystemConfig::asplos2002();
+    stateless_cfg.prefetchers.content = Some(ContentConfig::stateless());
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let mut ws = WorkloadSet::default();
+        let base = run_cfg(&mut ws, &base_cfg, b, s);
+        let reinf = run_cfg(&mut ws, &reinf_cfg, b, s);
+        let stateless = run_cfg(&mut ws, &stateless_cfg, b, s);
+        rows.push(Row {
+            name: b.name().to_string(),
+            mptu: base.mptu(),
+            ipc: base.ipc(),
+            speedup_reinf: speedup(&base, &reinf),
+            speedup_stateless: speedup(&base, &stateless),
+        });
+    }
+    SuiteSummary {
+        average_reinf: mean(&rows.iter().map(|r| r.speedup_reinf).collect::<Vec<_>>()),
+        average_stateless: mean(&rows.iter().map(|r| r.speedup_stateless).collect::<Vec<_>>()),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_has_all_benchmarks_and_sane_averages() {
+        let s = run(ExpScale::Smoke);
+        assert_eq!(s.rows.len(), 15);
+        assert!(s.average_reinf > 0.9 && s.average_reinf < 3.0);
+        assert!(s.average_stateless > 0.9 && s.average_stateless < 3.0);
+        assert!(s.render().contains("reinforced"));
+    }
+}

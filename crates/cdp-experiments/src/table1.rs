@@ -1,0 +1,23 @@
+//! Table 1: the 4-GHz system configuration.
+
+use cdp_types::SystemConfig;
+
+/// Renders the simulated configuration in the paper's Table 1 layout.
+pub fn run() -> String {
+    format!(
+        "Table 1: Performance model: 4-GHz system configuration\n\n{}\n",
+        SystemConfig::asplos2002()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn contains_key_rows() {
+        let t = super::run();
+        assert!(t.contains("fetch 3, issue 3, retire 3"));
+        assert!(t.contains("reorder 128, store 32, load 48"));
+        assert!(t.contains("460 processor cycles"));
+        assert!(t.contains("64 entry, 4-way associative"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 2: per-benchmark trace statistics — uops executed and L2 MPTU
+//! for 1 MB and 4 MB second-level caches.
+
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::Benchmark;
+
+use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+
+/// One Table 2 row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite category.
+    pub suite: String,
+    /// Uops executed (measurement window).
+    pub uops: u64,
+    /// L2 MPTU with the 1 MB UL2.
+    pub mptu_1mb: f64,
+    /// L2 MPTU with the 4 MB UL2.
+    pub mptu_4mb: f64,
+}
+
+/// The full table.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// One row per benchmark, Table 2 order.
+    pub rows: Vec<Row>,
+}
+
+impl Table2 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 2: uops executed and L2 MPTU statistics for the benchmark sets\n\n",
+        );
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.suite.clone(),
+                    r.uops.to_string(),
+                    format!("{:.2}", r.mptu_1mb),
+                    format!("{:.2}", r.mptu_4mb),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["Benchmark", "Suite", "uops", "MPTU (1MB)", "MPTU (4MB)"],
+            &rows,
+        ));
+        out
+    }
+}
+
+/// Runs every benchmark under the stride baseline at both UL2 sizes.
+pub fn run(scale: ExpScale) -> Table2 {
+    let s = scale.scale();
+    let cfg_1mb = SystemConfig::asplos2002();
+    let mut cfg_4mb = SystemConfig::asplos2002();
+    cfg_4mb.ul2.size_bytes = 4 * 1024 * 1024;
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let mut ws = WorkloadSet::default();
+        let r1 = run_cfg(&mut ws, &cfg_1mb, b, s);
+        let r4 = run_cfg(&mut ws, &cfg_4mb, b, s);
+        rows.push(Row {
+            name: b.name().to_string(),
+            suite: b.suite().to_string(),
+            uops: r1.retired,
+            mptu_1mb: r1.mptu(),
+            mptu_4mb: r4.mptu(),
+        });
+    }
+    Table2 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_cache_never_increases_mptu_much() {
+        let t = run(ExpScale::Smoke);
+        assert_eq!(t.rows.len(), 15);
+        for r in &t.rows {
+            assert!(
+                r.mptu_4mb <= r.mptu_1mb * 1.25 + 0.5,
+                "{}: 4MB {} vs 1MB {}",
+                r.name,
+                r.mptu_4mb,
+                r.mptu_1mb
+            );
+        }
+        let s = t.render();
+        assert!(s.contains("verilog-gate"));
+    }
+}

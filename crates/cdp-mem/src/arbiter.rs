@@ -1,0 +1,382 @@
+//! Priority arbiters for the L2 request queue and the front-side bus queue.
+//!
+//! §3.5 of the paper specifies the semantics reproduced here:
+//!
+//! * "The L2 and bus arbiters maintain a strict, priority-based ordering of
+//!   requests" — [`Arbiter::pop`] always returns the highest-priority
+//!   pending request, FIFO within equal priority.
+//! * "If in the process of trying to enqueue a request the arbiter is found
+//!   to not have any available buffer space, the prefetch request is
+//!   squashed. No attempt is made to store the request" —
+//!   [`EnqueueOutcome::Squashed`].
+//! * "No demand request will be stalled due to lack of buffer space if one
+//!   or more prefetch requests currently reside in the arbiter ... The
+//!   prefetch request with the lowest priority is removed from the arbiter,
+//!   with the demand request taking its place" —
+//!   [`EnqueueOutcome::AcceptedEvicting`].
+//! * A demand that finds a *matching* prefetch in the queue promotes it
+//!   instead of enqueuing a duplicate — [`Arbiter::promote`].
+//!
+//! Note: the full-system hierarchy in `cdp-sim` models these capacity
+//! semantics analytically (MSHR occupancy + the bus's prefetch backlog)
+//! for speed; this slot-accurate queue is the reference implementation of
+//! the §3.5 rules, used directly by slot-by-slot models and exhaustively
+//! tested here (including with proptest).
+
+use cdp_types::{LineAddr, RequestKind};
+
+/// A request waiting in an arbiter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// Target line (physical).
+    pub line: LineAddr,
+    /// Who issued it (and at what chain depth).
+    pub kind: RequestKind,
+    /// Cycle at which it entered the queue.
+    pub enqueued_at: u64,
+    seq: u64,
+}
+
+/// Result of [`Arbiter::enqueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued normally.
+    Accepted,
+    /// A demand was queued by dropping the lowest-priority prefetch.
+    AcceptedEvicting(PendingRequest),
+    /// A prefetch found the queue full and was dropped.
+    Squashed,
+    /// A demand found the queue full of other demands; the requester must
+    /// retry (modeled upstream as added latency).
+    Stalled,
+}
+
+/// Cumulative arbiter statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Prefetches squashed because the queue was full.
+    pub squashed: u64,
+    /// Prefetches evicted in favor of demands.
+    pub evicted: u64,
+    /// Demands stalled by a queue full of demands.
+    pub stalled: u64,
+    /// Duplicate enqueues suppressed (matching line already queued).
+    pub merged: u64,
+}
+
+/// A fixed-capacity, strict-priority request queue.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_mem::{Arbiter, EnqueueOutcome};
+/// use cdp_types::{LineAddr, RequestKind};
+///
+/// let mut arb = Arbiter::new(2);
+/// arb.enqueue(LineAddr(0x40), RequestKind::Content { depth: 2 }, 0);
+/// arb.enqueue(LineAddr(0x80), RequestKind::Demand, 1);
+/// // Demand pops first despite arriving later.
+/// assert_eq!(arb.pop().unwrap().kind, RequestKind::Demand);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Arbiter {
+    queue: Vec<PendingRequest>,
+    capacity: usize,
+    seq: u64,
+    stats: ArbiterStats,
+}
+
+impl Arbiter {
+    /// Creates an arbiter holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "arbiter capacity must be positive");
+        Arbiter {
+            queue: Vec::with_capacity(capacity),
+            capacity,
+            seq: 0,
+            stats: ArbiterStats::default(),
+        }
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ArbiterStats {
+        self.stats
+    }
+
+    /// Whether a request for `line` is already queued.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.queue.iter().any(|r| r.line == line)
+    }
+
+    /// The queued request for `line`, if any.
+    pub fn find(&self, line: LineAddr) -> Option<&PendingRequest> {
+        self.queue.iter().find(|r| r.line == line)
+    }
+
+    /// Enqueues a request, applying the paper's priority/drop semantics.
+    /// A request whose line is already queued is merged: the queued entry
+    /// keeps the *higher* of the two priorities (this implements the
+    /// in-flight promotion of §3.5 for queued-but-not-yet-issued requests).
+    pub fn enqueue(&mut self, line: LineAddr, kind: RequestKind, now: u64) -> EnqueueOutcome {
+        if let Some(existing) = self.queue.iter_mut().find(|r| r.line == line) {
+            if kind.priority() > existing.kind.priority() {
+                existing.kind = kind;
+            }
+            self.stats.merged += 1;
+            return EnqueueOutcome::Accepted;
+        }
+        if self.queue.len() >= self.capacity {
+            if kind.is_prefetch() {
+                self.stats.squashed += 1;
+                return EnqueueOutcome::Squashed;
+            }
+            // Demand: evict the lowest-priority prefetch, if any.
+            let victim_idx = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.kind.is_prefetch())
+                .min_by_key(|(_, r)| (r.kind.priority(), std::cmp::Reverse(r.seq)))
+                .map(|(i, _)| i);
+            match victim_idx {
+                Some(i) => {
+                    let victim = self.queue.swap_remove(i);
+                    self.push(line, kind, now);
+                    self.stats.evicted += 1;
+                    self.stats.accepted += 1;
+                    return EnqueueOutcome::AcceptedEvicting(victim);
+                }
+                None => {
+                    self.stats.stalled += 1;
+                    return EnqueueOutcome::Stalled;
+                }
+            }
+        }
+        self.push(line, kind, now);
+        self.stats.accepted += 1;
+        EnqueueOutcome::Accepted
+    }
+
+    fn push(&mut self, line: LineAddr, kind: RequestKind, now: u64) {
+        self.seq += 1;
+        self.queue.push(PendingRequest {
+            line,
+            kind,
+            enqueued_at: now,
+            seq: self.seq,
+        });
+    }
+
+    /// Removes and returns the highest-priority request (FIFO within a
+    /// priority level).
+    pub fn pop(&mut self) -> Option<PendingRequest> {
+        let idx = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| (r.kind.priority(), std::cmp::Reverse(r.seq)))
+            .map(|(i, _)| i)?;
+        Some(self.queue.swap_remove(idx))
+    }
+
+    /// Raises the priority of a queued request for `line` to that of `kind`
+    /// (demand promotion of an in-flight prefetch, §3.5). Returns `true` if
+    /// a queued request was found.
+    pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {
+        match self.queue.iter_mut().find(|r| r.line == line) {
+            Some(r) => {
+                if kind.priority() > r.kind.priority() {
+                    r.kind = kind;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes any queued request for `line` (e.g. the line filled via
+    /// another path).
+    pub fn remove(&mut self, line: LineAddr) -> Option<PendingRequest> {
+        let idx = self.queue.iter().position(|r| r.line == line)?;
+        Some(self.queue.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const D: RequestKind = RequestKind::Demand;
+    const S: RequestKind = RequestKind::Stride;
+    fn c(depth: u8) -> RequestKind {
+        RequestKind::Content { depth }
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut a = Arbiter::new(8);
+        a.enqueue(LineAddr(0x40), S, 0);
+        a.enqueue(LineAddr(0x80), S, 1);
+        assert_eq!(a.pop().unwrap().line, LineAddr(0x40));
+        assert_eq!(a.pop().unwrap().line, LineAddr(0x80));
+        assert!(a.pop().is_none());
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut a = Arbiter::new(8);
+        a.enqueue(LineAddr(0x100), c(3), 0);
+        a.enqueue(LineAddr(0x140), c(1), 0);
+        a.enqueue(LineAddr(0x180), S, 0);
+        a.enqueue(LineAddr(0x1c0), D, 0);
+        let order: Vec<_> = std::iter::from_fn(|| a.pop()).map(|r| r.kind).collect();
+        assert_eq!(order, vec![D, S, c(1), c(3)]);
+    }
+
+    #[test]
+    fn full_queue_squashes_prefetch() {
+        let mut a = Arbiter::new(2);
+        a.enqueue(LineAddr(0x40), D, 0);
+        a.enqueue(LineAddr(0x80), D, 0);
+        assert_eq!(a.enqueue(LineAddr(0xc0), S, 0), EnqueueOutcome::Squashed);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.stats().squashed, 1);
+    }
+
+    #[test]
+    fn demand_evicts_lowest_priority_prefetch() {
+        let mut a = Arbiter::new(2);
+        a.enqueue(LineAddr(0x40), S, 0);
+        a.enqueue(LineAddr(0x80), c(2), 0);
+        match a.enqueue(LineAddr(0xc0), D, 1) {
+            EnqueueOutcome::AcceptedEvicting(victim) => {
+                assert_eq!(victim.line, LineAddr(0x80), "deepest content is lowest");
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(a.contains(LineAddr(0xc0)));
+        assert!(a.contains(LineAddr(0x40)));
+        assert_eq!(a.stats().evicted, 1);
+    }
+
+    #[test]
+    fn demand_stalls_when_full_of_demands() {
+        let mut a = Arbiter::new(2);
+        a.enqueue(LineAddr(0x40), D, 0);
+        a.enqueue(LineAddr(0x80), D, 0);
+        assert_eq!(a.enqueue(LineAddr(0xc0), D, 0), EnqueueOutcome::Stalled);
+        assert_eq!(a.stats().stalled, 1);
+    }
+
+    #[test]
+    fn duplicate_line_merges_and_keeps_higher_priority() {
+        let mut a = Arbiter::new(4);
+        a.enqueue(LineAddr(0x40), c(3), 0);
+        assert_eq!(a.enqueue(LineAddr(0x40), D, 1), EnqueueOutcome::Accepted);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.find(LineAddr(0x40)).unwrap().kind, D);
+        assert_eq!(a.stats().merged, 1);
+        // Merging a lower priority does not downgrade.
+        a.enqueue(LineAddr(0x40), c(2), 2);
+        assert_eq!(a.find(LineAddr(0x40)).unwrap().kind, D);
+    }
+
+    #[test]
+    fn promote_raises_priority() {
+        let mut a = Arbiter::new(4);
+        a.enqueue(LineAddr(0x40), c(3), 0);
+        assert!(a.promote(LineAddr(0x40), D));
+        assert_eq!(a.find(LineAddr(0x40)).unwrap().kind, D);
+        assert!(!a.promote(LineAddr(0x999_9940), D));
+    }
+
+    #[test]
+    fn remove_by_line() {
+        let mut a = Arbiter::new(4);
+        a.enqueue(LineAddr(0x40), S, 0);
+        assert!(a.remove(LineAddr(0x40)).is_some());
+        assert!(a.is_empty());
+    }
+
+    proptest! {
+        /// The queue never exceeds capacity, regardless of the input mix.
+        #[test]
+        fn prop_capacity_invariant(
+            ops in proptest::collection::vec((0u32..64, 0u8..5), 1..200)
+        ) {
+            let mut a = Arbiter::new(4);
+            for (i, &(line, k)) in ops.iter().enumerate() {
+                let kind = match k {
+                    0 => RequestKind::Demand,
+                    1 => RequestKind::Stride,
+                    2 => RequestKind::Markov,
+                    _ => RequestKind::Content { depth: k },
+                };
+                a.enqueue(LineAddr(line * 64), kind, i as u64);
+                prop_assert!(a.len() <= a.capacity());
+            }
+        }
+
+        /// pop() returns requests in non-increasing priority order when no
+        /// enqueues intervene.
+        #[test]
+        fn prop_pop_priority_monotone(
+            ops in proptest::collection::vec((0u32..1024, 0u8..6), 1..50)
+        ) {
+            let mut a = Arbiter::new(64);
+            for (i, &(line, k)) in ops.iter().enumerate() {
+                let kind = match k {
+                    0 => RequestKind::Demand,
+                    1 => RequestKind::Stride,
+                    _ => RequestKind::Content { depth: k },
+                };
+                a.enqueue(LineAddr(line * 64), kind, i as u64);
+            }
+            let mut last = cdp_types::Priority(u8::MAX);
+            while let Some(r) = a.pop() {
+                prop_assert!(r.kind.priority() <= last);
+                last = r.kind.priority();
+            }
+        }
+
+        /// A demand enqueue never fails while any prefetch is queued.
+        #[test]
+        fn prop_demand_never_stalls_on_prefetches(
+            lines in proptest::collection::vec(0u32..1024, 1..20)
+        ) {
+            let mut a = Arbiter::new(4);
+            for &l in &lines {
+                a.enqueue(LineAddr(l * 64), RequestKind::Stride, 0);
+            }
+            let outcome = a.enqueue(LineAddr(0xdead_ff40 & !63), RequestKind::Demand, 1);
+            prop_assert!(!matches!(outcome, EnqueueOutcome::Stalled | EnqueueOutcome::Squashed));
+        }
+    }
+}

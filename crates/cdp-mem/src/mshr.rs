@@ -1,0 +1,222 @@
+//! Miss-status holding registers: in-flight fill tracking.
+//!
+//! Two behaviors from §3.5 live here:
+//!
+//! * "Before any prefetch request is enqueued to the memory system, both L2
+//!   and bus arbiters are checked to see if a matching memory transaction is
+//!   currently in-flight. If such a transaction is found, the prefetch
+//!   request is dropped" — [`MshrFile::lookup`] gives the hierarchy that
+//!   check.
+//! * "In the event that a demand load encounters an in-flight prefetch
+//!   memory transaction for the same cache line address, the prefetch
+//!   request is promoted to the priority and depth of the demand request"
+//!   — [`MshrFile::promote`]. A promoted prefetch also counts as a
+//!   *partial* latency mask for the timeliness accounting of Figure 10.
+
+use std::collections::HashMap;
+
+use cdp_types::{LineAddr, RequestKind, VirtAddr};
+
+/// An outstanding fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InFlight {
+    /// Physical line being fetched.
+    pub line: LineAddr,
+    /// Virtual base of the same line (needed so the content prefetcher can
+    /// scan the fill against virtual candidate addresses).
+    pub vline: VirtAddr,
+    /// Current request kind — may be promoted while in flight.
+    pub kind: RequestKind,
+    /// Whether this fill is a width-expansion prefetch (§3.4.3).
+    pub width: bool,
+    /// Cycle at which the fill data arrives.
+    pub complete_at: u64,
+    /// Cycle at which the request entered the memory system.
+    pub issued_at: u64,
+}
+
+/// The in-flight table.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_mem::MshrFile;
+/// use cdp_types::{LineAddr, RequestKind, VirtAddr};
+///
+/// let mut mshrs = MshrFile::new();
+/// mshrs.insert(LineAddr(0x40), VirtAddr(0x1000_0040),
+///              RequestKind::Content { depth: 1 }, 0, 460);
+/// assert!(mshrs.lookup(LineAddr(0x40)).is_some());
+/// // A demand arrives for the same line: promote rather than re-request.
+/// assert!(mshrs.promote(LineAddr(0x40), RequestKind::Demand));
+/// assert_eq!(mshrs.lookup(LineAddr(0x40)).unwrap().kind, RequestKind::Demand);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MshrFile {
+    inflight: HashMap<u32, InFlight>,
+}
+
+impl MshrFile {
+    /// Creates an empty MSHR file.
+    pub fn new() -> Self {
+        MshrFile::default()
+    }
+
+    /// Number of outstanding fills.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no fills are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// The in-flight fill for `line`, if any.
+    pub fn lookup(&self, line: LineAddr) -> Option<&InFlight> {
+        self.inflight.get(&line.0)
+    }
+
+    /// Registers an outstanding fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a fill for the line is already outstanding —
+    /// callers must check [`MshrFile::lookup`] first, mirroring the paper's
+    /// duplicate suppression.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        vline: VirtAddr,
+        kind: RequestKind,
+        issued_at: u64,
+        complete_at: u64,
+    ) {
+        self.insert_width(line, vline, kind, issued_at, complete_at, false)
+    }
+
+    /// [`MshrFile::insert`] with the width-expansion flag.
+    pub fn insert_width(
+        &mut self,
+        line: LineAddr,
+        vline: VirtAddr,
+        kind: RequestKind,
+        issued_at: u64,
+        complete_at: u64,
+        width: bool,
+    ) {
+        let prev = self.inflight.insert(
+            line.0,
+            InFlight {
+                line,
+                vline,
+                kind,
+                width,
+                complete_at,
+                issued_at,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate in-flight fill for {line}");
+    }
+
+    /// Promotes an in-flight fill to (at least) the priority and depth of
+    /// `kind`. Returns `false` if no fill is outstanding for `line`.
+    pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {
+        match self.inflight.get_mut(&line.0) {
+            Some(f) => {
+                if kind.priority() > f.kind.priority() {
+                    f.kind = kind;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves a fill's completion earlier (demand promotion re-arbitrates a
+    /// backlogged prefetch at demand priority). Later completion times are
+    /// ignored — promotion never delays a fill.
+    pub fn expedite(&mut self, line: LineAddr, new_complete_at: u64) -> bool {
+        match self.inflight.get_mut(&line.0) {
+            Some(f) => {
+                f.complete_at = f.complete_at.min(new_complete_at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns every fill complete by cycle `now`, ordered by
+    /// completion time (ties broken by line address for determinism).
+    pub fn drain_complete(&mut self, now: u64) -> Vec<InFlight> {
+        let mut done: Vec<InFlight> = self
+            .inflight
+            .values()
+            .filter(|f| f.complete_at <= now)
+            .copied()
+            .collect();
+        done.sort_by_key(|f| (f.complete_at, f.line.0));
+        for f in &done {
+            self.inflight.remove(&f.line.0);
+        }
+        done
+    }
+
+    /// The earliest outstanding completion time, if any.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.inflight.values().map(|f| f.complete_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fly(mshrs: &mut MshrFile, line: u32, kind: RequestKind, done: u64) {
+        mshrs.insert(LineAddr(line), VirtAddr(line), kind, 0, done);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut m = MshrFile::new();
+        assert!(m.lookup(LineAddr(0x40)).is_none());
+        fly(&mut m, 0x40, RequestKind::Stride, 100);
+        let f = m.lookup(LineAddr(0x40)).unwrap();
+        assert_eq!(f.kind, RequestKind::Stride);
+        assert_eq!(f.complete_at, 100);
+    }
+
+    #[test]
+    fn promote_raises_but_never_lowers() {
+        let mut m = MshrFile::new();
+        fly(&mut m, 0x40, RequestKind::Content { depth: 3 }, 100);
+        assert!(m.promote(LineAddr(0x40), RequestKind::Demand));
+        assert_eq!(m.lookup(LineAddr(0x40)).unwrap().kind, RequestKind::Demand);
+        // Promoting with something weaker is a no-op.
+        assert!(m.promote(LineAddr(0x40), RequestKind::Content { depth: 1 }));
+        assert_eq!(m.lookup(LineAddr(0x40)).unwrap().kind, RequestKind::Demand);
+        assert!(!m.promote(LineAddr(0x80), RequestKind::Demand));
+    }
+
+    #[test]
+    fn drain_returns_in_completion_order() {
+        let mut m = MshrFile::new();
+        fly(&mut m, 0x100, RequestKind::Demand, 300);
+        fly(&mut m, 0x40, RequestKind::Stride, 100);
+        fly(&mut m, 0x80, RequestKind::Demand, 200);
+        fly(&mut m, 0xc0, RequestKind::Demand, 999);
+        let done = m.drain_complete(300);
+        let lines: Vec<u32> = done.iter().map(|f| f.line.0).collect();
+        assert_eq!(lines, vec![0x40, 0x80, 0x100]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.next_completion(), Some(999));
+    }
+
+    #[test]
+    fn drain_empty_when_nothing_due() {
+        let mut m = MshrFile::new();
+        fly(&mut m, 0x40, RequestKind::Demand, 500);
+        assert!(m.drain_complete(499).is_empty());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Sparse byte-level physical memory.
+//!
+//! The simulator keeps a full byte image of physical memory because the
+//! content prefetcher's entire premise is scanning the *data* returned by
+//! fills. Frames are allocated lazily; untouched memory reads as zero
+//! (which the VAM heuristic correctly rejects in the all-zeros region
+//! unless filter bits say otherwise).
+
+use std::collections::HashMap;
+
+use cdp_types::{LineAddr, PhysAddr, LINE_SIZE, PAGE_SIZE};
+
+/// A sparse physical memory image.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_mem::PhysMem;
+/// use cdp_types::PhysAddr;
+///
+/// let mut mem = PhysMem::new();
+/// mem.write_u32(PhysAddr(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u32(PhysAddr(0x1000)), 0xdead_beef);
+/// // Untouched memory reads as zero.
+/// assert_eq!(mem.read_u32(PhysAddr(0x9_0000)), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PhysMem {
+    frames: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory.
+    pub fn new() -> Self {
+        PhysMem {
+            frames: HashMap::new(),
+        }
+    }
+
+    /// Number of frames that have been materialized.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_mut(&mut self, frame: u32) -> &mut [u8; PAGE_SIZE] {
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: PhysAddr) -> u8 {
+        match self.frames.get(&addr.frame()) {
+            Some(f) => f[addr.page_offset() as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, materializing the frame if needed.
+    pub fn write_u8(&mut self, addr: PhysAddr, value: u8) {
+        let off = addr.page_offset() as usize;
+        self.frame_mut(addr.frame())[off] = value;
+    }
+
+    /// Reads a little-endian u32. Reads that straddle a page boundary
+    /// fall back to byte-wise access (sub-4-byte-aligned structures are
+    /// legal on IA-32).
+    pub fn read_u32(&self, addr: PhysAddr) -> u32 {
+        let off = addr.page_offset() as usize;
+        if off + 4 <= PAGE_SIZE {
+            match self.frames.get(&addr.frame()) {
+                Some(f) => u32::from_le_bytes([f[off], f[off + 1], f[off + 2], f[off + 3]]),
+                None => 0,
+            }
+        } else {
+            let b = self.read_bytes(addr, 4);
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        }
+    }
+
+    /// Writes a little-endian u32 (byte-wise when straddling a page
+    /// boundary).
+    pub fn write_u32(&mut self, addr: PhysAddr, value: u32) {
+        let off = addr.page_offset() as usize;
+        if off + 4 <= PAGE_SIZE {
+            let frame = self.frame_mut(addr.frame());
+            frame[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_bytes(addr, &value.to_le_bytes());
+        }
+    }
+
+    /// Returns the 64 bytes of the cache line at `line` (a copy, matching
+    /// the paper's "a copy of the cache line is passed to the content
+    /// prefetcher").
+    pub fn read_line(&self, line: LineAddr) -> [u8; LINE_SIZE] {
+        let addr = line.addr();
+        let off = addr.page_offset() as usize;
+        debug_assert!(off + LINE_SIZE <= PAGE_SIZE, "line straddles page");
+        let mut out = [0u8; LINE_SIZE];
+        if let Some(f) = self.frames.get(&addr.frame()) {
+            out.copy_from_slice(&f[off..off + LINE_SIZE]);
+        }
+        out
+    }
+
+    /// Writes a full cache line.
+    pub fn write_line(&mut self, line: LineAddr, data: &[u8; LINE_SIZE]) {
+        let addr = line.addr();
+        let off = addr.page_offset() as usize;
+        debug_assert!(off + LINE_SIZE <= PAGE_SIZE, "line straddles page");
+        self.frame_mut(addr.frame())[off..off + LINE_SIZE].copy_from_slice(data);
+    }
+
+    /// Copies `data` to consecutive bytes starting at `addr`, which may span
+    /// pages.
+    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(PhysAddr(addr.0.wrapping_add(i as u32)), *b);
+        }
+    }
+
+    /// Reads `len` consecutive bytes starting at `addr` (may span pages).
+    pub fn read_bytes(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(PhysAddr(addr.0.wrapping_add(i as u32))))
+            .collect()
+    }
+
+    /// Iterates over resident frames as `(frame_number, bytes)`, sorted by
+    /// frame number (serialization support).
+    pub fn frames(&self) -> impl Iterator<Item = (u32, &[u8; PAGE_SIZE])> {
+        let mut keys: Vec<u32> = self.frames.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| (k, &*self.frames[&k]))
+    }
+
+    /// Installs a whole frame (serialization support).
+    pub fn install_frame(&mut self, frame: u32, data: [u8; PAGE_SIZE]) {
+        self.frames.insert(frame, Box::new(data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let mem = PhysMem::new();
+        assert_eq!(mem.read_u8(PhysAddr(0)), 0);
+        assert_eq!(mem.read_u32(PhysAddr(0x123_4560)), 0);
+        assert_eq!(mem.read_line(LineAddr(0x40)), [0u8; LINE_SIZE]);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mem = PhysMem::new();
+        mem.write_u32(PhysAddr(0x1000), 0x0102_0304);
+        assert_eq!(mem.read_u8(PhysAddr(0x1000)), 0x04, "little endian");
+        assert_eq!(mem.read_u8(PhysAddr(0x1003)), 0x01);
+        assert_eq!(mem.read_u32(PhysAddr(0x1000)), 0x0102_0304);
+        assert_eq!(mem.resident_frames(), 1);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut mem = PhysMem::new();
+        let mut data = [0u8; LINE_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        mem.write_line(LineAddr(0x2_0040), &data);
+        assert_eq!(mem.read_line(LineAddr(0x2_0040)), data);
+        // Adjacent lines untouched.
+        assert_eq!(mem.read_line(LineAddr(0x2_0000)), [0u8; LINE_SIZE]);
+        assert_eq!(mem.read_line(LineAddr(0x2_0080)), [0u8; LINE_SIZE]);
+    }
+
+    #[test]
+    fn cross_page_byte_copy() {
+        let mut mem = PhysMem::new();
+        let data: Vec<u8> = (0..100).collect();
+        // Straddles the 0x1000 page boundary.
+        mem.write_bytes(PhysAddr(0xfd0), &data);
+        assert_eq!(mem.read_bytes(PhysAddr(0xfd0), 100), data);
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn u32_straddle_is_bytewise_correct() {
+        let mut mem = PhysMem::new();
+        mem.write_u32(PhysAddr(0xffe), 0xaabb_ccdd);
+        assert_eq!(mem.read_u32(PhysAddr(0xffe)), 0xaabb_ccdd);
+        assert_eq!(mem.read_u8(PhysAddr(0xffe)), 0xdd, "first page");
+        assert_eq!(mem.read_u8(PhysAddr(0x1001)), 0xaa, "second page");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u32_roundtrip(addr in 0u32..0x10_0000, value: u32) {
+            let addr = PhysAddr(addr & !3);
+            let mut mem = PhysMem::new();
+            mem.write_u32(addr, value);
+            prop_assert_eq!(mem.read_u32(addr), value);
+        }
+
+        #[test]
+        fn prop_disjoint_writes_do_not_interfere(
+            a in 0u32..0x1_0000, b in 0u32..0x1_0000, va: u32, vb: u32
+        ) {
+            let (a, b) = (PhysAddr(a & !3), PhysAddr(b & !3));
+            prop_assume!(a != b);
+            let mut mem = PhysMem::new();
+            mem.write_u32(a, va);
+            mem.write_u32(b, vb);
+            prop_assert_eq!(mem.read_u32(b), vb);
+            if a.0.abs_diff(b.0) >= 4 {
+                prop_assert_eq!(mem.read_u32(a), va);
+            }
+        }
+
+        #[test]
+        fn prop_line_read_equals_byte_reads(line in 0u32..0x1000, seed: u64) {
+            let line = LineAddr(line * LINE_SIZE as u32);
+            let mut mem = PhysMem::new();
+            let mut data = [0u8; LINE_SIZE];
+            let mut x = seed | 1;
+            for byte in data.iter_mut() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *byte = (x >> 56) as u8;
+            }
+            mem.write_line(line, &data);
+            for (i, &expected) in data.iter().enumerate() {
+                prop_assert_eq!(mem.read_u8(PhysAddr(line.0 + i as u32)), expected);
+            }
+        }
+    }
+}

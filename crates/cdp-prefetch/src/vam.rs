@@ -1,0 +1,367 @@
+//! The virtual-address-matching (VAM) pointer-recognition heuristic (§3.3).
+//!
+//! "The virtual address matching predictor originates from the idea that the
+//! base address of a data structure is hinted at via the load of any member
+//! of the data structure ... most virtual data addresses tend to share
+//! common high-order bits."
+//!
+//! A 32-bit word from a fill is declared a *candidate virtual address* when
+//! (Figure 2, Figure 5):
+//!
+//! 1. **Align bits** — its low `align_bits` bits are zero (compilers place
+//!    pointers on 2/4-byte boundaries);
+//! 2. **Compare bits** — its upper `compare_bits` bits equal the upper bits
+//!    of the *effective address that triggered the fill*;
+//! 3. **Filter bits** — if those shared upper bits are all zeros (or all
+//!    ones), the next `filter_bits` bits must contain a non-zero (resp.
+//!    non-one) bit, rescuing true pointers in the extreme regions while
+//!    rejecting small positive (resp. negative) integers.
+//!
+//! The scanner walks the 64-byte line in `scan_step`-byte steps, evaluating
+//! every in-bounds word — conceptually in parallel in hardware ("such a
+//! design can (and does) lead to multiple prefetches being generated per
+//! cycle").
+
+use cdp_types::{VamConfig, VirtAddr, LINE_SIZE, WORD_SIZE};
+
+/// Decides whether `word` looks like a pointer given the fill's triggering
+/// effective address.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_prefetch::is_candidate;
+/// use cdp_types::{VamConfig, VirtAddr};
+///
+/// let cfg = VamConfig::tuned(); // 8 compare, 4 filter, 1 align, step 2
+/// let trigger = VirtAddr(0x1040_2000);
+/// // Shares the 0x10 upper byte with the trigger: candidate.
+/// assert!(is_candidate(0x10ab_cde0, trigger, &cfg));
+/// // Upper byte differs: rejected.
+/// assert!(!is_candidate(0x20ab_cde0, trigger, &cfg));
+/// ```
+pub fn is_candidate(word: u32, trigger_ea: VirtAddr, cfg: &VamConfig) -> bool {
+    // Alignment test first (cheapest): low `align_bits` must be zero.
+    if cfg.align_bits > 0 && word.trailing_zeros() < cfg.align_bits {
+        return false;
+    }
+    let n = cfg.compare_bits;
+    if n == 0 || n >= 32 {
+        // Degenerate configurations: 0 compare bits matches everything
+        // aligned; >=32 requires exact equality with the trigger.
+        return n == 0 || word == trigger_ea.0;
+    }
+    let shift = 32 - n;
+    let upper_word = word >> shift;
+    let upper_ea = trigger_ea.0 >> shift;
+    if upper_word != upper_ea {
+        return false;
+    }
+    let all_ones_pattern = (1u32 << n) - 1;
+    let all_zeros = upper_word == 0;
+    let all_ones = upper_word == all_ones_pattern;
+    if !all_zeros && !all_ones {
+        return true;
+    }
+    // Extreme regions: consult the filter bits. Zero filter bits means no
+    // prediction here at all.
+    if cfg.filter_bits == 0 {
+        return false;
+    }
+    let m = cfg.filter_bits.min(32 - n);
+    let filter = (word >> (32 - n - m)) & ((1u32 << m) - 1);
+    if all_zeros {
+        // A "likely address" must have some non-zero bit just below the
+        // compare field, i.e. be large enough to not be a small integer.
+        filter != 0
+    } else {
+        // Upper region: look for a non-one bit (reject small negatives).
+        filter != (1u32 << m) - 1
+    }
+}
+
+/// One candidate found while scanning a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineScan {
+    /// Byte offset of the word within the scanned line.
+    pub offset: usize,
+    /// The candidate virtual address (the word's value).
+    pub candidate: VirtAddr,
+}
+
+/// Scans a 64-byte fill for candidate virtual addresses (Figure 5).
+///
+/// `trigger_ea` is the effective address of the memory request that caused
+/// the fill. Words are read little-endian at offsets `0, s, 2s, …` while
+/// the full word stays in bounds: a 1-byte step examines 61 words, a 4-byte
+/// step 16 (§3.3's worked example).
+pub fn scan_line(data: &[u8; LINE_SIZE], trigger_ea: VirtAddr, cfg: &VamConfig) -> Vec<LineScan> {
+    let step = cfg.scan_step.max(1);
+    let mut found = Vec::new();
+    let mut offset = 0;
+    while offset + WORD_SIZE <= LINE_SIZE {
+        let word = u32::from_le_bytes([
+            data[offset],
+            data[offset + 1],
+            data[offset + 2],
+            data[offset + 3],
+        ]);
+        if is_candidate(word, trigger_ea, cfg) {
+            found.push(LineScan {
+                offset,
+                candidate: VirtAddr(word),
+            });
+        }
+        offset += step;
+    }
+    found
+}
+
+/// Number of words examined per line for a given scan step (61 for 1-byte
+/// steps, 16 for 4-byte steps — §3.3).
+pub fn words_examined(scan_step: usize) -> usize {
+    let step = scan_step.max(1);
+    (LINE_SIZE - WORD_SIZE) / step + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(n: u32, m: u32, a: u32, s: usize) -> VamConfig {
+        VamConfig {
+            compare_bits: n,
+            filter_bits: m,
+            align_bits: a,
+            scan_step: s,
+        }
+    }
+
+    const TRIGGER: VirtAddr = VirtAddr(0x1040_2468);
+
+    #[test]
+    fn matching_upper_bits_is_candidate() {
+        let c = cfg(8, 4, 1, 2);
+        assert!(is_candidate(0x10ff_fffe, TRIGGER, &c));
+        assert!(is_candidate(0x1000_0000, TRIGGER, &c));
+    }
+
+    #[test]
+    fn mismatched_upper_bits_rejected() {
+        let c = cfg(8, 4, 1, 2);
+        assert!(!is_candidate(0x1140_2468, TRIGGER, &c));
+        assert!(!is_candidate(0xf040_2468, TRIGGER, &c));
+        assert!(!is_candidate(0x0f40_2468, TRIGGER, &c));
+    }
+
+    #[test]
+    fn align_bits_reject_odd_pointers() {
+        let c1 = cfg(8, 4, 1, 2);
+        assert!(!is_candidate(0x1040_2469, TRIGGER, &c1), "odd word");
+        assert!(is_candidate(0x1040_246a, TRIGGER, &c1), "2-byte aligned");
+        let c2 = cfg(8, 4, 2, 2);
+        assert!(!is_candidate(0x1040_246a, TRIGGER, &c2), "not 4-byte aligned");
+        assert!(is_candidate(0x1040_246c, TRIGGER, &c2));
+        let c0 = cfg(8, 4, 0, 2);
+        assert!(is_candidate(0x1040_2469, TRIGGER, &c0), "align disabled");
+    }
+
+    #[test]
+    fn lower_region_requires_nonzero_filter_bit() {
+        let c = cfg(8, 4, 0, 2);
+        let low_trigger = VirtAddr(0x00ab_cdef);
+        // Upper 8 bits all zero; filter bits = bits 23..20.
+        assert!(
+            !is_candidate(0x0001_2345, low_trigger, &c),
+            "small integer: filter bits 0000"
+        );
+        assert!(
+            is_candidate(0x00ab_2345, low_trigger, &c),
+            "large-enough value: filter bit set"
+        );
+        // With zero filter bits, nothing in the region predicts.
+        let c0 = cfg(8, 0, 0, 2);
+        assert!(!is_candidate(0x00ab_2345, low_trigger, &c0));
+    }
+
+    #[test]
+    fn upper_region_requires_nonone_filter_bit() {
+        let c = cfg(8, 4, 0, 2);
+        let hi_trigger = VirtAddr(0xffab_cdef);
+        assert!(
+            !is_candidate(0xfff1_2345, hi_trigger, &c),
+            "small negative: filter bits 1111"
+        );
+        assert!(
+            is_candidate(0xff7b_2345, hi_trigger, &c),
+            "true high address: a filter bit is 0"
+        );
+    }
+
+    #[test]
+    fn zero_compare_bits_accepts_all_aligned() {
+        let c = cfg(0, 0, 1, 2);
+        assert!(is_candidate(0xdead_beee, TRIGGER, &c));
+        assert!(!is_candidate(0xdead_beef, TRIGGER, &c), "odd fails align");
+    }
+
+    #[test]
+    fn scan_counts_match_paper() {
+        assert_eq!(words_examined(1), 61);
+        assert_eq!(words_examined(2), 31);
+        assert_eq!(words_examined(4), 16);
+    }
+
+    #[test]
+    fn scan_line_finds_embedded_pointers() {
+        let c = cfg(8, 4, 1, 2);
+        let mut data = [0u8; LINE_SIZE];
+        // Pointer at offset 8 and offset 40; junk elsewhere.
+        data[8..12].copy_from_slice(&0x1012_3456u32.to_le_bytes());
+        data[40..44].copy_from_slice(&0x10ff_0000u32.to_le_bytes());
+        data[20..24].copy_from_slice(&0x0000_0007u32.to_le_bytes()); // small int
+        let hits = scan_line(&data, TRIGGER, &c);
+        let offs: Vec<usize> = hits.iter().map(|h| h.offset).collect();
+        assert_eq!(offs, vec![8, 40]);
+        assert_eq!(hits[0].candidate, VirtAddr(0x1012_3456));
+    }
+
+    #[test]
+    fn scan_step_skips_unaligned_offsets() {
+        let c = cfg(8, 4, 0, 4);
+        let mut data = [0u8; LINE_SIZE];
+        // A pointer at odd offset 3 is invisible to a 4-byte-step scan.
+        data[3..7].copy_from_slice(&0x1012_3456u32.to_le_bytes());
+        assert!(scan_line(&data, TRIGGER, &c).is_empty());
+        // Same pointer at offset 4 is found.
+        let mut data2 = [0u8; LINE_SIZE];
+        data2[4..8].copy_from_slice(&0x1012_3456u32.to_le_bytes());
+        assert_eq!(scan_line(&data2, TRIGGER, &c).len(), 1);
+    }
+
+    #[test]
+    fn all_zero_line_yields_nothing() {
+        let c = cfg(8, 4, 1, 2);
+        assert!(scan_line(&[0u8; LINE_SIZE], TRIGGER, &c).is_empty());
+        // Even with a zero-region trigger: zero words have zero filter bits.
+        assert!(scan_line(&[0u8; LINE_SIZE], VirtAddr(0x0000_1000), &c).is_empty());
+    }
+
+    #[test]
+    fn more_compare_bits_shrink_the_match_set() {
+        // Increasing N monotonically restricts candidacy (Figure 7's
+        // coverage-vs-accuracy trade-off).
+        let trigger = VirtAddr(0x1040_2468);
+        for word in [0x1040_0000u32, 0x10ff_0000, 0x1000_0000] {
+            let wide = is_candidate(word, trigger, &cfg(8, 4, 0, 2));
+            let narrow = is_candidate(word, trigger, &cfg(12, 4, 0, 2));
+            assert!(wide || !narrow, "narrow accepts what wide rejects");
+        }
+    }
+
+    #[test]
+    fn boundary_of_the_zero_region() {
+        // With 8 compare bits, the zero region is [0, 0x0100_0000): the
+        // first address outside it never consults the filter bits.
+        let c = cfg(8, 0, 0, 2); // zero filter bits: no extreme-region predictions
+        let trig_low = VirtAddr(0x00f0_0000);
+        assert!(!is_candidate(0x00f0_0000, trig_low, &c), "inside zero region");
+        let trig_out = VirtAddr(0x0100_0000);
+        assert!(is_candidate(0x0100_0000, trig_out, &c), "just outside");
+    }
+
+    #[test]
+    fn boundary_of_the_ones_region() {
+        let c = cfg(8, 0, 0, 2);
+        let trig_hi = VirtAddr(0xff00_0000);
+        assert!(!is_candidate(0xff00_0000, trig_hi, &c), "inside ones region");
+        let trig_out = VirtAddr(0xfe00_0000);
+        assert!(is_candidate(0xfeff_fffe, trig_out, &c), "just below");
+    }
+
+    #[test]
+    fn filter_bits_examine_exactly_m_bits() {
+        // N=8, M=4: filter bits are bits 23..20. A value whose only set
+        // bit is bit 19 (below the filter window) stays rejected.
+        let c = cfg(8, 4, 0, 2);
+        let low = VirtAddr(0x00ab_0000);
+        assert!(!is_candidate(0x0008_0000, low, &c), "bit 19 is below the window");
+        assert!(is_candidate(0x0010_0000, low, &c), "bit 20 is in the window");
+        assert!(is_candidate(0x0080_0000, low, &c), "bit 23 is in the window");
+    }
+
+    #[test]
+    fn filter_wider_than_remaining_bits_is_clamped() {
+        // N=30 leaves 2 bits; M=8 must clamp without panicking.
+        let c = cfg(30, 8, 0, 2);
+        let t = VirtAddr(0x0000_0001);
+        let _ = is_candidate(0x0000_0002, t, &c);
+    }
+
+    #[test]
+    fn trigger_in_one_region_word_in_another_never_matches() {
+        let c = cfg(8, 8, 0, 2);
+        // Upper bytes differ (0x00 vs 0xff): compare bits already fail,
+        // regardless of filters.
+        assert!(!is_candidate(0xff00_1234, VirtAddr(0x0000_5678), &c));
+        assert!(!is_candidate(0x0000_1234, VirtAddr(0xffff_5678), &c));
+    }
+
+    #[test]
+    fn thirty_two_compare_bits_require_exact_equality() {
+        let c = cfg(32, 0, 0, 2);
+        assert!(is_candidate(0x1234_5678, VirtAddr(0x1234_5678), &c));
+        assert!(!is_candidate(0x1234_567a, VirtAddr(0x1234_5678), &c));
+    }
+
+    proptest! {
+        /// A word equal to the trigger EA (aligned) is always a candidate
+        /// when the trigger is outside the extreme regions.
+        #[test]
+        fn prop_self_pointer_is_candidate(ea in 0x0100_0000u32..0xfe00_0000) {
+            let ea = ea & !1;
+            let c = cfg(8, 4, 1, 2);
+            prop_assert!(is_candidate(ea, VirtAddr(ea), &c));
+        }
+
+        /// Candidates always share the upper compare bits with the trigger.
+        #[test]
+        fn prop_candidates_share_upper_bits(word: u32, ea: u32, n in 1u32..16) {
+            let c = cfg(n, 4, 0, 2);
+            if is_candidate(word, VirtAddr(ea), &c) {
+                prop_assert_eq!(word >> (32 - n), ea >> (32 - n));
+            }
+        }
+
+        /// The align test never passes a word with a low set bit.
+        #[test]
+        fn prop_align_enforced(word: u32, a in 1u32..3) {
+            let c = cfg(8, 4, a, 2);
+            if is_candidate(word, VirtAddr(word), &c) {
+                prop_assert_eq!(word & ((1 << a) - 1), 0);
+            }
+        }
+
+        /// scan_line only reports words that individually satisfy
+        /// is_candidate, at offsets that are multiples of the step.
+        #[test]
+        fn prop_scan_agrees_with_predicate(
+            bytes in proptest::collection::vec(any::<u8>(), LINE_SIZE),
+            ea: u32,
+            step in 1usize..5,
+        ) {
+            let mut data = [0u8; LINE_SIZE];
+            data.copy_from_slice(&bytes);
+            let c = cfg(8, 4, 1, step);
+            for hit in scan_line(&data, VirtAddr(ea), &c) {
+                prop_assert_eq!(hit.offset % step, 0);
+                let w = u32::from_le_bytes(
+                    data[hit.offset..hit.offset + 4].try_into().unwrap()
+                );
+                prop_assert!(is_candidate(w, VirtAddr(ea), &c));
+                prop_assert_eq!(hit.candidate, VirtAddr(w));
+            }
+        }
+    }
+}

@@ -1,0 +1,959 @@
+//! The full memory hierarchy (Figure 6 of the paper).
+//!
+//! ```text
+//!        Processor
+//!            │ demand requests
+//!        L1 data cache (virtually indexed)
+//!            │ L1 misses ──────────────► stride prefetcher
+//!        DTLB ──► hardware page walker (bypasses the scanner)
+//!            │
+//!        UL2 cache (physically indexed, depth bits per line)
+//!            │ misses            ▲ fills (copy to content prefetcher)
+//!        MSHRs / arbiters ◄───── content prefetcher candidates
+//!            │                    (virtual, TLB-translated)
+//!        front-side bus ──► DRAM (the byte-level memory image)
+//! ```
+//!
+//! Timing is analytic: every access returns its completion cycle
+//! immediately, with bus contention and queue pressure folded in by the
+//! [`cdp_mem::Bus`] model, and fills processed lazily in completion order
+//! (so chained content prefetches are issued at their parent fill's
+//! arrival time, exactly like the paper's recurrence).
+
+use cdp_core::MemoryModel;
+use cdp_mem::{AddressSpace, Bus, Cache, MshrFile, Tlb};
+use cdp_prefetch::adaptive::AdaptiveVam;
+use cdp_prefetch::{
+    ContentPrefetcher, MarkovPrefetcher, PrefetchRequest, StreamPrefetcher, StridePrefetcher,
+};
+use cdp_types::{
+    AccessKind, LineAddr, PhysAddr, RequestKind, SystemConfig, VirtAddr, LINE_SIZE,
+};
+
+use crate::stats::{Engine, MemStats};
+
+/// Per-L2-line metadata: the paper's reinforcement depth bits plus
+/// bookkeeping for the Figure 10 classification.
+#[derive(Clone, Copy, Debug)]
+pub struct L2Meta {
+    /// Engine that brought the line in.
+    pub owner: Engine,
+    /// Stored request depth (§3.4.2); 0 for demand lines.
+    pub depth: u8,
+    /// Virtual base address of the line (rescans need a virtual trigger).
+    pub vline: VirtAddr,
+    /// Whether a demand has hit this line since it was filled.
+    pub demand_touched: bool,
+    /// Whether the line arrived via width expansion (§3.4.3) — the most
+    /// speculative fill class.
+    pub width: bool,
+    /// Whether a store has touched the line (writeback candidate).
+    pub dirty: bool,
+}
+
+/// Pollution-injection settings for the §3.5 limit study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PollutionConfig {
+    /// Inject one bad prefetch each time the bus has been idle for this
+    /// many cycles (the paper injects "on every idle bus cycle"; a period
+    /// of one line-occupancy reproduces that).
+    pub period: u64,
+}
+
+impl cdp_mem::EvictClass for L2Meta {
+    /// Speculative fills may not displace the proven working set: lines a
+    /// demand has touched (or demand fills themselves) are protected,
+    /// untouched chain candidates are preferred victims over them, and
+    /// untouched width-expansion lines (§3.4.3, the most speculative
+    /// class) go first.
+    fn evict_class(&self) -> u8 {
+        if self.owner == Engine::Demand || self.demand_touched {
+            0
+        } else if self.width {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+fn engine_of(kind: RequestKind) -> Engine {
+    match kind {
+        RequestKind::Demand | RequestKind::PageWalk => Engine::Demand,
+        RequestKind::Stride => Engine::Stride,
+        RequestKind::Content { .. } => Engine::Content,
+        RequestKind::Markov => Engine::Markov,
+    }
+}
+
+/// The assembled memory system.
+pub struct Hierarchy<'w> {
+    space: &'w AddressSpace,
+    cfg: SystemConfig,
+    l1: Cache<()>,
+    l2: Cache<L2Meta>,
+    dtlb: Tlb,
+    bus: Bus,
+    mshrs: MshrFile,
+    stride: Option<StridePrefetcher>,
+    content: Option<ContentPrefetcher>,
+    markov: Option<MarkovPrefetcher>,
+    stream: Option<StreamPrefetcher>,
+    adaptive: Option<AdaptiveVam>,
+    stats: MemStats,
+    pollution: Option<PollutionConfig>,
+    next_pollution: u64,
+    pollution_rng: u64,
+    /// Lines with an in-flight fill that a store has requested (they will
+    /// install dirty).
+    pending_dirty: std::collections::HashSet<u32>,
+}
+
+impl<'w> std::fmt::Debug for Hierarchy<'w> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'w> Hierarchy<'w> {
+    /// Builds the hierarchy described by `cfg` over the (read-only) memory
+    /// image `space`.
+    pub fn new(cfg: SystemConfig, space: &'w AddressSpace) -> Self {
+        let stride = cfg
+            .prefetchers
+            .stride
+            .as_ref()
+            .map(StridePrefetcher::new);
+        let content = cfg.prefetchers.content.map(ContentPrefetcher::new);
+        let markov = cfg.prefetchers.markov.as_ref().map(MarkovPrefetcher::new);
+        let stream = cfg.prefetchers.stream.as_ref().map(StreamPrefetcher::new);
+        let adaptive = cfg.prefetchers.adaptive.map(AdaptiveVam::new);
+        Hierarchy {
+            l1: Cache::from_config(&cfg.l1d),
+            l2: Cache::from_config(&cfg.ul2),
+            dtlb: Tlb::new(&cfg.dtlb),
+            bus: Bus::new(&cfg.bus),
+            mshrs: MshrFile::new(),
+            stride,
+            content,
+            markov,
+            stream,
+            adaptive,
+            stats: MemStats::default(),
+            pollution: None,
+            next_pollution: 0,
+            pollution_rng: 0x1234_5678_9abc_def0,
+            pending_dirty: std::collections::HashSet::new(),
+            space,
+            cfg,
+        }
+    }
+
+    /// Enables the §3.5 pollution limit study: junk lines are force-filled
+    /// into the L2 whenever the bus is idle.
+    pub fn with_pollution(mut self, pollution: PollutionConfig) -> Self {
+        self.pollution = Some(pollution);
+        self
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Content-prefetcher internals (scan/rescan/candidate counters).
+    pub fn content_stats(&self) -> Option<cdp_prefetch::ContentStats> {
+        self.content.as_ref().map(|c| c.stats())
+    }
+
+    /// Stride-prefetcher internals.
+    pub fn stride_stats(&self) -> Option<cdp_prefetch::StrideStats> {
+        self.stride.as_ref().map(|s| s.stats())
+    }
+
+    /// Markov-prefetcher internals.
+    pub fn markov_stats(&self) -> Option<cdp_prefetch::MarkovStats> {
+        self.markov.as_ref().map(|m| m.stats())
+    }
+
+    /// Stream-buffer internals.
+    pub fn stream_stats(&self) -> Option<cdp_prefetch::StreamStats> {
+        self.stream.as_ref().map(|s| s.stats())
+    }
+
+    /// Adaptive-controller internals (and the content configuration it has
+    /// steered to, for inspection).
+    pub fn adaptive_state(&self) -> Option<(cdp_prefetch::adaptive::AdaptiveStats, cdp_types::ContentConfig)> {
+        match (&self.adaptive, &self.content) {
+            (Some(a), Some(c)) => Some((a.stats(), *c.config())),
+            _ => None,
+        }
+    }
+
+    /// Bus statistics.
+    pub fn bus_stats(&self) -> cdp_mem::BusStats {
+        self.bus.stats()
+    }
+
+    /// Resets statistics at the warm-up boundary (§2.2). Cache, TLB, MSHR,
+    /// and predictor *state* is preserved — only counters clear.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.dtlb.reset_stats();
+    }
+
+    /// Processes every fill that has completed by `now`, in completion
+    /// order, including chained fills that complete before `now`.
+    fn drain(&mut self, now: u64) {
+        loop {
+            let done = self.mshrs.drain_complete(now);
+            if done.is_empty() {
+                return;
+            }
+            for fill in done {
+                self.install_fill(fill.line, fill.vline, fill.kind, fill.width, fill.complete_at);
+            }
+        }
+    }
+
+    /// Installs one arrived line into the L2 (and L1 for demand fills) and
+    /// lets the content prefetcher scan it.
+    fn install_fill(
+        &mut self,
+        line: LineAddr,
+        trigger_ea: VirtAddr,
+        kind: RequestKind,
+        width: bool,
+        at: u64,
+    ) {
+        let is_demand = matches!(kind, RequestKind::Demand);
+        let meta = L2Meta {
+            owner: engine_of(kind),
+            depth: kind.depth(),
+            vline: trigger_ea.line(),
+            demand_touched: is_demand,
+            width,
+            dirty: self.pending_dirty.remove(&line.0),
+        };
+        if let Some(evicted) = self.l2.fill(line.0, meta) {
+            if self.cfg.model_writebacks && evicted.meta.dirty {
+                // Dirty victim: one low-priority line transfer back to
+                // memory.
+                self.bus.schedule(at, false);
+                self.stats.writebacks += 1;
+            }
+            if evicted.meta.owner != Engine::Demand && !evicted.meta.demand_touched {
+                match evicted.meta.owner {
+                    Engine::Stride => self.stats.stride.wasted_evictions += 1,
+                    Engine::Content => self.stats.content.wasted_evictions += 1,
+                    Engine::Markov => self.stats.markov.wasted_evictions += 1,
+                    Engine::Demand => {}
+                }
+            }
+        }
+        if is_demand {
+            self.l1.fill(trigger_ea.line().0, ());
+        }
+        // Content prefetcher sees a copy of every fill except page walks.
+        if !matches!(kind, RequestKind::PageWalk) {
+            let data = self.space.phys().read_line(line);
+            self.scan_and_issue(trigger_ea, &data, kind.depth(), at, false);
+        }
+    }
+
+    /// Scans a line with the content prefetcher and issues the resulting
+    /// candidates at time `at`.
+    fn scan_and_issue(
+        &mut self,
+        trigger_ea: VirtAddr,
+        data: &[u8; LINE_SIZE],
+        fill_depth: u8,
+        at: u64,
+        is_rescan: bool,
+    ) {
+        let mut out = Vec::new();
+        if let Some(c) = self.content.as_mut() {
+            if is_rescan {
+                c.rescan(trigger_ea, data, fill_depth, &mut out);
+            } else {
+                c.scan_fill(trigger_ea, data, fill_depth, &mut out);
+            }
+        }
+        for r in out {
+            self.issue_prefetch(r, at);
+        }
+    }
+
+    /// Translates a demand access, charging page-walk latency on a DTLB
+    /// miss. Page-walk lines are cached in the L2 but bypass the scanner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unmapped (demand traces only touch mapped
+    /// memory by construction).
+    fn translate_demand(&mut self, vaddr: VirtAddr, now: u64) -> (PhysAddr, u64) {
+        if let Some(frame) = self.dtlb.lookup(vaddr.page()) {
+            self.stats.dtlb_hits += 1;
+            return (PhysAddr(frame.0 + vaddr.page_offset()), 0);
+        }
+        self.stats.dtlb_misses += 1;
+        let (paddr, penalty) = self
+            .walk(vaddr, now, true)
+            .unwrap_or_else(|| panic!("demand access to unmapped page {vaddr}"));
+        self.dtlb.insert(vaddr.page(), PhysAddr(paddr.0 - vaddr.page_offset()));
+        (paddr, penalty)
+    }
+
+    /// Performs a hardware page walk: two dependent physical reads through
+    /// the L2. Returns the translated address and the cycles consumed, or
+    /// `None` if the page is unmapped. `demand` selects the bus priority
+    /// class for page-table fetches: walks for demand accesses preempt
+    /// speculative traffic, while walks issued on behalf of prefetch
+    /// candidates ride the prefetch track so they never delay the core.
+    fn walk(&mut self, vaddr: VirtAddr, now: u64, demand: bool) -> Option<(PhysAddr, u64)> {
+        let walk = self.space.walk(vaddr);
+        let mut penalty = 0u64;
+        let mut lines: Vec<LineAddr> = vec![walk.pde_addr.line()];
+        if let Some(pte) = walk.pte_addr {
+            lines.push(pte.line());
+        }
+        for l in lines {
+            if self.l2.access(l.0).is_some() {
+                penalty += self.cfg.ul2.latency;
+            } else {
+                // Synchronous fill of the page-table line (demand priority,
+                // scanner bypassed).
+                let done = self.bus.schedule(now + penalty, demand);
+                penalty = done - now;
+                self.l2.fill(
+                    l.0,
+                    L2Meta {
+                        owner: Engine::Demand,
+                        depth: 0,
+                        vline: VirtAddr(0),
+                        demand_touched: true,
+                        width: false,
+                        dirty: false,
+                    },
+                );
+            }
+        }
+        let frame = walk.frame_base?;
+        Some((PhysAddr(frame.0 + vaddr.page_offset()), penalty))
+    }
+
+    /// Translates a prefetch candidate. Unlike demands, an unmapped page
+    /// drops the request instead of faulting. Walk latency is charged to
+    /// the prefetch, not to the core.
+    fn translate_prefetch(&mut self, vaddr: VirtAddr, now: u64) -> Option<(PhysAddr, u64)> {
+        if let Some(frame) = self.dtlb.lookup(vaddr.page()) {
+            self.stats.prefetch_tlb_hits += 1;
+            return Some((PhysAddr(frame.0 + vaddr.page_offset()), 0));
+        }
+        let (paddr, penalty) = self.walk(vaddr, now, false)?;
+        self.stats.prefetch_walks += 1;
+        self.dtlb
+            .insert(vaddr.page(), PhysAddr(paddr.0 - vaddr.page_offset()));
+        Some((paddr, penalty))
+    }
+
+    /// Issues one prefetch request through the §3.5 checks: depth
+    /// threshold, translation, residency (with the reinforcement cascade),
+    /// in-flight matching, and queue capacity.
+    fn issue_prefetch(&mut self, req: PrefetchRequest, now: u64) {
+        if let RequestKind::Content { depth } = req.kind {
+            let threshold = self
+                .content
+                .as_ref()
+                .map(|c| c.config().depth_threshold)
+                .unwrap_or(0);
+            if depth > threshold {
+                self.stats.drops.too_deep += 1;
+                return;
+            }
+        }
+        let Some((paddr, walk_penalty)) = self.translate_prefetch(req.vaddr, now) else {
+            self.stats.drops.unmapped += 1;
+            return;
+        };
+        let pline = paddr.line();
+
+        // Already resident? For content requests, a shallower incoming
+        // depth re-energizes the chain (Figure 3, right side): reset the
+        // stored depth and rescan the resident line.
+        if let Some(meta) = self.l2.peek_mut(pline.0) {
+            if let RequestKind::Content { depth } = req.kind {
+                let stored = meta.depth;
+                let rescan = self
+                    .content
+                    .as_ref()
+                    .map(|c| c.should_rescan(depth, stored))
+                    .unwrap_or(false);
+                if rescan {
+                    meta.depth = depth;
+                    let trigger = req.vaddr;
+                    self.stats.depth_promotions += 1;
+                    self.stats.rescans += 1;
+                    let data = self.space.phys().read_line(pline);
+                    self.scan_and_issue(trigger, &data, depth, now, true);
+                }
+            }
+            self.stats.drops.resident += 1;
+            return;
+        }
+
+        // Matching transaction in flight? Promote its depth/priority and
+        // drop the duplicate.
+        if self.mshrs.lookup(pline).is_some() {
+            self.mshrs.promote(pline, req.kind);
+            self.stats.drops.in_flight += 1;
+            return;
+        }
+
+        // Queue capacity: prefetches are squashed when the L2 request
+        // queue (outstanding misses) or the bus queue is full.
+        if self.mshrs.len() >= self.cfg.arbiters.l2_queue_size
+            || self.bus.prefetch_backlog_at(now) >= self.cfg.bus.queue_size
+        {
+            self.stats.drops.queue_full += 1;
+            return;
+        }
+
+        let fill_at = self.bus.schedule(now + walk_penalty + self.cfg.ul2.latency, false);
+        self.mshrs
+            .insert_width(pline, req.vaddr, req.kind, now, fill_at, req.width);
+        match engine_of(req.kind) {
+            Engine::Stride => self.stats.stride.issued += 1,
+            Engine::Content => self.stats.content.issued += 1,
+            Engine::Markov => self.stats.markov.issued += 1,
+            Engine::Demand => {}
+        }
+    }
+
+    /// The §3.5 pollution limit study: when enabled, force junk lines into
+    /// the L2 on idle bus cycles to measure sensitivity to low-accuracy
+    /// prefetching.
+    fn maybe_pollute(&mut self, now: u64) {
+        let Some(p) = self.pollution else { return };
+        if self.next_pollution == 0 {
+            self.next_pollution = p.period;
+        }
+        while self.next_pollution <= now {
+            let at = self.next_pollution;
+            self.next_pollution += p.period;
+            if !self.bus.is_idle_at(at) {
+                continue;
+            }
+            // A pseudo-random physical line in a junk region.
+            self.pollution_rng = self
+                .pollution_rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = LineAddr((0x3000_0000 | (self.pollution_rng as u32 & 0x00ff_ffc0)) & !63);
+            self.bus.schedule(at, false);
+            self.l2.fill(
+                line.0,
+                L2Meta {
+                    owner: Engine::Content,
+                    depth: 3,
+                    vline: VirtAddr(0),
+                    demand_touched: false,
+                    width: true,
+                    dirty: false,
+                },
+            );
+            self.stats.injected_pollution += 1;
+        }
+    }
+}
+
+impl<'w> MemoryModel for Hierarchy<'w> {
+    fn access(&mut self, pc: u32, vaddr: VirtAddr, kind: AccessKind, now: u64) -> u64 {
+        self.drain(now);
+        self.maybe_pollute(now);
+        self.stats.accesses += 1;
+
+        // L1 lookup (virtually indexed).
+        if self.l1.access(vaddr.line().0).is_some() {
+            self.stats.l1_hits += 1;
+            return now + self.cfg.l1d.latency;
+        }
+        self.stats.l1_misses += 1;
+
+        // The stride prefetcher monitors all L1 miss traffic (§3.5); the
+        // optional stream buffers watch the same stream.
+        let mut reqs: Vec<PrefetchRequest> = Vec::new();
+        if let Some(sp) = self.stride.as_mut() {
+            sp.observe(pc, vaddr, &mut reqs);
+        }
+        let stride_issued_here = !reqs.is_empty();
+        if let Some(sb) = self.stream.as_mut() {
+            sb.observe(vaddr, &mut reqs);
+        }
+
+        // Address translation.
+        let (paddr, walk_penalty) = self.translate_demand(vaddr, now);
+        let pline = paddr.line();
+        let base = now + self.cfg.l1d.latency + walk_penalty;
+
+        self.stats.l2_demand_accesses += 1;
+        let completion = match self.l2.access(pline.0) {
+            Some(meta) => {
+                self.stats.l2_demand_hits += 1;
+                let (owner, stored_depth, first_touch) =
+                    (meta.owner, meta.depth, !meta.demand_touched);
+                meta.demand_touched = true;
+                if kind.is_store() {
+                    meta.dirty = true;
+                }
+                if first_touch {
+                    match owner {
+                        Engine::Stride => {
+                            self.stats.stride.useful_full += 1;
+                            self.stats.distribution.stride_full += 1;
+                        }
+                        Engine::Content => {
+                            self.stats.content.useful_full += 1;
+                            self.stats.distribution.cpf_full += 1;
+                        }
+                        Engine::Markov => {
+                            self.stats.markov.useful_full += 1;
+                            self.stats.distribution.markov_full += 1;
+                        }
+                        Engine::Demand => {}
+                    }
+                }
+                // A demand hitting the L2 installs the line in the L1.
+                self.l1.fill(vaddr.line().0, ());
+                // Path reinforcement (§3.4.2): a depth-0 demand hit on a
+                // deeper line promotes it and rescans.
+                let rescan = self
+                    .content
+                    .as_ref()
+                    .map(|c| c.should_rescan(0, stored_depth))
+                    .unwrap_or(false);
+                if rescan {
+                    if let Some(m) = self.l2.peek_mut(pline.0) {
+                        m.depth = 0;
+                    }
+                    self.stats.depth_promotions += 1;
+                    self.stats.rescans += 1;
+                    let data = self.space.phys().read_line(pline);
+                    self.scan_and_issue(vaddr, &data, 0, now, true);
+                }
+                base + self.cfg.ul2.latency
+            }
+            None => {
+                if let Some(inflight) = self.mshrs.lookup(pline).copied() {
+                    // Merge with the in-flight fill; promote prefetches.
+                    if kind.is_store() {
+                        self.pending_dirty.insert(pline.0);
+                    }
+                    self.stats.l2_miss_merged += 1;
+                    // A prefetch whose bus transfer has not started yet is
+                    // re-arbitrated at demand priority (§3.5 promotion):
+                    // otherwise the demand would wait out the prefetch
+                    // backlog it is supposed to outrank.
+                    let mut effective = inflight.complete_at;
+                    if inflight.kind.is_prefetch()
+                        && self.bus.peek_schedule(base + self.cfg.ul2.latency, true)
+                            < inflight.complete_at
+                    {
+                        let fresh = self.bus.schedule(base + self.cfg.ul2.latency, true);
+                        effective = effective.min(fresh);
+                        self.mshrs.expedite(pline, effective);
+                    }
+                    if inflight.kind.is_prefetch() {
+                        match engine_of(inflight.kind) {
+                            Engine::Stride => {
+                                self.stats.stride.useful_partial += 1;
+                                self.stats.distribution.stride_partial += 1;
+                            }
+                            Engine::Content => {
+                                self.stats.content.useful_partial += 1;
+                                self.stats.distribution.cpf_partial += 1;
+                            }
+                            Engine::Markov => {
+                                self.stats.markov.useful_partial += 1;
+                                self.stats.distribution.markov_partial += 1;
+                            }
+                            Engine::Demand => {}
+                        }
+                        self.mshrs.promote(pline, RequestKind::Demand);
+                    }
+                    effective.max(base)
+                } else {
+                    // True demand miss.
+                    if kind.is_store() {
+                        self.pending_dirty.insert(pline.0);
+                    }
+                    self.stats.l2_demand_misses += 1;
+                    self.stats.distribution.unmasked_misses += 1;
+                    if let Some(mk) = self.markov.as_mut() {
+                        let before = reqs.len();
+                        mk.observe_miss(vaddr, &mut reqs);
+                        if stride_issued_here {
+                            // Stride precedence blocks Markov issue (§5),
+                            // though training still occurs.
+                            reqs.truncate(before);
+                        }
+                    }
+                    let fill_at = self.bus.schedule(base + self.cfg.ul2.latency, true);
+                    self.mshrs.insert(pline, vaddr, RequestKind::Demand, now, fill_at);
+                    fill_at
+                }
+            }
+        };
+
+        // Issue everything the prefetchers asked for.
+        for r in reqs {
+            self.issue_prefetch(r, now);
+        }
+        // Run-time adaptation (§4.1 future work): periodically steer the
+        // content prefetcher's knobs by observed accuracy.
+        if let (Some(ctl), Some(content)) = (self.adaptive.as_mut(), self.content.as_mut()) {
+            if ctl.window_ready(self.stats.content.issued) {
+                let mut cfg = *content.config();
+                ctl.adjust(&mut cfg, self.stats.content.issued, self.stats.content.useful());
+                content.set_config(cfg);
+            }
+        }
+        completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_types::{ContentConfig, PrefetchersConfig, StrideConfig};
+    use cdp_workloads::structures::{build_list, NEXT_OFFSET};
+    use cdp_workloads::Heap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space_with_list(n: usize, shuffle: bool) -> (AddressSpace, Vec<VirtAddr>) {
+        let mut space = AddressSpace::new();
+        let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 24);
+        let mut rng = StdRng::seed_from_u64(11);
+        let list = build_list(&mut space, &mut heap, &mut rng, n, 64, shuffle);
+        (space, list.nodes)
+    }
+
+    fn cfg_stride_only() -> SystemConfig {
+        SystemConfig::asplos2002()
+    }
+
+    fn cfg_with_content() -> SystemConfig {
+        SystemConfig::with_content()
+    }
+
+    #[test]
+    fn l1_hit_costs_l1_latency() {
+        let (space, nodes) = space_with_list(4, false);
+        let mut h = Hierarchy::new(cfg_stride_only(), &space);
+        let a = nodes[0];
+        let t1 = h.access(0x40, a, AccessKind::Load, 0);
+        assert!(t1 > 460, "cold miss goes to memory: {t1}");
+        // Re-access after the fill arrives.
+        let t2 = h.access(0x40, a, AccessKind::Load, t1 + 1);
+        assert_eq!(t2, t1 + 1 + 3, "L1 hit is 3 cycles");
+        assert_eq!(h.stats().l1_hits, 1);
+        assert_eq!(h.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn demand_miss_counts_mptu() {
+        let (space, nodes) = space_with_list(8, true);
+        let mut h = Hierarchy::new(cfg_stride_only(), &space);
+        let mut now = 0;
+        for &n in &nodes {
+            now = h.access(0x40, n, AccessKind::Load, now) + 1;
+        }
+        assert_eq!(h.stats().l2_demand_misses, 8, "every node line cold-misses");
+    }
+
+    #[test]
+    fn content_prefetcher_chases_list_ahead() {
+        let (space, nodes) = space_with_list(32, true);
+        let mut h = Hierarchy::new(cfg_with_content(), &space);
+        // Demand-load node0's next pointer; the fill contains node1's
+        // address, so the CDP should start chaining.
+        let t = h.access(
+            0x40,
+            VirtAddr(nodes[0].0 + NEXT_OFFSET),
+            AccessKind::Load,
+            0,
+        );
+        // Drain by accessing far in the future.
+        let _ = h.access(0x44, VirtAddr(nodes[0].0 + NEXT_OFFSET), AccessKind::Load, t + 5000);
+        let s = h.stats();
+        assert!(
+            s.content.issued >= 3,
+            "chained prefetches issued: {}",
+            s.content.issued
+        );
+    }
+
+    #[test]
+    fn content_prefetch_turns_later_miss_into_hit() {
+        let (space, nodes) = space_with_list(16, true);
+        let mut h = Hierarchy::new(cfg_with_content(), &space);
+        let mut now = 0u64;
+        // Walk the list with generous think time so prefetches land.
+        let mut misses_late = 0;
+        for (i, &n) in nodes.iter().enumerate() {
+            let before = h.stats().l2_demand_misses;
+            now = h.access(0x40, VirtAddr(n.0 + NEXT_OFFSET), AccessKind::Load, now) + 2000;
+            if i >= 4 && h.stats().l2_demand_misses > before {
+                misses_late += 1;
+            }
+        }
+        assert!(
+            misses_late <= 4,
+            "CDP should cover most of the tail of the walk: {misses_late} late misses"
+        );
+        assert!(h.stats().content.useful_full > 0);
+    }
+
+    #[test]
+    fn stride_prefetcher_covers_sequential_scan() {
+        let mut space = AddressSpace::new();
+        space.map_range(VirtAddr(0x2000_0000), 1 << 20);
+        let mut h = Hierarchy::new(cfg_stride_only(), &space);
+        let mut now = 0u64;
+        for i in 0..200u32 {
+            now = h.access(0x80, VirtAddr(0x2000_0000 + i * 64), AccessKind::Load, now) + 800;
+        }
+        let s = h.stats();
+        assert!(s.stride.issued > 50, "stride locked: {}", s.stride.issued);
+        assert!(
+            s.stride.useful() > 30,
+            "stride prefetches get used: {}",
+            s.stride.useful()
+        );
+    }
+
+    #[test]
+    fn page_walks_happen_and_bypass_scanner() {
+        // A line holding only a non-pointer word: the demand fill scans
+        // (finding nothing), while the two page-table lines the walk
+        // filled into the L2 are never scanned.
+        let mut space = AddressSpace::new();
+        space.write_u32(VirtAddr(0x1000_0000), 0x0000_0007);
+        let mut h = Hierarchy::new(cfg_with_content(), &space);
+        let t = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, 0);
+        assert!(h.stats().dtlb_misses >= 1, "first touch walks");
+        let _ = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, t + 5000);
+        assert_eq!(
+            h.content_stats().unwrap().fills_scanned,
+            1,
+            "exactly the demand fill is scanned, not the page-table lines"
+        );
+        assert_eq!(h.stats().content.issued, 0);
+    }
+
+    #[test]
+    fn prefetch_to_unmapped_page_is_dropped() {
+        let mut space = AddressSpace::new();
+        // A line whose only pointer-looking word targets an unmapped page.
+        space.write_u32(VirtAddr(0x1000_0000), 0x10ff_0000); // target unmapped
+        let mut h = Hierarchy::new(cfg_with_content(), &space);
+        let t = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, 0);
+        let _ = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, t + 2000);
+        assert!(h.stats().drops.unmapped >= 1);
+        assert_eq!(h.stats().content.issued, 0);
+    }
+
+    #[test]
+    fn reinforcement_promotes_and_rescans() {
+        let (space, nodes) = space_with_list(64, true);
+        let mut cfg = cfg_with_content();
+        cfg.prefetchers.content = Some(ContentConfig::tuned());
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        for &n in nodes.iter().take(32) {
+            now = h.access(0x40, VirtAddr(n.0 + NEXT_OFFSET), AccessKind::Load, now) + 1500;
+        }
+        assert!(h.stats().rescans > 0, "reinforcement rescans occurred");
+        assert!(h.stats().depth_promotions > 0);
+    }
+
+    #[test]
+    fn no_reinforcement_means_no_rescans() {
+        let (space, nodes) = space_with_list(64, true);
+        let mut cfg = cfg_with_content();
+        cfg.prefetchers.content = Some(ContentConfig {
+            reinforcement: false,
+            ..ContentConfig::tuned()
+        });
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        for &n in nodes.iter().take(32) {
+            now = h.access(0x40, VirtAddr(n.0 + NEXT_OFFSET), AccessKind::Load, now) + 1500;
+        }
+        assert_eq!(h.stats().rescans, 0);
+    }
+
+    #[test]
+    fn demand_joining_inflight_prefetch_counts_partial() {
+        let (space, nodes) = space_with_list(8, true);
+        let mut h = Hierarchy::new(cfg_with_content(), &space);
+        // Trigger the chain.
+        let t0 = h.access(0x40, VirtAddr(nodes[0].0 + NEXT_OFFSET), AccessKind::Load, 0);
+        // Demand node1 shortly after the fill returns: its prefetch is
+        // likely still in flight.
+        let _ = h.access(0x40, VirtAddr(nodes[1].0 + NEXT_OFFSET), AccessKind::Load, t0 + 10);
+        let s = h.stats();
+        assert!(
+            s.content.useful_partial + s.content.useful_full >= 1,
+            "node1's line covered: {:?}",
+            s.content
+        );
+    }
+
+    #[test]
+    fn pollution_injects_and_hurts_nothing_structurally() {
+        let (space, nodes) = space_with_list(8, false);
+        let mut h =
+            Hierarchy::new(cfg_stride_only(), &space).with_pollution(PollutionConfig { period: 64 });
+        let mut now = 0;
+        for &n in &nodes {
+            now = h.access(0x40, n, AccessKind::Load, now) + 500;
+        }
+        assert!(h.stats().injected_pollution > 0);
+    }
+
+    #[test]
+    fn dirty_evictions_cost_writebacks_when_modeled() {
+        // A tiny L2 (one set, 2 ways) so stores' lines get evicted fast.
+        let mut space = AddressSpace::new();
+        space.map_range(VirtAddr(0x1000_0000), 1 << 16);
+        let mut cfg = cfg_stride_only();
+        cfg.prefetchers.stride = None;
+        cfg.ul2.size_bytes = 2 * 64;
+        cfg.ul2.associativity = 2;
+        cfg.model_writebacks = true;
+        let mut h = Hierarchy::new(cfg.clone(), &space);
+        let mut now = 0u64;
+        for i in 0..16u32 {
+            now = h.access(0x40, VirtAddr(0x1000_0000 + i * 64), AccessKind::Store, now) + 10;
+        }
+        // Drain remaining fills.
+        let _ = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, now + 50_000);
+        assert!(h.stats().writebacks > 0, "dirty victims must write back");
+
+        // Same run without stores: no writebacks.
+        let mut h2 = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        for i in 0..16u32 {
+            now = h2.access(0x40, VirtAddr(0x1000_0000 + i * 64), AccessKind::Load, now) + 10;
+        }
+        let _ = h2.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, now + 50_000);
+        assert_eq!(h2.stats().writebacks, 0, "clean victims are silent");
+    }
+
+    #[test]
+    fn writebacks_not_counted_when_unmodeled() {
+        let mut space = AddressSpace::new();
+        space.map_range(VirtAddr(0x1000_0000), 1 << 16);
+        let mut cfg = cfg_stride_only();
+        cfg.ul2.size_bytes = 2 * 64;
+        cfg.ul2.associativity = 2;
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        for i in 0..16u32 {
+            now = h.access(0x40, VirtAddr(0x1000_0000 + i * 64), AccessKind::Store, now) + 10;
+        }
+        let _ = h.access(0x40, VirtAddr(0x1000_0000), AccessKind::Load, now + 50_000);
+        assert_eq!(h.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn stream_buffers_cover_sequential_misses() {
+        let mut space = AddressSpace::new();
+        space.map_range(VirtAddr(0x2000_0000), 1 << 20);
+        let mut cfg = cfg_stride_only();
+        cfg.prefetchers.stride = None;
+        cfg.prefetchers.stream = Some(cdp_types::StreamConfig::default());
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        for i in 0..200u32 {
+            now = h.access(0x80, VirtAddr(0x2000_0000 + i * 64), AccessKind::Load, now) + 800;
+        }
+        // Stream requests are accounted under the stride engine.
+        assert!(h.stream_stats().unwrap().emitted > 50);
+        assert!(h.stats().stride.useful() > 30);
+    }
+
+    #[test]
+    fn adaptive_controller_reacts_to_junk() {
+        // A workload whose chased pointers lead nowhere useful: the
+        // controller should tighten the knobs over time.
+        let (space, nodes) = space_with_list(256, true);
+        let mut cfg = cfg_with_content();
+        cfg.prefetchers.adaptive = Some(cdp_types::AdaptiveConfig {
+            window: 64,
+            ..cdp_types::AdaptiveConfig::default()
+        });
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        // Touch scattered nodes only once each: prefetches rarely pay.
+        for &n in nodes.iter().step_by(7) {
+            now = h.access(0x40, VirtAddr(n.0 + NEXT_OFFSET), AccessKind::Load, now) + 3000;
+        }
+        let (stats, steered) = h.adaptive_state().expect("adaptive on");
+        assert!(stats.windows > 0, "controller evaluated windows");
+        // It must have moved off the tuned point in the conservative
+        // direction (less width and/or more compare bits).
+        let tuned = ContentConfig::tuned();
+        assert!(
+            steered.next_lines <= tuned.next_lines,
+            "width never grows on junk: {steered:?}"
+        );
+    }
+
+    #[test]
+    fn markov_issues_after_training() {
+        let (space, nodes) = space_with_list(6, true);
+        let mut cfg = SystemConfig::with_markov(cdp_types::MarkovConfig::half(), 512 * 1024, 8);
+        // Disable stride so Markov is never blocked in this focused test.
+        cfg.prefetchers.stride = None;
+        let mut h = Hierarchy::new(cfg, &space);
+        let mut now = 0u64;
+        // Two passes over the same miss sequence; flush L2 between passes
+        // by using a fresh hierarchy... instead rely on eviction-free reuse:
+        // pass 1 trains, pass 2 hits in L2 (no new misses) — so instead
+        // check that training happened and the STAB grew.
+        for &n in &nodes {
+            now = h.access(0x40, n, AccessKind::Load, now) + 600;
+        }
+        let mk = h.markov_stats().unwrap();
+        assert!(mk.observed >= 6);
+        assert!(mk.trained >= 5);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_keeps_cache_state() {
+        let (space, nodes) = space_with_list(4, false);
+        let mut h = Hierarchy::new(cfg_stride_only(), &space);
+        let t = h.access(0x40, nodes[0], AccessKind::Load, 0);
+        h.reset_stats();
+        assert_eq!(h.stats().accesses, 0);
+        // The line is still cached: post-reset access is an L1 hit.
+        let t2 = h.access(0x40, nodes[0], AccessKind::Load, t + 10);
+        assert_eq!(t2, t + 13);
+        assert_eq!(h.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn prefetchers_config_default_is_empty() {
+        let p = PrefetchersConfig::default();
+        assert!(p.stride.is_none() && p.content.is_none() && p.markov.is_none());
+        let _ = StrideConfig::default();
+    }
+}

@@ -1,0 +1,40 @@
+//! Full-system simulator for the content-directed prefetching
+//! reproduction.
+//!
+//! * [`hierarchy`] — the Figure 6 memory system: L1 → DTLB/walker → UL2
+//!   (with per-line depth bits) → MSHRs → bus → the byte-level image, with
+//!   the stride, content, and Markov prefetchers plugged into their hook
+//!   points.
+//! * [`system`] — [`Simulator`]: core + hierarchy, warm-up handling,
+//!   MPTU tracing, and [`system::speedup`].
+//! * [`stats`] / [`metrics`] — counters and the paper's coverage/accuracy
+//!   and Figure 10 timeliness metrics.
+//! * [`runner`] — suite-level comparison drivers used by the experiment
+//!   harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdp_sim::{Simulator, RunLength, speedup};
+//! use cdp_types::SystemConfig;
+//! use cdp_workloads::suite::Benchmark;
+//!
+//! let w = Benchmark::Slsb.build(RunLength::Smoke.scale(), 42);
+//! let base = Simulator::new(SystemConfig::asplos2002()).run(&w);
+//! let cdp = Simulator::new(SystemConfig::with_content()).run(&w);
+//! println!("speedup: {:.3}", speedup(&base, &cdp));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod metrics;
+pub mod runner;
+pub mod stats;
+pub mod system;
+
+pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
+pub use metrics::{accuracy, coverage, geomean, mean};
+pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
+pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
+pub use system::{speedup, RunLength, RunStats, Simulator, WindowSample};

@@ -1,0 +1,280 @@
+//! Memory-system statistics.
+//!
+//! Everything the paper's evaluation reads out of the memory system:
+//! MPTU inputs (§2.2), prefetch coverage/accuracy inputs (§4.1), the
+//! timeliness classification of Figure 10 (full vs partial latency
+//! masking per engine), and drop accounting for the arbiters.
+
+/// Which engine owns a line / request, for classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Demand traffic (no prefetcher).
+    Demand,
+    /// The stride prefetcher.
+    Stride,
+    /// The content-directed prefetcher.
+    Content,
+    /// The Markov prefetcher.
+    Markov,
+}
+
+/// Per-engine prefetch counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Prefetches issued to the memory system (post-drop-checks).
+    pub issued: u64,
+    /// Demand hits on this engine's resident prefetched lines
+    /// (full latency mask; counted once per line).
+    pub useful_full: u64,
+    /// Demands that joined this engine's in-flight prefetch
+    /// (partial latency mask).
+    pub useful_partial: u64,
+    /// Prefetched lines evicted without ever being demanded.
+    pub wasted_evictions: u64,
+}
+
+impl EngineCounters {
+    /// Total useful prefetches (full + partial).
+    pub fn useful(&self) -> u64 {
+        self.useful_full + self.useful_partial
+    }
+
+    /// accuracy = useful / issued (Equation 2 of the paper).
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useful() as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Why a prefetch request was dropped before issue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// Target line already resident in the L2.
+    pub resident: u64,
+    /// Matching transaction already in flight (request merged/promoted).
+    pub in_flight: u64,
+    /// Candidate page had no virtual-to-physical mapping.
+    pub unmapped: u64,
+    /// L2 request queue full (§3.5: "the prefetch request is squashed").
+    pub queue_full: u64,
+    /// Chain depth exceeded the threshold.
+    pub too_deep: u64,
+}
+
+impl DropCounters {
+    /// Total dropped.
+    pub fn total(&self) -> u64 {
+        self.resident + self.in_flight + self.unmapped + self.queue_full + self.too_deep
+    }
+}
+
+/// The Figure 10 classification of demand L2 load requests.
+///
+/// Denominator: demand accesses that *would have missed* the L2 without
+/// prefetching — i.e. raw misses plus demands served (fully or partially)
+/// by a prefetched line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestDistribution {
+    /// Demand hits on stride-prefetched resident lines.
+    pub stride_full: u64,
+    /// Demands that joined in-flight stride prefetches.
+    pub stride_partial: u64,
+    /// Demand hits on content-prefetched resident lines.
+    pub cpf_full: u64,
+    /// Demands that joined in-flight content prefetches.
+    pub cpf_partial: u64,
+    /// Demand hits on Markov-prefetched resident lines.
+    pub markov_full: u64,
+    /// Demands that joined in-flight Markov prefetches.
+    pub markov_partial: u64,
+    /// Unmasked demand misses.
+    pub unmasked_misses: u64,
+}
+
+impl RequestDistribution {
+    /// Total classified requests.
+    pub fn total(&self) -> u64 {
+        self.stride_full
+            + self.stride_partial
+            + self.cpf_full
+            + self.cpf_partial
+            + self.markov_full
+            + self.markov_partial
+            + self.unmasked_misses
+    }
+
+    /// Fractions in Figure 10 order:
+    /// `[str-full, str-part, cpf-full, cpf-part, ul2-miss]`
+    /// (Markov folded into the miss column when present; the paper's
+    /// Figure 10 has no Markov configuration).
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total().max(1) as f64;
+        [
+            self.stride_full as f64 / t,
+            self.stride_partial as f64 / t,
+            self.cpf_full as f64 / t,
+            self.cpf_partial as f64 / t,
+            (self.unmasked_misses + self.markov_full + self.markov_partial) as f64 / t,
+        ]
+    }
+
+    /// Of the non-stride-covered requests, the fraction fully eliminated
+    /// by the content prefetcher (§4.2.3 reports 43%).
+    pub fn cpf_full_share_of_nonstride(&self) -> f64 {
+        let nonstride = self.cpf_full + self.cpf_partial + self.unmasked_misses;
+        if nonstride == 0 {
+            0.0
+        } else {
+            self.cpf_full as f64 / nonstride as f64
+        }
+    }
+
+    /// Of content prefetches that masked any latency, the fraction that
+    /// masked it fully (§4.2.3 reports 72%).
+    pub fn cpf_fully_masked_share(&self) -> f64 {
+        let masked = self.cpf_full + self.cpf_partial;
+        if masked == 0 {
+            0.0
+        } else {
+            self.cpf_full as f64 / masked as f64
+        }
+    }
+}
+
+/// Aggregate memory-system statistics for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand data accesses (loads + stores reaching the hierarchy).
+    pub accesses: u64,
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// Demand accesses reaching the L2.
+    pub l2_demand_accesses: u64,
+    /// Demand hits in the L2 (including hits on prefetched lines).
+    pub l2_demand_hits: u64,
+    /// Demand L2 misses that found a matching fill in flight.
+    pub l2_miss_merged: u64,
+    /// Demand L2 misses that went to memory (the MPTU numerator).
+    pub l2_demand_misses: u64,
+    /// DTLB hits.
+    pub dtlb_hits: u64,
+    /// DTLB misses (page walks performed).
+    pub dtlb_misses: u64,
+    /// Page walks triggered by prefetch-candidate translation (§4.2.2:
+    /// "over a third of the prefetch requests issued required an address
+    /// translation not present in the data TLB").
+    pub prefetch_walks: u64,
+    /// Prefetch translations served by the DTLB.
+    pub prefetch_tlb_hits: u64,
+    /// Reinforcement rescans performed (§3.4.2).
+    pub rescans: u64,
+    /// Lines whose stored depth was promoted by a hit.
+    pub depth_promotions: u64,
+    /// Stride-engine counters.
+    pub stride: EngineCounters,
+    /// Content-engine counters.
+    pub content: EngineCounters,
+    /// Markov-engine counters.
+    pub markov: EngineCounters,
+    /// Prefetch drop accounting.
+    pub drops: DropCounters,
+    /// Figure 10 classification.
+    pub distribution: RequestDistribution,
+    /// Pollution-study injections (bad prefetches forced into the L2).
+    pub injected_pollution: u64,
+    /// Dirty lines written back on eviction (0 unless
+    /// `SystemConfig::model_writebacks` is on).
+    pub writebacks: u64,
+}
+
+impl MemStats {
+    /// Misses per 1000 uops, given the retired-uop count of the same
+    /// measurement window (the paper's MPTU metric, §2.2).
+    pub fn mptu(&self, retired_uops: u64) -> f64 {
+        if retired_uops == 0 {
+            0.0
+        } else {
+            self.l2_demand_misses as f64 * 1000.0 / retired_uops as f64
+        }
+    }
+
+    /// Counters for one engine.
+    pub fn engine(&self, e: Engine) -> &EngineCounters {
+        match e {
+            Engine::Stride => &self.stride,
+            Engine::Content => &self.content,
+            Engine::Markov => &self.markov,
+            Engine::Demand => panic!("demand traffic has no prefetch counters"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_accuracy() {
+        let e = EngineCounters {
+            issued: 100,
+            useful_full: 30,
+            useful_partial: 10,
+            wasted_evictions: 5,
+        };
+        assert_eq!(e.useful(), 40);
+        assert!((e.accuracy() - 0.4).abs() < 1e-12);
+        assert_eq!(EngineCounters::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let d = RequestDistribution {
+            stride_full: 30,
+            stride_partial: 10,
+            cpf_full: 20,
+            cpf_partial: 10,
+            markov_full: 0,
+            markov_partial: 0,
+            unmasked_misses: 30,
+        };
+        let f = d.fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((d.cpf_full_share_of_nonstride() - 20.0 / 60.0).abs() < 1e-12);
+        assert!((d.cpf_fully_masked_share() - 20.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mptu_math() {
+        let s = MemStats {
+            l2_demand_misses: 50,
+            ..MemStats::default()
+        };
+        assert!((s.mptu(100_000) - 0.5).abs() < 1e-12);
+        assert_eq!(s.mptu(0), 0.0);
+    }
+
+    #[test]
+    fn drops_total() {
+        let d = DropCounters {
+            resident: 1,
+            in_flight: 2,
+            unmapped: 3,
+            queue_full: 4,
+            too_deep: 5,
+        };
+        assert_eq!(d.total(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand traffic")]
+    fn engine_lookup_rejects_demand() {
+        let s = MemStats::default();
+        let _ = s.engine(Engine::Demand);
+    }
+}

@@ -1,0 +1,389 @@
+//! The assembled system: core + hierarchy, with run-level statistics.
+
+use cdp_core::{Core, CoreStats};
+use cdp_mem::BusStats;
+use cdp_prefetch::adaptive::AdaptiveStats;
+use cdp_prefetch::{ContentStats, MarkovStats, StreamStats, StrideStats};
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::Scale;
+use cdp_workloads::Workload;
+
+use crate::hierarchy::{Hierarchy, PollutionConfig};
+use crate::stats::MemStats;
+
+/// Canonical run sizes used across examples, tests, and experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunLength {
+    /// Tiny: unit tests and doc examples.
+    Smoke,
+    /// Fast experiment runs.
+    Quick,
+    /// Full experiment runs (the EXPERIMENTS.md numbers).
+    Full,
+}
+
+impl RunLength {
+    /// The workload scale for this run length.
+    pub fn scale(self) -> Scale {
+        match self {
+            RunLength::Smoke => Scale::smoke(),
+            RunLength::Quick => Scale::quick(),
+            RunLength::Full => Scale::full(),
+        }
+    }
+
+    /// Warm-up uops before statistics collection (§2.2 methodology,
+    /// proportional to the run budget: the paper warms 7.5 M of ~45 M).
+    pub fn warmup_uops(self) -> u64 {
+        (self.scale().target_uops / 6) as u64
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Uops retired in the measurement window.
+    pub retired: u64,
+    /// Core-side counters.
+    pub core: CoreStats,
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// Content-prefetcher internals, if one was configured.
+    pub content: Option<ContentStats>,
+    /// Stride-prefetcher internals, if configured.
+    pub stride: Option<StrideStats>,
+    /// Markov-prefetcher internals, if configured.
+    pub markov: Option<MarkovStats>,
+    /// Stream-buffer internals, if configured.
+    pub stream: Option<StreamStats>,
+    /// Adaptive-controller stats and final steering, if configured.
+    pub adaptive: Option<(AdaptiveStats, cdp_types::ContentConfig)>,
+    /// Bus counters.
+    pub bus: BusStats,
+}
+
+impl RunStats {
+    /// Retired uops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 demand misses per 1000 uops (§2.2).
+    pub fn mptu(&self) -> f64 {
+        self.mem.mptu(self.retired)
+    }
+}
+
+/// One window of a [`Simulator::run_timeline`] trace (all counters are
+/// per-window, not cumulative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Window index.
+    pub window: usize,
+    /// Uops retired in this window.
+    pub retired: u64,
+    /// Cycles elapsed in this window.
+    pub cycles: u64,
+    /// L2 demand misses in this window.
+    pub l2_misses: u64,
+    /// L1 misses in this window.
+    pub l1_misses: u64,
+    /// Content prefetches issued in this window.
+    pub content_issued: u64,
+    /// Content prefetches that became useful in this window.
+    pub content_useful: u64,
+}
+
+impl WindowSample {
+    /// The window's MPTU.
+    pub fn mptu(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// The window's IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Speedup of `variant` over `baseline` on the same workload
+/// (`baseline_cycles / variant_cycles`, the paper's convention: 1.126 =
+/// "12.6% speedup").
+pub fn speedup(baseline: &RunStats, variant: &RunStats) -> f64 {
+    if variant.cycles == 0 {
+        1.0
+    } else {
+        baseline.cycles as f64 / variant.cycles as f64
+    }
+}
+
+/// A configured simulator, reusable across workloads.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_sim::{Simulator, RunLength};
+/// use cdp_types::SystemConfig;
+/// use cdp_workloads::suite::Benchmark;
+///
+/// let w = Benchmark::B2e.build(RunLength::Smoke.scale(), 7);
+/// let stats = Simulator::new(SystemConfig::asplos2002()).run(&w);
+/// assert!(stats.retired > 0);
+/// assert!(stats.ipc() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    cfg: SystemConfig,
+    pollution: Option<PollutionConfig>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`]; use
+    /// [`Simulator::try_new`] to handle invalid configurations gracefully.
+    pub fn new(cfg: SystemConfig) -> Self {
+        match Simulator::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid system configuration: {e}"),
+        }
+    }
+
+    /// Creates a simulator, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found in `cfg`.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, cdp_types::ConfigError> {
+        cfg.validate()?;
+        Ok(Simulator {
+            cfg,
+            pollution: None,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Enables the §3.5 pollution limit study.
+    pub fn with_pollution(mut self, p: PollutionConfig) -> Self {
+        self.pollution = Some(p);
+        self
+    }
+
+    /// Runs `workload` to completion, honoring `cfg.warmup_uops` (counters
+    /// reset after warm-up; cache/TLB/predictor state carries over).
+    pub fn run(&self, workload: &Workload) -> RunStats {
+        let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
+        if let Some(p) = self.pollution {
+            hierarchy = hierarchy.with_pollution(p);
+        }
+        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        if self.cfg.warmup_uops > 0 {
+            core.run_until_retired(&mut hierarchy, self.cfg.warmup_uops);
+            core.reset_stats();
+            hierarchy.reset_stats();
+        }
+        core.run_to_completion(&mut hierarchy);
+        let cs = core.stats();
+        RunStats {
+            cycles: cs.cycles,
+            retired: cs.retired,
+            core: cs,
+            mem: *hierarchy.stats(),
+            content: hierarchy.content_stats(),
+            stride: hierarchy.stride_stats(),
+            markov: hierarchy.markov_stats(),
+            stream: hierarchy.stream_stats(),
+            adaptive: hierarchy.adaptive_state(),
+            bus: hierarchy.bus_stats(),
+        }
+    }
+
+    /// Runs `workload` in windows of `window_uops` retired uops, sampling
+    /// the full per-window statistics timeline (non-cumulative). The last
+    /// window may be shorter than `window_uops`.
+    pub fn run_timeline(&self, workload: &Workload, window_uops: u64) -> Vec<WindowSample> {
+        let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
+        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut samples = Vec::new();
+        let mut target = window_uops;
+        let mut prev_retired = 0u64;
+        let mut prev_cycles = 0u64;
+        let mut prev_mem = MemStats::default();
+        loop {
+            let done = core.run_until_retired(&mut hierarchy, target);
+            let cs = core.stats();
+            let mem = *hierarchy.stats();
+            let retired = cs.retired - prev_retired;
+            let cycles = cs.cycles - prev_cycles;
+            samples.push(WindowSample {
+                window: samples.len(),
+                retired,
+                cycles,
+                l2_misses: mem.l2_demand_misses - prev_mem.l2_demand_misses,
+                l1_misses: mem.l1_misses - prev_mem.l1_misses,
+                content_issued: mem.content.issued - prev_mem.content.issued,
+                content_useful: (mem.content.useful_full + mem.content.useful_partial)
+                    - (prev_mem.content.useful_full + prev_mem.content.useful_partial),
+            });
+            prev_retired = cs.retired;
+            prev_cycles = cs.cycles;
+            prev_mem = mem;
+            if done {
+                return samples;
+            }
+            target += window_uops;
+        }
+    }
+
+    /// Runs `workload` in windows of `window_uops` retired uops, sampling
+    /// the **non-cumulative** L2 MPTU of each window (the Figure 1
+    /// methodology). Returns one MPTU value per completed window.
+    pub fn run_mptu_trace(&self, workload: &Workload, window_uops: u64) -> Vec<f64> {
+        let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
+        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut samples = Vec::new();
+        let mut target = window_uops;
+        let mut prev_misses = 0u64;
+        loop {
+            let done = core.run_until_retired(&mut hierarchy, target);
+            let misses = hierarchy.stats().l2_demand_misses;
+            samples.push((misses - prev_misses) as f64 * 1000.0 / window_uops as f64);
+            prev_misses = misses;
+            if done {
+                return samples;
+            }
+            target += window_uops;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_workloads::suite::Benchmark;
+
+    fn workload() -> Workload {
+        Benchmark::SpecjbbVsnet.build(Scale::smoke(), 3)
+    }
+
+    #[test]
+    fn baseline_run_completes() {
+        let w = workload();
+        let s = Simulator::new(SystemConfig::asplos2002()).run(&w);
+        assert_eq!(s.retired as usize, w.program.len());
+        assert!(s.cycles > 0);
+        assert!(s.mem.accesses > 0);
+        assert!(s.stride.is_some());
+        assert!(s.content.is_none());
+    }
+
+    #[test]
+    fn warmup_reduces_counted_work() {
+        let w = workload();
+        let mut cfg = SystemConfig::asplos2002();
+        let full = Simulator::new(cfg.clone()).run(&w);
+        cfg.warmup_uops = (w.program.len() / 2) as u64;
+        let warmed = Simulator::new(cfg).run(&w);
+        assert!(warmed.retired < full.retired);
+        assert!(warmed.cycles < full.cycles);
+    }
+
+    #[test]
+    fn content_system_not_slower_on_pointer_workload() {
+        let w = Benchmark::Slsb.build(Scale::smoke(), 5);
+        let base = Simulator::new(SystemConfig::asplos2002()).run(&w);
+        let cdp = Simulator::new(SystemConfig::with_content()).run(&w);
+        let sp = speedup(&base, &cdp);
+        assert!(
+            sp > 0.97,
+            "CDP must not tank a pointer workload: speedup {sp:.3}"
+        );
+        assert!(cdp.mem.content.issued > 0, "CDP actually ran");
+    }
+
+    #[test]
+    fn timeline_windows_sum_to_totals() {
+        let w = Benchmark::Tpcc1.build(Scale::smoke(), 6);
+        let sim = Simulator::new(SystemConfig::with_content());
+        let timeline = sim.run_timeline(&w, 4_000);
+        let full = sim.run(&w);
+        assert!(timeline.len() >= 2);
+        let retired: u64 = timeline.iter().map(|s| s.retired).sum();
+        let misses: u64 = timeline.iter().map(|s| s.l2_misses).sum();
+        let issued: u64 = timeline.iter().map(|s| s.content_issued).sum();
+        assert_eq!(retired, full.retired);
+        assert_eq!(misses, full.mem.l2_demand_misses);
+        assert_eq!(issued, full.mem.content.issued);
+        // Window indices are consecutive.
+        for (i, s) in timeline.iter().enumerate() {
+            assert_eq!(s.window, i);
+        }
+        // Derived metrics are finite.
+        assert!(timeline[0].mptu().is_finite());
+        assert!(timeline[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn mptu_trace_has_warmup_transient() {
+        let w = Benchmark::Tpcc2.build(Scale::smoke(), 9);
+        let trace =
+            Simulator::new(SystemConfig::asplos2002()).run_mptu_trace(&w, 2_000);
+        assert!(trace.len() >= 5);
+        // First window (cold caches) has more misses than the average of
+        // the later half (steady state).
+        let late: f64 =
+            trace[trace.len() / 2..].iter().sum::<f64>() / (trace.len() - trace.len() / 2) as f64;
+        assert!(
+            trace[0] > late,
+            "cold-start window {} should exceed steady state {late}",
+            trace[0]
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = SystemConfig::asplos2002();
+        cfg.dtlb.entries = 63;
+        assert!(Simulator::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn speedup_orientation() {
+        let base = RunStats {
+            cycles: 1126,
+            ..RunStats::default()
+        };
+        let variant = RunStats {
+            cycles: 1000,
+            ..RunStats::default()
+        };
+        assert!((speedup(&base, &variant) - 1.126).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_lengths_are_ordered() {
+        assert!(RunLength::Smoke.scale().target_uops < RunLength::Quick.scale().target_uops);
+        assert!(RunLength::Quick.scale().target_uops < RunLength::Full.scale().target_uops);
+        assert!(RunLength::Full.warmup_uops() > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Address newtypes.
+//!
+//! The simulator models a 32-bit virtual address space (the paper targets
+//! IA-32) and a 32-bit physical address space. Using distinct newtypes keeps
+//! virtually-indexed structures (L1, TLB, the content prefetcher's
+//! virtual-address-matching heuristic) statically separated from physically
+//! indexed ones (the unified L2, the bus, DRAM).
+
+use core::fmt;
+
+use crate::{LINE_SIZE, PAGE_SIZE};
+
+/// A 32-bit virtual address.
+///
+/// # Examples
+///
+/// ```
+/// use cdp_types::VirtAddr;
+/// let a = VirtAddr(0xdead_beef);
+/// assert_eq!(a.page().0, 0xdead_b);
+/// assert_eq!(a.page_offset(), 0xeef);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u32);
+
+/// A 32-bit physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u32);
+
+/// A line-aligned address (virtual or physical depending on context is
+/// avoided: `LineAddr` always wraps a *physical* line-aligned address, which
+/// is what the L2, the MSHRs, the arbiters, and the bus operate on).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u32);
+
+/// A virtual page number (address >> 12).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(pub u32);
+
+const LINE_MASK: u32 = !(LINE_SIZE as u32 - 1);
+const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+
+impl VirtAddr {
+    /// The address of the cache line containing this address.
+    #[inline]
+    pub fn line(self) -> VirtAddr {
+        VirtAddr(self.0 & LINE_MASK)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    pub fn line_offset(self) -> u32 {
+        self.0 & (LINE_SIZE as u32 - 1)
+    }
+
+    /// The virtual page number containing this address.
+    #[inline]
+    pub fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self) -> u32 {
+        self.0 & (PAGE_SIZE as u32 - 1)
+    }
+
+    /// Address `count` cache lines after this one (wrapping).
+    #[inline]
+    pub fn add_lines(self, count: i32) -> VirtAddr {
+        VirtAddr(
+            self.0
+                .wrapping_add((count as i64 * LINE_SIZE as i64) as u32),
+        )
+    }
+
+    /// Byte-offset addition (wrapping).
+    #[inline]
+    pub fn offset(self, bytes: i64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(bytes as u32))
+    }
+
+    /// Whether the low `bits` bits are zero (the content prefetcher's
+    /// alignment test).
+    #[inline]
+    pub fn is_aligned_bits(self, bits: u32) -> bool {
+        bits == 0 || self.0.trailing_zeros() >= bits
+    }
+}
+
+impl PhysAddr {
+    /// The physical line-aligned address containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 & LINE_MASK)
+    }
+
+    /// The physical frame number containing this address.
+    #[inline]
+    pub fn frame(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Byte offset of this address within its page frame.
+    #[inline]
+    pub fn page_offset(self) -> u32 {
+        self.0 & (PAGE_SIZE as u32 - 1)
+    }
+}
+
+impl LineAddr {
+    /// Reconstruct a full physical address (identical value; lines are
+    /// already addresses).
+    #[inline]
+    pub fn addr(self) -> PhysAddr {
+        PhysAddr(self.0)
+    }
+
+    /// The line `count` lines after this one (wrapping).
+    #[inline]
+    pub fn add_lines(self, count: i32) -> LineAddr {
+        LineAddr(
+            self.0
+                .wrapping_add((count as i64 * LINE_SIZE as i64) as u32),
+        )
+    }
+}
+
+impl PageNum {
+    /// The base virtual address of this page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(v: u32) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<u32> for PhysAddr {
+    fn from(v: u32) -> Self {
+        PhysAddr(v)
+    }
+}
+
+macro_rules! impl_fmt {
+    ($t:ty, $tag:literal) => {
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({:#010x})"), self.0)
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#010x}", self.0)
+            }
+        }
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+impl_fmt!(VirtAddr, "VirtAddr");
+impl_fmt!(PhysAddr, "PhysAddr");
+impl_fmt!(LineAddr, "LineAddr");
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageNum({:#07x})", self.0)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#07x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        let a = VirtAddr(0x1000_00ff);
+        assert_eq!(a.line(), VirtAddr(0x1000_00c0));
+        assert_eq!(a.line_offset(), 0x3f);
+        assert_eq!(a.line().line_offset(), 0);
+    }
+
+    #[test]
+    fn page_math() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.page(), PageNum(0x12345));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.page().base(), VirtAddr(0x1234_5000));
+    }
+
+    #[test]
+    fn add_lines_forward_and_back() {
+        let a = VirtAddr(0x1000_0000);
+        assert_eq!(a.add_lines(1), VirtAddr(0x1000_0040));
+        assert_eq!(a.add_lines(-1), VirtAddr(0x0fff_ffc0));
+        let l = LineAddr(0x40);
+        assert_eq!(l.add_lines(2), LineAddr(0xc0));
+    }
+
+    #[test]
+    fn alignment_bits() {
+        assert!(VirtAddr(0x1000).is_aligned_bits(2));
+        assert!(VirtAddr(0x1002).is_aligned_bits(1));
+        assert!(!VirtAddr(0x1002).is_aligned_bits(2));
+        assert!(!VirtAddr(0x1001).is_aligned_bits(1));
+        // Zero alignment bits accepts everything.
+        assert!(VirtAddr(0x1001).is_aligned_bits(0));
+    }
+
+    #[test]
+    fn phys_frame() {
+        let p = PhysAddr(0x0042_3abc);
+        assert_eq!(p.frame(), 0x423);
+        assert_eq!(p.page_offset(), 0xabc);
+        assert_eq!(p.line(), LineAddr(0x0042_3a80));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", VirtAddr(0x10)), "0x00000010");
+        assert_eq!(format!("{:?}", LineAddr(0x40)), "LineAddr(0x00000040)");
+    }
+}

@@ -1,0 +1,179 @@
+//! Memory-request descriptors and the priority lattice used by the L2 and
+//! bus arbiters.
+//!
+//! The paper's arbiters "maintain a strict, priority-based ordering of
+//! requests. Demand requests are given the highest priority, while stride
+//! prefetcher requests are favored over content prefetcher requests because
+//! of their higher accuracy" (§3.5). Content prefetches are further ordered
+//! by their *request depth*: a depth-1 prefetch (triggered directly by a
+//! demand fill) outranks a depth-3 chained prefetch.
+
+use core::fmt;
+
+/// Maximum representable request depth.
+///
+/// The paper stores the depth in the L2 line metadata using two bits
+/// ("less than ½% space overhead when using two bits per cache line"),
+/// which bounds the encodable depth at 3. Configurations with larger depth
+/// thresholds (Figure 9 sweeps up to 9) use more bits; we allow up to 15.
+pub const MAX_REQUEST_DEPTH: u8 = 15;
+
+/// What kind of agent generated a memory request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RequestKind {
+    /// A demand fetch from the core (load or store miss). Depth 0.
+    Demand,
+    /// A hardware page-table walk triggered by a TLB miss. Treated with
+    /// demand priority; its fill data *bypasses* the content prefetcher
+    /// (page tables are full of pointers and would explode the scanner).
+    PageWalk,
+    /// A request issued by the stride prefetcher.
+    Stride,
+    /// A request issued by the content-directed prefetcher, carrying its
+    /// request depth (1 = triggered by a demand fill, 2+ = chained).
+    Content {
+        /// Links since a non-speculative request (§3.4.1).
+        depth: u8,
+    },
+    /// A request issued by the Markov prefetcher (used only in the §5
+    /// comparison configurations).
+    Markov,
+}
+
+impl RequestKind {
+    /// The request depth: 0 for non-speculative traffic, the chain depth for
+    /// content prefetches, 1 for other prefetchers.
+    #[inline]
+    pub fn depth(self) -> u8 {
+        match self {
+            RequestKind::Demand | RequestKind::PageWalk => 0,
+            RequestKind::Content { depth } => depth,
+            RequestKind::Stride | RequestKind::Markov => 1,
+        }
+    }
+
+    /// Whether this is speculative prefetch traffic (droppable by arbiters).
+    #[inline]
+    pub fn is_prefetch(self) -> bool {
+        !matches!(self, RequestKind::Demand | RequestKind::PageWalk)
+    }
+
+    /// Arbiter priority for this request. Higher compares greater.
+    #[inline]
+    pub fn priority(self) -> Priority {
+        match self {
+            RequestKind::Demand | RequestKind::PageWalk => Priority(u8::MAX),
+            RequestKind::Stride => Priority(200),
+            RequestKind::Markov => Priority(190),
+            // Content prefetches: shallower chains are less speculative and
+            // therefore outrank deeper ones.
+            RequestKind::Content { depth } => {
+                Priority(100u8.saturating_sub(depth.min(MAX_REQUEST_DEPTH)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Demand => write!(f, "demand"),
+            RequestKind::PageWalk => write!(f, "pagewalk"),
+            RequestKind::Stride => write!(f, "stride"),
+            RequestKind::Content { depth } => write!(f, "content(d{depth})"),
+            RequestKind::Markov => write!(f, "markov"),
+        }
+    }
+}
+
+/// An arbiter priority. Bigger is more important. Demand traffic is always
+/// `Priority::DEMAND`, which outranks every prefetch priority.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The priority of demand (non-speculative) traffic.
+    pub const DEMAND: Priority = Priority(u8::MAX);
+    /// The lowest possible priority.
+    pub const MIN: Priority = Priority(0);
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Whether a data access reads or writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store (write-allocate: misses fetch the line like loads).
+    Store,
+}
+
+impl AccessKind {
+    /// True for stores.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_outranks_everything() {
+        let demand = RequestKind::Demand.priority();
+        for k in [
+            RequestKind::Stride,
+            RequestKind::Markov,
+            RequestKind::Content { depth: 1 },
+            RequestKind::Content { depth: 9 },
+        ] {
+            assert!(demand > k.priority(), "{k} must rank below demand");
+        }
+        assert_eq!(demand, Priority::DEMAND);
+    }
+
+    #[test]
+    fn stride_outranks_content() {
+        assert!(RequestKind::Stride.priority() > RequestKind::Content { depth: 1 }.priority());
+    }
+
+    #[test]
+    fn shallower_content_outranks_deeper() {
+        for d in 1..MAX_REQUEST_DEPTH {
+            assert!(
+                RequestKind::Content { depth: d }.priority()
+                    > RequestKind::Content { depth: d + 1 }.priority()
+            );
+        }
+    }
+
+    #[test]
+    fn depth_accessor() {
+        assert_eq!(RequestKind::Demand.depth(), 0);
+        assert_eq!(RequestKind::PageWalk.depth(), 0);
+        assert_eq!(RequestKind::Content { depth: 3 }.depth(), 3);
+        assert_eq!(RequestKind::Stride.depth(), 1);
+    }
+
+    #[test]
+    fn prefetch_classification() {
+        assert!(!RequestKind::Demand.is_prefetch());
+        assert!(!RequestKind::PageWalk.is_prefetch());
+        assert!(RequestKind::Stride.is_prefetch());
+        assert!(RequestKind::Markov.is_prefetch());
+        assert!(RequestKind::Content { depth: 1 }.is_prefetch());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RequestKind::Content { depth: 2 }.to_string(), "content(d2)");
+        assert_eq!(Priority(3).to_string(), "p3");
+    }
+}
