@@ -718,67 +718,78 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use cdp_types::rng::Rng;
 
-        fn arb_program() -> impl Strategy<Value = Program> {
-            proptest::collection::vec((0u8..5, 0u8..8, any::<bool>()), 1..120).prop_map(|ops| {
-                ops.into_iter()
-                    .enumerate()
-                    .map(|(i, (kind, reg, flag))| {
-                        let pc = (i as u32) * 4;
-                        match kind {
-                            0 => Uop::alu(pc),
-                            1 => Uop::alu_dep(pc, reg + 1, [Some((reg % 4) + 1), None], 2),
-                            2 => Uop::load(pc, VirtAddr(0x1000 + i as u32 * 32), reg + 1, None),
-                            3 => Uop::store(pc, VirtAddr(0x9000 + i as u32 * 32), None, None),
-                            _ => Uop::branch(pc, flag, Some((reg % 4) + 1)),
-                        }
-                    })
-                    .collect()
-            })
+        fn random_program(rng: &mut Rng) -> Program {
+            let n = rng.gen_range_usize(1..120);
+            (0..n)
+                .map(|i| {
+                    let kind = rng.gen_range_u8(0..5);
+                    let reg = rng.gen_range_u8(0..8);
+                    let flag = rng.gen_bool(0.5);
+                    let pc = (i as u32) * 4;
+                    match kind {
+                        0 => Uop::alu(pc),
+                        1 => Uop::alu_dep(pc, reg + 1, [Some((reg % 4) + 1), None], 2),
+                        2 => Uop::load(pc, VirtAddr(0x1000 + i as u32 * 32), reg + 1, None),
+                        3 => Uop::store(pc, VirtAddr(0x9000 + i as u32 * 32), None, None),
+                        _ => Uop::branch(pc, flag, Some((reg % 4) + 1)),
+                    }
+                })
+                .collect()
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(48))]
-
-            /// Every program terminates with all uops retired, op counts
-            /// matching the trace, and IPC bounded by the machine width.
-            #[test]
-            fn any_program_terminates_and_accounts(p in arb_program()) {
+        /// Every program terminates with all uops retired, op counts
+        /// matching the trace, and IPC bounded by the machine width.
+        #[test]
+        fn any_program_terminates_and_accounts() {
+            let mut rng = Rng::seed_from_u64(0xc04e_0001);
+            for _ in 0..48 {
+                let p = random_program(&mut rng);
                 let mut core = Core::new(CoreConfig::default(), &p);
                 let mut mem = FixedLatencyMemory { latency: 7 };
                 core.run_to_completion(&mut mem);
                 let s = core.stats();
-                prop_assert_eq!(s.retired as usize, p.len());
-                prop_assert_eq!(s.loads as usize + s.stores as usize,
-                    p.num_loads() + p.num_stores());
-                prop_assert_eq!(s.branches as usize, p.num_branches());
-                prop_assert!(s.ipc() <= 3.0 + 1e-9, "ipc {}", s.ipc());
-                prop_assert!(s.cycles >= (p.len() as u64).div_ceil(3));
+                assert_eq!(s.retired as usize, p.len());
+                assert_eq!(
+                    s.loads as usize + s.stores as usize,
+                    p.num_loads() + p.num_stores()
+                );
+                assert_eq!(s.branches as usize, p.num_branches());
+                assert!(s.ipc() <= 3.0 + 1e-9, "ipc {}", s.ipc());
+                assert!(s.cycles >= (p.len() as u64).div_ceil(3));
             }
+        }
 
-            /// Higher memory latency never makes a program faster.
-            #[test]
-            fn latency_monotonicity(p in arb_program()) {
+        /// Higher memory latency never makes a program faster.
+        #[test]
+        fn latency_monotonicity() {
+            let mut rng = Rng::seed_from_u64(0xc04e_0002);
+            for _ in 0..48 {
+                let p = random_program(&mut rng);
                 let run_at = |lat: u64| {
                     let mut core = Core::new(CoreConfig::default(), &p);
                     let mut mem = FixedLatencyMemory { latency: lat };
                     core.run_to_completion(&mut mem);
                     core.stats().cycles
                 };
-                prop_assert!(run_at(100) >= run_at(3));
+                assert!(run_at(100) >= run_at(3));
             }
+        }
 
-            /// Determinism: identical runs produce identical statistics.
-            #[test]
-            fn deterministic_execution(p in arb_program()) {
+        /// Determinism: identical runs produce identical statistics.
+        #[test]
+        fn deterministic_execution() {
+            let mut rng = Rng::seed_from_u64(0xc04e_0003);
+            for _ in 0..48 {
+                let p = random_program(&mut rng);
                 let run = || {
                     let mut core = Core::new(CoreConfig::default(), &p);
                     let mut mem = FixedLatencyMemory { latency: 11 };
                     core.run_to_completion(&mut mem);
                     core.stats()
                 };
-                prop_assert_eq!(run(), run());
+                assert_eq!(run(), run());
             }
         }
     }

@@ -1,9 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>... [--smoke|--quick|--full] [--csv <dir>]
-//! experiments all [--quick]
+//! experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]
+//! experiments all [--quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` caps the simulation worker threads (default: every
+//! available core). Output is byte-identical at any job count; per-id
+//! wall times go to stderr so stdout stays comparable.
 //!
 //! Ids: `table1 fig1 table2 fig2 fig34 fig7 fig8 fig9 fig10 fig11 tlb
 //! pollution`.
@@ -14,6 +18,7 @@ use cdp_experiments::{
     extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution, sensitivity,
     suite_summary, table1, table2, tlb, ExpScale,
 };
+use cdp_sim::Pool;
 use cdp_types::VamConfig;
 
 const ALL: [&str; 19] = [
@@ -22,7 +27,12 @@ const ALL: [&str; 19] = [
     "backward",
 ];
 
-fn run_one(id: &str, scale: ExpScale, csv_dir: Option<&std::path::Path>) -> Result<String, String> {
+fn run_one(
+    id: &str,
+    scale: ExpScale,
+    pool: &Pool,
+    csv_dir: Option<&std::path::Path>,
+) -> Result<String, String> {
     use cdp_experiments::report::ToDataset;
     let save = |d: cdp_experiments::report::Dataset| -> Result<(), String> {
         if let Some(dir) = csv_dir {
@@ -39,58 +49,58 @@ fn run_one(id: &str, scale: ExpScale, csv_dir: Option<&std::path::Path>) -> Resu
             Ok(r.render())
         }
         "table2" => {
-            let r = table2::run(scale);
+            let r = table2::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "fig2" => Ok(fig2::run(VamConfig::tuned())),
         "fig34" => Ok(fig34::run().render().to_string()),
         "fig7" => {
-            let r = fig7::run(scale);
+            let r = fig7::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "fig8" => {
-            let r = fig8::run(scale);
+            let r = fig8::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "fig9" => {
-            let r = fig9::run(scale);
+            let r = fig9::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "fig10" => {
-            let r = fig10::run(scale);
+            let r = fig10::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "fig11" => {
-            let r = fig11::run(scale);
+            let r = fig11::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "tlb" => {
-            let r = tlb::run(scale);
+            let r = tlb::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "pollution" => {
-            let r = pollution::run(scale);
+            let r = pollution::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
         "suite" => {
-            let r = suite_summary::run(scale);
+            let r = suite_summary::run(scale, pool);
             save(r.dataset())?;
             Ok(r.render())
         }
-        "margin" => Ok(extensions::margin(scale).render()),
-        "adaptive" => Ok(extensions::adaptive(scale).render()),
-        "streams" => Ok(extensions::stream(scale).render()),
-        "latency" => Ok(sensitivity::latency(scale).render()),
-        "l2size" => Ok(sensitivity::l2size(scale).render()),
-        "backward" => Ok(extensions::backward(scale).render()),
+        "margin" => Ok(extensions::margin(scale, pool).render()),
+        "adaptive" => Ok(extensions::adaptive(scale, pool).render()),
+        "streams" => Ok(extensions::stream(scale, pool).render()),
+        "latency" => Ok(sensitivity::latency(scale, pool).render()),
+        "l2size" => Ok(sensitivity::l2size(scale, pool).render()),
+        "backward" => Ok(extensions::backward(scale, pool).render()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }
@@ -101,10 +111,23 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut expect_csv_dir = false;
+    let mut jobs: Option<usize> = None;
+    let mut expect_jobs = false;
     for a in &args {
         if expect_csv_dir {
             csv_dir = Some(std::path::PathBuf::from(a));
             expect_csv_dir = false;
+            continue;
+        }
+        if expect_jobs {
+            match a.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer, got {a:?}");
+                    std::process::exit(2);
+                }
+            }
+            expect_jobs = false;
             continue;
         }
         match a.as_str() {
@@ -112,6 +135,7 @@ fn main() {
             "--quick" => scale = ExpScale::Quick,
             "--full" => scale = ExpScale::Full,
             "--csv" => expect_csv_dir = true,
+            "--jobs" => expect_jobs = true,
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
@@ -120,17 +144,25 @@ fn main() {
         eprintln!("--csv requires a directory argument");
         std::process::exit(2);
     }
+    if expect_jobs {
+        eprintln!("--jobs requires a worker-count argument");
+        std::process::exit(2);
+    }
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>... [--smoke|--quick|--full] [--csv <dir>]");
+        eprintln!("usage: experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]");
         eprintln!("ids: {}  (or: all)", ALL.join(" "));
         std::process::exit(2);
     }
+    let pool = jobs.map_or_else(Pool::default, Pool::new);
     for id in ids {
         let t0 = Instant::now();
-        match run_one(&id, scale, csv_dir.as_deref()) {
+        match run_one(&id, scale, &pool, csv_dir.as_deref()) {
             Ok(text) => {
+                // Wall time goes to stderr: stdout must be byte-identical
+                // at any --jobs count.
+                eprintln!("{id}: {:.1?} ({} jobs)", t0.elapsed(), pool.jobs());
                 println!("================================================================");
-                println!("== {id}  (scale: {scale:?}, {:.1?})", t0.elapsed());
+                println!("== {id}  (scale: {scale:?})");
                 println!("================================================================");
                 println!("{text}");
             }

@@ -1,8 +1,10 @@
 //! Shared experiment plumbing: run sizing, workload caching, and plain
 //!-text table rendering.
 
-use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
-use cdp_sim::{RunStats, Simulator};
+use std::sync::Arc;
+
+use cdp_sim::runner::{with_warmup, DEFAULT_SEED};
+use cdp_sim::{Pool, RunStats, SimJob, Simulator, WorkloadCache};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
@@ -41,28 +43,48 @@ impl ExpScale {
 
 /// A benchmark workload cache: experiments run many configurations over
 /// the same workloads; building each workload once matters.
+///
+/// Entries are keyed by `(Benchmark, Scale)` — a set holding a smoke
+/// image never leaks it into a quick run — and handed out as shared
+/// immutable [`Arc`]s so concurrent pool jobs reuse one image.
 #[derive(Debug, Default)]
 pub struct WorkloadSet {
-    entries: Vec<(Benchmark, Workload)>,
+    cache: WorkloadCache,
 }
 
 impl WorkloadSet {
     /// Builds (or reuses) the workload for `bench` at `scale`.
-    pub fn get(&mut self, bench: Benchmark, scale: Scale) -> &Workload {
-        if let Some(i) = self.entries.iter().position(|(b, _)| *b == bench) {
-            return &self.entries[i].1;
-        }
-        let w = build_workload(bench, scale);
-        self.entries.push((bench, w));
-        &self.entries.last().expect("just pushed").1
+    pub fn get(&self, bench: Benchmark, scale: Scale) -> Arc<Workload> {
+        self.cache.get(bench, scale)
     }
 }
 
 /// Runs `cfg` (with the §2.2 warm-up convention) on a cached workload.
-pub fn run_cfg(ws: &mut WorkloadSet, cfg: &SystemConfig, bench: Benchmark, scale: Scale) -> RunStats {
+pub fn run_cfg(ws: &WorkloadSet, cfg: &SystemConfig, bench: Benchmark, scale: Scale) -> RunStats {
     let cfg = with_warmup(cfg.clone(), scale);
     let w = ws.get(bench, scale);
-    Simulator::new(cfg).run(w)
+    Simulator::new(cfg).run(&w)
+}
+
+/// Submits a labelled `(config, benchmark)` grid to the pool and returns
+/// the statistics in submission order.
+///
+/// Every job gets the §2.2 warm-up convention and a shared workload
+/// image from `ws`; workloads are pre-built serially so job timing never
+/// depends on cache races.
+pub fn run_grid(
+    pool: &Pool,
+    ws: &WorkloadSet,
+    scale: Scale,
+    grid: Vec<(String, SystemConfig, Benchmark)>,
+) -> Vec<RunStats> {
+    let jobs: Vec<SimJob> = grid
+        .into_iter()
+        .map(|(label, cfg, bench)| {
+            SimJob::new(label, with_warmup(cfg, scale), ws.get(bench, scale))
+        })
+        .collect();
+    pool.run_sims(jobs).into_iter().map(|r| r.stats).collect()
 }
 
 /// The experiment seed (re-exported for the few experiments that build
@@ -158,11 +180,27 @@ mod tests {
 
     #[test]
     fn workload_set_caches() {
-        let mut ws = WorkloadSet::default();
-        let a = ws.get(Benchmark::B2e, Scale::smoke()).program.len();
-        let b = ws.get(Benchmark::B2e, Scale::smoke()).program.len();
-        assert_eq!(a, b);
-        assert_eq!(ws.entries.len(), 1);
+        let ws = WorkloadSet::default();
+        let a = ws.get(Benchmark::B2e, Scale::smoke());
+        let b = ws.get(Benchmark::B2e, Scale::smoke());
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one image");
+    }
+
+    #[test]
+    fn workload_set_is_keyed_by_scale_too() {
+        // Regression test: the cache used to key on Benchmark alone, so
+        // a set that had served a smoke-scale image would silently hand
+        // it back for a quick-scale request.
+        let ws = WorkloadSet::default();
+        let smoke = ws.get(Benchmark::B2e, Scale::smoke());
+        let quick = ws.get(Benchmark::B2e, Scale::quick());
+        assert!(!Arc::ptr_eq(&smoke, &quick));
+        assert!(
+            quick.program.len() > smoke.program.len(),
+            "quick image must be the bigger build: {} vs {}",
+            quick.program.len(),
+            smoke.program.len()
+        );
     }
 
     #[test]

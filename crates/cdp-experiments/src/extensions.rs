@@ -10,11 +10,11 @@
 
 use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::{AdaptiveConfig, ContentConfig, StreamConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One margin point.
 #[derive(Clone, Debug)]
@@ -62,36 +62,51 @@ impl MarginAblation {
     }
 }
 
-/// Runs the margin ablation on the pointer subset.
-pub fn margin(scale: ExpScale) -> MarginAblation {
+/// Runs the margin ablation on the pointer subset (one flat pooled
+/// grid: margins x benchmarks).
+pub fn margin(scale: ExpScale, pool: &Pool) -> MarginAblation {
     let s = scale.scale();
     let benches = pointer_subset();
-    let mut ws = WorkloadSet::default();
+    let ws = WorkloadSet::default();
     let base_cfg = SystemConfig::asplos2002();
-    let baselines: Vec<_> = benches
-        .iter()
-        .map(|&b| run_cfg(&mut ws, &base_cfg, b, s))
-        .collect();
-    let mut points = Vec::new();
-    for margin in 1..=3u8 {
+    let baselines = run_grid(
+        pool,
+        &ws,
+        s,
+        benches
+            .iter()
+            .map(|&b| (format!("base/{}", b.name()), base_cfg.clone(), b))
+            .collect(),
+    );
+    let margins = [1u8, 2, 3];
+    let mut grid = Vec::new();
+    for &margin in &margins {
         let mut cfg = SystemConfig::asplos2002();
         cfg.prefetchers.content = Some(ContentConfig {
             reinforcement_margin: margin,
             ..ContentConfig::tuned()
         });
-        let mut sps = Vec::new();
-        let mut rescans = 0;
-        for (&b, base) in benches.iter().zip(&baselines) {
-            let r = run_cfg(&mut ws, &cfg, b, s);
-            sps.push(speedup(base, &r));
-            rescans += r.mem.rescans;
+        for &b in &benches {
+            grid.push((format!("m{margin}/{}", b.name()), cfg.clone(), b));
         }
-        points.push(MarginPoint {
-            margin,
-            speedup: mean(&sps),
-            rescans,
-        });
     }
+    let runs = run_grid(pool, &ws, s, grid);
+    let points = margins
+        .iter()
+        .zip(runs.chunks(benches.len()))
+        .map(|(&margin, chunk)| {
+            let sps: Vec<f64> = chunk
+                .iter()
+                .zip(&baselines)
+                .map(|(r, base)| speedup(base, r))
+                .collect();
+            MarginPoint {
+                margin,
+                speedup: mean(&sps),
+                rescans: chunk.iter().map(|r| r.mem.rescans).sum(),
+            }
+        })
+        .collect();
     MarginAblation { points }
 }
 
@@ -149,7 +164,7 @@ impl AdaptiveStudy {
 
 /// Runs fixed vs adaptive over a mixed subset (pointer-heavy plus two
 /// low-MPTU codes where aggressive knobs have nothing to win).
-pub fn adaptive(scale: ExpScale) -> AdaptiveStudy {
+pub fn adaptive(scale: ExpScale, pool: &Pool) -> AdaptiveStudy {
     let s = scale.scale();
     let mut benches = pointer_subset();
     benches.push(Benchmark::B2e);
@@ -158,20 +173,25 @@ pub fn adaptive(scale: ExpScale) -> AdaptiveStudy {
     let fixed_cfg = SystemConfig::with_content();
     let mut adaptive_cfg = SystemConfig::with_content();
     adaptive_cfg.prefetchers.adaptive = Some(AdaptiveConfig::default());
-    let mut rows = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
     for &b in &benches {
-        let mut ws = WorkloadSet::default();
-        let base = run_cfg(&mut ws, &base_cfg, b, s);
-        let fixed = run_cfg(&mut ws, &fixed_cfg, b, s);
-        let adapt = run_cfg(&mut ws, &adaptive_cfg, b, s);
+        grid.push((format!("base/{}", b.name()), base_cfg.clone(), b));
+        grid.push((format!("fixed/{}", b.name()), fixed_cfg.clone(), b));
+        grid.push((format!("adaptive/{}", b.name()), adaptive_cfg.clone(), b));
+    }
+    let runs = run_grid(pool, &ws, s, grid);
+    let mut rows = Vec::new();
+    for (&b, trio) in benches.iter().zip(runs.chunks(3)) {
+        let (base, fixed, adapt) = (&trio[0], &trio[1], &trio[2]);
         let steered = adapt
             .adaptive
             .map(|(_, c)| format!("N={} n={}", c.vam.compare_bits, c.next_lines))
             .unwrap_or_default();
         rows.push(AdaptiveRow {
             name: b.name().to_string(),
-            fixed: speedup(&base, &fixed),
-            adaptive: speedup(&base, &adapt),
+            fixed: speedup(base, fixed),
+            adaptive: speedup(base, adapt),
             steered_to: steered,
         });
     }
@@ -223,25 +243,30 @@ impl StreamStudy {
 }
 
 /// Runs stride vs stride+streams vs stride+content on the pointer subset.
-pub fn stream(scale: ExpScale) -> StreamStudy {
+pub fn stream(scale: ExpScale, pool: &Pool) -> StreamStudy {
     let s = scale.scale();
     let benches = pointer_subset();
     let base_cfg = SystemConfig::asplos2002();
     let mut stream_cfg = SystemConfig::asplos2002();
     stream_cfg.prefetchers.stream = Some(StreamConfig::default());
     let content_cfg = SystemConfig::with_content();
-    let mut rows = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
     for &b in &benches {
-        let mut ws = WorkloadSet::default();
-        let base = run_cfg(&mut ws, &base_cfg, b, s);
-        let st = run_cfg(&mut ws, &stream_cfg, b, s);
-        let ct = run_cfg(&mut ws, &content_cfg, b, s);
-        rows.push(StreamRow {
-            name: b.name().to_string(),
-            stream_buffers: speedup(&base, &st),
-            content: speedup(&base, &ct),
-        });
+        grid.push((format!("base/{}", b.name()), base_cfg.clone(), b));
+        grid.push((format!("streams/{}", b.name()), stream_cfg.clone(), b));
+        grid.push((format!("content/{}", b.name()), content_cfg.clone(), b));
     }
+    let runs = run_grid(pool, &ws, s, grid);
+    let rows = benches
+        .iter()
+        .zip(runs.chunks(3))
+        .map(|(&b, trio)| StreamRow {
+            name: b.name().to_string(),
+            stream_buffers: speedup(&trio[0], &trio[1]),
+            content: speedup(&trio[0], &trio[2]),
+        })
+        .collect();
     StreamStudy { rows }
 }
 
@@ -297,29 +322,30 @@ impl BackwardStudy {
 }
 
 /// Builds a doubly-linked-list workload traversed in one direction and
-/// measures previous-line vs next-line width at equal bandwidth.
-pub fn backward(scale: ExpScale) -> BackwardStudy {
+/// measures previous-line vs next-line width at equal bandwidth. The
+/// six simulations (2 directions x 3 configurations) run as pool tasks
+/// over shared workload images.
+pub fn backward(scale: ExpScale, pool: &Pool) -> BackwardStudy {
     use cdp_mem::AddressSpace;
+    use cdp_types::rng::Rng;
     use cdp_workloads::structures::build_dlist;
     use cdp_workloads::suite::{Suite, Workload};
     use cdp_workloads::{Heap, TraceBuilder};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
+        
     let uops = scale.scale().target_uops / 2;
     let build = |forward: bool| -> Workload {
         let mut space = AddressSpace::new();
         let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 25).with_padding(8);
-        let mut rng = StdRng::seed_from_u64(0xd11d);
+        let mut rng = Rng::seed_from_u64(0xd11d);
         let dl = build_dlist(&mut space, &mut heap, &mut rng, 60_000, 32, true);
         let mut tb = TraceBuilder::new();
         while tb.len() < uops {
             let seg = 512usize;
             if forward {
-                let start = rng.gen_range(0..dl.nodes.len() - seg);
+                let start = rng.gen_range_usize(0..dl.nodes.len() - seg);
                 tb.chase(1, &dl.nodes[start..start + seg], 0, 12);
             } else {
-                let start = rng.gen_range(seg..dl.nodes.len());
+                let start = rng.gen_range_usize(seg..dl.nodes.len());
                 tb.chase_back(1, &dl, start, seg, 12);
             }
             tb.alu_burst(5, 64);
@@ -332,27 +358,40 @@ pub fn backward(scale: ExpScale) -> BackwardStudy {
         }
     };
 
-    let measure = |w: &Workload, prev: u32, next: u32| -> f64 {
-        let base = cdp_sim::Simulator::new(SystemConfig::asplos2002()).run(w);
+    let width_cfg = |prev: u32, next: u32| {
         let mut cfg = SystemConfig::asplos2002();
         cfg.prefetchers.content = Some(ContentConfig {
             prev_lines: prev,
             next_lines: next,
             ..ContentConfig::tuned()
         });
-        let r = cdp_sim::Simulator::new(cfg).run(w);
-        speedup(&base, &r)
+        cfg
     };
 
-    let mut rows = Vec::new();
-    for (direction, forward) in [("forward", true), ("backward", false)] {
-        let w = build(forward);
-        rows.push(BackwardRow {
-            direction,
-            prev_width: measure(&w, 2, 0),
-            next_width: measure(&w, 0, 2),
-        });
+    let directions = [("forward", true), ("backward", false)];
+    let workloads: Vec<std::sync::Arc<Workload>> = directions
+        .iter()
+        .map(|&(_, forward)| std::sync::Arc::new(build(forward)))
+        .collect();
+    let mut tasks: Vec<Box<dyn FnOnce() -> f64 + Send>> = Vec::new();
+    for w in &workloads {
+        for cfg in [SystemConfig::asplos2002(), width_cfg(2, 0), width_cfg(0, 2)] {
+            let w = std::sync::Arc::clone(w);
+            tasks.push(Box::new(move || {
+                cdp_sim::Simulator::new(cfg).run(&w).cycles as f64
+            }));
+        }
     }
+    let cycles = pool.run(tasks);
+    let rows = directions
+        .iter()
+        .zip(cycles.chunks(3))
+        .map(|(&(direction, _), trio)| BackwardRow {
+            direction,
+            prev_width: trio[0] / trio[1],
+            next_width: trio[0] / trio[2],
+        })
+        .collect();
     BackwardStudy { rows }
 }
 
@@ -362,7 +401,7 @@ mod tests {
 
     #[test]
     fn margin_two_cuts_rescans() {
-        let m = margin(ExpScale::Smoke);
+        let m = margin(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(m.points.len(), 3);
         assert!(
             m.points[1].rescans < m.points[0].rescans,
@@ -375,7 +414,7 @@ mod tests {
 
     #[test]
     fn adaptive_study_runs() {
-        let a = adaptive(ExpScale::Smoke);
+        let a = adaptive(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(a.rows.len(), 6);
         for r in &a.rows {
             assert!(!r.steered_to.is_empty(), "{}", r.name);
@@ -387,7 +426,7 @@ mod tests {
     fn width_direction_is_immaterial_on_dlists() {
         // The chain covers both traversal directions (VAM finds next AND
         // prev pointers), so p2.n0 and p0.n2 land close together.
-        let st = backward(ExpScale::Smoke);
+        let st = backward(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(st.rows.len(), 2);
         for r in &st.rows {
             assert!(
@@ -404,7 +443,7 @@ mod tests {
 
     #[test]
     fn content_beats_streams_on_pointer_subset() {
-        let s = stream(ExpScale::Smoke);
+        let s = stream(ExpScale::Smoke, &Pool::new(2));
         let avg_stream = mean(&s.rows.iter().map(|r| r.stream_buffers).collect::<Vec<_>>());
         let avg_content = mean(&s.rows.iter().map(|r| r.content).collect::<Vec<_>>());
         assert!(

@@ -72,10 +72,10 @@ pub fn run(scale: ExpScale) -> Figure1 {
     let mut cfg = SystemConfig::asplos2002();
     cfg.ul2.size_bytes = 4 * 1024 * 1024; // the paper's Figure 1 uses 4 MB
     let mut series = Vec::new();
-    let mut ws = WorkloadSet::default();
+    let ws = WorkloadSet::default();
     for b in Benchmark::figure1_set() {
         let w = ws.get(b, s);
-        let samples = Simulator::new(cfg.clone()).run_mptu_trace(w, window);
+        let samples = Simulator::new(cfg.clone()).run_mptu_trace(&w, window);
         series.push(Series {
             name: b.name().to_string(),
             samples,

@@ -8,11 +8,11 @@
 //!   fully.
 
 use cdp_sim::metrics::mean;
-use cdp_sim::{speedup, RequestDistribution};
+use cdp_sim::{speedup, Pool, RequestDistribution};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One benchmark's classification.
 #[derive(Clone, Debug)]
@@ -86,17 +86,23 @@ impl Figure10 {
     }
 }
 
-/// Runs the full suite under baseline and tuned-CDP configurations.
-pub fn run(scale: ExpScale) -> Figure10 {
+/// Runs the full suite under baseline and tuned-CDP configurations,
+/// both runs of every benchmark as independent pool jobs.
+pub fn run(scale: ExpScale, pool: &Pool) -> Figure10 {
     let s = scale.scale();
     let base_cfg = SystemConfig::asplos2002();
     let cdp_cfg = SystemConfig::with_content();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
+    for b in Benchmark::all() {
+        grid.push((format!("base/{}", b.name()), base_cfg.clone(), b));
+        grid.push((format!("cdp/{}", b.name()), cdp_cfg.clone(), b));
+    }
+    let runs = run_grid(pool, &ws, s, grid);
     let mut rows = Vec::new();
     let mut agg = RequestDistribution::default();
-    for b in Benchmark::all() {
-        let mut ws = WorkloadSet::default();
-        let base = run_cfg(&mut ws, &base_cfg, b, s);
-        let cdp = run_cfg(&mut ws, &cdp_cfg, b, s);
+    for (b, pair) in Benchmark::all().into_iter().zip(runs.chunks(2)) {
+        let (base, cdp) = (&pair[0], &pair[1]);
         let d = cdp.mem.distribution;
         agg.stride_full += d.stride_full;
         agg.stride_partial += d.stride_partial;
@@ -106,7 +112,7 @@ pub fn run(scale: ExpScale) -> Figure10 {
         rows.push(Row {
             name: b.name().to_string(),
             fractions: d.fractions(),
-            speedup: speedup(&base, &cdp),
+            speedup: speedup(base, cdp),
             distribution: d,
         });
     }
@@ -125,7 +131,7 @@ mod tests {
 
     #[test]
     fn fractions_are_distributions() {
-        let f = run(ExpScale::Smoke);
+        let f = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(f.rows.len(), 15);
         for r in &f.rows {
             let sum: f64 = r.fractions.iter().sum();

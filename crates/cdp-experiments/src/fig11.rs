@@ -14,11 +14,11 @@
 //! beats it by ~3x.
 
 use cdp_sim::metrics::mean;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::{MarkovConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{ascii_bar, render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{ascii_bar, render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One configuration's result.
 #[derive(Clone, Debug)]
@@ -76,13 +76,14 @@ impl Figure11 {
 }
 
 /// Runs the four configurations over the suite.
-pub fn run(scale: ExpScale) -> Figure11 {
-    run_on(scale, &Benchmark::all())
+pub fn run(scale: ExpScale, pool: &Pool) -> Figure11 {
+    run_on(scale, &Benchmark::all(), pool)
 }
 
 /// Runs the comparison on a benchmark subset (used by tests and the
-/// quick-look example).
-pub fn run_on(scale: ExpScale, benches: &[Benchmark]) -> Figure11 {
+/// quick-look example): baselines first, then all variant x benchmark
+/// cells as one flat pooled grid.
+pub fn run_on(scale: ExpScale, benches: &[Benchmark], pool: &Pool) -> Figure11 {
     let s = scale.scale();
     let base_cfg = SystemConfig::asplos2002();
     let variants: Vec<(String, SystemConfig)> = vec![
@@ -100,24 +101,39 @@ pub fn run_on(scale: ExpScale, benches: &[Benchmark]) -> Figure11 {
         ),
         ("content".into(), SystemConfig::with_content()),
     ];
-    let mut baselines = Vec::new();
-    let mut sets: Vec<WorkloadSet> = benches.iter().map(|_| WorkloadSet::default()).collect();
-    for (i, &b) in benches.iter().enumerate() {
-        baselines.push(run_cfg(&mut sets[i], &base_cfg, b, s));
-    }
-    let mut configs = Vec::new();
-    for (name, cfg) in variants {
-        let mut per_bench = Vec::new();
-        for (i, &b) in benches.iter().enumerate() {
-            let r = run_cfg(&mut sets[i], &cfg, b, s);
-            per_bench.push(speedup(&baselines[i], &r));
+    let ws = WorkloadSet::default();
+    let baselines = run_grid(
+        pool,
+        &ws,
+        s,
+        benches
+            .iter()
+            .map(|&b| (format!("base/{}", b.name()), base_cfg.clone(), b))
+            .collect(),
+    );
+    let mut grid = Vec::new();
+    for (name, cfg) in &variants {
+        for &b in benches {
+            grid.push((format!("{name}/{}", b.name()), cfg.clone(), b));
         }
-        configs.push(Config {
-            name,
-            speedup: mean(&per_bench),
-            per_bench,
-        });
     }
+    let runs = run_grid(pool, &ws, s, grid);
+    let configs = variants
+        .into_iter()
+        .zip(runs.chunks(benches.len()))
+        .map(|((name, _), chunk)| {
+            let per_bench: Vec<f64> = chunk
+                .iter()
+                .zip(&baselines)
+                .map(|(r, base)| speedup(base, r))
+                .collect();
+            Config {
+                name,
+                speedup: mean(&per_bench),
+                per_bench,
+            }
+        })
+        .collect();
     Figure11 { configs }
 }
 
@@ -130,6 +146,7 @@ mod tests {
         let f = run_on(
             ExpScale::Smoke,
             &[Benchmark::Slsb, Benchmark::Tpcc2, Benchmark::B2e],
+            &Pool::new(2),
         );
         assert_eq!(f.configs.len(), 4);
         let content = f.configs.iter().find(|c| c.name == "content").unwrap();

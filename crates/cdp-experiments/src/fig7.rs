@@ -8,10 +8,11 @@
 
 use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
-use cdp_sim::{accuracy, coverage, Engine};
+use cdp_sim::{accuracy, coverage, Engine, Pool, RunStats};
 use cdp_types::{SystemConfig, VamConfig};
+use cdp_workloads::suite::Benchmark;
 
-use crate::common::{best_tradeoff, render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{best_tradeoff, render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -89,62 +90,93 @@ pub fn paper_sweep() -> Vec<(u32, u32)> {
     ]
 }
 
-/// Measures coverage/accuracy for one VAM configuration across the
-/// pointer subset. `baselines` supplies the stride-only runs for the
-/// coverage denominator.
-pub fn measure_vam(
-    ws: &mut WorkloadSet,
-    scale: ExpScale,
-    vam: VamConfig,
-    baselines: &[(cdp_workloads::suite::Benchmark, cdp_sim::RunStats)],
-) -> (f64, f64) {
+/// The tuned content configuration with its VAM heuristic replaced.
+pub fn vam_cfg(vam: VamConfig) -> SystemConfig {
     let mut cfg = SystemConfig::with_content();
     if let Some(c) = cfg.prefetchers.content.as_mut() {
         c.vam = vam;
     }
+    cfg
+}
+
+/// Reduces one sweep point's per-benchmark runs (same order as
+/// `baselines`) to suite-average (coverage, accuracy).
+pub(crate) fn reduce_point(runs: &[RunStats], baselines: &[(Benchmark, RunStats)]) -> (f64, f64) {
     let mut covs = Vec::new();
     let mut accs = Vec::new();
-    for (b, base) in baselines {
-        let r = run_cfg(ws, &cfg, *b, scale.scale());
-        covs.push(coverage(&r, base, Engine::Content));
+    for (r, (_, base)) in runs.iter().zip(baselines) {
+        covs.push(coverage(r, base, Engine::Content));
         // Warm-up boundary effects can push the raw ratio past 1; clamp
         // for presentation (the paper's counters share the window).
-        accs.push(accuracy(&r, Engine::Content).min(1.0));
+        accs.push(accuracy(r, Engine::Content).min(1.0));
     }
     (mean(&covs), mean(&accs))
+}
+
+/// Measures coverage/accuracy for one VAM configuration across the
+/// pointer subset. `baselines` supplies the stride-only runs for the
+/// coverage denominator.
+pub fn measure_vam(
+    ws: &WorkloadSet,
+    scale: ExpScale,
+    pool: &Pool,
+    vam: VamConfig,
+    baselines: &[(Benchmark, RunStats)],
+) -> (f64, f64) {
+    let cfg = vam_cfg(vam);
+    let grid = baselines
+        .iter()
+        .map(|(b, _)| (b.name().to_string(), cfg.clone(), *b))
+        .collect();
+    let runs = run_grid(pool, ws, scale.scale(), grid);
+    reduce_point(&runs, baselines)
 }
 
 /// Runs stride-only baselines for the pointer subset (shared by the
 /// Figure 7 and Figure 8 sweeps).
 pub fn baselines(
-    ws: &mut WorkloadSet,
+    ws: &WorkloadSet,
     scale: ExpScale,
-) -> Vec<(cdp_workloads::suite::Benchmark, cdp_sim::RunStats)> {
+    pool: &Pool,
+) -> Vec<(Benchmark, RunStats)> {
     let base_cfg = SystemConfig::asplos2002();
-    pointer_subset()
-        .into_iter()
-        .map(|b| {
-            let r = run_cfg(ws, &base_cfg, b, scale.scale());
-            (b, r)
-        })
-        .collect()
+    let benches = pointer_subset();
+    let grid = benches
+        .iter()
+        .map(|b| (format!("base/{}", b.name()), base_cfg.clone(), *b))
+        .collect();
+    let runs = run_grid(pool, ws, scale.scale(), grid);
+    benches.into_iter().zip(runs).collect()
 }
 
-/// Runs the Figure 7 sweep.
-pub fn run(scale: ExpScale) -> Figure7 {
-    let mut ws = WorkloadSet::default();
-    let base = baselines(&mut ws, scale);
-    let mut points = Vec::new();
-    for (n, m) in paper_sweep() {
-        let vam = VamConfig {
+/// Runs the Figure 7 sweep: every sweep point x benchmark is one
+/// independent simulation, submitted to the pool as a single flat grid.
+pub fn run(scale: ExpScale, pool: &Pool) -> Figure7 {
+    let ws = WorkloadSet::default();
+    let base = baselines(&ws, scale, pool);
+    let sweep = paper_sweep();
+    let vams: Vec<VamConfig> = sweep
+        .iter()
+        .map(|&(n, m)| VamConfig {
             compare_bits: n,
             filter_bits: m,
             ..VamConfig::tuned()
-        };
-        let (cov, acc) = measure_vam(&mut ws, scale, vam, &base);
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for (&(n, m), vam) in sweep.iter().zip(&vams) {
+        for (b, _) in &base {
+            grid.push((format!("{n:02}.{m}/{}", b.name()), vam_cfg(*vam), *b));
+        }
+    }
+    let runs = run_grid(pool, &ws, scale.scale(), grid);
+    let mut points = Vec::new();
+    for (i, (&(n, m), vam)) in sweep.iter().zip(&vams).enumerate() {
+        let chunk = &runs[i * base.len()..(i + 1) * base.len()];
+        let (cov, acc) = reduce_point(chunk, &base);
         points.push(Point {
             label: format!("{n:02}.{m}"),
-            vam,
+            vam: *vam,
             coverage: cov,
             accuracy: acc,
         });
@@ -169,12 +201,14 @@ mod tests {
     fn more_compare_bits_do_not_raise_coverage() {
         // Scaled-down directional check: coverage at 12 compare bits must
         // not exceed coverage at 8 compare bits (same filter).
-        let mut ws = WorkloadSet::default();
-        let base = baselines(&mut ws, ExpScale::Smoke);
-        let mut at = |n: u32| {
+        let pool = Pool::new(2);
+        let ws = WorkloadSet::default();
+        let base = baselines(&ws, ExpScale::Smoke, &pool);
+        let at = |n: u32| {
             measure_vam(
-                &mut ws,
+                &ws,
                 ExpScale::Smoke,
+                &pool,
                 VamConfig {
                     compare_bits: n,
                     filter_bits: 4,

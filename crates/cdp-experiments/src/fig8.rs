@@ -4,10 +4,11 @@
 //! The paper sweeps "8.4.A.S" for A ∈ {0,1,2,4} and S ∈ {1,2,4} and picks
 //! 8.4.1.2: predicting only on 2-byte alignment with a 2-byte scan step.
 
+use cdp_sim::Pool;
 use cdp_types::VamConfig;
 
-use crate::common::{best_tradeoff, render_table, ExpScale, WorkloadSet};
-use crate::fig7::{baselines, measure_vam};
+use crate::common::{best_tradeoff, render_table, run_grid, ExpScale, WorkloadSet};
+use crate::fig7::{baselines, reduce_point, vam_cfg};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -66,22 +67,35 @@ pub fn paper_sweep() -> Vec<(u32, usize)> {
     v
 }
 
-/// Runs the Figure 8 sweep.
-pub fn run(scale: ExpScale) -> Figure8 {
-    let mut ws = WorkloadSet::default();
-    let base = baselines(&mut ws, scale);
-    let mut points = Vec::new();
-    for (align, step) in paper_sweep() {
-        let vam = VamConfig {
+/// Runs the Figure 8 sweep as one flat pooled grid (every sweep point x
+/// benchmark is an independent simulation).
+pub fn run(scale: ExpScale, pool: &Pool) -> Figure8 {
+    let ws = WorkloadSet::default();
+    let base = baselines(&ws, scale, pool);
+    let sweep = paper_sweep();
+    let vams: Vec<VamConfig> = sweep
+        .iter()
+        .map(|&(align, step)| VamConfig {
             compare_bits: 8,
             filter_bits: 4,
             align_bits: align,
             scan_step: step,
-        };
-        let (cov, acc) = measure_vam(&mut ws, scale, vam, &base);
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for (&(align, step), vam) in sweep.iter().zip(&vams) {
+        for (b, _) in &base {
+            grid.push((format!("8.4.{align}.{step}/{}", b.name()), vam_cfg(*vam), *b));
+        }
+    }
+    let runs = run_grid(pool, &ws, scale.scale(), grid);
+    let mut points = Vec::new();
+    for (i, (&(align, step), vam)) in sweep.iter().zip(&vams).enumerate() {
+        let chunk = &runs[i * base.len()..(i + 1) * base.len()];
+        let (cov, acc) = reduce_point(chunk, &base);
         points.push(Point {
             label: format!("8.4.{align}.{step}"),
-            vam,
+            vam: *vam,
             coverage: cov,
             accuracy: acc,
         });
@@ -93,6 +107,7 @@ pub fn run(scale: ExpScale) -> Figure8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fig7::measure_vam;
 
     #[test]
     fn twelve_points() {
@@ -103,12 +118,14 @@ mod tests {
 
     #[test]
     fn four_byte_alignment_cannot_beat_two_byte_coverage() {
-        let mut ws = WorkloadSet::default();
-        let base = baselines(&mut ws, ExpScale::Smoke);
-        let mut at = |align: u32| {
+        let pool = Pool::new(2);
+        let ws = WorkloadSet::default();
+        let base = baselines(&ws, ExpScale::Smoke, &pool);
+        let at = |align: u32| {
             measure_vam(
-                &mut ws,
+                &ws,
                 ExpScale::Smoke,
+                &pool,
                 VamConfig {
                     compare_bits: 8,
                     filter_bits: 4,

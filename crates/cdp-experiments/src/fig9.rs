@@ -11,10 +11,10 @@
 
 use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::{ContentConfig, SystemConfig};
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// The width axis of Figure 9: (previous lines, next lines).
 pub const WIDTH_AXIS: [(u32, u32); 7] = [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1)];
@@ -99,43 +99,73 @@ impl Figure9 {
     }
 }
 
-/// Runs the Figure 9 grid over the pointer subset.
-pub fn run(scale: ExpScale) -> Figure9 {
+/// Runs the Figure 9 grid over the pointer subset: 6 curves x 7 width
+/// points x the benchmark subset, submitted as one flat pooled grid.
+pub fn run(scale: ExpScale, pool: &Pool) -> Figure9 {
     let s = scale.scale();
     let benches = pointer_subset();
-    let mut ws = WorkloadSet::default();
+    let ws = WorkloadSet::default();
     let base_cfg = SystemConfig::asplos2002();
-    let baselines: Vec<_> = benches
-        .iter()
-        .map(|&b| run_cfg(&mut ws, &base_cfg, b, s))
-        .collect();
-    let mut curves = Vec::new();
+    let baselines = run_grid(
+        pool,
+        &ws,
+        s,
+        benches
+            .iter()
+            .map(|&b| (format!("base/{}", b.name()), base_cfg.clone(), b))
+            .collect(),
+    );
+    // The curve axes, in render order.
+    let mut axes = Vec::new();
     for &reinf in &[false, true] {
         for &depth in &DEPTHS {
-            let mut speedups = Vec::new();
-            for &(p, n) in &WIDTH_AXIS {
-                let mut cfg = SystemConfig::asplos2002();
-                cfg.prefetchers.content = Some(ContentConfig {
-                    depth_threshold: depth,
-                    reinforcement: reinf,
-                    prev_lines: p,
-                    next_lines: n,
-                    ..ContentConfig::tuned()
-                });
-                let sps: Vec<f64> = benches
-                    .iter()
-                    .zip(&baselines)
-                    .map(|(&b, base)| speedup(base, &run_cfg(&mut ws, &cfg, b, s)))
-                    .collect();
-                speedups.push(mean(&sps));
+            axes.push((depth, reinf));
+        }
+    }
+    let mut grid = Vec::new();
+    for &(depth, reinf) in &axes {
+        for &(p, n) in &WIDTH_AXIS {
+            let mut cfg = SystemConfig::asplos2002();
+            cfg.prefetchers.content = Some(ContentConfig {
+                depth_threshold: depth,
+                reinforcement: reinf,
+                prev_lines: p,
+                next_lines: n,
+                ..ContentConfig::tuned()
+            });
+            for &b in &benches {
+                grid.push((
+                    format!("d{depth}-r{reinf}-p{p}n{n}/{}", b.name()),
+                    cfg.clone(),
+                    b,
+                ));
             }
-            curves.push(Curve {
+        }
+    }
+    let runs = run_grid(pool, &ws, s, grid);
+    let mut chunks = runs.chunks(benches.len());
+    let curves = axes
+        .iter()
+        .map(|&(depth, reinf)| {
+            let speedups = WIDTH_AXIS
+                .iter()
+                .map(|_| {
+                    let chunk = chunks.next().expect("one chunk per width point");
+                    let sps: Vec<f64> = chunk
+                        .iter()
+                        .zip(&baselines)
+                        .map(|(r, base)| speedup(base, r))
+                        .collect();
+                    mean(&sps)
+                })
+                .collect();
+            Curve {
                 depth,
                 reinforcement: reinf,
                 speedups,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Figure9 { curves }
 }
 

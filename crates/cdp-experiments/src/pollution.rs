@@ -6,12 +6,12 @@
 
 use cdp_sim::hierarchy::PollutionConfig;
 use cdp_sim::metrics::mean;
-use cdp_sim::runner::{build_workload, with_warmup};
-use cdp_sim::{speedup, Simulator};
+use cdp_sim::runner::with_warmup;
+use cdp_sim::{speedup, Pool, SimJob};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, ExpScale};
+use crate::common::{render_table, ExpScale, WorkloadSet};
 
 /// One benchmark's pollution sensitivity.
 #[derive(Clone, Debug)]
@@ -61,30 +61,36 @@ impl Pollution {
 
 /// Runs the pollution study over the full suite (stride baseline with and
 /// without injected junk fills).
-pub fn run(scale: ExpScale) -> Pollution {
-    run_on(scale, &Benchmark::all())
+pub fn run(scale: ExpScale, pool: &Pool) -> Pollution {
+    run_on(scale, &Benchmark::all(), pool)
 }
 
-/// Runs the study on a subset.
-pub fn run_on(scale: ExpScale, benches: &[Benchmark]) -> Pollution {
+/// Runs the study on a subset: the clean and polluted runs of every
+/// benchmark are independent pool jobs sharing one workload image.
+pub fn run_on(scale: ExpScale, benches: &[Benchmark], pool: &Pool) -> Pollution {
     let s = scale.scale();
     let cfg = with_warmup(SystemConfig::asplos2002(), s);
-    let mut rows = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut jobs = Vec::new();
     for &b in benches {
-        let w = build_workload(b, s);
-        let clean = Simulator::new(cfg.clone()).run(&w);
-        let dirty_sim = Simulator::new(cfg.clone()).with_pollution(PollutionConfig {
-            // One injection per line-occupancy of idle bus: "every idle
-            // bus cycle" at line granularity.
-            period: 60,
-        });
-        let dirty = dirty_sim.run(&w);
-        rows.push(Row {
-            name: b.name().to_string(),
-            speedup: speedup(&clean, &dirty),
-            injected: dirty.mem.injected_pollution,
-        });
+        let w = ws.get(b, s);
+        jobs.push(SimJob::new(format!("clean/{}", b.name()), cfg.clone(), w.clone()));
+        let mut dirty = SimJob::new(format!("dirty/{}", b.name()), cfg.clone(), w);
+        // One injection per line-occupancy of idle bus: "every idle
+        // bus cycle" at line granularity.
+        dirty.pollution = Some(PollutionConfig { period: 60 });
+        jobs.push(dirty);
     }
+    let results = pool.run_sims(jobs);
+    let rows = benches
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&b, pair)| Row {
+            name: b.name().to_string(),
+            speedup: speedup(&pair[0].stats, &pair[1].stats),
+            injected: pair[1].stats.mem.injected_pollution,
+        })
+        .collect::<Vec<_>>();
     let average = mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
     Pollution { rows, average }
 }
@@ -95,7 +101,7 @@ mod tests {
 
     #[test]
     fn pollution_never_helps() {
-        let p = run_on(ExpScale::Smoke, &[Benchmark::B2e, Benchmark::Tpcc2]);
+        let p = run_on(ExpScale::Smoke, &[Benchmark::B2e, Benchmark::Tpcc2], &Pool::new(2));
         assert_eq!(p.rows.len(), 2);
         for r in &p.rows {
             assert!(r.injected > 0, "{} injected nothing", r.name);

@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn table2_dataset_shape() {
-        let t = crate::table2::run(crate::ExpScale::Smoke);
+        let t = crate::table2::run(crate::ExpScale::Smoke, &cdp_sim::Pool::new(2));
         let d = t.dataset();
         assert_eq!(d.headers.len(), 5);
         assert_eq!(d.rows.len(), 15);

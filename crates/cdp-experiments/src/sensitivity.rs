@@ -12,10 +12,10 @@
 
 use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::SystemConfig;
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -64,40 +64,56 @@ impl Sweep {
     }
 }
 
-fn sweep<F>(scale: ExpScale, parameter: &'static str, values: &[u64], mut apply: F) -> Sweep
+fn sweep<F>(
+    scale: ExpScale,
+    pool: &Pool,
+    parameter: &'static str,
+    values: &[u64],
+    mut apply: F,
+) -> Sweep
 where
     F: FnMut(&mut SystemConfig, u64),
 {
     let s = scale.scale();
     let benches = pointer_subset();
-    let mut points = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
     for &v in values {
         let mut base_cfg = SystemConfig::asplos2002();
         apply(&mut base_cfg, v);
         let mut cdp_cfg = SystemConfig::with_content();
         apply(&mut cdp_cfg, v);
-        let mut sps = Vec::new();
-        let mut mptus = Vec::new();
         for &b in &benches {
-            let mut ws = WorkloadSet::default();
-            let base = run_cfg(&mut ws, &base_cfg, b, s);
-            let cdp = run_cfg(&mut ws, &cdp_cfg, b, s);
-            sps.push(speedup(&base, &cdp));
-            mptus.push(base.mptu());
+            grid.push((format!("{parameter}={v}-base/{}", b.name()), base_cfg.clone(), b));
+            grid.push((format!("{parameter}={v}-cdp/{}", b.name()), cdp_cfg.clone(), b));
         }
-        points.push(Point {
-            value: v,
-            speedup: mean(&sps),
-            baseline_mptu: mean(&mptus),
-        });
     }
+    let runs = run_grid(pool, &ws, s, grid);
+    let points = values
+        .iter()
+        .zip(runs.chunks(2 * benches.len()))
+        .map(|(&v, chunk)| {
+            let mut sps = Vec::new();
+            let mut mptus = Vec::new();
+            for pair in chunk.chunks(2) {
+                sps.push(speedup(&pair[0], &pair[1]));
+                mptus.push(pair[0].mptu());
+            }
+            Point {
+                value: v,
+                speedup: mean(&sps),
+                baseline_mptu: mean(&mptus),
+            }
+        })
+        .collect();
     Sweep { parameter, points }
 }
 
 /// Sweeps the bus/DRAM round-trip latency (Table 1 value: 460 cycles).
-pub fn latency(scale: ExpScale) -> Sweep {
+pub fn latency(scale: ExpScale, pool: &Pool) -> Sweep {
     sweep(
         scale,
+        pool,
         "bus latency (cycles)",
         &[230, 460, 690, 920],
         |cfg, v| cfg.bus.latency = v,
@@ -105,9 +121,10 @@ pub fn latency(scale: ExpScale) -> Sweep {
 }
 
 /// Sweeps the UL2 capacity (Table 1 value: 1 MB).
-pub fn l2size(scale: ExpScale) -> Sweep {
+pub fn l2size(scale: ExpScale, pool: &Pool) -> Sweep {
     sweep(
         scale,
+        pool,
         "UL2 size (KB)",
         &[512, 1024, 2048, 4096],
         |cfg, v| cfg.ul2.size_bytes = (v as usize) * 1024,
@@ -120,7 +137,7 @@ mod tests {
 
     #[test]
     fn latency_sweep_shapes() {
-        let s = latency(ExpScale::Smoke);
+        let s = latency(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.points.len(), 4);
         // The paper's motivation: a wider processor/memory gap makes the
         // prefetcher more valuable. Compare the endpoints.
@@ -137,7 +154,7 @@ mod tests {
 
     #[test]
     fn l2_sweep_shrinks_mptu() {
-        let s = l2size(ExpScale::Smoke);
+        let s = l2size(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.points.len(), 4);
         let small = &s.points[0];
         let big = &s.points[3];

@@ -7,11 +7,11 @@
 //! §4.2.1).
 
 use cdp_sim::metrics::mean;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::{ContentConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{ascii_bar, render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{ascii_bar, render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One benchmark's summary row.
 #[derive(Clone, Debug)]
@@ -80,25 +80,31 @@ impl SuiteSummary {
     }
 }
 
-/// Runs the summary across the full suite.
-pub fn run(scale: ExpScale) -> SuiteSummary {
+/// Runs the summary across the full suite: three configurations per
+/// benchmark, every cell an independent pool job.
+pub fn run(scale: ExpScale, pool: &Pool) -> SuiteSummary {
     let s = scale.scale();
     let base_cfg = SystemConfig::asplos2002();
     let reinf_cfg = SystemConfig::with_content();
     let mut stateless_cfg = SystemConfig::asplos2002();
     stateless_cfg.prefetchers.content = Some(ContentConfig::stateless());
-    let mut rows = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
     for b in Benchmark::all() {
-        let mut ws = WorkloadSet::default();
-        let base = run_cfg(&mut ws, &base_cfg, b, s);
-        let reinf = run_cfg(&mut ws, &reinf_cfg, b, s);
-        let stateless = run_cfg(&mut ws, &stateless_cfg, b, s);
+        grid.push((format!("base/{}", b.name()), base_cfg.clone(), b));
+        grid.push((format!("reinf/{}", b.name()), reinf_cfg.clone(), b));
+        grid.push((format!("stateless/{}", b.name()), stateless_cfg.clone(), b));
+    }
+    let runs = run_grid(pool, &ws, s, grid);
+    let mut rows = Vec::new();
+    for (b, trio) in Benchmark::all().into_iter().zip(runs.chunks(3)) {
+        let (base, reinf, stateless) = (&trio[0], &trio[1], &trio[2]);
         rows.push(Row {
             name: b.name().to_string(),
             mptu: base.mptu(),
             ipc: base.ipc(),
-            speedup_reinf: speedup(&base, &reinf),
-            speedup_stateless: speedup(&base, &stateless),
+            speedup_reinf: speedup(base, reinf),
+            speedup_stateless: speedup(base, stateless),
         });
     }
     SuiteSummary {
@@ -114,7 +120,7 @@ mod tests {
 
     #[test]
     fn summary_has_all_benchmarks_and_sane_averages() {
-        let s = run(ExpScale::Smoke);
+        let s = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.rows.len(), 15);
         assert!(s.average_reinf > 0.9 && s.average_reinf < 3.0);
         assert!(s.average_stateless > 0.9 && s.average_stateless < 3.0);

@@ -1,10 +1,11 @@
 //! Table 2: per-benchmark trace statistics — uops executed and L2 MPTU
 //! for 1 MB and 4 MB second-level caches.
 
+use cdp_sim::Pool;
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One Table 2 row.
 #[derive(Clone, Debug)]
@@ -55,25 +56,31 @@ impl Table2 {
     }
 }
 
-/// Runs every benchmark under the stride baseline at both UL2 sizes.
-pub fn run(scale: ExpScale) -> Table2 {
+/// Runs every benchmark under the stride baseline at both UL2 sizes,
+/// all runs as independent pool jobs.
+pub fn run(scale: ExpScale, pool: &Pool) -> Table2 {
     let s = scale.scale();
     let cfg_1mb = SystemConfig::asplos2002();
     let mut cfg_4mb = SystemConfig::asplos2002();
     cfg_4mb.ul2.size_bytes = 4 * 1024 * 1024;
-    let mut rows = Vec::new();
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
     for b in Benchmark::all() {
-        let mut ws = WorkloadSet::default();
-        let r1 = run_cfg(&mut ws, &cfg_1mb, b, s);
-        let r4 = run_cfg(&mut ws, &cfg_4mb, b, s);
-        rows.push(Row {
+        grid.push((format!("1mb/{}", b.name()), cfg_1mb.clone(), b));
+        grid.push((format!("4mb/{}", b.name()), cfg_4mb.clone(), b));
+    }
+    let runs = run_grid(pool, &ws, s, grid);
+    let rows = Benchmark::all()
+        .into_iter()
+        .zip(runs.chunks(2))
+        .map(|(b, pair)| Row {
             name: b.name().to_string(),
             suite: b.suite().to_string(),
-            uops: r1.retired,
-            mptu_1mb: r1.mptu(),
-            mptu_4mb: r4.mptu(),
-        });
-    }
+            uops: pair[0].retired,
+            mptu_1mb: pair[0].mptu(),
+            mptu_4mb: pair[1].mptu(),
+        })
+        .collect();
     Table2 { rows }
 }
 
@@ -83,7 +90,7 @@ mod tests {
 
     #[test]
     fn bigger_cache_never_increases_mptu_much() {
-        let t = run(ExpScale::Smoke);
+        let t = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(t.rows.len(), 15);
         for r in &t.rows {
             assert!(

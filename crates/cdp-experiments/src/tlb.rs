@@ -8,10 +8,10 @@
 
 use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
-use cdp_sim::speedup;
+use cdp_sim::{speedup, Pool};
 use cdp_types::SystemConfig;
 
-use crate::common::{render_table, run_cfg, ExpScale, WorkloadSet};
+use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
 
 /// One TLB size's result.
 #[derive(Clone, Debug)]
@@ -67,28 +67,39 @@ impl TlbSweep {
     }
 }
 
-/// Runs the DTLB sweep on the pointer subset.
-pub fn run(scale: ExpScale) -> TlbSweep {
+/// Runs the DTLB sweep on the pointer subset as one flat pooled grid
+/// (every TLB size x benchmark x {baseline, CDP} cell independently).
+pub fn run(scale: ExpScale, pool: &Pool) -> TlbSweep {
     let s = scale.scale();
     let benches = pointer_subset();
-    let mut points = Vec::new();
-    for entries in [64usize, 128, 256, 512, 1024] {
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let ws = WorkloadSet::default();
+    let mut grid = Vec::new();
+    for &entries in &sizes {
         let mut base_cfg = SystemConfig::asplos2002();
         base_cfg.dtlb.entries = entries;
         let mut cdp_cfg = SystemConfig::with_content();
         cdp_cfg.dtlb.entries = entries;
-        let mut sps = Vec::new();
         for &b in &benches {
-            let mut ws = WorkloadSet::default();
-            let base = run_cfg(&mut ws, &base_cfg, b, s);
-            let cdp = run_cfg(&mut ws, &cdp_cfg, b, s);
-            sps.push(speedup(&base, &cdp));
+            grid.push((format!("tlb{entries}-base/{}", b.name()), base_cfg.clone(), b));
+            grid.push((format!("tlb{entries}-cdp/{}", b.name()), cdp_cfg.clone(), b));
         }
-        points.push(Point {
-            entries,
-            speedup: mean(&sps),
-        });
     }
+    let runs = run_grid(pool, &ws, s, grid);
+    let points = sizes
+        .iter()
+        .zip(runs.chunks(2 * benches.len()))
+        .map(|(&entries, chunk)| {
+            let sps: Vec<f64> = chunk
+                .chunks(2)
+                .map(|pair| speedup(&pair[0], &pair[1]))
+                .collect();
+            Point {
+                entries,
+                speedup: mean(&sps),
+            }
+        })
+        .collect();
     TlbSweep { points }
 }
 
@@ -98,7 +109,7 @@ mod tests {
 
     #[test]
     fn five_doublings() {
-        let t = run(ExpScale::Smoke);
+        let t = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(t.points.len(), 5);
         assert_eq!(t.points[0].entries, 64);
         assert_eq!(t.points[4].entries, 1024);

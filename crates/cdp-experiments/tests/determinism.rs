@@ -1,0 +1,29 @@
+//! The parallel engine contract: rendered experiment output is
+//! byte-identical at any job count, because the pool returns results in
+//! submission order no matter which worker finished first.
+
+use cdp_experiments::{fig11, fig9, tlb, ExpScale};
+use cdp_sim::Pool;
+use cdp_workloads::suite::Benchmark;
+
+#[test]
+fn fig9_render_is_identical_serial_and_parallel() {
+    let serial = fig9::run(ExpScale::Smoke, &Pool::new(1)).render();
+    let parallel = fig9::run(ExpScale::Smoke, &Pool::new(4)).render();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn tlb_render_is_identical_serial_and_parallel() {
+    let serial = tlb::run(ExpScale::Smoke, &Pool::new(1)).render();
+    let parallel = tlb::run(ExpScale::Smoke, &Pool::new(4)).render();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig11_subset_render_is_identical_serial_and_parallel() {
+    let benches = [Benchmark::Slsb, Benchmark::Tpcc2];
+    let serial = fig11::run_on(ExpScale::Smoke, &benches, &Pool::new(1)).render();
+    let parallel = fig11::run_on(ExpScale::Smoke, &benches, &Pool::new(4)).render();
+    assert_eq!(serial, parallel);
+}

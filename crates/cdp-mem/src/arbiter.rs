@@ -21,7 +21,7 @@
 //! semantics analytically (MSHR occupancy + the bus's prefetch backlog)
 //! for speed; this slot-accurate queue is the reference implementation of
 //! the §3.5 rules, used directly by slot-by-slot models and exhaustively
-//! tested here (including with proptest).
+//! tested here (including with randomized invariant tests).
 
 use cdp_types::{LineAddr, RequestKind};
 
@@ -231,7 +231,7 @@ impl Arbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     const D: RequestKind = RequestKind::Demand;
     const S: RequestKind = RequestKind::Stride;
@@ -325,14 +325,16 @@ mod tests {
         assert!(a.is_empty());
     }
 
-    proptest! {
-        /// The queue never exceeds capacity, regardless of the input mix.
-        #[test]
-        fn prop_capacity_invariant(
-            ops in proptest::collection::vec((0u32..64, 0u8..5), 1..200)
-        ) {
+    /// The queue never exceeds capacity, regardless of the input mix.
+    #[test]
+    fn prop_capacity_invariant() {
+        let mut rng = Rng::seed_from_u64(0xa4b1_0001);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..200);
             let mut a = Arbiter::new(4);
-            for (i, &(line, k)) in ops.iter().enumerate() {
+            for i in 0..n {
+                let line = rng.gen_range_u32(0..64);
+                let k = rng.gen_range_u8(0..5);
                 let kind = match k {
                     0 => RequestKind::Demand,
                     1 => RequestKind::Stride,
@@ -340,18 +342,22 @@ mod tests {
                     _ => RequestKind::Content { depth: k },
                 };
                 a.enqueue(LineAddr(line * 64), kind, i as u64);
-                prop_assert!(a.len() <= a.capacity());
+                assert!(a.len() <= a.capacity());
             }
         }
+    }
 
-        /// pop() returns requests in non-increasing priority order when no
-        /// enqueues intervene.
-        #[test]
-        fn prop_pop_priority_monotone(
-            ops in proptest::collection::vec((0u32..1024, 0u8..6), 1..50)
-        ) {
+    /// pop() returns requests in non-increasing priority order when no
+    /// enqueues intervene.
+    #[test]
+    fn prop_pop_priority_monotone() {
+        let mut rng = Rng::seed_from_u64(0xa4b1_0002);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..50);
             let mut a = Arbiter::new(64);
-            for (i, &(line, k)) in ops.iter().enumerate() {
+            for i in 0..n {
+                let line = rng.gen_range_u32(0..1024);
+                let k = rng.gen_range_u8(0..6);
                 let kind = match k {
                     0 => RequestKind::Demand,
                     1 => RequestKind::Stride,
@@ -361,22 +367,28 @@ mod tests {
             }
             let mut last = cdp_types::Priority(u8::MAX);
             while let Some(r) = a.pop() {
-                prop_assert!(r.kind.priority() <= last);
+                assert!(r.kind.priority() <= last);
                 last = r.kind.priority();
             }
         }
+    }
 
-        /// A demand enqueue never fails while any prefetch is queued.
-        #[test]
-        fn prop_demand_never_stalls_on_prefetches(
-            lines in proptest::collection::vec(0u32..1024, 1..20)
-        ) {
+    /// A demand enqueue never fails while any prefetch is queued.
+    #[test]
+    fn prop_demand_never_stalls_on_prefetches() {
+        let mut rng = Rng::seed_from_u64(0xa4b1_0003);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..20);
             let mut a = Arbiter::new(4);
-            for &l in &lines {
+            for _ in 0..n {
+                let l = rng.gen_range_u32(0..1024);
                 a.enqueue(LineAddr(l * 64), RequestKind::Stride, 0);
             }
             let outcome = a.enqueue(LineAddr(0xdead_ff40 & !63), RequestKind::Demand, 1);
-            prop_assert!(!matches!(outcome, EnqueueOutcome::Stalled | EnqueueOutcome::Squashed));
+            assert!(!matches!(
+                outcome,
+                EnqueueOutcome::Stalled | EnqueueOutcome::Squashed
+            ));
         }
     }
 }

@@ -224,7 +224,7 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     fn bus() -> Bus {
         Bus::new(&BusConfig::default())
@@ -346,44 +346,52 @@ mod tests {
         assert_eq!(b.stats(), s1, "peeking never counts transfers");
     }
 
-    proptest! {
-        /// Completion time respects minimum latency and demand completions
-        /// are monotone for a time-sorted demand stream.
-        #[test]
-        fn prop_demand_completions_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
-            let mut sorted = times.clone();
-            sorted.sort_unstable();
+    /// Completion time respects minimum latency and demand completions
+    /// are monotone for a time-sorted demand stream.
+    #[test]
+    fn prop_demand_completions_monotone() {
+        let mut rng = Rng::seed_from_u64(0xb5b5_0001);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..100);
+            let mut times: Vec<u64> = (0..n).map(|_| rng.next_u64() % 10_000).collect();
+            times.sort_unstable();
             let mut b = bus();
             let mut last = 0;
-            for t in sorted {
+            for t in times {
                 let c = b.schedule(t, true);
-                prop_assert!(c >= last);
-                prop_assert!(c >= t + 460);
+                assert!(c >= last);
+                assert!(c >= t + 460);
                 last = c;
             }
         }
+    }
 
-        /// Busy cycles equal transfers x occupancy.
-        #[test]
-        fn prop_busy_accounting(n in 1usize..50) {
+    /// Busy cycles equal transfers x occupancy.
+    #[test]
+    fn prop_busy_accounting() {
+        let mut rng = Rng::seed_from_u64(0xb5b5_0002);
+        for _ in 0..32 {
+            let n = rng.gen_range_usize(1..50);
             let mut b = bus();
             for i in 0..n {
                 b.schedule(i as u64, i % 2 == 0);
             }
-            prop_assert_eq!(b.stats().busy_cycles, n as u64 * 60);
+            assert_eq!(b.stats().busy_cycles, n as u64 * 60);
         }
+    }
 
-        /// A demand is never slower than the same demand on an idle bus
-        /// plus the full outstanding-window wait.
-        #[test]
-        fn prop_demand_bounded_wait(prefetches in 0usize..64) {
+    /// A demand is never slower than the same demand on an idle bus
+    /// plus the full outstanding-window wait.
+    #[test]
+    fn prop_demand_bounded_wait() {
+        for prefetches in 0usize..64 {
             let mut b = bus();
             for _ in 0..prefetches {
                 b.schedule(0, false);
             }
             let c = b.schedule(0, true);
             // Worst case: queue-full wait for the oldest completion.
-            prop_assert!(c <= 460 + 460 + 60 * 33);
+            assert!(c <= 460 + 460 + 60 * 33);
         }
     }
 }

@@ -310,7 +310,7 @@ impl<M: EvictClass> Cache<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     fn small() -> Cache<u8> {
         Cache::new(2, 2, 64)
@@ -447,44 +447,57 @@ mod tests {
         assert_eq!(c.stats(), (1, 0));
     }
 
-    proptest! {
-        /// Residency never exceeds capacity and a just-filled line is
-        /// always resident.
-        #[test]
-        fn prop_capacity_and_residency(addrs in proptest::collection::vec(0u32..0x4000, 1..200)) {
+    /// Residency never exceeds capacity and a just-filled line is always
+    /// resident.
+    #[test]
+    fn prop_capacity_and_residency() {
+        let mut rng = Rng::seed_from_u64(0xcac4_0001);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..200);
             let mut c: Cache<u32> = Cache::new(4, 2, 64);
-            for (i, &a) in addrs.iter().enumerate() {
+            for i in 0..n {
+                let a = rng.gen_range_u32(0..0x4000);
                 c.fill(a, i as u32);
-                prop_assert!(c.probe(a));
-                prop_assert!(c.resident_lines() <= c.capacity_lines());
+                assert!(c.probe(a));
+                assert!(c.resident_lines() <= c.capacity_lines());
             }
         }
+    }
 
-        /// access() and probe() agree on residency.
-        #[test]
-        fn prop_access_probe_agree(addrs in proptest::collection::vec(0u32..0x2000, 1..100)) {
+    /// access() and probe() agree on residency.
+    #[test]
+    fn prop_access_probe_agree() {
+        let mut rng = Rng::seed_from_u64(0xcac4_0002);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..100);
             let mut c: Cache<()> = Cache::new(2, 4, 64);
-            for &a in &addrs {
+            for _ in 0..n {
+                let a = rng.gen_range_u32(0..0x2000);
                 let resident = c.probe(a);
                 let hit = c.access(a).is_some();
-                prop_assert_eq!(resident, hit);
+                assert_eq!(resident, hit);
                 if !hit {
                     c.fill(a, ());
                 }
             }
             let (h, m) = c.stats();
-            prop_assert_eq!(h + m, addrs.len() as u64);
+            assert_eq!(h + m, n as u64);
         }
+    }
 
-        /// An evicted line comes from the same set as the fill that evicted
-        /// it.
-        #[test]
-        fn prop_eviction_same_set(addrs in proptest::collection::vec(0u32..0x8000, 1..300)) {
+    /// An evicted line comes from the same set as the fill that evicted
+    /// it.
+    #[test]
+    fn prop_eviction_same_set() {
+        let mut rng = Rng::seed_from_u64(0xcac4_0003);
+        for _ in 0..64 {
+            let n = rng.gen_range_usize(1..300);
             let num_sets = 4usize;
             let mut c: Cache<()> = Cache::new(num_sets, 2, 64);
-            for &a in &addrs {
+            for _ in 0..n {
+                let a = rng.gen_range_u32(0..0x8000);
                 if let Some(ev) = c.fill(a, ()) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         (ev.line >> 6) as usize % num_sets,
                         (a >> 6) as usize % num_sets
                     );

@@ -144,7 +144,7 @@ impl PhysMem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     #[test]
     fn zero_fill_semantics() {
@@ -198,43 +198,55 @@ mod tests {
         assert_eq!(mem.read_u8(PhysAddr(0x1001)), 0xaa, "second page");
     }
 
-    proptest! {
-        #[test]
-        fn prop_u32_roundtrip(addr in 0u32..0x10_0000, value: u32) {
-            let addr = PhysAddr(addr & !3);
+    #[test]
+    fn prop_u32_roundtrip() {
+        let mut rng = Rng::seed_from_u64(0x9415_0001);
+        for _ in 0..256 {
+            let addr = PhysAddr(rng.gen_range_u32(0..0x10_0000) & !3);
+            let value = rng.next_u32();
             let mut mem = PhysMem::new();
             mem.write_u32(addr, value);
-            prop_assert_eq!(mem.read_u32(addr), value);
+            assert_eq!(mem.read_u32(addr), value);
         }
+    }
 
-        #[test]
-        fn prop_disjoint_writes_do_not_interfere(
-            a in 0u32..0x1_0000, b in 0u32..0x1_0000, va: u32, vb: u32
-        ) {
-            let (a, b) = (PhysAddr(a & !3), PhysAddr(b & !3));
-            prop_assume!(a != b);
+    #[test]
+    fn prop_disjoint_writes_do_not_interfere() {
+        let mut rng = Rng::seed_from_u64(0x9415_0002);
+        for _ in 0..256 {
+            let a = PhysAddr(rng.gen_range_u32(0..0x1_0000) & !3);
+            let b = PhysAddr(rng.gen_range_u32(0..0x1_0000) & !3);
+            if a == b {
+                continue;
+            }
+            let (va, vb) = (rng.next_u32(), rng.next_u32());
             let mut mem = PhysMem::new();
             mem.write_u32(a, va);
             mem.write_u32(b, vb);
-            prop_assert_eq!(mem.read_u32(b), vb);
+            assert_eq!(mem.read_u32(b), vb);
             if a.0.abs_diff(b.0) >= 4 {
-                prop_assert_eq!(mem.read_u32(a), va);
+                assert_eq!(mem.read_u32(a), va);
             }
         }
+    }
 
-        #[test]
-        fn prop_line_read_equals_byte_reads(line in 0u32..0x1000, seed: u64) {
-            let line = LineAddr(line * LINE_SIZE as u32);
+    #[test]
+    fn prop_line_read_equals_byte_reads() {
+        let mut rng = Rng::seed_from_u64(0x9415_0003);
+        for _ in 0..64 {
+            let line = LineAddr(rng.gen_range_u32(0..0x1000) * LINE_SIZE as u32);
             let mut mem = PhysMem::new();
             let mut data = [0u8; LINE_SIZE];
-            let mut x = seed | 1;
+            let mut x = rng.next_u64() | 1;
             for byte in data.iter_mut() {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *byte = (x >> 56) as u8;
             }
             mem.write_line(line, &data);
             for (i, &expected) in data.iter().enumerate() {
-                prop_assert_eq!(mem.read_u8(PhysAddr(line.0 + i as u32)), expected);
+                assert_eq!(mem.read_u8(PhysAddr(line.0 + i as u32)), expected);
             }
         }
     }

@@ -289,7 +289,7 @@ pub fn is_page_table_phys(addr: PhysAddr) -> bool {
 mod tests {
     use super::*;
     use cdp_types::PAGE_SIZE;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     #[test]
     fn unmapped_translates_to_none() {
@@ -411,32 +411,42 @@ mod tests {
         assert_eq!(space.map_range(VirtAddr(0x3000_0800), 2 * PAGE_SIZE), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_translate_preserves_offset(vaddr in 0u32..0x4000_0000) {
-            let vaddr = VirtAddr(vaddr);
+    #[test]
+    fn prop_translate_preserves_offset() {
+        let mut rng = Rng::seed_from_u64(0x3e40_0001);
+        for _ in 0..256 {
+            let vaddr = VirtAddr(rng.gen_range_u32(0..0x4000_0000));
             let mut space = AddressSpace::new();
             let p = space.translate_or_map(vaddr);
-            prop_assert_eq!(p.page_offset(), vaddr.page_offset());
+            assert_eq!(p.page_offset(), vaddr.page_offset());
         }
+    }
 
-        #[test]
-        fn prop_walk_agrees_with_translate(vaddr in 0u32..0x4000_0000) {
-            let vaddr = VirtAddr(vaddr);
+    #[test]
+    fn prop_walk_agrees_with_translate() {
+        let mut rng = Rng::seed_from_u64(0x3e40_0002);
+        for _ in 0..256 {
+            let vaddr = VirtAddr(rng.gen_range_u32(0..0x4000_0000));
             let mut space = AddressSpace::new();
             space.translate_or_map(vaddr);
             let walk = space.walk(vaddr);
             let t = space.translate(vaddr).unwrap();
-            prop_assert_eq!(walk.frame_base.unwrap().0, t.0 - vaddr.page_offset());
+            assert_eq!(walk.frame_base.unwrap().0, t.0 - vaddr.page_offset());
         }
+    }
 
-        #[test]
-        fn prop_rw_roundtrip_virtual(vaddr in 0u32..0x4000_0000, value: u32) {
-            let vaddr = VirtAddr(vaddr & !3);
-            prop_assume!(vaddr.page_offset() as usize + 4 <= PAGE_SIZE);
+    #[test]
+    fn prop_rw_roundtrip_virtual() {
+        let mut rng = Rng::seed_from_u64(0x3e40_0003);
+        for _ in 0..256 {
+            let vaddr = VirtAddr(rng.gen_range_u32(0..0x4000_0000) & !3);
+            if vaddr.page_offset() as usize + 4 > PAGE_SIZE {
+                continue;
+            }
+            let value = rng.next_u32();
             let mut space = AddressSpace::new();
             space.write_u32(vaddr, value);
-            prop_assert_eq!(space.read_u32(vaddr), value);
+            assert_eq!(space.read_u32(vaddr), value);
         }
     }
 }

@@ -121,7 +121,10 @@ impl ContentPrefetcher {
         let child_depth = fill_depth + 1;
         let hits = scan_line(data, trigger_ea, &self.cfg.vam);
         self.stats.candidates += hits.len() as u64;
-        let mut emitted_lines: Vec<u32> = Vec::with_capacity(hits.len());
+        // Dedup against what this scan already emitted by checking the
+        // output tail directly (every request this scan pushes targets
+        // `vaddr.line() == target`), avoiding a per-fill scratch Vec.
+        let scan_start = out.len();
         for hit in &hits {
             let base_line = hit.candidate.line();
             // Candidate line itself, then width expansion: `prev_lines`
@@ -130,10 +133,12 @@ impl ContentPrefetcher {
             let last = self.cfg.next_lines as i32;
             for delta in first..=last {
                 let target = base_line.add_lines(delta);
-                if emitted_lines.contains(&target.0) {
+                if out[scan_start..]
+                    .iter()
+                    .any(|r| r.vaddr.line().0 == target.0)
+                {
                     continue;
                 }
-                emitted_lines.push(target.0);
                 // The *candidate* address (not the line base) rides along
                 // for delta == 0 so the next scan's compare bits reference
                 // the true effective address.

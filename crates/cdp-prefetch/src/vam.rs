@@ -89,15 +89,83 @@ pub struct LineScan {
     pub candidate: VirtAddr,
 }
 
+/// Maximum candidates a single line scan can yield: the densest scan (a
+/// 1-byte step) examines `(LINE_SIZE - WORD_SIZE) + 1 = 61` words.
+pub const MAX_SCAN_HITS: usize = LINE_SIZE - WORD_SIZE + 1;
+
+/// Fixed-capacity, stack-allocated result of [`scan_line`].
+///
+/// The scan runs once per L2 fill — the hottest loop in the simulator — so
+/// it must not touch the heap. Dereferences to `&[LineScan]`, so existing
+/// slice-style call sites (`.len()`, `.iter()`, indexing) keep working.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanHits {
+    hits: [LineScan; MAX_SCAN_HITS],
+    len: usize,
+}
+
+impl ScanHits {
+    const EMPTY: LineScan = LineScan {
+        offset: 0,
+        candidate: VirtAddr(0),
+    };
+
+    /// An empty hit set.
+    #[inline]
+    pub fn new() -> Self {
+        ScanHits {
+            hits: [Self::EMPTY; MAX_SCAN_HITS],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, hit: LineScan) {
+        self.hits[self.len] = hit;
+        self.len += 1;
+    }
+
+    /// The hits found, in line-offset order.
+    #[inline]
+    pub fn as_slice(&self) -> &[LineScan] {
+        &self.hits[..self.len]
+    }
+}
+
+impl Default for ScanHits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for ScanHits {
+    type Target = [LineScan];
+
+    #[inline]
+    fn deref(&self) -> &[LineScan] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a ScanHits {
+    type Item = &'a LineScan;
+    type IntoIter = std::slice::Iter<'a, LineScan>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Scans a 64-byte fill for candidate virtual addresses (Figure 5).
 ///
 /// `trigger_ea` is the effective address of the memory request that caused
 /// the fill. Words are read little-endian at offsets `0, s, 2s, …` while
 /// the full word stays in bounds: a 1-byte step examines 61 words, a 4-byte
-/// step 16 (§3.3's worked example).
-pub fn scan_line(data: &[u8; LINE_SIZE], trigger_ea: VirtAddr, cfg: &VamConfig) -> Vec<LineScan> {
+/// step 16 (§3.3's worked example). The result lives entirely on the stack:
+/// no heap allocation per scanned line.
+pub fn scan_line(data: &[u8; LINE_SIZE], trigger_ea: VirtAddr, cfg: &VamConfig) -> ScanHits {
     let step = cfg.scan_step.max(1);
-    let mut found = Vec::new();
+    let mut found = ScanHits::new();
     let mut offset = 0;
     while offset + WORD_SIZE <= LINE_SIZE {
         let word = u32::from_le_bytes([
@@ -127,7 +195,7 @@ pub fn words_examined(scan_step: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cdp_types::rng::Rng;
 
     fn cfg(n: u32, m: u32, a: u32, s: usize) -> VamConfig {
         VamConfig {
@@ -315,53 +383,87 @@ mod tests {
         assert!(!is_candidate(0x1234_567a, VirtAddr(0x1234_5678), &c));
     }
 
-    proptest! {
-        /// A word equal to the trigger EA (aligned) is always a candidate
-        /// when the trigger is outside the extreme regions.
-        #[test]
-        fn prop_self_pointer_is_candidate(ea in 0x0100_0000u32..0xfe00_0000) {
-            let ea = ea & !1;
-            let c = cfg(8, 4, 1, 2);
-            prop_assert!(is_candidate(ea, VirtAddr(ea), &c));
-        }
+    // Randomized invariant checks (seeded in-repo PRNG; deterministic).
 
-        /// Candidates always share the upper compare bits with the trigger.
-        #[test]
-        fn prop_candidates_share_upper_bits(word: u32, ea: u32, n in 1u32..16) {
+    /// A word equal to the trigger EA (aligned) is always a candidate when
+    /// the trigger is outside the extreme regions.
+    #[test]
+    fn prop_self_pointer_is_candidate() {
+        let mut rng = Rng::seed_from_u64(0x7a11);
+        let c = cfg(8, 4, 1, 2);
+        for _ in 0..2000 {
+            let ea = rng.gen_range_u32(0x0100_0000..0xfe00_0000) & !1;
+            assert!(is_candidate(ea, VirtAddr(ea), &c), "ea {ea:#x}");
+        }
+    }
+
+    /// Candidates always share the upper compare bits with the trigger.
+    #[test]
+    fn prop_candidates_share_upper_bits() {
+        let mut rng = Rng::seed_from_u64(0x7a12);
+        for _ in 0..4000 {
+            let word = rng.next_u32();
+            let ea = rng.next_u32();
+            let n = rng.gen_range_u32(1..16);
             let c = cfg(n, 4, 0, 2);
             if is_candidate(word, VirtAddr(ea), &c) {
-                prop_assert_eq!(word >> (32 - n), ea >> (32 - n));
+                assert_eq!(word >> (32 - n), ea >> (32 - n), "word {word:#x} ea {ea:#x} n {n}");
             }
         }
+    }
 
-        /// The align test never passes a word with a low set bit.
-        #[test]
-        fn prop_align_enforced(word: u32, a in 1u32..3) {
+    /// The align test never passes a word with a low set bit.
+    #[test]
+    fn prop_align_enforced() {
+        let mut rng = Rng::seed_from_u64(0x7a13);
+        for _ in 0..4000 {
+            let word = rng.next_u32();
+            let a = rng.gen_range_u32(1..3);
             let c = cfg(8, 4, a, 2);
             if is_candidate(word, VirtAddr(word), &c) {
-                prop_assert_eq!(word & ((1 << a) - 1), 0);
+                assert_eq!(word & ((1 << a) - 1), 0, "word {word:#x} a {a}");
             }
         }
+    }
 
-        /// scan_line only reports words that individually satisfy
-        /// is_candidate, at offsets that are multiples of the step.
-        #[test]
-        fn prop_scan_agrees_with_predicate(
-            bytes in proptest::collection::vec(any::<u8>(), LINE_SIZE),
-            ea: u32,
-            step in 1usize..5,
-        ) {
+    /// scan_line only reports words that individually satisfy is_candidate,
+    /// at offsets that are multiples of the step.
+    #[test]
+    fn prop_scan_agrees_with_predicate() {
+        let mut rng = Rng::seed_from_u64(0x7a14);
+        for _ in 0..500 {
             let mut data = [0u8; LINE_SIZE];
-            data.copy_from_slice(&bytes);
+            for b in data.iter_mut() {
+                *b = (rng.next_u32() >> 24) as u8;
+            }
+            let ea = rng.next_u32();
+            let step = rng.gen_range_usize(1..5);
             let c = cfg(8, 4, 1, step);
-            for hit in scan_line(&data, VirtAddr(ea), &c) {
-                prop_assert_eq!(hit.offset % step, 0);
-                let w = u32::from_le_bytes(
-                    data[hit.offset..hit.offset + 4].try_into().unwrap()
-                );
-                prop_assert!(is_candidate(w, VirtAddr(ea), &c));
-                prop_assert_eq!(hit.candidate, VirtAddr(w));
+            for hit in &scan_line(&data, VirtAddr(ea), &c) {
+                assert_eq!(hit.offset % step, 0);
+                let w = u32::from_le_bytes(data[hit.offset..hit.offset + 4].try_into().unwrap());
+                assert!(is_candidate(w, VirtAddr(ea), &c));
+                assert_eq!(hit.candidate, VirtAddr(w));
             }
         }
+    }
+
+    /// The hit set never exceeds the fixed capacity, even on the densest
+    /// possible line (every word a candidate, 1-byte step).
+    #[test]
+    fn scan_hits_capacity_covers_densest_line() {
+        let c = cfg(8, 4, 0, 1);
+        let trigger = VirtAddr(0x1040_2468);
+        let mut data = [0u8; LINE_SIZE];
+        for chunk in data.chunks_exact_mut(4) {
+            chunk.copy_from_slice(&0x1040_0000u32.to_le_bytes());
+        }
+        // Every byte offset decodes to some 0x10..-prefixed word? Not all,
+        // but the 4-aligned ones do; a uniform fill of 0x00 0x00 0x40 0x10
+        // repeated makes offsets 0,4,8,.. candidates and the scan must
+        // stay within capacity regardless.
+        let hits = scan_line(&data, trigger, &c);
+        assert!(hits.len() <= MAX_SCAN_HITS);
+        assert_eq!(words_examined(1), MAX_SCAN_HITS);
     }
 }

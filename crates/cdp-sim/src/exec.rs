@@ -1,0 +1,353 @@
+//! Parallel experiment execution engine.
+//!
+//! Experiments are embarrassingly parallel: every sweep point is an
+//! independent `Simulator::run` over an immutable [`Workload`]. This
+//! module provides the std-only plumbing to exploit that:
+//!
+//! * [`Pool`] — a scoped-thread work pool (no external crates) that runs
+//!   a batch of closures across cores and returns results **in
+//!   submission order**, so rendered tables are byte-identical at any
+//!   job count;
+//! * [`SimJob`] / [`Pool::run_sims`] — the labelled
+//!   `(SystemConfig, Arc<Workload>)` batch unit every sweep submits;
+//! * [`WorkloadCache`] — a shared `(Benchmark, Scale)`-keyed cache of
+//!   immutable `Arc<Workload>`s, so concurrent jobs reuse one build.
+//!
+//! The simulator core itself stays single-threaded (see DESIGN.md §5);
+//! parallelism lives entirely above it, one simulation per task.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::{Benchmark, Scale};
+use cdp_workloads::Workload;
+
+use crate::hierarchy::PollutionConfig;
+use crate::runner::build_workload;
+use crate::system::{RunStats, Simulator};
+
+/// The number of worker threads to use when the caller does not say:
+/// every available core.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A fixed-width scoped-thread work pool.
+///
+/// `Pool` owns no threads between calls: each batch spins up at most
+/// `jobs` scoped workers, drains a shared queue of tasks, and joins.
+/// Results always come back in submission order regardless of which
+/// worker ran which task, which keeps experiment output deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Default for Pool {
+    /// A pool sized to [`default_jobs`].
+    fn default() -> Pool {
+        Pool::new(default_jobs())
+    }
+}
+
+impl Pool {
+    /// A pool running at most `jobs` tasks concurrently (clamped to at
+    /// least one). `Pool::new(1)` degrades to strictly serial execution.
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The concurrency limit.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task and returns the results in submission order.
+    ///
+    /// A panicking task poisons nothing: the panic propagates from here
+    /// (first panicking task wins) after all workers have drained.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let mut out = Vec::with_capacity(tasks.len());
+        for r in self.run_caught(tasks) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Panic-tolerant variant of [`Pool::run`]: a panicking task yields
+    /// `None` in its slot while every other task still completes.
+    pub fn try_run<T, F>(&self, tasks: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_caught(tasks).into_iter().map(Result::ok).collect()
+    }
+
+    /// Shared batch driver: scoped workers pull task indices from an
+    /// atomic counter and park each (caught) result in its slot.
+    fn run_caught<T, F>(&self, tasks: Vec<F>) -> Vec<thread::Result<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let tasks: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(n);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = tasks[i]
+                        .lock()
+                        .expect("task cell never poisoned: each index is claimed once")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let result = catch_unwind(AssertUnwindSafe(task));
+                    *slots[i].lock().expect("slot never poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot never poisoned")
+                    .expect("every index was claimed and stored")
+            })
+            .collect()
+    }
+
+    /// Runs a batch of simulations, returning per-job results in
+    /// submission order.
+    pub fn run_sims(&self, jobs: Vec<SimJob>) -> Vec<SimResult> {
+        self.run(jobs.into_iter().map(|j| move || j.execute_labelled()).collect())
+    }
+}
+
+/// One independent simulation: a configuration over a shared workload.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// Caller-chosen identifier carried through to the [`SimResult`]
+    /// (sweep-point labels, benchmark names, ...).
+    pub label: String,
+    /// Full system configuration (including warm-up budget).
+    pub cfg: SystemConfig,
+    /// The shared immutable workload image.
+    pub workload: Arc<Workload>,
+    /// Optional §3.5 junk-fill injection (the pollution limit study).
+    pub pollution: Option<PollutionConfig>,
+}
+
+impl SimJob {
+    /// A plain job with no pollution injection.
+    pub fn new(label: impl Into<String>, cfg: SystemConfig, workload: Arc<Workload>) -> SimJob {
+        SimJob {
+            label: label.into(),
+            cfg,
+            workload,
+            pollution: None,
+        }
+    }
+
+    /// Runs the simulation.
+    pub fn execute(&self) -> RunStats {
+        let mut sim = Simulator::new(self.cfg.clone());
+        if let Some(p) = self.pollution {
+            sim = sim.with_pollution(p);
+        }
+        sim.run(&self.workload)
+    }
+}
+
+/// One finished [`SimJob`].
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The job's label, unchanged.
+    pub label: String,
+    /// The simulation statistics.
+    pub stats: RunStats,
+}
+
+impl SimJob {
+    fn execute_labelled(self) -> SimResult {
+        let stats = self.execute();
+        SimResult {
+            label: self.label,
+            stats,
+        }
+    }
+}
+
+/// A thread-safe `(Benchmark, Scale)`-keyed cache of immutable workload
+/// images.
+///
+/// Experiments run many configurations over the same workloads; building
+/// each image once — and sharing it by `Arc` across concurrent jobs —
+/// matters. Workload generation is deterministic (fixed experiment
+/// seed), so the rare duplicate build under a race produces an identical
+/// image and either copy may win.
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    entries: Mutex<HashMap<(Benchmark, Scale), Arc<Workload>>>,
+}
+
+impl WorkloadCache {
+    /// An empty cache.
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// The workload for `bench` at `scale` with the experiment seed,
+    /// built on first use. The build runs outside the lock so other
+    /// benchmarks stay fetchable meanwhile.
+    pub fn get(&self, bench: Benchmark, scale: Scale) -> Arc<Workload> {
+        self.get_with(bench, scale, || build_workload(bench, scale))
+    }
+
+    /// As [`WorkloadCache::get`] with a caller-supplied builder (custom
+    /// seeds or structures). The builder must be deterministic for the
+    /// key: under a race both builds run and either image is kept.
+    pub fn get_with(
+        &self,
+        bench: Benchmark,
+        scale: Scale,
+        build: impl FnOnce() -> Workload,
+    ) -> Arc<Workload> {
+        if let Some(w) = self.entries.lock().expect("cache lock").get(&(bench, scale)) {
+            return Arc::clone(w);
+        }
+        let built = Arc::new(build());
+        Arc::clone(
+            self.entries
+                .lock()
+                .expect("cache lock")
+                .entry((bench, scale))
+                .or_insert(built),
+        )
+    }
+
+    /// How many distinct `(benchmark, scale)` images are cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Tasks finish intentionally out of order (later tasks are
+        // cheaper), yet the result vector matches submission order.
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(16 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let got = pool.run(tasks);
+        assert_eq!(got, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_matches_parallel_pool() {
+        let run = |jobs| Pool::new(jobs).run((0..32).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn try_run_survives_a_panicking_job() {
+        let pool = Pool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job 1 dies")),
+            Box::new(|| 3),
+            Box::new(|| 4),
+        ];
+        let got = pool.try_run(tasks);
+        assert_eq!(got, vec![Some(1), None, Some(3), Some(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 0 dies")]
+    fn run_propagates_the_panic() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("job 0 dies")), Box::new(|| 2)];
+        Pool::new(2).run(tasks);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one_and_empty_batches_work() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert!(pool.run(empty).is_empty());
+    }
+
+    #[test]
+    fn workload_cache_is_keyed_by_benchmark_and_scale() {
+        let cache = WorkloadCache::new();
+        let smoke = cache.get(Benchmark::B2e, Scale::smoke());
+        let again = cache.get(Benchmark::B2e, Scale::smoke());
+        assert!(Arc::ptr_eq(&smoke, &again), "same key shares one image");
+        let other = cache.get(Benchmark::Slsb, Scale::smoke());
+        assert!(!Arc::ptr_eq(&smoke, &other));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn pooled_sims_match_serial_sims() {
+        let cache = WorkloadCache::new();
+        let jobs = |n: usize| -> Vec<SimJob> {
+            [Benchmark::B2e, Benchmark::Slsb]
+                .iter()
+                .flat_map(|&b| {
+                    let w = cache.get(b, Scale::smoke());
+                    (0..n).map(move |i| {
+                        let cfg = if i % 2 == 0 {
+                            SystemConfig::asplos2002()
+                        } else {
+                            SystemConfig::with_content()
+                        };
+                        SimJob::new(format!("{b:?}/{i}"), cfg, Arc::clone(&w))
+                    })
+                })
+                .collect()
+        };
+        let serial = Pool::new(1).run_sims(jobs(2));
+        let parallel = Pool::new(4).run_sims(jobs(2));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.stats.cycles, p.stats.cycles, "{}", s.label);
+            assert_eq!(s.stats.retired, p.stats.retired, "{}", s.label);
+        }
+    }
+}

@@ -107,6 +107,11 @@ pub struct Hierarchy<'w> {
     /// Lines with an in-flight fill that a store has requested (they will
     /// install dirty).
     pending_dirty: std::collections::HashSet<u32>,
+    /// Reusable request buffers for the prefetch-issue hot path. A small
+    /// stack (not one buffer) because `issue_prefetch` can recurse through
+    /// a resident-line rescan back into `scan_and_issue`, which needs a
+    /// second buffer while the first is still borrowed out.
+    req_bufs: Vec<Vec<PrefetchRequest>>,
 }
 
 impl<'w> std::fmt::Debug for Hierarchy<'w> {
@@ -147,6 +152,7 @@ impl<'w> Hierarchy<'w> {
             next_pollution: 0,
             pollution_rng: 0x1234_5678_9abc_def0,
             pending_dirty: std::collections::HashSet::new(),
+            req_bufs: Vec::new(),
             space,
             cfg,
         }
@@ -276,7 +282,7 @@ impl<'w> Hierarchy<'w> {
         at: u64,
         is_rescan: bool,
     ) {
-        let mut out = Vec::new();
+        let mut out = self.take_req_buf();
         if let Some(c) = self.content.as_mut() {
             if is_rescan {
                 c.rescan(trigger_ea, data, fill_depth, &mut out);
@@ -284,8 +290,25 @@ impl<'w> Hierarchy<'w> {
                 c.scan_fill(trigger_ea, data, fill_depth, &mut out);
             }
         }
-        for r in out {
+        for r in out.drain(..) {
             self.issue_prefetch(r, at);
+        }
+        self.put_req_buf(out);
+    }
+
+    /// Borrows a request buffer from the reuse stack (steady state: no
+    /// allocation per fill).
+    #[inline]
+    fn take_req_buf(&mut self) -> Vec<PrefetchRequest> {
+        self.req_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a request buffer to the reuse stack.
+    #[inline]
+    fn put_req_buf(&mut self, mut buf: Vec<PrefetchRequest>) {
+        buf.clear();
+        if self.req_bufs.len() < 8 {
+            self.req_bufs.push(buf);
         }
     }
 
@@ -318,11 +341,8 @@ impl<'w> Hierarchy<'w> {
     fn walk(&mut self, vaddr: VirtAddr, now: u64, demand: bool) -> Option<(PhysAddr, u64)> {
         let walk = self.space.walk(vaddr);
         let mut penalty = 0u64;
-        let mut lines: Vec<LineAddr> = vec![walk.pde_addr.line()];
-        if let Some(pte) = walk.pte_addr {
-            lines.push(pte.line());
-        }
-        for l in lines {
+        let lines = [Some(walk.pde_addr.line()), walk.pte_addr.map(|p| p.line())];
+        for l in lines.into_iter().flatten() {
             if self.l2.access(l.0).is_some() {
                 penalty += self.cfg.ul2.latency;
             } else {
@@ -487,7 +507,7 @@ impl<'w> MemoryModel for Hierarchy<'w> {
 
         // The stride prefetcher monitors all L1 miss traffic (§3.5); the
         // optional stream buffers watch the same stream.
-        let mut reqs: Vec<PrefetchRequest> = Vec::new();
+        let mut reqs = self.take_req_buf();
         if let Some(sp) = self.stride.as_mut() {
             sp.observe(pc, vaddr, &mut reqs);
         }
@@ -611,9 +631,10 @@ impl<'w> MemoryModel for Hierarchy<'w> {
         };
 
         // Issue everything the prefetchers asked for.
-        for r in reqs {
+        for r in reqs.drain(..) {
             self.issue_prefetch(r, now);
         }
+        self.put_req_buf(reqs);
         // Run-time adaptation (§4.1 future work): periodically steer the
         // content prefetcher's knobs by observed accuracy.
         if let (Some(ctl), Some(content)) = (self.adaptive.as_mut(), self.content.as_mut()) {
@@ -630,16 +651,15 @@ impl<'w> MemoryModel for Hierarchy<'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdp_types::rng::Rng;
     use cdp_types::{ContentConfig, PrefetchersConfig, StrideConfig};
     use cdp_workloads::structures::{build_list, NEXT_OFFSET};
     use cdp_workloads::Heap;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
+        
     fn space_with_list(n: usize, shuffle: bool) -> (AddressSpace, Vec<VirtAddr>) {
         let mut space = AddressSpace::new();
         let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 24);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let list = build_list(&mut space, &mut heap, &mut rng, n, 64, shuffle);
         (space, list.nodes)
     }

@@ -11,6 +11,10 @@
 //!   and Figure 10 timeliness metrics.
 //! * [`runner`] — suite-level comparison drivers used by the experiment
 //!   harness.
+//! * [`exec`] — the parallel experiment engine: a std-only scoped-thread
+//!   [`Pool`] running independent simulations across cores with
+//!   submission-order (deterministic) results, plus the shared
+//!   [`WorkloadCache`].
 //!
 //! # Examples
 //!
@@ -27,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod hierarchy;
 pub mod metrics;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
+pub use exec::{default_jobs, Pool, SimJob, SimResult, WorkloadCache};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
 pub use metrics::{accuracy, coverage, geomean, mean};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};

@@ -27,6 +27,7 @@
 pub mod addr;
 pub mod config;
 pub mod request;
+pub mod rng;
 pub mod validate;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr};

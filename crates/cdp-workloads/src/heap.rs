@@ -12,8 +12,7 @@
 
 use cdp_mem::AddressSpace;
 use cdp_types::VirtAddr;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cdp_types::rng::Rng;
 
 /// Default heap base: shares the `0x10` upper byte across a 256 MB region.
 pub const DEFAULT_HEAP_BASE: u32 = 0x1000_0000;
@@ -118,9 +117,9 @@ impl Heap {
     }
 
     /// Allocates with random padding before the object (if configured).
-    pub fn alloc_padded(&mut self, space: &mut AddressSpace, size: usize, rng: &mut StdRng) -> VirtAddr {
+    pub fn alloc_padded(&mut self, space: &mut AddressSpace, size: usize, rng: &mut Rng) -> VirtAddr {
         if self.max_pad > 0 {
-            let pad = rng.gen_range(0..=self.max_pad);
+            let pad = rng.gen_range_u32_incl(0..=self.max_pad);
             self.next = (self.next + pad).min(self.end);
         }
         self.alloc(space, size)
@@ -130,8 +129,7 @@ impl Heap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
+    
     #[test]
     fn bump_allocation_is_monotone_and_aligned() {
         let mut space = AddressSpace::new();
@@ -177,7 +175,7 @@ mod tests {
     #[test]
     fn padding_spreads_objects() {
         let mut space = AddressSpace::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut dense = Heap::new(0x1000_0000, 1 << 20);
         let mut padded = Heap::new(0x2000_0000, 1 << 20).with_padding(64);
         for _ in 0..50 {

@@ -8,9 +8,7 @@
 
 use cdp_mem::AddressSpace;
 use cdp_types::VirtAddr;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cdp_types::rng::Rng;
 
 use crate::heap::Heap;
 
@@ -21,14 +19,14 @@ pub const NEXT_OFFSET: u32 = 4;
 
 /// Fills a node's payload bytes with plausible non-pointer data: small
 /// integers and flag words that the VAM heuristic should reject.
-fn fill_payload(space: &mut AddressSpace, node: VirtAddr, size: usize, rng: &mut StdRng) {
+fn fill_payload(space: &mut AddressSpace, node: VirtAddr, size: usize, rng: &mut Rng) {
     let mut off = 8; // skip header + next pointer
     while off + 4 <= size {
-        let value: u32 = match rng.gen_range(0..4u8) {
-            0 => rng.gen_range(0..4096),            // small int
-            1 => rng.gen::<u32>() & 0x0000_ffff,    // 16-bit quantity
+        let value: u32 = match rng.gen_range_u8(0..4) {
+            0 => rng.gen_range_u32(0..4096),            // small int
+            1 => rng.next_u32() & 0x0000_ffff,    // 16-bit quantity
             2 => 0,                                 // zeroed field
-            _ => rng.gen::<u32>() | 0x8000_0001,    // odd/negative junk
+            _ => rng.next_u32() | 0x8000_0001,    // odd/negative junk
         };
         space.write_u32(VirtAddr(node.0 + off as u32), value);
         off += 4;
@@ -70,7 +68,7 @@ pub const SHUFFLE_WINDOW: usize = 16;
 pub fn build_list(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
     node_size: usize,
     shuffle: bool,
@@ -85,11 +83,11 @@ pub fn build_list(
             .chunks(SHUFFLE_WINDOW)
             .map(|w| {
                 let mut w = w.to_vec();
-                w.shuffle(rng);
+                rng.shuffle(&mut w);
                 w
             })
             .collect();
-        windows.shuffle(rng);
+        rng.shuffle(&mut windows);
         nodes = windows.into_iter().flatten().collect();
     }
     for i in 0..count {
@@ -99,7 +97,7 @@ pub fn build_list(
             0 // null terminator
         };
         let node = nodes[i];
-        space.write_u32(node, rng.gen_range(1..256)); // header byte-ish field
+        space.write_u32(node, rng.gen_range_u32(1..256)); // header byte-ish field
         space.write_u32(VirtAddr(node.0 + NEXT_OFFSET), next);
         fill_payload(space, node, node_size, rng);
     }
@@ -135,7 +133,7 @@ pub const RIGHT_OFFSET: u32 = 8;
 pub fn build_binary_tree(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     levels: u32,
     node_size: usize,
 ) -> BinaryTree {
@@ -159,7 +157,7 @@ pub fn build_binary_tree(
         );
         let mut off = 12;
         while off + 4 <= node_size {
-            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range(0..1024));
+            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range_u32(0..1024));
             off += 4;
         }
     }
@@ -191,7 +189,7 @@ pub struct HashTable {
 pub fn build_hash_table(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     bucket_count: usize,
     items: usize,
     node_size: usize,
@@ -201,9 +199,9 @@ pub fn build_hash_table(
     let buckets = heap.alloc(space, bucket_count * 4);
     let mut chains: Vec<Vec<VirtAddr>> = vec![Vec::new(); bucket_count];
     for _ in 0..items {
-        let b = rng.gen_range(0..bucket_count);
+        let b = rng.gen_range_usize(0..bucket_count);
         let node = heap.alloc_padded(space, node_size, rng);
-        space.write_u32(node, rng.gen::<u32>() & 0xffff); // key fragment
+        space.write_u32(node, rng.next_u32() & 0xffff); // key fragment
         // Push-front: node.next = current head; head = node.
         let head_addr = VirtAddr(buckets.0 + (b as u32) * 4);
         let old_head = space.read_u32(head_addr);
@@ -258,7 +256,7 @@ impl IndexArray {
 pub fn build_index_array(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
     elem_size: usize,
 ) -> IndexArray {
@@ -266,7 +264,7 @@ pub fn build_index_array(
     assert!(elem_size >= 8, "element must hold an index + payload");
     let base = heap.alloc(space, count * elem_size);
     let mut order: Vec<u32> = (0..count as u32).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     for i in 0..count {
         let this = order[i];
         let next = order[(i + 1) % count];
@@ -274,7 +272,7 @@ pub fn build_index_array(
         space.write_u32(addr, next);
         let mut off = 4;
         while off + 4 <= elem_size {
-            space.write_u32(VirtAddr(addr.0 + off as u32), rng.gen_range(0..65536));
+            space.write_u32(VirtAddr(addr.0 + off as u32), rng.gen_range_u32(0..65536));
             off += 4;
         }
     }
@@ -317,7 +315,7 @@ pub struct DoublyLinkedList {
 pub fn build_dlist(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
     node_size: usize,
     shuffle: bool,
@@ -332,23 +330,23 @@ pub fn build_dlist(
             .chunks(SHUFFLE_WINDOW)
             .map(|w| {
                 let mut w = w.to_vec();
-                w.shuffle(rng);
+                rng.shuffle(&mut w);
                 w
             })
             .collect();
-        windows.shuffle(rng);
+        rng.shuffle(&mut windows);
         nodes = windows.into_iter().flatten().collect();
     }
     for i in 0..count {
         let node = nodes[i];
         let next = if i + 1 < count { nodes[i + 1].0 } else { 0 };
         let prev = if i > 0 { nodes[i - 1].0 } else { 0 };
-        space.write_u32(node, rng.gen_range(1..256));
+        space.write_u32(node, rng.gen_range_u32(1..256));
         space.write_u32(VirtAddr(node.0 + NEXT_OFFSET), next);
         space.write_u32(VirtAddr(node.0 + PREV_OFFSET), prev);
         let mut off = 12;
         while off + 4 <= node_size {
-            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range(0..4096));
+            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range_u32(0..4096));
             off += 4;
         }
     }
@@ -393,7 +391,7 @@ pub const ADJ_PTR_OFFSET: u32 = 8;
 pub fn build_graph(
     space: &mut AddressSpace,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     count: usize,
     degree: usize,
     node_size: usize,
@@ -406,7 +404,7 @@ pub fn build_graph(
     let mut adjacency = Vec::with_capacity(count);
     let mut adj_arrays = Vec::with_capacity(count);
     for (i, &node) in nodes.iter().enumerate() {
-        let adj: Vec<u32> = (0..degree).map(|_| rng.gen_range(0..count as u32)).collect();
+        let adj: Vec<u32> = (0..degree).map(|_| rng.gen_range_u32(0..count as u32)).collect();
         let adj_array = heap.alloc(space, degree.max(1) * 4);
         adj_arrays.push(adj_array);
         for (k, &succ) in adj.iter().enumerate() {
@@ -417,7 +415,7 @@ pub fn build_graph(
         space.write_u32(VirtAddr(node.0 + ADJ_PTR_OFFSET), adj_array.0);
         let mut off = 12;
         while off + 4 <= node_size {
-            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range(0..4096));
+            space.write_u32(VirtAddr(node.0 + off as u32), rng.gen_range_u32(0..4096));
             off += 4;
         }
         adjacency.push(adj);
@@ -441,13 +439,13 @@ pub struct Array {
 
 /// Builds a contiguous array of `len` bytes filled with non-pointer data
 /// (float-looking bit patterns), mapped and ready for stride scans.
-pub fn build_array(space: &mut AddressSpace, heap: &mut Heap, rng: &mut StdRng, len: usize) -> Array {
+pub fn build_array(space: &mut AddressSpace, heap: &mut Heap, rng: &mut Rng, len: usize) -> Array {
     let base = heap.alloc(space, len);
     // Fill sparsely (one word per 64-byte line is enough to materialize
     // pages and give the scanner junk to reject).
     let mut off = 0;
     while off + 4 <= len {
-        let bits = (rng.gen::<f32>() * 1e6).to_bits();
+        let bits = (rng.next_f32() * 1e6).to_bits();
         space.write_u32(VirtAddr(base.0 + off as u32), bits);
         off += 64;
     }
@@ -457,13 +455,12 @@ pub fn build_array(space: &mut AddressSpace, heap: &mut Heap, rng: &mut StdRng, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn setup() -> (AddressSpace, Heap, StdRng) {
+    
+    fn setup() -> (AddressSpace, Heap, Rng) {
         (
             AddressSpace::new(),
             Heap::new(Heap::DEFAULT_BASE, 1 << 24),
-            StdRng::seed_from_u64(42),
+            Rng::seed_from_u64(42),
         )
     }
 
@@ -628,7 +625,7 @@ mod tests {
         let build = |seed: u64| {
             let mut space = AddressSpace::new();
             let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 22);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             build_list(&mut space, &mut heap, &mut rng, 40, 24, true).nodes
         };
         assert_eq!(build(7), build(7));

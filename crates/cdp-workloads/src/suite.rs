@@ -17,8 +17,7 @@
 
 use cdp_core::Program;
 use cdp_mem::AddressSpace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdp_types::rng::Rng;
 
 use crate::heap::Heap;
 use crate::structures::{
@@ -60,7 +59,7 @@ impl std::fmt::Display for Suite {
 
 /// Run-size scaling: uop budget plus a divisor applied to every structure
 /// footprint (tests use large divisors; experiments use 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Scale {
     /// Uops to emit (the trace may slightly overshoot to finish a burst).
     pub target_uops: usize,
@@ -529,7 +528,7 @@ impl Benchmark {
         let mut heap = Heap::new(Heap::DEFAULT_BASE, (cap_estimate as u32).next_power_of_two())
             .with_align(p.node_align)
             .with_padding(if p.shuffled { 16 } else { 0 });
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0c0_0000 ^ (*self as u64) << 32);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xc0c0_0000 ^ (*self as u64) << 32);
 
         let list: Option<LinkedList> = (p.list_nodes > 0).then(|| {
             build_list(
@@ -584,7 +583,7 @@ impl Benchmark {
         let total_w: u32 = p.weights.iter().sum();
         assert!(total_w > 0, "benchmark must have at least one phase");
         while tb.len() < scale.target_uops {
-            let mut pick = rng.gen_range(0..total_w);
+            let mut pick = rng.gen_range_u32(0..total_w);
             let mut phase = 0;
             for (i, &w) in p.weights.iter().enumerate() {
                 if pick < w {
@@ -599,11 +598,11 @@ impl Benchmark {
                     let seg = p.segment.min(l.nodes.len());
                     let hot_span =
                         ((l.nodes.len() as f64 * p.hot_frac) as usize).min(l.nodes.len() - seg);
-                    let pick = |rng: &mut StdRng| {
+                    let pick = |rng: &mut Rng| {
                         if rng.gen_bool(p.locality.clamp(0.0, 1.0)) {
-                            rng.gen_range(0..=hot_span.min(l.nodes.len() - seg))
+                            rng.gen_range_usize_incl(0..=hot_span.min(l.nodes.len() - seg))
                         } else {
-                            rng.gen_range(0..=(l.nodes.len() - seg))
+                            rng.gen_range_usize_incl(0..=(l.nodes.len() - seg))
                         }
                     };
                     let a = pick(&mut rng);
@@ -645,9 +644,9 @@ impl Benchmark {
                     let count = (p.segment * 2).min(ia.order.len());
                     let hot_span = (ia.order.len() as f64 * p.hot_frac) as usize;
                     let start = if rng.gen_bool(p.locality.clamp(0.0, 1.0)) && hot_span > 0 {
-                        rng.gen_range(0..hot_span)
+                        rng.gen_range_usize(0..hot_span)
                     } else {
-                        rng.gen_range(0..ia.order.len())
+                        rng.gen_range_usize(0..ia.order.len())
                     };
                     tb.index_chase(60, ia, start, count, p.alu);
                 }
@@ -662,7 +661,7 @@ impl Benchmark {
             // OLTP-style benchmarks write back the rows they touch: a
             // store burst follows every phase.
             if p.stores {
-                let off = rng.gen_range(0..900u32) * 64;
+                let off = rng.gen_range_u32(0..900) * 64;
                 tb.store_burst(53, store_buf.offset(off as i64), 64, 16);
             }
         }
@@ -812,23 +811,25 @@ mod tests {
     #[test]
     fn low_arena_benchmarks_map_below_16mb() {
         // OLTP tables live in low arenas so the VAM filter bits matter.
-        let w = Benchmark::Tpcc2.build(Scale::smoke(), 4);
-        let has_low = w
-            .program
-            .uops
-            .iter()
-            .filter_map(cdp_core::Uop::vaddr)
-            .any(|a| a.0 < 0x0100_0000);
-        assert!(has_low, "tpcc must touch its low-arena hash table");
-        // And the pure-heap benchmarks never do.
-        let w2 = Benchmark::VerilogGate.build(Scale::smoke(), 4);
-        let gate_low = w2
-            .program
-            .uops
-            .iter()
-            .filter_map(cdp_core::Uop::vaddr)
-            .any(|a| a.0 < 0x0100_0000);
-        assert!(!gate_low, "gate has no low-arena structures");
+        // Which structures a tiny smoke trace touches is seed-dependent, so
+        // scan a few seeds: tpcc must hit its hash table on at least one,
+        // while the pure-heap benchmark must never map low.
+        let touches_low = |b: Benchmark, seed: u64| {
+            b.build(Scale::smoke(), seed)
+                .program
+                .uops
+                .iter()
+                .filter_map(cdp_core::Uop::vaddr)
+                .any(|a| a.0 < 0x0100_0000)
+        };
+        assert!(
+            (1..=8).any(|s| touches_low(Benchmark::Tpcc2, s)),
+            "tpcc must touch its low-arena hash table"
+        );
+        assert!(
+            (1..=8).all(|s| !touches_low(Benchmark::VerilogGate, s)),
+            "gate has no low-arena structures"
+        );
     }
 
     #[test]

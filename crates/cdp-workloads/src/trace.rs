@@ -13,8 +13,7 @@
 
 use cdp_core::{Program, Uop};
 use cdp_types::VirtAddr;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cdp_types::rng::Rng;
 
 use crate::structures::{
     BinaryTree, DoublyLinkedList, Graph, HashTable, ADJ_PTR_OFFSET, LEFT_OFFSET, NEXT_OFFSET,
@@ -268,7 +267,7 @@ impl TraceBuilder {
     /// Emits `probes` hash-table lookups: hash computation, a dependent
     /// bucket-head load, then a walk of the resident chain with a compare
     /// branch per node (data-dependent, hence poorly predictable).
-    pub fn hash_probe(&mut self, site: u32, table: &HashTable, probes: usize, rng: &mut StdRng) {
+    pub fn hash_probe(&mut self, site: u32, table: &HashTable, probes: usize, rng: &mut Rng) {
         self.hash_probe_hot(site, table, probes, rng, 0.0);
     }
 
@@ -280,7 +279,7 @@ impl TraceBuilder {
         site: u32,
         table: &HashTable,
         probes: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         p_hot: f64,
     ) {
         self.hash_probe_hot_frac(site, table, probes, rng, p_hot, 1.0 / 16.0)
@@ -295,7 +294,7 @@ impl TraceBuilder {
         site: u32,
         table: &HashTable,
         probes: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         p_hot: f64,
         hot_frac: f64,
     ) {
@@ -303,9 +302,9 @@ impl TraceBuilder {
             .clamp(1, table.bucket_count);
         for _ in 0..probes {
             let b = if p_hot > 0.0 && rng.gen_bool(p_hot.clamp(0.0, 1.0)) {
-                rng.gen_range(0..hot)
+                rng.gen_range_usize(0..hot)
             } else {
-                rng.gen_range(0..table.bucket_count)
+                rng.gen_range_usize(0..table.bucket_count)
             };
             // Hash computation: 2 dependent ALU ops into the key register.
             self.uops
@@ -354,7 +353,7 @@ impl TraceBuilder {
     /// compare and a dependent child-pointer load per level. Branch
     /// directions are data-dependent (random), so the front end pays real
     /// misprediction penalties, as in search-heavy pointer codes.
-    pub fn tree_search(&mut self, site: u32, tree: &BinaryTree, descents: usize, rng: &mut StdRng) {
+    pub fn tree_search(&mut self, site: u32, tree: &BinaryTree, descents: usize, rng: &mut Rng) {
         for _ in 0..descents {
             let mut idx = 0usize;
             loop {
@@ -439,7 +438,7 @@ impl TraceBuilder {
         start: u32,
         steps: usize,
         alu: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) {
         const R_GRAPH: u8 = 4;
         let mut cur = start as usize % graph.nodes.len();
@@ -456,7 +455,7 @@ impl TraceBuilder {
             if adj.is_empty() {
                 break;
             }
-            let pick = rng.gen_range(0..adj.len());
+            let pick = rng.gen_range_usize(0..adj.len());
             // Load the chosen edge slot out of the adjacency array
             // (dependent on the adjacency pointer): its data is the next
             // node's address, serializing the walk.
@@ -498,7 +497,7 @@ impl TraceBuilder {
 
     /// Emits `n` branches of which roughly `noise` fraction are random
     /// (unpredictable) and the rest always-taken.
-    pub fn branch_noise(&mut self, site: u32, n: usize, noise: f64, rng: &mut StdRng) {
+    pub fn branch_noise(&mut self, site: u32, n: usize, noise: f64, rng: &mut Rng) {
         for _ in 0..n {
             let taken = if rng.gen_bool(noise.clamp(0.0, 1.0)) {
                 rng.gen_bool(0.5)
@@ -517,13 +516,12 @@ mod tests {
     use crate::structures::{build_binary_tree, build_hash_table, build_list};
     use cdp_core::UopKind;
     use cdp_mem::AddressSpace;
-    use rand::SeedableRng;
-
-    fn setup() -> (AddressSpace, Heap, StdRng) {
+    
+    fn setup() -> (AddressSpace, Heap, Rng) {
         (
             AddressSpace::new(),
             Heap::new(Heap::DEFAULT_BASE, 1 << 24),
-            StdRng::seed_from_u64(1),
+            Rng::seed_from_u64(1),
         )
     }
 
@@ -598,7 +596,7 @@ mod tests {
         let (mut space, mut heap, mut rng) = setup();
         let ht = build_hash_table(&mut space, &mut heap, &mut rng, 8, 64, 24);
         let mut tb = TraceBuilder::new();
-        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut rng2 = Rng::seed_from_u64(2);
         tb.hash_probe(5, &ht, 10, &mut rng2);
         let p = tb.build();
         assert!(p.num_loads() >= 10, "at least the bucket-head loads");
@@ -610,7 +608,7 @@ mod tests {
         let (mut space, mut heap, mut rng) = setup();
         let tree = build_binary_tree(&mut space, &mut heap, &mut rng, 4, 32);
         let mut tb = TraceBuilder::new();
-        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut rng2 = Rng::seed_from_u64(3);
         tb.tree_search(6, &tree, 5, &mut rng2);
         let p = tb.build();
         // 4 levels: 4 key loads + 3 child loads per descent.
@@ -645,7 +643,7 @@ mod tests {
         let (mut space, mut heap, mut rng) = setup();
         let g = crate::structures::build_graph(&mut space, &mut heap, &mut rng, 32, 3, 24);
         let mut tb = TraceBuilder::new();
-        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut rng2 = Rng::seed_from_u64(5);
         tb.graph_walk(9, &g, 0, 20, 2, &mut rng2);
         let p = tb.build();
         assert_eq!(p.num_loads(), 40, "two loads per hop");
@@ -667,7 +665,7 @@ mod tests {
     #[test]
     fn branch_noise_mixes_outcomes() {
         let mut tb = TraceBuilder::new();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         tb.branch_noise(8, 200, 0.5, &mut rng);
         let p = tb.build();
         let taken = p

@@ -11,26 +11,25 @@ use cdp::core::Program;
 use cdp::mem::AddressSpace;
 use cdp::sim::{speedup, Simulator};
 use cdp::types::{AdaptiveConfig, StreamConfig, SystemConfig};
+use cdp::types::rng::Rng;
 use cdp::workloads::structures::build_graph;
 use cdp::workloads::suite::{Suite, Workload};
 use cdp::workloads::{Heap, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // 1. A 60k-node random graph (~2.5 MB of nodes + adjacency arrays).
     let mut space = AddressSpace::new();
     let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 26).with_padding(8);
-    let mut rng = StdRng::seed_from_u64(2002);
+    let mut rng = Rng::seed_from_u64(2002);
     let graph = build_graph(&mut space, &mut heap, &mut rng, 60_000, 4, 32);
 
     // 2. A trace of random walks: 600 walks x 120 hops, with hot restarts.
     let mut tb = TraceBuilder::new();
     for _ in 0..600 {
         let start = if rng.gen_bool(0.7) {
-            rng.gen_range(0..4_000) // hot community
+            rng.gen_range_u32(0..4_000) // hot community
         } else {
-            rng.gen_range(0..graph.nodes.len() as u32)
+            rng.gen_range_u32(0..graph.nodes.len() as u32)
         };
         tb.graph_walk(3, &graph, start, 120, 6, &mut rng);
         tb.alu_burst(4, 64);

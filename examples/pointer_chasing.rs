@@ -14,18 +14,17 @@ use cdp::core::Program;
 use cdp::mem::AddressSpace;
 use cdp::sim::{speedup, Simulator};
 use cdp::types::SystemConfig;
+use cdp::types::rng::Rng;
 use cdp::workloads::structures::build_list;
 use cdp::workloads::{Heap, TraceBuilder};
 use cdp::workloads::suite::{Suite, Workload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Builds a workload that does nothing but walk a linked list end to end,
 /// with `alu_per_node` dependent work uops per node.
 fn list_walk(nodes: usize, node_size: usize, shuffle: bool, passes: usize) -> Workload {
     let mut space = AddressSpace::new();
     let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 26);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let list = build_list(&mut space, &mut heap, &mut rng, nodes, node_size, shuffle);
     let mut tb = TraceBuilder::new();
     for _ in 0..passes {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build, full test suite, and a smoke pass of every
+# experiment through the parallel engine. No network access required —
+# the workspace has zero registry dependencies (criterion lives in the
+# excluded cdp-bench crate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --release --workspace
+
+echo "== experiments all --smoke --jobs 2 =="
+./target/release/experiments all --smoke --jobs 2 > /dev/null
+
+echo "ci: OK"

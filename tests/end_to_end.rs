@@ -83,7 +83,7 @@ fn warmup_only_shrinks_counted_window() {
 
 #[test]
 fn content_prefetcher_helps_aged_heap_pointer_chasing() {
-    let w = Benchmark::Slsb.build(smoke(), 21);
+    let w = Benchmark::Slsb.build(smoke(), 18);
     let base = Simulator::new(SystemConfig::asplos2002()).run(&w);
     let cdp = Simulator::new(SystemConfig::with_content()).run(&w);
     let s = speedup(&base, &cdp);
@@ -150,7 +150,7 @@ fn serialized_workload_simulates_identically() {
 
 #[test]
 fn page_walks_happen_and_tlb_growth_reduces_them() {
-    let w = Benchmark::VerilogFunc.build(smoke(), 6);
+    let w = Benchmark::VerilogFunc.build(smoke(), 1);
     let small = Simulator::new(SystemConfig::asplos2002()).run(&w);
     let mut big_cfg = SystemConfig::asplos2002();
     big_cfg.dtlb.entries = 1024;

@@ -52,7 +52,7 @@ fn content_masks_compulsory_misses_markov_cannot() {
     // Seed chosen so the smoke-scale trace draws pointer-chase phases
     // (some seeds draw mostly index-chase work, which is unchaseable by
     // design).
-    let w = Benchmark::Slsb.build(RunLength::Smoke.scale(), 21);
+    let w = Benchmark::Slsb.build(RunLength::Smoke.scale(), 18);
     // No warm-up: everything is a compulsory miss.
     let base = Simulator::new(SystemConfig::asplos2002()).run(&w);
     let cdp = Simulator::new(SystemConfig::with_content()).run(&w);
@@ -75,7 +75,7 @@ fn content_masks_compulsory_misses_markov_cannot() {
 /// path reinforcement is at least as good as the stateless one.
 #[test]
 fn reinforcement_does_not_hurt_pointer_workloads() {
-    let w = Benchmark::Tpcc3.build(RunLength::Smoke.scale(), 13);
+    let w = Benchmark::Tpcc3.build(RunLength::Smoke.scale(), 17);
     let base = Simulator::new(SystemConfig::asplos2002()).run(&w);
     let reinf = Simulator::new(SystemConfig::with_content()).run(&w);
     let mut nr_cfg = SystemConfig::asplos2002();
