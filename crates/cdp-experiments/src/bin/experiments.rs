@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]
+//!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
+//!             [--retries N]
 //! experiments all [--quick] [--jobs N]
 //! ```
 //!
@@ -9,16 +11,30 @@
 //! available core). Output is byte-identical at any job count; per-id
 //! wall times go to stderr so stdout stays comparable.
 //!
+//! Fault tolerance:
+//!
+//! * `--keep-going` — a failing sweep cell renders as an annotated gap
+//!   (`--`) instead of aborting; a failure report goes to stderr at the
+//!   end of the run.
+//! * `--fault SPEC` (repeatable) — deterministic fault injection:
+//!   `corrupt:<bench>:<seed>[:<words>]`, `unmap:<bench>:<seed>[:<pages>]`,
+//!   or `walk:<bench>:<period>[:demand]` (`<bench>` may be `*`).
+//! * `--cell-timeout SECS` — per-cell wall-clock watchdog.
+//! * `--retries N` — attempts per cell (default 1; timeouts never retry).
+//!
+//! Exit codes: `0` success, `2` usage error, `3` partial failure (some
+//! cells failed under `--keep-going`).
+//!
 //! Ids: `table1 fig1 table2 fig2 fig34 fig7 fig8 fig9 fig10 fig11 tlb
 //! pollution`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cdp_experiments::{
-    extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution, sensitivity,
-    suite_summary, table1, table2, tlb, ExpScale,
+    context, extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution,
+    sensitivity, suite_summary, table1, table2, tlb, ExpScale,
 };
-use cdp_sim::Pool;
+use cdp_sim::{FaultPlan, FaultSpec, Pool, RunPolicy};
 use cdp_types::VamConfig;
 
 const ALL: [&str; 19] = [
@@ -26,6 +42,9 @@ const ALL: [&str; 19] = [
     "tlb", "pollution", "suite", "margin", "adaptive", "streams", "latency", "l2size",
     "backward",
 ];
+
+/// Partial-failure exit code (documented in the header and DESIGN.md).
+const EXIT_PARTIAL: i32 = 3;
 
 fn run_one(
     id: &str,
@@ -105,58 +124,123 @@ fn run_one(
     }
 }
 
+/// Runs one experiment, catching panics when keep-going is active so a
+/// failure in a non-grid experiment (or a grid bug) skips that id
+/// instead of killing the whole run.
+fn run_one_guarded(
+    id: &str,
+    scale: ExpScale,
+    pool: &Pool,
+    csv_dir: Option<&std::path::Path>,
+) -> Result<String, String> {
+    if !context::keep_going() {
+        return run_one(id, scale, pool, csv_dir);
+    }
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_one(id, scale, pool, csv_dir)
+    }));
+    match res {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "experiment panicked".to_string());
+            context::record_failure("(whole experiment)", &msg, 1);
+            Ok(format!("experiment {id} failed: {msg}\n(skipped under --keep-going)\n"))
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExpScale::Quick;
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<std::path::PathBuf> = None;
-    let mut expect_csv_dir = false;
     let mut jobs: Option<usize> = None;
-    let mut expect_jobs = false;
+    let mut fault_specs: Vec<FaultSpec> = Vec::new();
+    let mut policy = RunPolicy::default();
+    let mut expecting: Option<&str> = None;
     for a in &args {
-        if expect_csv_dir {
-            csv_dir = Some(std::path::PathBuf::from(a));
-            expect_csv_dir = false;
-            continue;
-        }
-        if expect_jobs {
-            match a.parse::<usize>() {
-                Ok(n) if n > 0 => jobs = Some(n),
-                _ => {
-                    eprintln!("--jobs requires a positive integer, got {a:?}");
-                    std::process::exit(2);
-                }
+        if let Some(flag) = expecting.take() {
+            match flag {
+                "--csv" => csv_dir = Some(std::path::PathBuf::from(a)),
+                "--jobs" => match a.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
+                "--fault" => match FaultSpec::parse(a) {
+                    Ok(spec) => fault_specs.push(spec),
+                    Err(e) => {
+                        eprintln!("bad --fault spec {a:?}: {e}");
+                        eprintln!(
+                            "expected corrupt:<bench>:<seed>[:<words>], \
+                             unmap:<bench>:<seed>[:<pages>], or \
+                             walk:<bench>:<period>[:demand]"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                "--cell-timeout" => match a.parse::<u64>() {
+                    Ok(n) if n > 0 => policy.timeout = Some(Duration::from_secs(n)),
+                    _ => {
+                        eprintln!("--cell-timeout requires a positive number of seconds, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
+                "--retries" => match a.parse::<u32>() {
+                    Ok(n) if n > 0 => policy.max_attempts = n,
+                    _ => {
+                        eprintln!("--retries requires a positive integer, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
+                _ => unreachable!("expecting only set for value-taking flags"),
             }
-            expect_jobs = false;
             continue;
         }
         match a.as_str() {
             "--smoke" => scale = ExpScale::Smoke,
             "--quick" => scale = ExpScale::Quick,
             "--full" => scale = ExpScale::Full,
-            "--csv" => expect_csv_dir = true,
-            "--jobs" => expect_jobs = true,
+            "--keep-going" => context::set_keep_going(true),
+            "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries" => {
+                expecting = Some(a.as_str());
+            }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
     }
-    if expect_csv_dir {
-        eprintln!("--csv requires a directory argument");
-        std::process::exit(2);
-    }
-    if expect_jobs {
-        eprintln!("--jobs requires a worker-count argument");
+    if let Some(flag) = expecting {
+        eprintln!("{flag} requires an argument");
         std::process::exit(2);
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]");
+        eprintln!(
+            "usage: experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]"
+        );
+        eprintln!(
+            "       [--keep-going] [--fault SPEC]... [--cell-timeout SECS] [--retries N]"
+        );
         eprintln!("ids: {}  (or: all)", ALL.join(" "));
+        eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
         std::process::exit(2);
+    }
+    if !fault_specs.is_empty() {
+        context::set_fault_plan(FaultPlan { specs: fault_specs });
+    }
+    if policy != RunPolicy::default() {
+        context::set_policy(policy);
     }
     let pool = jobs.map_or_else(Pool::default, Pool::new);
     for id in ids {
         let t0 = Instant::now();
-        match run_one(&id, scale, &pool, csv_dir.as_deref()) {
+        context::set_current_experiment(&id);
+        match run_one_guarded(&id, scale, &pool, csv_dir.as_deref()) {
             Ok(text) => {
                 // Wall time goes to stderr: stdout must be byte-identical
                 // at any --jobs count.
@@ -171,5 +255,18 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    let failures = context::take_failures();
+    if !failures.is_empty() {
+        eprintln!();
+        eprintln!("FAILURE REPORT: {} cell(s) failed", failures.len());
+        for f in &failures {
+            eprintln!(
+                "  [{}] {}: {} ({} attempt(s))",
+                f.experiment, f.cell, f.error, f.attempts
+            );
+        }
+        eprintln!("exiting with code {EXIT_PARTIAL} (partial failure)");
+        std::process::exit(EXIT_PARTIAL);
     }
 }

@@ -3,11 +3,13 @@
 
 use std::sync::Arc;
 
-use cdp_sim::runner::{with_warmup, DEFAULT_SEED};
-use cdp_sim::{Pool, RunStats, SimJob, Simulator, WorkloadCache};
+use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
+use cdp_sim::{JobOutcome, Pool, RunStats, SimJob, Simulator, WorkloadCache};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
+
+use crate::context;
 
 /// How big an experiment run is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,9 +55,17 @@ pub struct WorkloadSet {
 }
 
 impl WorkloadSet {
-    /// Builds (or reuses) the workload for `bench` at `scale`.
+    /// Builds (or reuses) the workload for `bench` at `scale`, applying
+    /// the process-wide fault-injection plan (if any) to fresh builds.
+    /// Builds are deterministic (fixed seed, seeded injection), so every
+    /// cell of a benchmark sees the same — possibly faulted — image at
+    /// any job count.
     pub fn get(&self, bench: Benchmark, scale: Scale) -> Arc<Workload> {
-        self.cache.get(bench, scale)
+        self.cache.get_with(bench, scale, || {
+            let mut w = build_workload(bench, scale);
+            context::fault_plan().apply(bench.name(), &mut w);
+            w
+        })
     }
 }
 
@@ -66,25 +76,120 @@ pub fn run_cfg(ws: &WorkloadSet, cfg: &SystemConfig, bench: Benchmark, scale: Sc
     Simulator::new(cfg).run(&w)
 }
 
+/// One failed sweep cell of a [`run_grid_cells`] grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The cell's grid label.
+    pub label: String,
+    /// Why it failed.
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
 /// Submits a labelled `(config, benchmark)` grid to the pool and returns
-/// the statistics in submission order.
+/// per-cell results in submission order, plus the cells that failed.
 ///
 /// Every job gets the §2.2 warm-up convention and a shared workload
 /// image from `ws`; workloads are pre-built serially so job timing never
-/// depends on cache races.
-pub fn run_grid(
+/// depends on cache races. Jobs run under the process-wide retry/watchdog
+/// policy, and benchmarks targeted by a walk-fault directive get the
+/// injection attached.
+///
+/// In strict mode (the default) the first failing cell panics with its
+/// typed error, preserving the historical fail-fast behavior. In
+/// keep-going mode failing cells come back as `None` (an annotated gap
+/// for the caller to render), are appended to the global failure report,
+/// and every healthy cell still completes.
+///
+/// # Panics
+///
+/// Panics on the first failed cell unless keep-going mode is active.
+pub fn run_grid_cells(
     pool: &Pool,
     ws: &WorkloadSet,
     scale: Scale,
     grid: Vec<(String, SystemConfig, Benchmark)>,
-) -> Vec<RunStats> {
+) -> (Vec<Option<RunStats>>, Vec<CellFailure>) {
+    let plan = context::fault_plan();
     let jobs: Vec<SimJob> = grid
         .into_iter()
         .map(|(label, cfg, bench)| {
-            SimJob::new(label, with_warmup(cfg, scale), ws.get(bench, scale))
+            let mut job = SimJob::new(label, with_warmup(cfg, scale), ws.get(bench, scale));
+            if let Some(wf) = plan.walk_fault(bench.name()) {
+                job = job.with_walk_fault(wf);
+            }
+            job
         })
         .collect();
-    pool.run_sims(jobs).into_iter().map(|r| r.stats).collect()
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for (label, outcome) in pool.run_sims_with_status(jobs, context::policy()) {
+        match outcome {
+            JobOutcome::Ok(stats) => cells.push(Some(stats)),
+            other => {
+                let attempts = other.attempts();
+                let error = other
+                    .failure()
+                    .expect("non-Ok outcomes always describe their failure");
+                if !context::keep_going() {
+                    panic!("cell {label}: {error}");
+                }
+                context::record_failure(&label, &error, attempts);
+                failures.push(CellFailure {
+                    label,
+                    error,
+                    attempts,
+                });
+                cells.push(None);
+            }
+        }
+    }
+    (cells, failures)
+}
+
+/// The gap marker rendered for a failed sweep cell.
+pub const GAP: &str = "--";
+
+/// Formats an optional cell value, rendering `None` as the [`GAP`]
+/// marker.
+pub fn opt_cell<T>(v: Option<T>, fmt: impl FnOnce(T) -> String) -> String {
+    v.map_or_else(|| GAP.to_string(), fmt)
+}
+
+/// The arithmetic mean, or `None` if any contributing cell is missing
+/// (a suite average over a partial suite would not be comparable to the
+/// paper's number, so it gaps out too).
+pub fn mean_if_complete(values: &[Option<f64>]) -> Option<f64> {
+    let mut sum = 0.0;
+    for v in values {
+        sum += (*v)?;
+    }
+    if values.is_empty() {
+        Some(0.0)
+    } else {
+        Some(sum / values.len() as f64)
+    }
+}
+
+/// Renders the per-experiment failure annotation appended below a table
+/// that contains gaps. Empty (and therefore byte-invisible) when no cell
+/// failed.
+pub fn failure_note(failures: &[CellFailure]) -> String {
+    if failures.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "\n{} cell(s) failed and render as \"{GAP}\":\n",
+        failures.len()
+    );
+    for f in failures {
+        out.push_str(&format!(
+            "  {}: {} [{} attempt(s)]\n",
+            f.label, f.error, f.attempts
+        ));
+    }
+    out
 }
 
 /// The experiment seed (re-exported for the few experiments that build

@@ -1,0 +1,116 @@
+//! Process-wide run context for the experiments binary: keep-going mode,
+//! the active fault-injection plan, the cell retry/watchdog policy, and
+//! the accumulated failure report.
+//!
+//! Experiments are invoked through a stable `run(scale, pool)` signature
+//! from many call sites (the binary, unit tests, integration tests), so
+//! the failure-handling knobs travel out of band in this context instead
+//! of threading through every experiment's arguments. All state is
+//! default-off: a process that never touches the context gets the strict,
+//! fault-free behavior, and rendered output is byte-identical to a build
+//! without this module.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use cdp_sim::{FaultPlan, FaultSpec, RunPolicy};
+
+/// One failed sweep cell, for the end-of-run report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Experiment id (e.g. `table2`).
+    pub experiment: String,
+    /// Cell label (e.g. `1MB/slsb`).
+    pub cell: String,
+    /// The error that killed the cell.
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+static KEEP_GOING: AtomicBool = AtomicBool::new(false);
+static FAULT_SPECS: Mutex<Vec<FaultSpec>> = Mutex::new(Vec::new());
+static POLICY: Mutex<Option<RunPolicy>> = Mutex::new(None);
+static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
+static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
+
+/// Enables (or disables) keep-going mode: failing sweep cells render as
+/// annotated gaps instead of aborting the run.
+pub fn set_keep_going(on: bool) {
+    KEEP_GOING.store(on, Ordering::SeqCst);
+}
+
+/// Whether keep-going mode is active.
+pub fn keep_going() -> bool {
+    KEEP_GOING.load(Ordering::SeqCst)
+}
+
+/// Installs the fault-injection plan applied to workload builds and
+/// simulation jobs.
+pub fn set_fault_plan(plan: FaultPlan) {
+    *FAULT_SPECS.lock().expect("fault plan lock") = plan.specs;
+}
+
+/// The active fault-injection plan (empty by default).
+pub fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        specs: FAULT_SPECS.lock().expect("fault plan lock").clone(),
+    }
+}
+
+/// Sets the per-cell retry/watchdog policy.
+pub fn set_policy(policy: RunPolicy) {
+    *POLICY.lock().expect("policy lock") = Some(policy);
+}
+
+/// The per-cell policy ([`RunPolicy::default`] when unset: one attempt,
+/// no watchdog).
+pub fn policy() -> RunPolicy {
+    POLICY.lock().expect("policy lock").unwrap_or_default()
+}
+
+/// Names the experiment whose cells are currently running (labels the
+/// failure report).
+pub fn set_current_experiment(id: &str) {
+    *CURRENT_EXPERIMENT.lock().expect("experiment lock") = id.to_string();
+}
+
+/// Records one failed cell under the current experiment id.
+pub fn record_failure(cell: &str, error: &str, attempts: u32) {
+    let experiment = CURRENT_EXPERIMENT.lock().expect("experiment lock").clone();
+    FAILURES.lock().expect("failures lock").push(FailureRecord {
+        experiment,
+        cell: cell.to_string(),
+        error: error.to_string(),
+        attempts,
+    });
+}
+
+/// Takes the accumulated failure report (clearing it).
+pub fn take_failures() -> Vec<FailureRecord> {
+    std::mem::take(&mut *FAILURES.lock().expect("failures lock"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_strict_and_empty() {
+        // Note: other tests in this binary must not mutate the globals,
+        // so the defaults observed here are the process-wide truth.
+        assert!(fault_plan().is_empty());
+        assert_eq!(policy(), RunPolicy::default());
+    }
+
+    #[test]
+    fn failure_records_carry_the_experiment_id() {
+        set_current_experiment("ctx-test");
+        record_failure("cell-a", "broke", 2);
+        let got = take_failures();
+        let rec = got.iter().find(|r| r.cell == "cell-a").expect("recorded");
+        assert_eq!(rec.experiment, "ctx-test");
+        assert_eq!(rec.attempts, 2);
+        assert!(take_failures().iter().all(|r| r.cell != "cell-a"));
+    }
+}

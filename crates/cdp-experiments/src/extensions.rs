@@ -8,23 +8,25 @@
 //! * [`stream`] — the reference-\[11\] baseline: stride versus stream
 //!   buffers versus content prefetching on the pointer subset.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
 use cdp_sim::{speedup, Pool};
 use cdp_types::{AdaptiveConfig, ContentConfig, StreamConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale,
+    WorkloadSet,
+};
 
 /// One margin point.
 #[derive(Clone, Debug)]
 pub struct MarginPoint {
     /// Rescan margin (Figure 4(b) = 1, Figure 4(c) = 2).
     pub margin: u8,
-    /// Suite-average speedup.
-    pub speedup: f64,
-    /// Total rescans across the subset.
-    pub rescans: u64,
+    /// Suite-average speedup; `None` when any contributing cell failed.
+    pub speedup: Option<f64>,
+    /// Total rescans across the subset; `None` on a partial subset.
+    pub rescans: Option<u64>,
 }
 
 /// The margin ablation result.
@@ -32,6 +34,8 @@ pub struct MarginPoint {
 pub struct MarginAblation {
     /// Margins 1..=3.
     pub points: Vec<MarginPoint>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl MarginAblation {
@@ -46,18 +50,24 @@ impl MarginAblation {
             .map(|p| {
                 vec![
                     p.margin.to_string(),
-                    format!("{:.3}", p.speedup),
-                    p.rescans.to_string(),
+                    opt_cell(p.speedup, |s| format!("{s:.3}")),
+                    opt_cell(p.rescans, |r| r.to_string()),
                 ]
             })
             .collect();
         out.push_str(&render_table(&["margin", "speedup", "rescans"], &rows));
-        if self.points.len() >= 2 && self.points[0].rescans > 0 {
-            out.push_str(&format!(
-                "\nmargin 2 performs {:.0}% of margin 1's rescans (paper: ~50%)\n",
-                self.points[1].rescans as f64 / self.points[0].rescans as f64 * 100.0
-            ));
+        if let (Some(m1), Some(m2)) = (
+            self.points.first().and_then(|p| p.rescans),
+            self.points.get(1).and_then(|p| p.rescans),
+        ) {
+            if m1 > 0 {
+                out.push_str(&format!(
+                    "\nmargin 2 performs {:.0}% of margin 1's rescans (paper: ~50%)\n",
+                    m2 as f64 / m1 as f64 * 100.0
+                ));
+            }
         }
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -69,7 +79,7 @@ pub fn margin(scale: ExpScale, pool: &Pool) -> MarginAblation {
     let benches = pointer_subset();
     let ws = WorkloadSet::default();
     let base_cfg = SystemConfig::asplos2002();
-    let baselines = run_grid(
+    let (baselines, mut failures) = run_grid_cells(
         pool,
         &ws,
         s,
@@ -90,24 +100,32 @@ pub fn margin(scale: ExpScale, pool: &Pool) -> MarginAblation {
             grid.push((format!("m{margin}/{}", b.name()), cfg.clone(), b));
         }
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, grid_failures) = run_grid_cells(pool, &ws, s, grid);
+    failures.extend(grid_failures);
     let points = margins
         .iter()
         .zip(runs.chunks(benches.len()))
         .map(|(&margin, chunk)| {
-            let sps: Vec<f64> = chunk
+            let sps: Vec<Option<f64>> = chunk
                 .iter()
                 .zip(&baselines)
-                .map(|(r, base)| speedup(base, r))
+                .map(|(r, base)| match (r, base) {
+                    (Some(r), Some(base)) => Some(speedup(base, r)),
+                    _ => None,
+                })
                 .collect();
+            let rescans = chunk
+                .iter()
+                .map(|r| r.as_ref().map(|r| r.mem.rescans))
+                .try_fold(0u64, |acc, r| r.map(|r| acc + r));
             MarginPoint {
                 margin,
-                speedup: mean(&sps),
-                rescans: chunk.iter().map(|r| r.mem.rescans).sum(),
+                speedup: mean_if_complete(&sps),
+                rescans,
             }
         })
         .collect();
-    MarginAblation { points }
+    MarginAblation { points, failures }
 }
 
 /// One adaptive-vs-fixed row.
@@ -115,10 +133,10 @@ pub fn margin(scale: ExpScale, pool: &Pool) -> MarginAblation {
 pub struct AdaptiveRow {
     /// Benchmark name.
     pub name: String,
-    /// Fixed tuned-knob speedup.
-    pub fixed: f64,
-    /// Adaptive-controller speedup.
-    pub adaptive: f64,
+    /// Fixed tuned-knob speedup; `None` if a contributing cell failed.
+    pub fixed: Option<f64>,
+    /// Adaptive-controller speedup; `None` if a contributing cell failed.
+    pub adaptive: Option<f64>,
     /// Knob state the controller steered to (`N` compare bits, `n` width).
     pub steered_to: String,
 }
@@ -128,8 +146,10 @@ pub struct AdaptiveRow {
 pub struct AdaptiveStudy {
     /// Per-benchmark rows.
     pub rows: Vec<AdaptiveRow>,
-    /// Averages (fixed, adaptive).
-    pub averages: (f64, f64),
+    /// Averages (fixed, adaptive); `None` on a partial subset.
+    pub averages: (Option<f64>, Option<f64>),
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl AdaptiveStudy {
@@ -144,8 +164,8 @@ impl AdaptiveStudy {
             .map(|r| {
                 vec![
                     r.name.clone(),
-                    format!("{:.3}", r.fixed),
-                    format!("{:.3}", r.adaptive),
+                    opt_cell(r.fixed, |s| format!("{s:.3}")),
+                    opt_cell(r.adaptive, |s| format!("{s:.3}")),
                     r.steered_to.clone(),
                 ]
             })
@@ -155,9 +175,11 @@ impl AdaptiveStudy {
             &rows,
         ));
         out.push_str(&format!(
-            "\naverages: fixed {:.3}, adaptive {:.3}\n",
-            self.averages.0, self.averages.1
+            "\naverages: fixed {}, adaptive {}\n",
+            opt_cell(self.averages.0, |s| format!("{s:.3}")),
+            opt_cell(self.averages.1, |s| format!("{s:.3}"))
         ));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -180,26 +202,37 @@ pub fn adaptive(scale: ExpScale, pool: &Pool) -> AdaptiveStudy {
         grid.push((format!("fixed/{}", b.name()), fixed_cfg.clone(), b));
         grid.push((format!("adaptive/{}", b.name()), adaptive_cfg.clone(), b));
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let mut rows = Vec::new();
     for (&b, trio) in benches.iter().zip(runs.chunks(3)) {
         let (base, fixed, adapt) = (&trio[0], &trio[1], &trio[2]);
         let steered = adapt
-            .adaptive
+            .as_ref()
+            .and_then(|a| a.adaptive)
             .map(|(_, c)| format!("N={} n={}", c.vam.compare_bits, c.next_lines))
             .unwrap_or_default();
         rows.push(AdaptiveRow {
             name: b.name().to_string(),
-            fixed: speedup(base, fixed),
-            adaptive: speedup(base, adapt),
+            fixed: match (base, fixed) {
+                (Some(base), Some(fixed)) => Some(speedup(base, fixed)),
+                _ => None,
+            },
+            adaptive: match (base, adapt) {
+                (Some(base), Some(adapt)) => Some(speedup(base, adapt)),
+                _ => None,
+            },
             steered_to: steered,
         });
     }
     let averages = (
-        mean(&rows.iter().map(|r| r.fixed).collect::<Vec<_>>()),
-        mean(&rows.iter().map(|r| r.adaptive).collect::<Vec<_>>()),
+        mean_if_complete(&rows.iter().map(|r| r.fixed).collect::<Vec<_>>()),
+        mean_if_complete(&rows.iter().map(|r| r.adaptive).collect::<Vec<_>>()),
     );
-    AdaptiveStudy { rows, averages }
+    AdaptiveStudy {
+        rows,
+        averages,
+        failures,
+    }
 }
 
 /// One stream-comparison row.
@@ -208,9 +241,10 @@ pub struct StreamRow {
     /// Benchmark name.
     pub name: String,
     /// Stride-only baseline is 1.0 by definition; these are relative.
-    pub stream_buffers: f64,
-    /// Content prefetcher speedup.
-    pub content: f64,
+    /// `None` if a contributing cell failed.
+    pub stream_buffers: Option<f64>,
+    /// Content prefetcher speedup; `None` if a contributing cell failed.
+    pub content: Option<f64>,
 }
 
 /// The stream-buffer comparison.
@@ -218,6 +252,8 @@ pub struct StreamRow {
 pub struct StreamStudy {
     /// Per-benchmark rows.
     pub rows: Vec<StreamRow>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl StreamStudy {
@@ -232,12 +268,13 @@ impl StreamStudy {
             .map(|r| {
                 vec![
                     r.name.clone(),
-                    format!("{:.3}", r.stream_buffers),
-                    format!("{:.3}", r.content),
+                    opt_cell(r.stream_buffers, |s| format!("{s:.3}")),
+                    opt_cell(r.content, |s| format!("{s:.3}")),
                 ]
             })
             .collect();
         out.push_str(&render_table(&["Benchmark", "+streams", "+content"], &rows));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -257,17 +294,23 @@ pub fn stream(scale: ExpScale, pool: &Pool) -> StreamStudy {
         grid.push((format!("streams/{}", b.name()), stream_cfg.clone(), b));
         grid.push((format!("content/{}", b.name()), content_cfg.clone(), b));
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let rows = benches
         .iter()
         .zip(runs.chunks(3))
         .map(|(&b, trio)| StreamRow {
             name: b.name().to_string(),
-            stream_buffers: speedup(&trio[0], &trio[1]),
-            content: speedup(&trio[0], &trio[2]),
+            stream_buffers: match (&trio[0], &trio[1]) {
+                (Some(base), Some(st)) => Some(speedup(base, st)),
+                _ => None,
+            },
+            content: match (&trio[0], &trio[2]) {
+                (Some(base), Some(c)) => Some(speedup(base, c)),
+                _ => None,
+            },
         })
         .collect();
-    StreamStudy { rows }
+    StreamStudy { rows, failures }
 }
 
 /// One traversal-direction row of the backward study.
@@ -331,7 +374,7 @@ pub fn backward(scale: ExpScale, pool: &Pool) -> BackwardStudy {
     use cdp_workloads::structures::build_dlist;
     use cdp_workloads::suite::{Suite, Workload};
     use cdp_workloads::{Heap, TraceBuilder};
-        
+
     let uops = scale.scale().target_uops / 2;
     let build = |forward: bool| -> Workload {
         let mut space = AddressSpace::new();
@@ -398,17 +441,18 @@ pub fn backward(scale: ExpScale, pool: &Pool) -> BackwardStudy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdp_sim::metrics::mean;
 
     #[test]
     fn margin_two_cuts_rescans() {
         let m = margin(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(m.points.len(), 3);
-        assert!(
-            m.points[1].rescans < m.points[0].rescans,
-            "margin 2 must rescan less: {} vs {}",
-            m.points[1].rescans,
-            m.points[0].rescans
+        assert!(m.failures.is_empty());
+        let (r1, r2) = (
+            m.points[0].rescans.expect("healthy run"),
+            m.points[1].rescans.expect("healthy run"),
         );
+        assert!(r2 < r1, "margin 2 must rescan less: {r2} vs {r1}");
         assert!(m.render().contains("margin"));
     }
 
@@ -416,6 +460,7 @@ mod tests {
     fn adaptive_study_runs() {
         let a = adaptive(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(a.rows.len(), 6);
+        assert!(a.failures.is_empty());
         for r in &a.rows {
             assert!(!r.steered_to.is_empty(), "{}", r.name);
         }
@@ -444,8 +489,19 @@ mod tests {
     #[test]
     fn content_beats_streams_on_pointer_subset() {
         let s = stream(ExpScale::Smoke, &Pool::new(2));
-        let avg_stream = mean(&s.rows.iter().map(|r| r.stream_buffers).collect::<Vec<_>>());
-        let avg_content = mean(&s.rows.iter().map(|r| r.content).collect::<Vec<_>>());
+        assert!(s.failures.is_empty());
+        let avg_stream = mean(
+            &s.rows
+                .iter()
+                .map(|r| r.stream_buffers.expect("healthy run"))
+                .collect::<Vec<_>>(),
+        );
+        let avg_content = mean(
+            &s.rows
+                .iter()
+                .map(|r| r.content.expect("healthy run"))
+                .collect::<Vec<_>>(),
+        );
         assert!(
             avg_content > avg_stream - 0.02,
             "content {avg_content:.3} vs streams {avg_stream:.3}"

@@ -7,18 +7,19 @@
 //! * of the content prefetches that masked any latency, ~72% masked it
 //!   fully.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::{speedup, Pool, RequestDistribution};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, mean_if_complete, render_table, run_grid_cells, CellFailure, ExpScale, GAP,
+    WorkloadSet,
+};
 
-/// One benchmark's classification.
+/// One benchmark's measured classification (present only when both its
+/// baseline and CDP cells completed).
 #[derive(Clone, Debug)]
-pub struct Row {
-    /// Benchmark name.
-    pub name: String,
+pub struct RowData {
     /// Fractions `[str-full, str-part, cpf-full, cpf-part, ul2-miss]`.
     pub fractions: [f64; 5],
     /// Speedup over the stride baseline (the overlaid line).
@@ -27,19 +28,31 @@ pub struct Row {
     pub distribution: RequestDistribution,
 }
 
+/// One benchmark's row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// The measurements; `None` when a contributing cell failed.
+    pub data: Option<RowData>,
+}
+
 /// The Figure 10 dataset.
 #[derive(Clone, Debug)]
 pub struct Figure10 {
     /// Per-benchmark rows.
     pub rows: Vec<Row>,
-    /// Suite-average speedup.
-    pub average_speedup: f64,
+    /// Suite-average speedup; `None` when any benchmark gapped out.
+    pub average_speedup: Option<f64>,
     /// Share of non-stride misses fully eliminated by the content
-    /// prefetcher (paper: ~43%).
-    pub cpf_full_share_of_nonstride: f64,
+    /// prefetcher (paper: ~43%); `None` on a partial suite (the
+    /// aggregate would not be comparable).
+    pub cpf_full_share_of_nonstride: Option<f64>,
     /// Of masking content prefetches, the share that fully masked
-    /// (paper: ~72%).
-    pub cpf_fully_masked_share: f64,
+    /// (paper: ~72%); `None` on a partial suite.
+    pub cpf_fully_masked_share: Option<f64>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Figure10 {
@@ -49,17 +62,24 @@ impl Figure10 {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                let f = r.fractions;
-                vec![
-                    r.name.clone(),
-                    format!("{:.1}%", f[0] * 100.0),
-                    format!("{:.1}%", f[1] * 100.0),
-                    format!("{:.1}%", f[2] * 100.0),
-                    format!("{:.1}%", f[3] * 100.0),
-                    format!("{:.1}%", f[4] * 100.0),
-                    format!("{:.3}", r.speedup),
-                ]
+            .map(|r| match &r.data {
+                Some(d) => {
+                    let f = d.fractions;
+                    vec![
+                        r.name.clone(),
+                        format!("{:.1}%", f[0] * 100.0),
+                        format!("{:.1}%", f[1] * 100.0),
+                        format!("{:.1}%", f[2] * 100.0),
+                        format!("{:.1}%", f[3] * 100.0),
+                        format!("{:.1}%", f[4] * 100.0),
+                        format!("{:.3}", d.speedup),
+                    ]
+                }
+                None => {
+                    let mut row = vec![r.name.clone()];
+                    row.extend(std::iter::repeat_n(GAP.to_string(), 6));
+                    row
+                }
             })
             .collect();
         out.push_str(&render_table(
@@ -69,19 +89,33 @@ impl Figure10 {
             ],
             &rows,
         ));
-        out.push_str(&format!(
-            "\naverage speedup: {:.3} ({:.1}%)\n",
-            self.average_speedup,
-            (self.average_speedup - 1.0) * 100.0
-        ));
-        out.push_str(&format!(
-            "content prefetcher fully eliminates {:.0}% of non-stride load misses (paper: 43%)\n",
-            self.cpf_full_share_of_nonstride * 100.0
-        ));
-        out.push_str(&format!(
-            "{:.0}% of masking content prefetches fully masked the latency (paper: 72%)\n",
-            self.cpf_fully_masked_share * 100.0
-        ));
+        match self.average_speedup {
+            Some(avg) => out.push_str(&format!(
+                "\naverage speedup: {:.3} ({:.1}%)\n",
+                avg,
+                (avg - 1.0) * 100.0
+            )),
+            None => out.push_str(&format!("\naverage speedup: {GAP} (partial suite)\n")),
+        }
+        match self.cpf_full_share_of_nonstride {
+            Some(share) => out.push_str(&format!(
+                "content prefetcher fully eliminates {:.0}% of non-stride load misses (paper: 43%)\n",
+                share * 100.0
+            )),
+            None => out.push_str(&format!(
+                "content prefetcher non-stride elimination share: {GAP} (partial suite)\n"
+            )),
+        }
+        match self.cpf_fully_masked_share {
+            Some(share) => out.push_str(&format!(
+                "{:.0}% of masking content prefetches fully masked the latency (paper: 72%)\n",
+                share * 100.0
+            )),
+            None => out.push_str(&format!(
+                "fully-masked share of masking content prefetches: {GAP} (partial suite)\n"
+            )),
+        }
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -98,30 +132,45 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure10 {
         grid.push((format!("base/{}", b.name()), base_cfg.clone(), b));
         grid.push((format!("cdp/{}", b.name()), cdp_cfg.clone(), b));
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let mut rows = Vec::new();
     let mut agg = RequestDistribution::default();
+    let mut complete = true;
     for (b, pair) in Benchmark::all().into_iter().zip(runs.chunks(2)) {
-        let (base, cdp) = (&pair[0], &pair[1]);
-        let d = cdp.mem.distribution;
-        agg.stride_full += d.stride_full;
-        agg.stride_partial += d.stride_partial;
-        agg.cpf_full += d.cpf_full;
-        agg.cpf_partial += d.cpf_partial;
-        agg.unmasked_misses += d.unmasked_misses;
+        let data = match (&pair[0], &pair[1]) {
+            (Some(base), Some(cdp)) => {
+                let d = cdp.mem.distribution;
+                agg.stride_full += d.stride_full;
+                agg.stride_partial += d.stride_partial;
+                agg.cpf_full += d.cpf_full;
+                agg.cpf_partial += d.cpf_partial;
+                agg.unmasked_misses += d.unmasked_misses;
+                Some(RowData {
+                    fractions: d.fractions(),
+                    speedup: speedup(base, cdp),
+                    distribution: d,
+                })
+            }
+            _ => {
+                complete = false;
+                None
+            }
+        };
         rows.push(Row {
             name: b.name().to_string(),
-            fractions: d.fractions(),
-            speedup: speedup(base, cdp),
-            distribution: d,
+            data,
         });
     }
-    let average_speedup = mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let speedups: Vec<Option<f64>> = rows
+        .iter()
+        .map(|r| r.data.as_ref().map(|d| d.speedup))
+        .collect();
     Figure10 {
+        average_speedup: mean_if_complete(&speedups),
+        cpf_full_share_of_nonstride: complete.then(|| agg.cpf_full_share_of_nonstride()),
+        cpf_fully_masked_share: complete.then(|| agg.cpf_fully_masked_share()),
         rows,
-        average_speedup,
-        cpf_full_share_of_nonstride: agg.cpf_full_share_of_nonstride(),
-        cpf_fully_masked_share: agg.cpf_fully_masked_share(),
+        failures,
     }
 }
 
@@ -134,14 +183,15 @@ mod tests {
         let f = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(f.rows.len(), 15);
         for r in &f.rows {
-            let sum: f64 = r.fractions.iter().sum();
+            let d = r.data.as_ref().expect("healthy run");
+            let sum: f64 = d.fractions.iter().sum();
             assert!(
-                r.distribution.total() == 0 || (sum - 1.0).abs() < 1e-9,
+                d.distribution.total() == 0 || (sum - 1.0).abs() < 1e-9,
                 "{}: fractions sum {sum}",
                 r.name
             );
         }
-        assert!(f.average_speedup > 0.9);
-        assert!((0.0..=1.0).contains(&f.cpf_fully_masked_share));
+        assert!(f.average_speedup.expect("healthy run") > 0.9);
+        assert!((0.0..=1.0).contains(&f.cpf_fully_masked_share.expect("healthy run")));
     }
 }

@@ -13,22 +13,26 @@
 //! ~4.5% (training phase + resident lines), and the content prefetcher
 //! beats it by ~3x.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::{speedup, Pool};
 use cdp_types::{MarkovConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{ascii_bar, render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    ascii_bar, failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells,
+    CellFailure, ExpScale, GAP, WorkloadSet,
+};
 
 /// One configuration's result.
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Configuration label (Figure 11 x-axis).
     pub name: String,
-    /// Suite-average speedup over the stride baseline.
-    pub speedup: f64,
-    /// Per-benchmark speedups (Table 2 order).
-    pub per_bench: Vec<f64>,
+    /// Suite-average speedup over the stride baseline; `None` when any
+    /// contributing cell failed.
+    pub speedup: Option<f64>,
+    /// Per-benchmark speedups (Table 2 order); `None` where a cell
+    /// failed.
+    pub per_bench: Vec<Option<f64>>,
 }
 
 /// The four-bar comparison.
@@ -36,6 +40,8 @@ pub struct Config {
 pub struct Figure11 {
     /// `markov_1/8`, `markov_1/2`, `markov_big`, `content`.
     pub configs: Vec<Config>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Figure11 {
@@ -44,26 +50,36 @@ impl Figure11 {
         let mut out = String::from(
             "Figure 11: Markov vs content prefetcher average speedup (vs 1MB-UL2 stride baseline)\n\n",
         );
-        let max = self.configs.iter().map(|c| c.speedup).fold(1.0, f64::max);
+        let max = self
+            .configs
+            .iter()
+            .filter_map(|c| c.speedup)
+            .fold(1.0, f64::max);
         let rows: Vec<Vec<String>> = self
             .configs
             .iter()
             .map(|c| {
                 vec![
                     c.name.clone(),
-                    format!("{:.3}", c.speedup),
-                    format!("{:+.1}%", (c.speedup - 1.0) * 100.0),
-                    format!("|{}|", ascii_bar(c.speedup, max * 1.05, 30)),
+                    opt_cell(c.speedup, |s| format!("{s:.3}")),
+                    opt_cell(c.speedup, |s| format!("{:+.1}%", (s - 1.0) * 100.0)),
+                    match c.speedup {
+                        Some(s) => format!("|{}|", ascii_bar(s, max * 1.05, 30)),
+                        None => GAP.to_string(),
+                    },
                 ]
             })
             .collect();
         out.push_str(&render_table(&["configuration", "speedup", "gain", ""], &rows));
-        if let (Some(big), Some(content)) = (
-            self.configs.iter().find(|c| c.name == "markov_big"),
-            self.configs.iter().find(|c| c.name == "content"),
-        ) {
-            let ratio = if big.speedup > 1.0 {
-                (content.speedup - 1.0) / (big.speedup - 1.0)
+        let find = |name: &str| {
+            self.configs
+                .iter()
+                .find(|c| c.name == name)
+                .and_then(|c| c.speedup)
+        };
+        if let (Some(big), Some(content)) = (find("markov_big"), find("content")) {
+            let ratio = if big > 1.0 {
+                (content - 1.0) / (big - 1.0)
             } else {
                 f64::INFINITY
             };
@@ -71,6 +87,7 @@ impl Figure11 {
                 "\ncontent gain is {ratio:.1}x the unbounded Markov gain (paper: ~3x)\n"
             ));
         }
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -102,7 +119,7 @@ pub fn run_on(scale: ExpScale, benches: &[Benchmark], pool: &Pool) -> Figure11 {
         ("content".into(), SystemConfig::with_content()),
     ];
     let ws = WorkloadSet::default();
-    let baselines = run_grid(
+    let (baselines, mut failures) = run_grid_cells(
         pool,
         &ws,
         s,
@@ -117,24 +134,28 @@ pub fn run_on(scale: ExpScale, benches: &[Benchmark], pool: &Pool) -> Figure11 {
             grid.push((format!("{name}/{}", b.name()), cfg.clone(), b));
         }
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, grid_failures) = run_grid_cells(pool, &ws, s, grid);
+    failures.extend(grid_failures);
     let configs = variants
         .into_iter()
         .zip(runs.chunks(benches.len()))
         .map(|((name, _), chunk)| {
-            let per_bench: Vec<f64> = chunk
+            let per_bench: Vec<Option<f64>> = chunk
                 .iter()
                 .zip(&baselines)
-                .map(|(r, base)| speedup(base, r))
+                .map(|(r, base)| match (r, base) {
+                    (Some(r), Some(base)) => Some(speedup(base, r)),
+                    _ => None,
+                })
                 .collect();
             Config {
                 name,
-                speedup: mean(&per_bench),
+                speedup: mean_if_complete(&per_bench),
                 per_bench,
             }
         })
         .collect();
-    Figure11 { configs }
+    Figure11 { configs, failures }
 }
 
 #[cfg(test)]
@@ -149,15 +170,22 @@ mod tests {
             &Pool::new(2),
         );
         assert_eq!(f.configs.len(), 4);
-        let content = f.configs.iter().find(|c| c.name == "content").unwrap();
+        assert!(f.failures.is_empty());
+        let content = f
+            .configs
+            .iter()
+            .find(|c| c.name == "content")
+            .and_then(|c| c.speedup)
+            .expect("healthy run");
         for c in &f.configs {
             if c.name != "content" {
+                let s = c.speedup.expect("healthy run");
                 assert!(
-                    content.speedup >= c.speedup - 0.02,
+                    content >= s - 0.02,
                     "content {:.3} must beat {} {:.3}",
-                    content.speedup,
+                    content,
                     c.name,
-                    c.speedup
+                    s
                 );
             }
         }

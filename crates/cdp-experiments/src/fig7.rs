@@ -6,13 +6,15 @@
 //! accuracy rises with more compare bits (stricter matching) while
 //! coverage falls (the prefetchable region halves per added bit).
 
-use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
 use cdp_sim::{accuracy, coverage, Engine, Pool, RunStats};
 use cdp_types::{SystemConfig, VamConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{best_tradeoff, render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    best_tradeoff, failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells,
+    CellFailure, ExpScale, WorkloadSet,
+};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -21,10 +23,12 @@ pub struct Point {
     pub label: String,
     /// VAM configuration measured.
     pub vam: VamConfig,
-    /// Suite-average adjusted coverage.
-    pub coverage: f64,
-    /// Suite-average adjusted accuracy.
-    pub accuracy: f64,
+    /// Suite-average adjusted coverage; `None` when any contributing
+    /// cell failed.
+    pub coverage: Option<f64>,
+    /// Suite-average adjusted accuracy; `None` when any contributing
+    /// cell failed.
+    pub accuracy: Option<f64>,
 }
 
 /// The full sweep.
@@ -33,8 +37,10 @@ pub struct Figure7 {
     /// Sweep points in the paper's x-axis order.
     pub points: Vec<Point>,
     /// The point with the best coverage x accuracy product (the paper's
-    /// "best trade-off" marker).
-    pub best: usize,
+    /// "best trade-off" marker); `None` when no point completed.
+    pub best: Option<usize>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Figure7 {
@@ -49,9 +55,9 @@ impl Figure7 {
             .map(|(i, p)| {
                 vec![
                     p.label.clone(),
-                    format!("{:.1}%", p.coverage * 100.0),
-                    format!("{:.1}%", p.accuracy * 100.0),
-                    if i == self.best { "<= best trade-off".into() } else { String::new() },
+                    opt_cell(p.coverage, |c| format!("{:.1}%", c * 100.0)),
+                    opt_cell(p.accuracy, |a| format!("{:.1}%", a * 100.0)),
+                    if Some(i) == self.best { "<= best trade-off".into() } else { String::new() },
                 ]
             })
             .collect();
@@ -59,6 +65,7 @@ impl Figure7 {
             &["N.M", "coverage", "accuracy", ""],
             &rows,
         ));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -99,61 +106,91 @@ pub fn vam_cfg(vam: VamConfig) -> SystemConfig {
     cfg
 }
 
-/// Reduces one sweep point's per-benchmark runs (same order as
-/// `baselines`) to suite-average (coverage, accuracy).
-pub(crate) fn reduce_point(runs: &[RunStats], baselines: &[(Benchmark, RunStats)]) -> (f64, f64) {
+/// Reduces one sweep point's per-benchmark cells (same order as
+/// `baselines`) to suite-average (coverage, accuracy). Either average is
+/// `None` as soon as one contributing cell — CDP run or its baseline —
+/// is missing.
+pub(crate) fn reduce_point(
+    runs: &[Option<RunStats>],
+    baselines: &[(Benchmark, Option<RunStats>)],
+) -> (Option<f64>, Option<f64>) {
     let mut covs = Vec::new();
     let mut accs = Vec::new();
     for (r, (_, base)) in runs.iter().zip(baselines) {
-        covs.push(coverage(r, base, Engine::Content));
-        // Warm-up boundary effects can push the raw ratio past 1; clamp
-        // for presentation (the paper's counters share the window).
-        accs.push(accuracy(r, Engine::Content).min(1.0));
+        match (r, base) {
+            (Some(r), Some(base)) => {
+                covs.push(Some(coverage(r, base, Engine::Content)));
+                // Warm-up boundary effects can push the raw ratio past 1;
+                // clamp for presentation (the paper's counters share the
+                // window).
+                accs.push(Some(accuracy(r, Engine::Content).min(1.0)));
+            }
+            _ => {
+                covs.push(None);
+                accs.push(None);
+            }
+        }
     }
-    (mean(&covs), mean(&accs))
+    (mean_if_complete(&covs), mean_if_complete(&accs))
 }
 
 /// Measures coverage/accuracy for one VAM configuration across the
 /// pointer subset. `baselines` supplies the stride-only runs for the
-/// coverage denominator.
+/// coverage denominator. Also returns the cells that failed.
 pub fn measure_vam(
     ws: &WorkloadSet,
     scale: ExpScale,
     pool: &Pool,
     vam: VamConfig,
-    baselines: &[(Benchmark, RunStats)],
-) -> (f64, f64) {
+    baselines: &[(Benchmark, Option<RunStats>)],
+) -> ((Option<f64>, Option<f64>), Vec<CellFailure>) {
     let cfg = vam_cfg(vam);
     let grid = baselines
         .iter()
         .map(|(b, _)| (b.name().to_string(), cfg.clone(), *b))
         .collect();
-    let runs = run_grid(pool, ws, scale.scale(), grid);
-    reduce_point(&runs, baselines)
+    let (runs, failures) = run_grid_cells(pool, ws, scale.scale(), grid);
+    (reduce_point(&runs, baselines), failures)
 }
 
 /// Runs stride-only baselines for the pointer subset (shared by the
-/// Figure 7 and Figure 8 sweeps).
+/// Figure 7 and Figure 8 sweeps). A failed baseline gaps out every sweep
+/// point of its benchmark.
 pub fn baselines(
     ws: &WorkloadSet,
     scale: ExpScale,
     pool: &Pool,
-) -> Vec<(Benchmark, RunStats)> {
+) -> (Vec<(Benchmark, Option<RunStats>)>, Vec<CellFailure>) {
     let base_cfg = SystemConfig::asplos2002();
     let benches = pointer_subset();
     let grid = benches
         .iter()
         .map(|b| (format!("base/{}", b.name()), base_cfg.clone(), *b))
         .collect();
-    let runs = run_grid(pool, ws, scale.scale(), grid);
-    benches.into_iter().zip(runs).collect()
+    let (runs, failures) = run_grid_cells(pool, ws, scale.scale(), grid);
+    (benches.into_iter().zip(runs).collect(), failures)
+}
+
+/// Picks the best-trade-off index among the points that completed (the
+/// original index space), or `None` if every point gapped out.
+pub(crate) fn best_complete(points: &[(Option<f64>, Option<f64>)]) -> Option<usize> {
+    let complete: Vec<(usize, (f64, f64))> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| Some((i, (p.0?, p.1?))))
+        .collect();
+    if complete.is_empty() {
+        return None;
+    }
+    let pairs: Vec<(f64, f64)> = complete.iter().map(|(_, p)| *p).collect();
+    Some(complete[best_tradeoff(&pairs)].0)
 }
 
 /// Runs the Figure 7 sweep: every sweep point x benchmark is one
 /// independent simulation, submitted to the pool as a single flat grid.
 pub fn run(scale: ExpScale, pool: &Pool) -> Figure7 {
     let ws = WorkloadSet::default();
-    let base = baselines(&ws, scale, pool);
+    let (base, mut failures) = baselines(&ws, scale, pool);
     let sweep = paper_sweep();
     let vams: Vec<VamConfig> = sweep
         .iter()
@@ -169,7 +206,8 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure7 {
             grid.push((format!("{n:02}.{m}/{}", b.name()), vam_cfg(*vam), *b));
         }
     }
-    let runs = run_grid(pool, &ws, scale.scale(), grid);
+    let (runs, sweep_failures) = run_grid_cells(pool, &ws, scale.scale(), grid);
+    failures.extend(sweep_failures);
     let mut points = Vec::new();
     for (i, (&(n, m), vam)) in sweep.iter().zip(&vams).enumerate() {
         let chunk = &runs[i * base.len()..(i + 1) * base.len()];
@@ -181,8 +219,13 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure7 {
             accuracy: acc,
         });
     }
-    let best = best_tradeoff(&points.iter().map(|p| (p.coverage, p.accuracy)).collect::<Vec<_>>());
-    Figure7 { points, best }
+    let best = best_complete(
+        &points
+            .iter()
+            .map(|p| (p.coverage, p.accuracy))
+            .collect::<Vec<_>>(),
+    );
+    Figure7 { points, best, failures }
 }
 
 #[cfg(test)]
@@ -198,14 +241,28 @@ mod tests {
     }
 
     #[test]
+    fn best_complete_skips_gapped_points() {
+        // The winner keeps its index in the *original* point list even
+        // when earlier points gapped out.
+        let pts = [
+            (None, None),
+            (Some(0.30), Some(0.50)),
+            (Some(0.30), Some(0.90)),
+        ];
+        assert_eq!(best_complete(&pts), Some(2));
+        assert_eq!(best_complete(&[(None, None)]), None);
+    }
+
+    #[test]
     fn more_compare_bits_do_not_raise_coverage() {
         // Scaled-down directional check: coverage at 12 compare bits must
         // not exceed coverage at 8 compare bits (same filter).
         let pool = Pool::new(2);
         let ws = WorkloadSet::default();
-        let base = baselines(&ws, ExpScale::Smoke, &pool);
+        let (base, base_failures) = baselines(&ws, ExpScale::Smoke, &pool);
+        assert!(base_failures.is_empty());
         let at = |n: u32| {
-            measure_vam(
+            let ((cov, _), failures) = measure_vam(
                 &ws,
                 ExpScale::Smoke,
                 &pool,
@@ -215,10 +272,12 @@ mod tests {
                     ..VamConfig::tuned()
                 },
                 &base,
-            )
+            );
+            assert!(failures.is_empty());
+            cov.expect("healthy run")
         };
-        let (cov8, _) = at(8);
-        let (cov12, _) = at(12);
+        let cov8 = at(8);
+        let cov12 = at(12);
         assert!(
             cov12 <= cov8 + 0.02,
             "narrowing the region cannot add coverage: {cov8} -> {cov12}"

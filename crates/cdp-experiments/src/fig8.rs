@@ -7,8 +7,10 @@
 use cdp_sim::Pool;
 use cdp_types::VamConfig;
 
-use crate::common::{best_tradeoff, render_table, run_grid, ExpScale, WorkloadSet};
-use crate::fig7::{baselines, reduce_point, vam_cfg};
+use crate::common::{
+    failure_note, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale, WorkloadSet,
+};
+use crate::fig7::{baselines, best_complete, reduce_point, vam_cfg};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -17,10 +19,12 @@ pub struct Point {
     pub label: String,
     /// Configuration measured.
     pub vam: VamConfig,
-    /// Suite-average adjusted coverage.
-    pub coverage: f64,
-    /// Suite-average adjusted accuracy.
-    pub accuracy: f64,
+    /// Suite-average adjusted coverage; `None` when any contributing
+    /// cell failed.
+    pub coverage: Option<f64>,
+    /// Suite-average adjusted accuracy; `None` when any contributing
+    /// cell failed.
+    pub accuracy: Option<f64>,
 }
 
 /// The full sweep.
@@ -28,8 +32,11 @@ pub struct Point {
 pub struct Figure8 {
     /// Points in the paper's x-axis order.
     pub points: Vec<Point>,
-    /// Best coverage x accuracy trade-off index.
-    pub best: usize,
+    /// Best coverage x accuracy trade-off index; `None` when no point
+    /// completed.
+    pub best: Option<usize>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Figure8 {
@@ -45,13 +52,14 @@ impl Figure8 {
             .map(|(i, p)| {
                 vec![
                     p.label.clone(),
-                    format!("{:.1}%", p.coverage * 100.0),
-                    format!("{:.1}%", p.accuracy * 100.0),
-                    if i == self.best { "<= best trade-off".into() } else { String::new() },
+                    opt_cell(p.coverage, |c| format!("{:.1}%", c * 100.0)),
+                    opt_cell(p.accuracy, |a| format!("{:.1}%", a * 100.0)),
+                    if Some(i) == self.best { "<= best trade-off".into() } else { String::new() },
                 ]
             })
             .collect();
         out.push_str(&render_table(&["N.M.A.S", "coverage", "accuracy", ""], &rows));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -71,7 +79,7 @@ pub fn paper_sweep() -> Vec<(u32, usize)> {
 /// benchmark is an independent simulation).
 pub fn run(scale: ExpScale, pool: &Pool) -> Figure8 {
     let ws = WorkloadSet::default();
-    let base = baselines(&ws, scale, pool);
+    let (base, mut failures) = baselines(&ws, scale, pool);
     let sweep = paper_sweep();
     let vams: Vec<VamConfig> = sweep
         .iter()
@@ -88,7 +96,8 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure8 {
             grid.push((format!("8.4.{align}.{step}/{}", b.name()), vam_cfg(*vam), *b));
         }
     }
-    let runs = run_grid(pool, &ws, scale.scale(), grid);
+    let (runs, sweep_failures) = run_grid_cells(pool, &ws, scale.scale(), grid);
+    failures.extend(sweep_failures);
     let mut points = Vec::new();
     for (i, (&(align, step), vam)) in sweep.iter().zip(&vams).enumerate() {
         let chunk = &runs[i * base.len()..(i + 1) * base.len()];
@@ -100,8 +109,13 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure8 {
             accuracy: acc,
         });
     }
-    let best = best_tradeoff(&points.iter().map(|p| (p.coverage, p.accuracy)).collect::<Vec<_>>());
-    Figure8 { points, best }
+    let best = best_complete(
+        &points
+            .iter()
+            .map(|p| (p.coverage, p.accuracy))
+            .collect::<Vec<_>>(),
+    );
+    Figure8 { points, best, failures }
 }
 
 #[cfg(test)]
@@ -120,9 +134,10 @@ mod tests {
     fn four_byte_alignment_cannot_beat_two_byte_coverage() {
         let pool = Pool::new(2);
         let ws = WorkloadSet::default();
-        let base = baselines(&ws, ExpScale::Smoke, &pool);
+        let (base, base_failures) = baselines(&ws, ExpScale::Smoke, &pool);
+        assert!(base_failures.is_empty());
         let at = |align: u32| {
-            measure_vam(
+            let ((cov, _), failures) = measure_vam(
                 &ws,
                 ExpScale::Smoke,
                 &pool,
@@ -133,10 +148,12 @@ mod tests {
                     scan_step: 2,
                 },
                 &base,
-            )
+            );
+            assert!(failures.is_empty());
+            cov.expect("healthy run")
         };
-        let (cov1, _) = at(1);
-        let (cov4, _) = at(4);
+        let cov1 = at(1);
+        let cov4 = at(4);
         assert!(
             cov4 <= cov1 + 0.02,
             "stricter alignment cannot add coverage: {cov1} -> {cov4}"

@@ -9,12 +9,14 @@
 //! * previous-line prefetching does not pay for its bandwidth;
 //! * the best configuration is reinforcement + depth 3 + p0.n3.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
 use cdp_sim::{speedup, Pool};
 use cdp_types::{ContentConfig, SystemConfig};
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale,
+    WorkloadSet,
+};
 
 /// The width axis of Figure 9: (previous lines, next lines).
 pub const WIDTH_AXIS: [(u32, u32); 7] = [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (1, 0), (1, 1)];
@@ -30,8 +32,8 @@ pub struct Curve {
     /// Whether path reinforcement was on.
     pub reinforcement: bool,
     /// Suite-average speedup per width point (same order as
-    /// [`WIDTH_AXIS`]).
-    pub speedups: Vec<f64>,
+    /// [`WIDTH_AXIS`]); `None` where a contributing cell failed.
+    pub speedups: Vec<Option<f64>>,
 }
 
 impl Curve {
@@ -50,16 +52,21 @@ impl Curve {
 pub struct Figure9 {
     /// Six curves (3 depths x {nr, reinf}).
     pub curves: Vec<Curve>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Figure9 {
-    /// The best (curve, width point) by speedup.
-    pub fn best(&self) -> (usize, usize, f64) {
-        let mut best = (0, 0, 0.0);
+    /// The best (curve, width point) by speedup among the points that
+    /// completed, or `None` if every point gapped out.
+    pub fn best(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
         for (c, curve) in self.curves.iter().enumerate() {
-            for (w, &s) in curve.speedups.iter().enumerate() {
-                if s > best.2 {
-                    best = (c, w, s);
+            for (w, s) in curve.speedups.iter().enumerate() {
+                if let Some(s) = *s {
+                    if best.is_none_or(|b| s > b.2) {
+                        best = Some((c, w, s));
+                    }
                 }
             }
         }
@@ -81,20 +88,24 @@ impl Figure9 {
                 row.extend(
                     self.curves
                         .iter()
-                        .map(|c| format!("{:.3}", c.speedups[w])),
+                        .map(|c| opt_cell(c.speedups[w], |s| format!("{s:.3}"))),
                 );
                 row
             })
             .collect();
         out.push_str(&render_table(&header_refs, &rows));
-        let (c, w, s) = self.best();
-        out.push_str(&format!(
-            "\nbest: {} at p{}.n{} -> {:.1}% speedup\n",
-            self.curves[c].label(),
-            WIDTH_AXIS[w].0,
-            WIDTH_AXIS[w].1,
-            (s - 1.0) * 100.0
-        ));
+        if let Some((c, w, s)) = self.best() {
+            out.push_str(&format!(
+                "\nbest: {} at p{}.n{} -> {:.1}% speedup\n",
+                self.curves[c].label(),
+                WIDTH_AXIS[w].0,
+                WIDTH_AXIS[w].1,
+                (s - 1.0) * 100.0
+            ));
+        } else {
+            out.push_str("\nbest: unavailable (every point failed)\n");
+        }
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -106,7 +117,7 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure9 {
     let benches = pointer_subset();
     let ws = WorkloadSet::default();
     let base_cfg = SystemConfig::asplos2002();
-    let baselines = run_grid(
+    let (baselines, mut failures) = run_grid_cells(
         pool,
         &ws,
         s,
@@ -142,7 +153,8 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure9 {
             }
         }
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, grid_failures) = run_grid_cells(pool, &ws, s, grid);
+    failures.extend(grid_failures);
     let mut chunks = runs.chunks(benches.len());
     let curves = axes
         .iter()
@@ -151,12 +163,15 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure9 {
                 .iter()
                 .map(|_| {
                     let chunk = chunks.next().expect("one chunk per width point");
-                    let sps: Vec<f64> = chunk
+                    let sps: Vec<Option<f64>> = chunk
                         .iter()
                         .zip(&baselines)
-                        .map(|(r, base)| speedup(base, r))
+                        .map(|(r, base)| match (r, base) {
+                            (Some(r), Some(base)) => Some(speedup(base, r)),
+                            _ => None,
+                        })
                         .collect();
-                    mean(&sps)
+                    mean_if_complete(&sps)
                 })
                 .collect();
             Curve {
@@ -166,7 +181,7 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Figure9 {
             }
         })
         .collect();
-    Figure9 { curves }
+    Figure9 { curves, failures }
 }
 
 #[cfg(test)]
@@ -184,8 +199,21 @@ mod tests {
         let c = Curve {
             depth: 3,
             reinforcement: true,
-            speedups: vec![1.0],
+            speedups: vec![Some(1.0)],
         };
         assert_eq!(c.label(), "depth.3-reinf");
+    }
+
+    #[test]
+    fn best_skips_gapped_points() {
+        let f = Figure9 {
+            curves: vec![Curve {
+                depth: 3,
+                reinforcement: false,
+                speedups: vec![None, Some(1.2), Some(1.1)],
+            }],
+            failures: Vec::new(),
+        };
+        assert_eq!(f.best(), Some((0, 1, 1.2)));
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod context;
 pub mod extensions;
 pub mod fig1;
 pub mod fig10;
@@ -43,4 +44,4 @@ pub mod table1;
 pub mod table2;
 pub mod tlb;
 
-pub use common::ExpScale;
+pub use common::{CellFailure, ExpScale};

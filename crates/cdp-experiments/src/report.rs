@@ -79,6 +79,12 @@ pub trait ToDataset {
     fn dataset(&self) -> Dataset;
 }
 
+/// Formats an optional cell; a failed (gapped) cell becomes an empty CSV
+/// field so plotting tools skip it instead of reading a sentinel.
+fn opt<T>(v: Option<T>, fmt: impl FnOnce(T) -> String) -> String {
+    v.map(fmt).unwrap_or_default()
+}
+
 impl ToDataset for crate::table2::Table2 {
     fn dataset(&self) -> Dataset {
         Dataset::new(
@@ -96,9 +102,9 @@ impl ToDataset for crate::table2::Table2 {
                     vec![
                         r.name.clone(),
                         r.suite.clone(),
-                        r.uops.to_string(),
-                        format!("{:.4}", r.mptu_1mb),
-                        format!("{:.4}", r.mptu_4mb),
+                        opt(r.uops, |u| u.to_string()),
+                        opt(r.mptu_1mb, |m| format!("{m:.4}")),
+                        opt(r.mptu_4mb, |m| format!("{m:.4}")),
                     ]
                 })
                 .collect(),
@@ -137,8 +143,8 @@ impl ToDataset for crate::fig7::Figure7 {
                 .map(|p| {
                     vec![
                         p.label.clone(),
-                        format!("{:.4}", p.coverage),
-                        format!("{:.4}", p.accuracy),
+                        opt(p.coverage, |c| format!("{c:.4}")),
+                        opt(p.accuracy, |a| format!("{a:.4}")),
                     ]
                 })
                 .collect(),
@@ -156,8 +162,8 @@ impl ToDataset for crate::fig8::Figure8 {
                 .map(|p| {
                     vec![
                         p.label.clone(),
-                        format!("{:.4}", p.coverage),
-                        format!("{:.4}", p.accuracy),
+                        opt(p.coverage, |c| format!("{c:.4}")),
+                        opt(p.accuracy, |a| format!("{a:.4}")),
                     ]
                 })
                 .collect(),
@@ -174,7 +180,11 @@ impl ToDataset for crate::fig9::Figure9 {
             .enumerate()
             .map(|(w, (p, n))| {
                 let mut row = vec![format!("p{p}.n{n}")];
-                row.extend(self.curves.iter().map(|c| format!("{:.4}", c.speedups[w])));
+                row.extend(
+                    self.curves
+                        .iter()
+                        .map(|c| opt(c.speedups[w], |s| format!("{s:.4}"))),
+                );
                 row
             })
             .collect();
@@ -199,8 +209,13 @@ impl ToDataset for crate::fig10::Figure10 {
                 .iter()
                 .map(|r| {
                     let mut row = vec![r.name.clone()];
-                    row.extend(r.fractions.iter().map(|f| format!("{f:.4}")));
-                    row.push(format!("{:.4}", r.speedup));
+                    match &r.data {
+                        Some(d) => {
+                            row.extend(d.fractions.iter().map(|f| format!("{f:.4}")));
+                            row.push(format!("{:.4}", d.speedup));
+                        }
+                        None => row.extend(std::iter::repeat_n(String::new(), 6)),
+                    }
                     row
                 })
                 .collect(),
@@ -215,7 +230,7 @@ impl ToDataset for crate::fig11::Figure11 {
             vec!["configuration".into(), "speedup".into()],
             self.configs
                 .iter()
-                .map(|c| vec![c.name.clone(), format!("{:.4}", c.speedup)])
+                .map(|c| vec![c.name.clone(), opt(c.speedup, |s| format!("{s:.4}"))])
                 .collect(),
         )
     }
@@ -228,7 +243,7 @@ impl ToDataset for crate::tlb::TlbSweep {
             vec!["dtlb_entries".into(), "speedup".into()],
             self.points
                 .iter()
-                .map(|p| vec![p.entries.to_string(), format!("{:.4}", p.speedup)])
+                .map(|p| vec![p.entries.to_string(), opt(p.speedup, |s| format!("{s:.4}"))])
                 .collect(),
         )
     }
@@ -269,10 +284,10 @@ impl ToDataset for crate::suite_summary::SuiteSummary {
                 .map(|r| {
                     vec![
                         r.name.clone(),
-                        format!("{:.4}", r.mptu),
-                        format!("{:.4}", r.ipc),
-                        format!("{:.4}", r.speedup_stateless),
-                        format!("{:.4}", r.speedup_reinf),
+                        opt(r.mptu, |m| format!("{m:.4}")),
+                        opt(r.ipc, |i| format!("{i:.4}")),
+                        opt(r.speedup_stateless, |s| format!("{s:.4}")),
+                        opt(r.speedup_reinf, |s| format!("{s:.4}")),
                     ]
                 })
                 .collect(),

@@ -10,22 +10,26 @@
 //! * [`l2size`] — UL2 from 512 KB to 4 MB: bigger caches absorb the misses
 //!   CDP would have masked, shrinking its headroom.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
 use cdp_sim::{speedup, Pool};
 use cdp_types::SystemConfig;
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale,
+    WorkloadSet,
+};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
 pub struct Point {
     /// The swept parameter's value.
     pub value: u64,
-    /// Suite-average content-prefetcher speedup at this point.
-    pub speedup: f64,
-    /// Suite-average baseline MPTU at this point.
-    pub baseline_mptu: f64,
+    /// Suite-average content-prefetcher speedup at this point; `None`
+    /// when any contributing cell failed.
+    pub speedup: Option<f64>,
+    /// Suite-average baseline MPTU at this point; `None` when any
+    /// baseline cell failed.
+    pub baseline_mptu: Option<f64>,
 }
 
 /// A parameter sweep result.
@@ -35,6 +39,8 @@ pub struct Sweep {
     pub parameter: &'static str,
     /// The points, in sweep order.
     pub points: Vec<Point>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Sweep {
@@ -50,9 +56,9 @@ impl Sweep {
             .map(|p| {
                 vec![
                     p.value.to_string(),
-                    format!("{:.3}", p.speedup),
-                    format!("{:+.1}%", (p.speedup - 1.0) * 100.0),
-                    format!("{:.2}", p.baseline_mptu),
+                    opt_cell(p.speedup, |s| format!("{s:.3}")),
+                    opt_cell(p.speedup, |s| format!("{:+.1}%", (s - 1.0) * 100.0)),
+                    opt_cell(p.baseline_mptu, |m| format!("{m:.2}")),
                 ]
             })
             .collect();
@@ -60,6 +66,7 @@ impl Sweep {
             &[self.parameter, "speedup", "gain", "base MPTU"],
             &rows,
         ));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -88,7 +95,7 @@ where
             grid.push((format!("{parameter}={v}-cdp/{}", b.name()), cdp_cfg.clone(), b));
         }
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let points = values
         .iter()
         .zip(runs.chunks(2 * benches.len()))
@@ -96,17 +103,24 @@ where
             let mut sps = Vec::new();
             let mut mptus = Vec::new();
             for pair in chunk.chunks(2) {
-                sps.push(speedup(&pair[0], &pair[1]));
-                mptus.push(pair[0].mptu());
+                sps.push(match (&pair[0], &pair[1]) {
+                    (Some(base), Some(cdp)) => Some(speedup(base, cdp)),
+                    _ => None,
+                });
+                mptus.push(pair[0].as_ref().map(cdp_sim::RunStats::mptu));
             }
             Point {
                 value: v,
-                speedup: mean(&sps),
-                baseline_mptu: mean(&mptus),
+                speedup: mean_if_complete(&sps),
+                baseline_mptu: mean_if_complete(&mptus),
             }
         })
         .collect();
-    Sweep { parameter, points }
+    Sweep {
+        parameter,
+        points,
+        failures,
+    }
 }
 
 /// Sweeps the bus/DRAM round-trip latency (Table 1 value: 460 cycles).
@@ -139,15 +153,14 @@ mod tests {
     fn latency_sweep_shapes() {
         let s = latency(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.points.len(), 4);
+        assert!(s.failures.is_empty());
         // The paper's motivation: a wider processor/memory gap makes the
         // prefetcher more valuable. Compare the endpoints.
-        let first = s.points.first().unwrap();
-        let last = s.points.last().unwrap();
+        let first = s.points.first().unwrap().speedup.expect("healthy run");
+        let last = s.points.last().unwrap().speedup.expect("healthy run");
         assert!(
-            last.speedup >= first.speedup - 0.05,
-            "gain should grow (or hold) with latency: {:.3} -> {:.3}",
-            first.speedup,
-            last.speedup
+            last >= first - 0.05,
+            "gain should grow (or hold) with latency: {first:.3} -> {last:.3}"
         );
         assert!(s.render().contains("bus latency"));
     }
@@ -156,13 +169,11 @@ mod tests {
     fn l2_sweep_shrinks_mptu() {
         let s = l2size(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.points.len(), 4);
-        let small = &s.points[0];
-        let big = &s.points[3];
+        let small = s.points[0].baseline_mptu.expect("healthy run");
+        let big = s.points[3].baseline_mptu.expect("healthy run");
         assert!(
-            big.baseline_mptu <= small.baseline_mptu + 0.5,
-            "bigger L2 cannot miss more: {:.2} -> {:.2}",
-            small.baseline_mptu,
-            big.baseline_mptu
+            big <= small + 0.5,
+            "bigger L2 cannot miss more: {small:.2} -> {big:.2}"
         );
     }
 }

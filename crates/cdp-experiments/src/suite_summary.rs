@@ -6,26 +6,31 @@
 //! state, rising to 12.6% with the <½% reinforcement bits (abstract,
 //! §4.2.1).
 
-use cdp_sim::metrics::mean;
 use cdp_sim::{speedup, Pool};
 use cdp_types::{ContentConfig, SystemConfig};
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{ascii_bar, render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    ascii_bar, failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells,
+    CellFailure, ExpScale, GAP, WorkloadSet,
+};
 
 /// One benchmark's summary row.
 #[derive(Clone, Debug)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
-    /// Baseline (stride-only) L2 MPTU.
-    pub mptu: f64,
-    /// Baseline IPC.
-    pub ipc: f64,
-    /// Tuned content prefetcher speedup.
-    pub speedup_reinf: f64,
-    /// Stateless (no reinforcement bits) content prefetcher speedup.
-    pub speedup_stateless: f64,
+    /// Baseline (stride-only) L2 MPTU; `None` if the baseline cell
+    /// failed.
+    pub mptu: Option<f64>,
+    /// Baseline IPC; `None` if the baseline cell failed.
+    pub ipc: Option<f64>,
+    /// Tuned content prefetcher speedup; `None` if a contributing cell
+    /// failed.
+    pub speedup_reinf: Option<f64>,
+    /// Stateless (no reinforcement bits) content prefetcher speedup;
+    /// `None` if a contributing cell failed.
+    pub speedup_stateless: Option<f64>,
 }
 
 /// The suite summary.
@@ -33,10 +38,13 @@ pub struct Row {
 pub struct SuiteSummary {
     /// One row per benchmark.
     pub rows: Vec<Row>,
-    /// Average tuned speedup (paper: 1.126).
-    pub average_reinf: f64,
-    /// Average stateless speedup (paper: 1.113).
-    pub average_stateless: f64,
+    /// Average tuned speedup (paper: 1.126); `None` on a partial suite.
+    pub average_reinf: Option<f64>,
+    /// Average stateless speedup (paper: 1.113); `None` on a partial
+    /// suite.
+    pub average_stateless: Option<f64>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl SuiteSummary {
@@ -48,7 +56,7 @@ impl SuiteSummary {
         let max = self
             .rows
             .iter()
-            .map(|r| r.speedup_reinf)
+            .filter_map(|r| r.speedup_reinf)
             .fold(1.0, f64::max);
         let rows: Vec<Vec<String>> = self
             .rows
@@ -56,11 +64,16 @@ impl SuiteSummary {
             .map(|r| {
                 vec![
                     r.name.clone(),
-                    format!("{:.2}", r.mptu),
-                    format!("{:.3}", r.ipc),
-                    format!("{:.3}", r.speedup_stateless),
-                    format!("{:.3}", r.speedup_reinf),
-                    format!("|{}|", ascii_bar(r.speedup_reinf - 1.0, (max - 1.0).max(0.01), 24)),
+                    opt_cell(r.mptu, |m| format!("{m:.2}")),
+                    opt_cell(r.ipc, |i| format!("{i:.3}")),
+                    opt_cell(r.speedup_stateless, |s| format!("{s:.3}")),
+                    opt_cell(r.speedup_reinf, |s| format!("{s:.3}")),
+                    match r.speedup_reinf {
+                        Some(s) => {
+                            format!("|{}|", ascii_bar(s - 1.0, (max - 1.0).max(0.01), 24))
+                        }
+                        None => GAP.to_string(),
+                    },
                 ]
             })
             .collect();
@@ -68,14 +81,20 @@ impl SuiteSummary {
             &["Benchmark", "MPTU", "IPC", "stateless", "reinforced", "gain"],
             &rows,
         ));
-        out.push_str(&format!(
-            "\naverage: stateless {:.3} ({:+.1}%), reinforced {:.3} ({:+.1}%)\n",
-            self.average_stateless,
-            (self.average_stateless - 1.0) * 100.0,
-            self.average_reinf,
-            (self.average_reinf - 1.0) * 100.0
-        ));
+        match (self.average_stateless, self.average_reinf) {
+            (Some(stateless), Some(reinf)) => out.push_str(&format!(
+                "\naverage: stateless {:.3} ({:+.1}%), reinforced {:.3} ({:+.1}%)\n",
+                stateless,
+                (stateless - 1.0) * 100.0,
+                reinf,
+                (reinf - 1.0) * 100.0
+            )),
+            _ => out.push_str(&format!(
+                "\naverage: stateless {GAP}, reinforced {GAP} (partial suite)\n"
+            )),
+        }
         out.push_str("paper:   stateless 1.113 (+11.3%), reinforced 1.126 (+12.6%)\n");
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -95,22 +114,33 @@ pub fn run(scale: ExpScale, pool: &Pool) -> SuiteSummary {
         grid.push((format!("reinf/{}", b.name()), reinf_cfg.clone(), b));
         grid.push((format!("stateless/{}", b.name()), stateless_cfg.clone(), b));
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let mut rows = Vec::new();
     for (b, trio) in Benchmark::all().into_iter().zip(runs.chunks(3)) {
         let (base, reinf, stateless) = (&trio[0], &trio[1], &trio[2]);
         rows.push(Row {
             name: b.name().to_string(),
-            mptu: base.mptu(),
-            ipc: base.ipc(),
-            speedup_reinf: speedup(base, reinf),
-            speedup_stateless: speedup(base, stateless),
+            mptu: base.as_ref().map(cdp_sim::RunStats::mptu),
+            ipc: base.as_ref().map(cdp_sim::RunStats::ipc),
+            speedup_reinf: match (base, reinf) {
+                (Some(base), Some(reinf)) => Some(speedup(base, reinf)),
+                _ => None,
+            },
+            speedup_stateless: match (base, stateless) {
+                (Some(base), Some(stateless)) => Some(speedup(base, stateless)),
+                _ => None,
+            },
         });
     }
     SuiteSummary {
-        average_reinf: mean(&rows.iter().map(|r| r.speedup_reinf).collect::<Vec<_>>()),
-        average_stateless: mean(&rows.iter().map(|r| r.speedup_stateless).collect::<Vec<_>>()),
+        average_reinf: mean_if_complete(
+            &rows.iter().map(|r| r.speedup_reinf).collect::<Vec<_>>(),
+        ),
+        average_stateless: mean_if_complete(
+            &rows.iter().map(|r| r.speedup_stateless).collect::<Vec<_>>(),
+        ),
         rows,
+        failures,
     }
 }
 
@@ -122,8 +152,11 @@ mod tests {
     fn summary_has_all_benchmarks_and_sane_averages() {
         let s = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(s.rows.len(), 15);
-        assert!(s.average_reinf > 0.9 && s.average_reinf < 3.0);
-        assert!(s.average_stateless > 0.9 && s.average_stateless < 3.0);
+        assert!(s.failures.is_empty());
+        let reinf = s.average_reinf.expect("healthy run");
+        let stateless = s.average_stateless.expect("healthy run");
+        assert!(reinf > 0.9 && reinf < 3.0);
+        assert!(stateless > 0.9 && stateless < 3.0);
         assert!(s.render().contains("reinforced"));
     }
 }

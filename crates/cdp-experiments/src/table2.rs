@@ -5,7 +5,9 @@ use cdp_sim::Pool;
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::Benchmark;
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale, WorkloadSet,
+};
 
 /// One Table 2 row.
 #[derive(Clone, Debug)]
@@ -14,12 +16,12 @@ pub struct Row {
     pub name: String,
     /// Suite category.
     pub suite: String,
-    /// Uops executed (measurement window).
-    pub uops: u64,
-    /// L2 MPTU with the 1 MB UL2.
-    pub mptu_1mb: f64,
-    /// L2 MPTU with the 4 MB UL2.
-    pub mptu_4mb: f64,
+    /// Uops executed (measurement window); `None` if the 1 MB cell failed.
+    pub uops: Option<u64>,
+    /// L2 MPTU with the 1 MB UL2; `None` if the cell failed.
+    pub mptu_1mb: Option<f64>,
+    /// L2 MPTU with the 4 MB UL2; `None` if the cell failed.
+    pub mptu_4mb: Option<f64>,
 }
 
 /// The full table.
@@ -27,6 +29,8 @@ pub struct Row {
 pub struct Table2 {
     /// One row per benchmark, Table 2 order.
     pub rows: Vec<Row>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl Table2 {
@@ -42,9 +46,9 @@ impl Table2 {
                 vec![
                     r.name.clone(),
                     r.suite.clone(),
-                    r.uops.to_string(),
-                    format!("{:.2}", r.mptu_1mb),
-                    format!("{:.2}", r.mptu_4mb),
+                    opt_cell(r.uops, |u| u.to_string()),
+                    opt_cell(r.mptu_1mb, |m| format!("{m:.2}")),
+                    opt_cell(r.mptu_4mb, |m| format!("{m:.2}")),
                 ]
             })
             .collect();
@@ -52,6 +56,7 @@ impl Table2 {
             &["Benchmark", "Suite", "uops", "MPTU (1MB)", "MPTU (4MB)"],
             &rows,
         ));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -69,19 +74,19 @@ pub fn run(scale: ExpScale, pool: &Pool) -> Table2 {
         grid.push((format!("1mb/{}", b.name()), cfg_1mb.clone(), b));
         grid.push((format!("4mb/{}", b.name()), cfg_4mb.clone(), b));
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let rows = Benchmark::all()
         .into_iter()
         .zip(runs.chunks(2))
         .map(|(b, pair)| Row {
             name: b.name().to_string(),
             suite: b.suite().to_string(),
-            uops: pair[0].retired,
-            mptu_1mb: pair[0].mptu(),
-            mptu_4mb: pair[1].mptu(),
+            uops: pair[0].as_ref().map(|r| r.retired),
+            mptu_1mb: pair[0].as_ref().map(cdp_sim::RunStats::mptu),
+            mptu_4mb: pair[1].as_ref().map(cdp_sim::RunStats::mptu),
         })
         .collect();
-    Table2 { rows }
+    Table2 { rows, failures }
 }
 
 #[cfg(test)]
@@ -92,16 +97,19 @@ mod tests {
     fn bigger_cache_never_increases_mptu_much() {
         let t = run(ExpScale::Smoke, &Pool::new(2));
         assert_eq!(t.rows.len(), 15);
+        assert!(t.failures.is_empty(), "fault-free run has no gaps");
         for r in &t.rows {
+            let (m1, m4) = (r.mptu_1mb.expect("healthy"), r.mptu_4mb.expect("healthy"));
             assert!(
-                r.mptu_4mb <= r.mptu_1mb * 1.25 + 0.5,
+                m4 <= m1 * 1.25 + 0.5,
                 "{}: 4MB {} vs 1MB {}",
                 r.name,
-                r.mptu_4mb,
-                r.mptu_1mb
+                m4,
+                m1
             );
         }
         let s = t.render();
         assert!(s.contains("verilog-gate"));
+        assert!(!s.contains("cell(s) failed"), "no footnote without gaps");
     }
 }

@@ -6,12 +6,14 @@
 //! observes only 12.6% → 12.3%: TLB prefetching is a minor contributor,
 //! and no TLB-pollution signature appears either.
 
-use cdp_sim::metrics::mean;
 use cdp_sim::runner::pointer_subset;
 use cdp_sim::{speedup, Pool};
 use cdp_types::SystemConfig;
 
-use crate::common::{render_table, run_grid, ExpScale, WorkloadSet};
+use crate::common::{
+    failure_note, mean_if_complete, opt_cell, render_table, run_grid_cells, CellFailure, ExpScale,
+    WorkloadSet,
+};
 
 /// One TLB size's result.
 #[derive(Clone, Debug)]
@@ -19,8 +21,9 @@ pub struct Point {
     /// DTLB entries.
     pub entries: usize,
     /// Suite-average content-prefetcher speedup at this TLB size
-    /// (baseline re-measured with the same TLB).
-    pub speedup: f64,
+    /// (baseline re-measured with the same TLB); `None` when any
+    /// contributing cell failed.
+    pub speedup: Option<f64>,
 }
 
 /// The sweep.
@@ -28,18 +31,22 @@ pub struct Point {
 pub struct TlbSweep {
     /// 64, 128, 256, 512, 1024 entries.
     pub points: Vec<Point>,
+    /// Cells that failed (empty on a healthy run).
+    pub failures: Vec<CellFailure>,
 }
 
 impl TlbSweep {
-    /// Total spread between the largest and smallest speedup.
+    /// Total spread between the largest and smallest speedup across the
+    /// sizes that completed.
     pub fn spread(&self) -> f64 {
-        let max = self.points.iter().map(|p| p.speedup).fold(0.0, f64::max);
-        let min = self
-            .points
-            .iter()
-            .map(|p| p.speedup)
-            .fold(f64::INFINITY, f64::min);
-        max - min
+        let sps: Vec<f64> = self.points.iter().filter_map(|p| p.speedup).collect();
+        let max = sps.iter().copied().fold(0.0, f64::max);
+        let min = sps.iter().copied().fold(f64::INFINITY, f64::min);
+        if sps.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
     }
 
     /// Renders the sweep.
@@ -53,8 +60,8 @@ impl TlbSweep {
             .map(|p| {
                 vec![
                     p.entries.to_string(),
-                    format!("{:.3}", p.speedup),
-                    format!("{:+.1}%", (p.speedup - 1.0) * 100.0),
+                    opt_cell(p.speedup, |s| format!("{s:.3}")),
+                    opt_cell(p.speedup, |s| format!("{:+.1}%", (s - 1.0) * 100.0)),
                 ]
             })
             .collect();
@@ -63,6 +70,7 @@ impl TlbSweep {
             "\nspread across TLB sizes: {:.1} points (paper: 12.6% -> 12.3%, i.e. ~0.3)\n",
             self.spread() * 100.0
         ));
+        out.push_str(&failure_note(&self.failures));
         out
     }
 }
@@ -85,22 +93,25 @@ pub fn run(scale: ExpScale, pool: &Pool) -> TlbSweep {
             grid.push((format!("tlb{entries}-cdp/{}", b.name()), cdp_cfg.clone(), b));
         }
     }
-    let runs = run_grid(pool, &ws, s, grid);
+    let (runs, failures) = run_grid_cells(pool, &ws, s, grid);
     let points = sizes
         .iter()
         .zip(runs.chunks(2 * benches.len()))
         .map(|(&entries, chunk)| {
-            let sps: Vec<f64> = chunk
+            let sps: Vec<Option<f64>> = chunk
                 .chunks(2)
-                .map(|pair| speedup(&pair[0], &pair[1]))
+                .map(|pair| match (&pair[0], &pair[1]) {
+                    (Some(base), Some(cdp)) => Some(speedup(base, cdp)),
+                    _ => None,
+                })
                 .collect();
             Point {
                 entries,
-                speedup: mean(&sps),
+                speedup: mean_if_complete(&sps),
             }
         })
         .collect();
-    TlbSweep { points }
+    TlbSweep { points, failures }
 }
 
 #[cfg(test)]
@@ -113,6 +124,8 @@ mod tests {
         assert_eq!(t.points.len(), 5);
         assert_eq!(t.points[0].entries, 64);
         assert_eq!(t.points[4].entries, 1024);
+        assert!(t.failures.is_empty());
+        assert!(t.points.iter().all(|p| p.speedup.is_some()));
         assert!(t.render().contains("DTLB"));
     }
 }

@@ -1,0 +1,125 @@
+//! End-to-end fault-tolerance contract of the `experiments` binary:
+//!
+//! * strict mode (default) aborts on an injected fault;
+//! * `--keep-going` completes the run, renders failing cells as `--`
+//!   gaps, prints a failure report on stderr, and exits with the
+//!   documented partial-failure code 3;
+//! * stdout is byte-identical at any `--jobs` count, faulted or not;
+//! * cells untouched by the fault report the same values as a fault-free
+//!   run.
+
+use std::process::{Command, Output};
+
+const EXIT_PARTIAL: i32 = 3;
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// The whitespace-split tokens of every stdout row naming `bench`.
+fn bench_rows(out: &str, bench: &str) -> Vec<Vec<String>> {
+    out.lines()
+        .filter(|l| l.split_whitespace().next() == Some(bench))
+        .map(|l| l.split_whitespace().map(str::to_string).collect())
+        .collect()
+}
+
+#[test]
+fn bad_fault_spec_is_a_usage_error() {
+    let o = experiments(&["table2", "--smoke", "--fault", "bogus:spec"]);
+    assert_eq!(o.status.code(), Some(2), "stderr: {}", stderr(&o));
+    assert!(stderr(&o).contains("bad --fault spec"));
+}
+
+#[test]
+fn strict_mode_aborts_on_an_injected_fault() {
+    // Unmapping trace pages of slsb makes its demand path fail; without
+    // --keep-going the first failing cell is fatal.
+    let o = experiments(&[
+        "table2", "--smoke", "--jobs", "2", "--fault", "unmap:slsb:7:2",
+    ]);
+    assert!(!o.status.success());
+    assert_ne!(o.status.code(), Some(EXIT_PARTIAL), "strict mode is not partial");
+    assert!(
+        stderr(&o).contains("unmapped"),
+        "the typed error reaches stderr: {}",
+        stderr(&o)
+    );
+}
+
+#[test]
+fn keep_going_renders_gaps_reports_failures_and_exits_partial() {
+    let clean = experiments(&["table2", "--smoke", "--jobs", "2"]);
+    assert!(clean.status.success(), "stderr: {}", stderr(&clean));
+    let clean_out = stdout(&clean);
+    assert!(!clean_out.contains("cell(s) failed"), "no footnote when healthy");
+
+    let faulted = experiments(&[
+        "table2", "--smoke", "--jobs", "2", "--keep-going", "--fault", "unmap:slsb:7:2",
+    ]);
+    assert_eq!(
+        faulted.status.code(),
+        Some(EXIT_PARTIAL),
+        "stderr: {}",
+        stderr(&faulted)
+    );
+    let out = stdout(&faulted);
+    let err = stderr(&faulted);
+
+    // The faulted benchmark's row is an annotated gap...
+    let slsb = bench_rows(&out, "slsb");
+    assert_eq!(slsb.len(), 1, "slsb row present:\n{out}");
+    assert!(
+        slsb[0].iter().filter(|c| *c == "--").count() >= 3,
+        "slsb cells gap out: {:?}",
+        slsb[0]
+    );
+    assert!(out.contains("cell(s) failed"), "footnote below the table:\n{out}");
+
+    // ...the failure report names the cell and the typed error...
+    assert!(err.contains("FAILURE REPORT"), "stderr: {err}");
+    assert!(err.contains("[table2]"), "experiment id in report: {err}");
+    assert!(err.contains("slsb"), "cell label in report: {err}");
+    assert!(err.contains("unmapped"), "typed error in report: {err}");
+
+    // ...and every unaffected benchmark reports exactly the fault-free
+    // values (token-wise, so column re-widening cannot mask a change).
+    for bench in ["quake", "b2e", "tpcc-2", "verilog-gate"] {
+        let clean_rows = bench_rows(&clean_out, bench);
+        let fault_rows = bench_rows(&out, bench);
+        assert!(!clean_rows.is_empty(), "{bench} present in clean run");
+        assert_eq!(
+            clean_rows, fault_rows,
+            "{bench} cells must be untouched by the slsb fault"
+        );
+    }
+}
+
+#[test]
+fn faulted_stdout_is_byte_identical_at_any_job_count() {
+    let args = |jobs: &'static str| {
+        [
+            "table2", "--smoke", "--jobs", jobs, "--keep-going", "--fault", "unmap:slsb:7:2",
+        ]
+    };
+    let one = experiments(&args("1"));
+    let four = experiments(&args("4"));
+    assert_eq!(one.status.code(), Some(EXIT_PARTIAL));
+    assert_eq!(four.status.code(), Some(EXIT_PARTIAL));
+    assert_eq!(
+        stdout(&one),
+        stdout(&four),
+        "submission-order results make gaps deterministic"
+    );
+}

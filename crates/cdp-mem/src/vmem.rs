@@ -260,6 +260,45 @@ impl AddressSpace {
         }
     }
 
+    /// Removes the mapping for `vpage` by clearing the present bit of its
+    /// page-table entry (the frame itself is not reclaimed — this models a
+    /// page being taken away under the prefetcher, not an allocator).
+    /// Returns whether a mapping was actually removed.
+    pub fn unmap(&mut self, vpage: PageNum) -> bool {
+        let pde = self.phys.read_u32(Self::pde_addr(vpage));
+        if pde & PTE_PRESENT == 0 {
+            return false;
+        }
+        let pte_addr = Self::pte_addr(pde >> 12, vpage);
+        let pte = self.phys.read_u32(pte_addr);
+        if pte & PTE_PRESENT == 0 {
+            return false;
+        }
+        self.phys.write_u32(pte_addr, pte & !PTE_PRESENT);
+        self.mapped_pages -= 1;
+        true
+    }
+
+    /// Every currently mapped virtual page, in ascending page-number order
+    /// (a page-table walk over all present directory entries).
+    pub fn mapped_page_numbers(&self) -> Vec<PageNum> {
+        let mut pages = Vec::with_capacity(self.mapped_pages as usize);
+        for dir in 0..1024u32 {
+            let pde = self.phys.read_u32(PhysAddr(PAGE_DIR_BASE + 4 * dir));
+            if pde & PTE_PRESENT == 0 {
+                continue;
+            }
+            for idx in 0..1024u32 {
+                let vpage = PageNum((dir << 10) | idx);
+                let pte = self.phys.read_u32(Self::pte_addr(pde >> 12, vpage));
+                if pte & PTE_PRESENT != 0 {
+                    pages.push(vpage);
+                }
+            }
+        }
+        pages
+    }
+
     /// Ensures every page in `[start, start+len)` is mapped. Returns the
     /// number of pages newly mapped.
     pub fn map_range(&mut self, start: VirtAddr, len: usize) -> usize {
@@ -402,6 +441,36 @@ mod tests {
         let f = rebuilt.map(cdp_types::PageNum(0x30000));
         assert!(space.translate(VirtAddr(0x3000_0000)).is_none());
         assert_eq!(rebuilt.translate(VirtAddr(0x3000_0000)), Some(f));
+    }
+
+    #[test]
+    fn unmap_clears_translation_and_is_reported_by_the_walker() {
+        let mut space = AddressSpace::new();
+        space.write_u32(VirtAddr(0x1000_0000), 7);
+        assert!(space.translate(VirtAddr(0x1000_0000)).is_some());
+        assert!(space.unmap(PageNum(0x10000)));
+        assert_eq!(space.translate(VirtAddr(0x1000_0000)), None);
+        assert_eq!(space.mapped_pages(), 0);
+        let walk = space.walk(VirtAddr(0x1000_0000));
+        assert!(walk.pte_addr.is_some(), "directory entry survives");
+        assert!(walk.frame_base.is_none());
+        // Unmapping twice (or an unmapped page) is a no-op.
+        assert!(!space.unmap(PageNum(0x10000)));
+        assert!(!space.unmap(PageNum(0x70000)));
+    }
+
+    #[test]
+    fn mapped_page_enumeration_matches_the_count() {
+        let mut space = AddressSpace::new();
+        for vp in [0x10000u32, 0x10007, 0x30001] {
+            space.map(PageNum(vp));
+        }
+        assert_eq!(
+            space.mapped_page_numbers(),
+            vec![PageNum(0x10000), PageNum(0x10007), PageNum(0x30001)]
+        );
+        space.unmap(PageNum(0x10007));
+        assert_eq!(space.mapped_page_numbers().len(), space.mapped_pages() as usize);
     }
 
     #[test]

@@ -19,16 +19,183 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
-use cdp_types::SystemConfig;
+use cdp_types::{CdpError, SystemConfig};
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
 
+use crate::fault::WalkFault;
 use crate::hierarchy::PollutionConfig;
 use crate::runner::build_workload;
 use crate::system::{RunStats, Simulator};
+
+/// How a [`Pool::run_with_status`] job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job completed.
+    Ok(T),
+    /// The job errored or panicked on every allowed attempt.
+    Failed {
+        /// The last attempt's error (or panic message).
+        error: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The job exceeded the wall-clock watchdog. Timeouts are terminal:
+    /// a job that hangs once is not retried.
+    TimedOut {
+        /// How many attempts were made (the last one timed out).
+        attempts: u32,
+        /// The watchdog budget it exceeded.
+        timeout: Duration,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// A one-line human-readable failure description (`None` on success).
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed { error, attempts } => {
+                Some(format!("failed after {attempts} attempt(s): {error}"))
+            }
+            JobOutcome::TimedOut { attempts, timeout } => Some(format!(
+                "timed out after {attempts} attempt(s) ({timeout:?} watchdog)"
+            )),
+        }
+    }
+
+    /// How many attempts the job consumed (1 for a first-try success).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Ok(_) => 1,
+            JobOutcome::Failed { attempts, .. } | JobOutcome::TimedOut { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// Retry / watchdog policy for [`Pool::run_with_status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Per-attempt wall-clock watchdog; `None` disables the watchdog
+    /// (jobs then run on the pool's own workers with no extra thread).
+    pub timeout: Option<Duration>,
+    /// Maximum attempts per job (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `min(backoff_base * 2^(n-1),
+    /// backoff_cap)`.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RunPolicy {
+    /// One attempt, no watchdog: identical behavior to [`Pool::run`]
+    /// modulo the [`JobOutcome`] wrapper.
+    fn default() -> RunPolicy {
+        RunPolicy {
+            timeout: None,
+            max_attempts: 1,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RunPolicy {
+    /// The capped exponential backoff before retry attempt `retry`
+    /// (1-based: the wait before the second attempt is `backoff(1)`).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(20);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Renders a panic payload as a message string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+/// Drives one task through the retry/watchdog policy.
+fn run_one_with_policy<T, F>(task: Arc<F>, policy: RunPolicy) -> JobOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn() -> Result<T, String> + Send + Sync + 'static,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            thread::sleep(policy.backoff(attempt - 1));
+        }
+        match policy.timeout {
+            None => match catch_unwind(AssertUnwindSafe(|| task())) {
+                Ok(Ok(v)) => return JobOutcome::Ok(v),
+                Ok(Err(e)) => last_error = e,
+                Err(p) => last_error = panic_message(p),
+            },
+            Some(timeout) => {
+                // The attempt runs on a detached thread so a hung job can
+                // be abandoned (a scoped worker could never time out: the
+                // scope would wait for it). An abandoned attempt may
+                // outlive this call; it holds only its own task Arc.
+                let (tx, rx) = mpsc::channel();
+                let t = Arc::clone(&task);
+                thread::Builder::new()
+                    .name("cdp-pool-attempt".into())
+                    .spawn(move || {
+                        let result = match catch_unwind(AssertUnwindSafe(|| t())) {
+                            Ok(Ok(v)) => Ok(v),
+                            Ok(Err(e)) => Err(e),
+                            Err(p) => Err(panic_message(p)),
+                        };
+                        let _ = tx.send(result);
+                    })
+                    .expect("spawn watchdog attempt thread");
+                match rx.recv_timeout(timeout) {
+                    Ok(Ok(v)) => return JobOutcome::Ok(v),
+                    Ok(Err(e)) => last_error = e,
+                    Err(_) => {
+                        return JobOutcome::TimedOut {
+                            attempts: attempt,
+                            timeout,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    JobOutcome::Failed {
+        error: last_error,
+        attempts: max_attempts,
+    }
+}
 
 /// The number of worker threads to use when the caller does not say:
 /// every available core.
@@ -135,10 +302,69 @@ impl Pool {
             .collect()
     }
 
+    /// Runs every fallible task under `policy` (watchdog timeout, bounded
+    /// retry with capped backoff) and reports a [`JobOutcome`] per task,
+    /// in submission order.
+    ///
+    /// One failing, panicking, or hanging job never aborts the batch;
+    /// every other job still runs to its own outcome. Workers are scoped
+    /// and always joined; only a *timed-out attempt's* detached thread
+    /// can outlive the call (it owns nothing but its task).
+    pub fn run_with_status<T, F>(&self, tasks: Vec<F>, policy: RunPolicy) -> Vec<JobOutcome<T>>
+    where
+        T: Send + 'static,
+        F: Fn() -> Result<T, String> + Send + Sync + 'static,
+    {
+        let n = tasks.len();
+        let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
+        let slots: Vec<Mutex<Option<JobOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(n);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = run_one_with_policy(Arc::clone(&tasks[i]), policy);
+                    *slots[i].lock().expect("slot never poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("slot never poisoned")
+                    .expect("every index was claimed and stored")
+            })
+            .collect()
+    }
+
     /// Runs a batch of simulations, returning per-job results in
     /// submission order.
     pub fn run_sims(&self, jobs: Vec<SimJob>) -> Vec<SimResult> {
         self.run(jobs.into_iter().map(|j| move || j.execute_labelled()).collect())
+    }
+
+    /// Fault-tolerant variant of [`Pool::run_sims`]: every job reports a
+    /// labelled [`JobOutcome`] under `policy` instead of panicking the
+    /// batch on the first bad cell.
+    pub fn run_sims_with_status(
+        &self,
+        jobs: Vec<SimJob>,
+        policy: RunPolicy,
+    ) -> Vec<(String, JobOutcome<RunStats>)> {
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let tasks: Vec<_> = jobs
+            .into_iter()
+            .map(|j| move || j.try_execute().map_err(|e| e.to_string()))
+            .collect();
+        labels
+            .into_iter()
+            .zip(self.run_with_status(tasks, policy))
+            .collect()
     }
 }
 
@@ -154,26 +380,61 @@ pub struct SimJob {
     pub workload: Arc<Workload>,
     /// Optional §3.5 junk-fill injection (the pollution limit study).
     pub pollution: Option<PollutionConfig>,
+    /// Optional injected page-walk failures (fault studies).
+    pub walk_fault: Option<WalkFault>,
 }
 
 impl SimJob {
-    /// A plain job with no pollution injection.
+    /// A plain job with no pollution or fault injection.
     pub fn new(label: impl Into<String>, cfg: SystemConfig, workload: Arc<Workload>) -> SimJob {
         SimJob {
             label: label.into(),
             cfg,
             workload,
             pollution: None,
+            walk_fault: None,
         }
     }
 
-    /// Runs the simulation.
-    pub fn execute(&self) -> RunStats {
-        let mut sim = Simulator::new(self.cfg.clone());
+    /// Adds injected page-walk failures.
+    pub fn with_walk_fault(mut self, f: WalkFault) -> SimJob {
+        self.walk_fault = Some(f);
+        self
+    }
+
+    fn simulator(&self) -> Result<Simulator, CdpError> {
+        let mut sim = Simulator::try_new(self.cfg.clone())?;
         if let Some(p) = self.pollution {
             sim = sim.with_pollution(p);
         }
-        sim.run(&self.workload)
+        if let Some(f) = self.walk_fault {
+            sim = sim.with_walk_fault(f);
+        }
+        Ok(sim)
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or an unrecoverable demand-path
+    /// fault; use [`SimJob::try_execute`] to handle both.
+    pub fn execute(&self) -> RunStats {
+        match self.try_execute() {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation, surfacing configuration and demand-path
+    /// faults as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CdpError::Config`] for an invalid configuration, otherwise the
+    /// first fault latched by the memory hierarchy.
+    pub fn try_execute(&self) -> Result<RunStats, CdpError> {
+        self.simulator()?.try_run(&self.workload)
     }
 }
 
@@ -320,6 +581,166 @@ mod tests {
         let other = cache.get(Benchmark::Slsb, Scale::smoke());
         assert!(!Arc::ptr_eq(&smoke, &other));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn run_with_status_mixed_outcomes_preserve_submission_order() {
+        use std::sync::atomic::AtomicU32;
+        // Track that every started attempt also finishes (no leaked
+        // worker left running after the batch, modulo the one task we
+        // deliberately hang past its watchdog).
+        let entered = Arc::new(AtomicU32::new(0));
+        let exited = Arc::new(AtomicU32::new(0));
+        type Task = Box<dyn Fn() -> Result<u32, String> + Send + Sync>;
+        let track = |body: Box<dyn Fn() -> Result<u32, String> + Send + Sync>,
+                     entered: &Arc<AtomicU32>,
+                     exited: &Arc<AtomicU32>|
+         -> Task {
+            let (en, ex) = (Arc::clone(entered), Arc::clone(exited));
+            Box::new(move || {
+                en.fetch_add(1, Ordering::SeqCst);
+                let r = body();
+                ex.fetch_add(1, Ordering::SeqCst);
+                r
+            })
+        };
+        let tasks: Vec<Task> = vec![
+            track(Box::new(|| Ok(10)), &entered, &exited),
+            track(Box::new(|| Err("typed failure".into())), &entered, &exited),
+            track(Box::new(|| panic!("panicking job")), &entered, &exited),
+            track(
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(99)
+                }),
+                &entered,
+                &exited,
+            ),
+            track(Box::new(|| Ok(50)), &entered, &exited),
+        ];
+        let policy = RunPolicy {
+            timeout: Some(Duration::from_millis(60)),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        let got = Pool::new(3).run_with_status(tasks, policy);
+        assert_eq!(got.len(), 5, "one outcome per submitted job");
+        assert_eq!(got[0], JobOutcome::Ok(10));
+        match &got[1] {
+            JobOutcome::Failed { error, attempts } => {
+                assert!(error.contains("typed failure"), "{error}");
+                assert_eq!(*attempts, 2, "errors are retried up to the cap");
+            }
+            other => panic!("index 1: {other:?}"),
+        }
+        match &got[2] {
+            JobOutcome::Failed { error, attempts } => {
+                assert!(error.contains("panicking job"), "{error}");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("index 2: {other:?}"),
+        }
+        match &got[3] {
+            JobOutcome::TimedOut { attempts, timeout } => {
+                assert_eq!(*attempts, 1, "timeouts are not retried");
+                assert_eq!(*timeout, Duration::from_millis(60));
+            }
+            other => panic!("index 3: {other:?}"),
+        }
+        assert_eq!(got[4], JobOutcome::Ok(50));
+        // Failure indices are recoverable from the outcome vector alone.
+        let failed: Vec<usize> = got
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![1, 2, 3]);
+        // No leaked workers: every attempt that started finishes once the
+        // deliberately hung task's sleep elapses. Expected exits: ok(1) +
+        // error-retries(2) + timed-out-but-completing(1) + ok(1) = 5; the
+        // two panicking attempts unwind before their exit marker.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while exited.load(Ordering::SeqCst) < 5 {
+            assert!(std::time::Instant::now() < deadline, "attempt leaked");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // entered counts: ok(1) + failed(2) + panic(2) + timeout(1, not
+        // retried) + ok(1) = 7.
+        assert_eq!(entered.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn run_with_status_retry_succeeds_after_transient_failures() {
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let task = move || {
+            if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_string())
+            } else {
+                Ok(7u32)
+            }
+        };
+        let policy = RunPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let got = Pool::new(1).run_with_status(vec![task], policy);
+        assert_eq!(got, vec![JobOutcome::Ok(7)]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "two retries consumed");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RunPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..RunPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(p.backoff(30), Duration::from_millis(35), "shift clamped");
+    }
+
+    #[test]
+    fn job_outcome_accessors() {
+        let ok: JobOutcome<u32> = JobOutcome::Ok(3);
+        assert!(ok.is_ok() && ok.failure().is_none() && ok.attempts() == 1);
+        assert_eq!(ok.ok(), Some(3));
+        let failed: JobOutcome<u32> = JobOutcome::Failed {
+            error: "boom".into(),
+            attempts: 2,
+        };
+        assert_eq!(failed.attempts(), 2);
+        assert!(failed.failure().unwrap().contains("boom"));
+        let timed: JobOutcome<u32> = JobOutcome::TimedOut {
+            attempts: 1,
+            timeout: Duration::from_secs(1),
+        };
+        assert!(timed.failure().unwrap().contains("timed out"));
+        assert_eq!(timed.ok(), None);
+    }
+
+    #[test]
+    fn sims_with_status_surface_bad_configs_without_aborting_the_batch() {
+        let cache = WorkloadCache::new();
+        let w = cache.get(Benchmark::Slsb, Scale::smoke());
+        let mut bad_cfg = SystemConfig::asplos2002();
+        bad_cfg.dtlb.entries = 63; // fails validation
+        let jobs = vec![
+            SimJob::new("good", SystemConfig::asplos2002(), Arc::clone(&w)),
+            SimJob::new("bad", bad_cfg, Arc::clone(&w)),
+        ];
+        let got = Pool::new(2).run_sims_with_status(jobs, RunPolicy::default());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "good");
+        assert!(got[0].1.is_ok());
+        assert_eq!(got[1].0, "bad");
+        assert!(got[1].1.failure().unwrap().contains("configuration"));
     }
 
     #[test]

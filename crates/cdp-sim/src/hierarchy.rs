@@ -27,9 +27,10 @@ use cdp_prefetch::{
     ContentPrefetcher, MarkovPrefetcher, PrefetchRequest, StreamPrefetcher, StridePrefetcher,
 };
 use cdp_types::{
-    AccessKind, LineAddr, PhysAddr, RequestKind, SystemConfig, VirtAddr, LINE_SIZE,
+    AccessKind, CdpError, LineAddr, PhysAddr, RequestKind, SystemConfig, VirtAddr, LINE_SIZE,
 };
 
+use crate::fault::WalkFault;
 use crate::stats::{Engine, MemStats};
 
 /// Per-L2-line metadata: the paper's reinforcement depth bits plus
@@ -112,6 +113,15 @@ pub struct Hierarchy<'w> {
     /// a resident-line rescan back into `scan_and_issue`, which needs a
     /// second buffer while the first is still borrowed out.
     req_bufs: Vec<Vec<PrefetchRequest>>,
+    /// First unrecoverable demand-path fault, latched for the driver.
+    /// The hierarchy keeps serving accesses after a fault (returning
+    /// L1-hit latency) so the core can be driven to a clean stop; the
+    /// simulator checks this latch between run windows.
+    fault: Option<CdpError>,
+    /// Injected page-walk failures (fault-injection studies).
+    walk_fault: Option<WalkFault>,
+    /// Count of injection-eligible walks, for the period check.
+    walk_tick: u64,
 }
 
 impl<'w> std::fmt::Debug for Hierarchy<'w> {
@@ -153,6 +163,9 @@ impl<'w> Hierarchy<'w> {
             pollution_rng: 0x1234_5678_9abc_def0,
             pending_dirty: std::collections::HashSet::new(),
             req_bufs: Vec::new(),
+            fault: None,
+            walk_fault: None,
+            walk_tick: 0,
             space,
             cfg,
         }
@@ -163,6 +176,27 @@ impl<'w> Hierarchy<'w> {
     pub fn with_pollution(mut self, pollution: PollutionConfig) -> Self {
         self.pollution = Some(pollution);
         self
+    }
+
+    /// Enables deterministic page-walk fault injection: every
+    /// `fault.period`-th eligible hardware walk is forced to fail.
+    /// Prefetch-candidate walks are always eligible (the failure is
+    /// squashed and counted as an unmapped drop); demand walks only when
+    /// `fault.demand` is set (the failure latches a
+    /// [`CdpError::TranslationFailure`]).
+    pub fn with_walk_fault(mut self, fault: WalkFault) -> Self {
+        self.walk_fault = Some(fault);
+        self
+    }
+
+    /// The first unrecoverable demand-path fault, if one has occurred.
+    pub fn fault(&self) -> Option<&CdpError> {
+        self.fault.as_ref()
+    }
+
+    /// Takes the latched fault, clearing the latch.
+    pub fn take_fault(&mut self) -> Option<CdpError> {
+        self.fault.take()
     }
 
     /// Statistics so far.
@@ -315,21 +349,33 @@ impl<'w> Hierarchy<'w> {
     /// Translates a demand access, charging page-walk latency on a DTLB
     /// miss. Page-walk lines are cached in the L2 but bypass the scanner.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is unmapped (demand traces only touch mapped
-    /// memory by construction).
-    fn translate_demand(&mut self, vaddr: VirtAddr, now: u64) -> (PhysAddr, u64) {
+    /// Demand traces only touch mapped memory by construction, so a
+    /// failed walk is unrecoverable: [`CdpError::UnmappedAccess`] when
+    /// the page genuinely has no mapping (a corrupt image or an unmapped
+    /// page under the run), [`CdpError::TranslationFailure`] when the
+    /// mapping exists but the walk was denied (injected walk fault).
+    fn translate_demand(
+        &mut self,
+        pc: u32,
+        vaddr: VirtAddr,
+        now: u64,
+    ) -> Result<(PhysAddr, u64), CdpError> {
         if let Some(frame) = self.dtlb.lookup(vaddr.page()) {
             self.stats.dtlb_hits += 1;
-            return (PhysAddr(frame.0 + vaddr.page_offset()), 0);
+            return Ok((PhysAddr(frame.0 + vaddr.page_offset()), 0));
         }
         self.stats.dtlb_misses += 1;
-        let (paddr, penalty) = self
-            .walk(vaddr, now, true)
-            .unwrap_or_else(|| panic!("demand access to unmapped page {vaddr}"));
+        let Some((paddr, penalty)) = self.walk(vaddr, now, true) else {
+            return Err(if self.space.translate(vaddr).is_some() {
+                CdpError::TranslationFailure { addr: vaddr }
+            } else {
+                CdpError::UnmappedAccess { pc, addr: vaddr }
+            });
+        };
         self.dtlb.insert(vaddr.page(), PhysAddr(paddr.0 - vaddr.page_offset()));
-        (paddr, penalty)
+        Ok((paddr, penalty))
     }
 
     /// Performs a hardware page walk: two dependent physical reads through
@@ -339,6 +385,14 @@ impl<'w> Hierarchy<'w> {
     /// speculative traffic, while walks issued on behalf of prefetch
     /// candidates ride the prefetch track so they never delay the core.
     fn walk(&mut self, vaddr: VirtAddr, now: u64, demand: bool) -> Option<(PhysAddr, u64)> {
+        if let Some(wf) = self.walk_fault {
+            if !demand || wf.demand {
+                self.walk_tick += 1;
+                if wf.period > 0 && self.walk_tick.is_multiple_of(wf.period) {
+                    return None;
+                }
+            }
+        }
         let walk = self.space.walk(vaddr);
         let mut penalty = 0u64;
         let lines = [Some(walk.pde_addr.line()), walk.pte_addr.map(|p| p.line())];
@@ -516,8 +570,20 @@ impl<'w> MemoryModel for Hierarchy<'w> {
             sb.observe(vaddr, &mut reqs);
         }
 
-        // Address translation.
-        let (paddr, walk_penalty) = self.translate_demand(vaddr, now);
+        // Address translation. An unrecoverable demand fault latches for
+        // the driver; the access itself degrades to an L1-hit-latency
+        // no-op so the core drains cleanly instead of tearing down the
+        // process mid-flight.
+        let (paddr, walk_penalty) = match self.translate_demand(pc, vaddr, now) {
+            Ok(t) => t,
+            Err(e) => {
+                if self.fault.is_none() {
+                    self.fault = Some(e);
+                }
+                self.put_req_buf(reqs);
+                return now + self.cfg.l1d.latency;
+            }
+        };
         let pline = paddr.line();
         let base = now + self.cfg.l1d.latency + walk_penalty;
 

@@ -14,7 +14,12 @@
 //! * [`exec`] — the parallel experiment engine: a std-only scoped-thread
 //!   [`Pool`] running independent simulations across cores with
 //!   submission-order (deterministic) results, plus the shared
-//!   [`WorkloadCache`].
+//!   [`WorkloadCache`]. [`Pool::run_with_status`] adds watchdog
+//!   timeouts, bounded retry, and per-job [`JobOutcome`] reporting.
+//! * [`fault`] — deterministic, seeded fault injection (corrupt pointer
+//!   words, unmap pages, force TLB-walk failures) for robustness tests:
+//!   the prefetcher must squash, the demand path must surface typed
+//!   [`cdp_types::CdpError`]s.
 //!
 //! # Examples
 //!
@@ -32,13 +37,15 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
-pub use exec::{default_jobs, Pool, SimJob, SimResult, WorkloadCache};
+pub use exec::{default_jobs, JobOutcome, Pool, RunPolicy, SimJob, SimResult, WorkloadCache};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
 pub use metrics::{accuracy, coverage, geomean, mean};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};

@@ -8,7 +8,7 @@
 //! the content counters are *natively* adjusted: they only ever credit
 //! lines the stride engine did not already cover.
 
-use crate::stats::Engine;
+use crate::stats::{Engine, EngineCounters};
 use crate::system::RunStats;
 
 /// Coverage (Equation 1): prefetch hits / misses without prefetching.
@@ -20,12 +20,16 @@ pub fn coverage(variant: &RunStats, baseline: &RunStats, engine: Engine) -> f64 
     if denom == 0 {
         return 0.0;
     }
-    variant.mem.engine(engine).useful() as f64 / denom as f64
+    let Some(counters) = variant.mem.engine(engine) else {
+        return 0.0;
+    };
+    counters.useful() as f64 / denom as f64
 }
 
 /// Accuracy (Equation 2): useful prefetches / prefetches issued.
+/// Demand traffic has no prefetch counters and reports 0.
 pub fn accuracy(variant: &RunStats, engine: Engine) -> f64 {
-    variant.mem.engine(engine).accuracy()
+    variant.mem.engine(engine).map_or(0.0, EngineCounters::accuracy)
 }
 
 /// Arithmetic mean (the paper reports average speedups across the suite).

@@ -203,13 +203,14 @@ impl MemStats {
         }
     }
 
-    /// Counters for one engine.
-    pub fn engine(&self, e: Engine) -> &EngineCounters {
+    /// Counters for one engine; `None` for [`Engine::Demand`], which has
+    /// no prefetch counters.
+    pub fn engine(&self, e: Engine) -> Option<&EngineCounters> {
         match e {
-            Engine::Stride => &self.stride,
-            Engine::Content => &self.content,
-            Engine::Markov => &self.markov,
-            Engine::Demand => panic!("demand traffic has no prefetch counters"),
+            Engine::Stride => Some(&self.stride),
+            Engine::Content => Some(&self.content),
+            Engine::Markov => Some(&self.markov),
+            Engine::Demand => None,
         }
     }
 }
@@ -272,9 +273,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "demand traffic")]
     fn engine_lookup_rejects_demand() {
         let s = MemStats::default();
-        let _ = s.engine(Engine::Demand);
+        assert!(s.engine(Engine::Demand).is_none());
+        assert!(s.engine(Engine::Stride).is_some());
+        assert!(s.engine(Engine::Content).is_some());
+        assert!(s.engine(Engine::Markov).is_some());
     }
 }

@@ -8,6 +8,9 @@ use cdp_types::SystemConfig;
 use cdp_workloads::suite::Scale;
 use cdp_workloads::Workload;
 
+use cdp_types::CdpError;
+
+use crate::fault::WalkFault;
 use crate::hierarchy::{Hierarchy, PollutionConfig};
 use crate::stats::MemStats;
 
@@ -149,7 +152,13 @@ pub fn speedup(baseline: &RunStats, variant: &RunStats) -> f64 {
 pub struct Simulator {
     cfg: SystemConfig,
     pollution: Option<PollutionConfig>,
+    walk_fault: Option<WalkFault>,
 }
+
+/// How many retired uops `try_run` advances between fault-latch checks.
+/// Purely a responsiveness knob: window boundaries change no simulated
+/// state, so any value yields identical statistics.
+const FAULT_CHECK_WINDOW: u64 = 65_536;
 
 impl Simulator {
     /// Creates a simulator with the given configuration.
@@ -161,7 +170,7 @@ impl Simulator {
     pub fn new(cfg: SystemConfig) -> Self {
         match Simulator::try_new(cfg) {
             Ok(sim) => sim,
-            Err(e) => panic!("invalid system configuration: {e}"),
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -169,12 +178,14 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the first structural problem found in `cfg`.
-    pub fn try_new(cfg: SystemConfig) -> Result<Self, cdp_types::ConfigError> {
+    /// Returns [`CdpError::Config`] wrapping the first structural problem
+    /// found in `cfg`.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, CdpError> {
         cfg.validate()?;
         Ok(Simulator {
             cfg,
             pollution: None,
+            walk_fault: None,
         })
     }
 
@@ -189,22 +200,74 @@ impl Simulator {
         self
     }
 
-    /// Runs `workload` to completion, honoring `cfg.warmup_uops` (counters
-    /// reset after warm-up; cache/TLB/predictor state carries over).
-    pub fn run(&self, workload: &Workload) -> RunStats {
+    /// Enables deterministic page-walk fault injection (see
+    /// [`Hierarchy::with_walk_fault`]).
+    pub fn with_walk_fault(mut self, f: WalkFault) -> Self {
+        self.walk_fault = Some(f);
+        self
+    }
+
+    fn build_hierarchy<'w>(&self, workload: &'w Workload) -> Hierarchy<'w> {
         let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
         if let Some(p) = self.pollution {
             hierarchy = hierarchy.with_pollution(p);
         }
+        if let Some(f) = self.walk_fault {
+            hierarchy = hierarchy.with_walk_fault(f);
+        }
+        hierarchy
+    }
+
+    /// Runs `workload` to completion, honoring `cfg.warmup_uops` (counters
+    /// reset after warm-up; cache/TLB/predictor state carries over).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecoverable demand-path fault (unmapped demand
+    /// access, failed demand walk) — conditions a well-formed workload
+    /// never produces. Use [`Simulator::try_run`] to handle them.
+    pub fn run(&self, workload: &Workload) -> RunStats {
+        match self.try_run(workload) {
+            Ok(stats) => stats,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Simulator::run`], but surfaces unrecoverable demand-path
+    /// faults as typed errors instead of panicking. The core is driven in
+    /// windows of retired uops; the hierarchy's fault latch is checked at
+    /// every boundary, so a fault aborts the run promptly with the
+    /// *first* fault encountered. Windowing changes no simulated state:
+    /// fault-free runs are bit-identical to the unwindowed driver.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CdpError`] latched by the memory hierarchy.
+    pub fn try_run(&self, workload: &Workload) -> Result<RunStats, CdpError> {
+        let mut hierarchy = self.build_hierarchy(workload);
         let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut target = 0u64;
         if self.cfg.warmup_uops > 0 {
-            core.run_until_retired(&mut hierarchy, self.cfg.warmup_uops);
+            target = self.cfg.warmup_uops;
+            core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                return Err(e);
+            }
             core.reset_stats();
             hierarchy.reset_stats();
         }
-        core.run_to_completion(&mut hierarchy);
+        loop {
+            target += FAULT_CHECK_WINDOW;
+            let done = core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                return Err(e);
+            }
+            if done {
+                break;
+            }
+        }
         let cs = core.stats();
-        RunStats {
+        Ok(RunStats {
             cycles: cs.cycles,
             retired: cs.retired,
             core: cs,
@@ -215,14 +278,18 @@ impl Simulator {
             stream: hierarchy.stream_stats(),
             adaptive: hierarchy.adaptive_state(),
             bus: hierarchy.bus_stats(),
-        }
+        })
     }
 
     /// Runs `workload` in windows of `window_uops` retired uops, sampling
     /// the full per-window statistics timeline (non-cumulative). The last
     /// window may be shorter than `window_uops`.
+    /// # Panics
+    ///
+    /// Panics on an unrecoverable demand-path fault (see
+    /// [`Simulator::try_run`]).
     pub fn run_timeline(&self, workload: &Workload, window_uops: u64) -> Vec<WindowSample> {
-        let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
+        let mut hierarchy = self.build_hierarchy(workload);
         let mut core = Core::new(self.cfg.core.clone(), &workload.program);
         let mut samples = Vec::new();
         let mut target = window_uops;
@@ -231,6 +298,9 @@ impl Simulator {
         let mut prev_mem = MemStats::default();
         loop {
             let done = core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                panic!("{e}");
+            }
             let cs = core.stats();
             let mem = *hierarchy.stats();
             let retired = cs.retired - prev_retired;
@@ -258,14 +328,21 @@ impl Simulator {
     /// Runs `workload` in windows of `window_uops` retired uops, sampling
     /// the **non-cumulative** L2 MPTU of each window (the Figure 1
     /// methodology). Returns one MPTU value per completed window.
+    /// # Panics
+    ///
+    /// Panics on an unrecoverable demand-path fault (see
+    /// [`Simulator::try_run`]).
     pub fn run_mptu_trace(&self, workload: &Workload, window_uops: u64) -> Vec<f64> {
-        let mut hierarchy = Hierarchy::new(self.cfg.clone(), &workload.space);
+        let mut hierarchy = self.build_hierarchy(workload);
         let mut core = Core::new(self.cfg.core.clone(), &workload.program);
         let mut samples = Vec::new();
         let mut target = window_uops;
         let mut prev_misses = 0u64;
         loop {
             let done = core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                panic!("{e}");
+            }
             let misses = hierarchy.stats().l2_demand_misses;
             samples.push((misses - prev_misses) as f64 * 1000.0 / window_uops as f64);
             prev_misses = misses;

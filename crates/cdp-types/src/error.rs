@@ -1,0 +1,127 @@
+//! The workspace-wide error type.
+//!
+//! The paper's central safety argument is that a content-directed
+//! prefetcher *squashes* bad candidates — a mistranslated pointer costs a
+//! dropped request, never a fault (§3.5). The simulator holds itself to
+//! the same standard: conditions that genuinely cannot be recovered
+//! (an invalid configuration, a demand access outside the mapped image,
+//! a corrupt workload trace) surface as typed [`CdpError`] values instead
+//! of panics, so the experiment harness can report them per sweep cell
+//! and keep going.
+
+use std::fmt;
+
+use crate::addr::VirtAddr;
+use crate::validate::ConfigError;
+
+/// Everything that can go irrecoverably wrong in a simulation run.
+///
+/// Speculative failures (an unmapped prefetch candidate, a dropped
+/// request) are *not* errors — they are squashed and counted, exactly as
+/// the hardware would. `CdpError` covers only the demand path and the
+/// harness around it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CdpError {
+    /// The system configuration failed structural validation.
+    Config(ConfigError),
+    /// A demand access (load/store in the trace) touched an unmapped
+    /// page. Demand traces only touch mapped memory by construction, so
+    /// this indicates a corrupt image or an injected fault.
+    UnmappedAccess {
+        /// Program counter of the faulting uop.
+        pc: u32,
+        /// The unmapped virtual address.
+        addr: VirtAddr,
+    },
+    /// A hardware page walk on the demand path failed even though the
+    /// mapping may exist (e.g. an injected TLB-walk fault).
+    TranslationFailure {
+        /// The virtual address whose walk failed.
+        addr: VirtAddr,
+    },
+    /// A workload image failed validation: a trace uop targets memory
+    /// outside the mapped image.
+    CorruptWorkload {
+        /// Benchmark name (Table 2 spelling).
+        benchmark: String,
+        /// Index of the first offending uop.
+        uop: usize,
+        /// The unmapped address it targets.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for CdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdpError::Config(e) => write!(f, "invalid system configuration: {e}"),
+            CdpError::UnmappedAccess { pc, addr } => {
+                write!(f, "demand access at pc {pc:#x} to unmapped page {addr}")
+            }
+            CdpError::TranslationFailure { addr } => {
+                write!(f, "demand page walk failed for {addr}")
+            }
+            CdpError::CorruptWorkload {
+                benchmark,
+                uop,
+                addr,
+            } => {
+                write!(f, "corrupt workload {benchmark}: uop {uop} targets unmapped {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CdpError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CdpError {
+    fn from(e: ConfigError) -> Self {
+        CdpError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_fault_site() {
+        let e = CdpError::UnmappedAccess {
+            pc: 0x40,
+            addr: VirtAddr(0x7777_0000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x40"), "{s}");
+        assert!(s.contains("7777"), "{s}");
+    }
+
+    #[test]
+    fn corrupt_workload_names_benchmark_and_uop() {
+        let e = CdpError::CorruptWorkload {
+            benchmark: "slsb".into(),
+            uop: 42,
+            addr: VirtAddr(0x1234_0000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("slsb") && s.contains("uop 42"), "{s}");
+    }
+
+    #[test]
+    fn config_errors_convert_and_chain() {
+        let c = ConfigError::AdaptiveWithoutContent;
+        let e: CdpError = c.clone().into();
+        assert_eq!(e, CdpError::Config(c));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = CdpError::TranslationFailure {
+            addr: VirtAddr(0x10),
+        };
+        assert!(std::error::Error::source(&u).is_none());
+    }
+}

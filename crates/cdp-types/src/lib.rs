@@ -26,11 +26,13 @@
 
 pub mod addr;
 pub mod config;
+pub mod error;
 pub mod request;
 pub mod rng;
 pub mod validate;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr};
+pub use error::CdpError;
 pub use config::{
     AdaptiveConfig, ArbiterConfig, BusConfig, CacheConfig, ContentConfig, CoreConfig,
     MarkovConfig, PrefetchersConfig, ReplacementPolicy, StreamConfig, StrideConfig, SystemConfig,

@@ -133,6 +133,22 @@ impl Workload {
         Ok(())
     }
 
+    /// [`Workload::validate`] as a typed error: the first unmapped trace
+    /// access becomes a [`cdp_types::CdpError::CorruptWorkload`] carrying
+    /// the benchmark name, uop index, and faulting address.
+    ///
+    /// # Errors
+    ///
+    /// Returns `CdpError::CorruptWorkload` for the first unmapped access.
+    pub fn check(&self) -> Result<(), cdp_types::CdpError> {
+        self.validate()
+            .map_err(|(uop, addr)| cdp_types::CdpError::CorruptWorkload {
+                benchmark: self.name.clone(),
+                uop,
+                addr,
+            })
+    }
+
     /// A one-paragraph characterization: uop mix percentages and the
     /// mapped footprint (a debugging/reporting aid).
     pub fn summary(&self) -> String {
@@ -733,8 +749,8 @@ mod tests {
     fn every_benchmark_trace_is_fully_mapped() {
         for b in Benchmark::all() {
             let w = b.build(Scale::smoke(), 5);
-            if let Err((i, a)) = w.validate() {
-                panic!("{b}: uop {i} targets unmapped {a}");
+            if let Err(e) = w.check() {
+                panic!("{e}");
             }
         }
     }
@@ -748,6 +764,28 @@ mod tests {
         let (idx, addr) = w.validate().unwrap_err();
         assert_eq!(idx, w.program.len() - 1);
         assert_eq!(addr, cdp_types::VirtAddr(0x7777_0000));
+    }
+
+    #[test]
+    fn check_wraps_the_fault_in_a_typed_error() {
+        let mut w = Benchmark::Slsb.build(Scale::smoke(), 5);
+        assert!(w.check().is_ok());
+        w.program
+            .uops
+            .push(cdp_core::Uop::load(0, cdp_types::VirtAddr(0x7777_0000), 1, None));
+        let err = w.check().unwrap_err();
+        match err {
+            cdp_types::CdpError::CorruptWorkload {
+                benchmark,
+                uop,
+                addr,
+            } => {
+                assert_eq!(benchmark, "slsb");
+                assert_eq!(uop, w.program.len() - 1);
+                assert_eq!(addr, cdp_types::VirtAddr(0x7777_0000));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,18 +1,41 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, full test suite, and a smoke pass of every
-# experiment through the parallel engine. No network access required —
-# the workspace has zero registry dependencies (criterion lives in the
-# excluded cdp-bench crate).
+# Tier-1 gate: offline build, full test suite, lint, and a smoke pass of
+# every experiment through the parallel engine — both fault-free and
+# under injected faults. No network access required — the workspace has
+# zero registry dependencies (criterion lives in the excluded cdp-bench
+# crate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release, offline) =="
 cargo build --release --workspace
 
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test -q --release --workspace
 
 echo "== experiments all --smoke --jobs 2 =="
 ./target/release/experiments all --smoke --jobs 2 > /dev/null
+
+echo "== fault-injection smoke (expect partial-failure exit 3) =="
+# Unmap two trace pages of slsb: its cells must gap out, every other
+# cell must complete, and the run must exit with the documented
+# partial-failure code.
+set +e
+./target/release/experiments table2 --smoke --jobs 2 --keep-going \
+    --fault unmap:slsb:7:2 > /dev/null 2> /tmp/cdp-fault-smoke.err
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+    echo "fault smoke: expected exit 3 (partial failure), got $code" >&2
+    cat /tmp/cdp-fault-smoke.err >&2
+    exit 1
+fi
+grep -q "FAILURE REPORT" /tmp/cdp-fault-smoke.err || {
+    echo "fault smoke: missing failure report on stderr" >&2
+    exit 1
+}
 
 echo "ci: OK"
