@@ -3,13 +3,32 @@
 //! ```text
 //! experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]
 //!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
-//!             [--retries N]
+//!             [--retries N] [--emit-manifest <dir>] [--trace]
+//!             [--trace-filter SPEC] [--metrics-window UOPS]
+//!             [--verbose-timing]
 //! experiments all [--quick] [--jobs N]
 //! ```
 //!
 //! `--jobs N` caps the simulation worker threads (default: every
 //! available core). Output is byte-identical at any job count; per-id
-//! wall times go to stderr so stdout stays comparable.
+//! wall times go to stderr under `--verbose-timing` so stdout stays
+//! comparable.
+//!
+//! Observability (see EXPERIMENTS.md and DESIGN.md §7):
+//!
+//! * `--emit-manifest <dir>` — write `manifest.json` (config
+//!   fingerprints, per-cell status/attempts/wall-time, aggregates) plus
+//!   any captured JSONL series into `<dir>`.
+//! * `--trace` — capture structured trace events (ring-buffered) from
+//!   every sweep cell; `--trace-filter SPEC` restricts the categories
+//!   (`vam,issue,drop,depth,rescan,mshr,fault` or `all`) and implies
+//!   `--trace`.
+//! * `--metrics-window UOPS` — emit a `metrics.jsonl` time-series with
+//!   one record per `UOPS` retired µops per cell.
+//!
+//! The three capture flags require `--emit-manifest`. With all of them
+//! off, simulated state and stdout are byte-identical to a build without
+//! the observability layer.
 //!
 //! Fault tolerance:
 //!
@@ -34,8 +53,9 @@ use cdp_experiments::{
     context, extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution,
     sensitivity, suite_summary, table1, table2, tlb, ExpScale,
 };
+use cdp_experiments::obs;
 use cdp_sim::{FaultPlan, FaultSpec, Pool, RunPolicy};
-use cdp_types::VamConfig;
+use cdp_types::{ObsConfig, TraceConfig, TraceFilter, VamConfig};
 
 const ALL: [&str; 19] = [
     "table1", "fig1", "table2", "fig2", "fig34", "fig7", "fig8", "fig9", "fig10", "fig11",
@@ -161,6 +181,10 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut fault_specs: Vec<FaultSpec> = Vec::new();
     let mut policy = RunPolicy::default();
+    let mut trace = false;
+    let mut trace_filter: Option<TraceFilter> = None;
+    let mut metrics_window: Option<u64> = None;
+    let mut manifest_dir: Option<std::path::PathBuf> = None;
     let mut expecting: Option<&str> = None;
     for a in &args {
         if let Some(flag) = expecting.take() {
@@ -199,6 +223,25 @@ fn main() {
                         std::process::exit(2);
                     }
                 },
+                "--trace-filter" => match TraceFilter::parse(a) {
+                    Ok(f) => {
+                        trace = true;
+                        trace_filter = Some(f);
+                    }
+                    Err(e) => {
+                        eprintln!("bad --trace-filter spec {a:?}: {e}");
+                        eprintln!("expected a comma-separated subset of vam,issue,drop,depth,rescan,mshr,fault (or: all)");
+                        std::process::exit(2);
+                    }
+                },
+                "--metrics-window" => match a.parse::<u64>() {
+                    Ok(n) if n > 0 => metrics_window = Some(n),
+                    _ => {
+                        eprintln!("--metrics-window requires a positive number of uops, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
+                "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
                 _ => unreachable!("expecting only set for value-taking flags"),
             }
             continue;
@@ -208,7 +251,10 @@ fn main() {
             "--quick" => scale = ExpScale::Quick,
             "--full" => scale = ExpScale::Full,
             "--keep-going" => context::set_keep_going(true),
-            "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries" => {
+            "--trace" => trace = true,
+            "--verbose-timing" => context::set_verbose_timing(true),
+            "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
+            | "--trace-filter" | "--metrics-window" | "--emit-manifest" => {
                 expecting = Some(a.as_str());
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
@@ -226,8 +272,16 @@ fn main() {
         eprintln!(
             "       [--keep-going] [--fault SPEC]... [--cell-timeout SECS] [--retries N]"
         );
+        eprintln!(
+            "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
+             [--metrics-window UOPS] [--verbose-timing]"
+        );
         eprintln!("ids: {}  (or: all)", ALL.join(" "));
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
+        std::process::exit(2);
+    }
+    if (trace || metrics_window.is_some()) && manifest_dir.is_none() {
+        eprintln!("--trace/--trace-filter/--metrics-window require --emit-manifest <dir>");
         std::process::exit(2);
     }
     if !fault_specs.is_empty() {
@@ -236,15 +290,28 @@ fn main() {
     if policy != RunPolicy::default() {
         context::set_policy(policy);
     }
+    if manifest_dir.is_some() {
+        context::enable_obs(ObsConfig {
+            trace: trace.then(|| TraceConfig {
+                filter: trace_filter.unwrap_or_default(),
+                ..TraceConfig::default()
+            }),
+            metrics_window,
+        });
+    }
     let pool = jobs.map_or_else(Pool::default, Pool::new);
     for id in ids {
         let t0 = Instant::now();
         context::set_current_experiment(&id);
         match run_one_guarded(&id, scale, &pool, csv_dir.as_deref()) {
             Ok(text) => {
-                // Wall time goes to stderr: stdout must be byte-identical
-                // at any --jobs count.
-                eprintln!("{id}: {:.1?} ({} jobs)", t0.elapsed(), pool.jobs());
+                // Wall time goes to stderr (and only under
+                // --verbose-timing): stdout must be byte-identical at any
+                // --jobs count. The manifest records it unconditionally.
+                context::obs_record_experiment(&id, t0.elapsed().as_millis() as u64);
+                if context::verbose_timing() {
+                    eprintln!("{id}: {:.1?} ({} jobs)", t0.elapsed(), pool.jobs());
+                }
                 println!("================================================================");
                 println!("== {id}  (scale: {scale:?})");
                 println!("================================================================");
@@ -252,6 +319,19 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let (Some(dir), Some(taken)) = (&manifest_dir, context::take_obs()) {
+        match obs::write_artifacts(dir, scale.name(), pool.jobs(), &taken) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("manifest write failed under {}: {e}", dir.display());
                 std::process::exit(2);
             }
         }

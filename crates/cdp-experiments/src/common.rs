@@ -4,12 +4,13 @@
 use std::sync::Arc;
 
 use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
-use cdp_sim::{JobOutcome, Pool, RunStats, SimJob, Simulator, WorkloadCache};
+use cdp_sim::{JobOutcome, JobReport, Pool, RunStats, SimJob, Simulator, WorkloadCache};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
 
 use crate::context;
+use crate::obs::CellRecord;
 
 /// How big an experiment run is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,16 @@ impl ExpScale {
             ExpScale::Smoke => Scale::smoke(),
             ExpScale::Quick => Scale::quick(),
             ExpScale::Full => Scale::full(),
+        }
+    }
+
+    /// The scale's canonical lowercase name (inverse of
+    /// [`ExpScale::parse`]; used by manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExpScale::Smoke => "smoke",
+            ExpScale::Quick => "quick",
+            ExpScale::Full => "full",
         }
     }
 
@@ -112,19 +123,54 @@ pub fn run_grid_cells(
     grid: Vec<(String, SystemConfig, Benchmark)>,
 ) -> (Vec<Option<RunStats>>, Vec<CellFailure>) {
     let plan = context::fault_plan();
+    let collect = context::obs_enabled();
+    let batch = context::obs_new_batch();
+    let mut fingerprints = Vec::new();
     let jobs: Vec<SimJob> = grid
         .into_iter()
-        .map(|(label, cfg, bench)| {
-            let mut job = SimJob::new(label, with_warmup(cfg, scale), ws.get(bench, scale));
+        .enumerate()
+        .map(|(index, (label, cfg, bench))| {
+            let cfg = with_warmup(cfg, scale);
+            if collect {
+                fingerprints.push(cdp_obs::fingerprint_hex(format!("{cfg:?}").as_bytes()));
+            }
+            let mut job = SimJob::new(label, cfg, ws.get(bench, scale));
             if let Some(wf) = plan.walk_fault(bench.name()) {
                 job = job.with_walk_fault(wf);
+            }
+            if let Some(obs) = context::obs_job_attachment(batch, index) {
+                job = job.with_obs(obs);
             }
             job
         })
         .collect();
+    let experiment = context::current_experiment();
     let mut cells = Vec::new();
     let mut failures = Vec::new();
-    for (label, outcome) in pool.run_sims_with_status(jobs, context::policy()) {
+    for (index, report) in pool
+        .run_sims_profiled(jobs, context::policy())
+        .into_iter()
+        .enumerate()
+    {
+        let JobReport {
+            label,
+            outcome,
+            wall,
+        } = report;
+        if collect {
+            context::obs_record_cell(CellRecord {
+                experiment: experiment.clone(),
+                label: label.clone(),
+                status: match &outcome {
+                    JobOutcome::Ok(_) => "ok",
+                    JobOutcome::Failed { .. } => "failed",
+                    JobOutcome::TimedOut { .. } => "timeout",
+                },
+                attempts: outcome.attempts(),
+                wall_ms: wall.as_millis() as u64,
+                config_fingerprint: fingerprints[index].clone(),
+            });
+        }
         match outcome {
             JobOutcome::Ok(stats) => cells.push(Some(stats)),
             other => {

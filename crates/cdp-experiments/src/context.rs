@@ -11,9 +11,12 @@
 //! without this module.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use cdp_sim::{FaultPlan, FaultSpec, RunPolicy};
+use cdp_sim::{FaultPlan, FaultSpec, JobObs, ObsSink, RunPolicy};
+use cdp_types::ObsConfig;
+
+use crate::obs::{CellRecord, ExperimentRecord, ObsTaken};
 
 /// One failed sweep cell, for the end-of-run report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,11 +31,25 @@ pub struct FailureRecord {
     pub attempts: u32,
 }
 
+/// Observability collection state, alive between [`enable_obs`] and
+/// [`take_obs`].
+#[derive(Debug)]
+struct ObsState {
+    cfg: ObsConfig,
+    sink: Arc<ObsSink>,
+    cells: Vec<CellRecord>,
+    experiments: Vec<ExperimentRecord>,
+    /// batch id → owning experiment id; `len()` is the next batch id.
+    batch_experiments: Vec<String>,
+}
+
 static KEEP_GOING: AtomicBool = AtomicBool::new(false);
+static VERBOSE_TIMING: AtomicBool = AtomicBool::new(false);
 static FAULT_SPECS: Mutex<Vec<FaultSpec>> = Mutex::new(Vec::new());
 static POLICY: Mutex<Option<RunPolicy>> = Mutex::new(None);
 static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
 static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
+static OBS: Mutex<Option<ObsState>> = Mutex::new(None);
 
 /// Enables (or disables) keep-going mode: failing sweep cells render as
 /// annotated gaps instead of aborting the run.
@@ -91,6 +108,100 @@ pub fn take_failures() -> Vec<FailureRecord> {
     std::mem::take(&mut *FAILURES.lock().expect("failures lock"))
 }
 
+/// The experiment id currently running (empty when none was named).
+pub fn current_experiment() -> String {
+    CURRENT_EXPERIMENT.lock().expect("experiment lock").clone()
+}
+
+/// Enables (or disables) the per-id wall-time line on stderr.
+pub fn set_verbose_timing(on: bool) {
+    VERBOSE_TIMING.store(on, Ordering::SeqCst);
+}
+
+/// Whether the per-id wall-time stderr line is enabled.
+pub fn verbose_timing() -> bool {
+    VERBOSE_TIMING.load(Ordering::SeqCst)
+}
+
+/// Starts collecting observability data (`--emit-manifest`): cell and
+/// experiment records accumulate, and — when `cfg` enables tracing or
+/// metrics windowing — grid jobs get an observation sink attached.
+pub fn enable_obs(cfg: ObsConfig) {
+    *OBS.lock().expect("obs lock") = Some(ObsState {
+        cfg,
+        sink: ObsSink::shared(),
+        cells: Vec::new(),
+        experiments: Vec::new(),
+        batch_experiments: Vec::new(),
+    });
+}
+
+/// Whether observability collection is active.
+pub fn obs_enabled() -> bool {
+    OBS.lock().expect("obs lock").is_some()
+}
+
+/// Allocates the next observation batch id, owned by the current
+/// experiment. Returns 0 when collection is off (the id is then unused).
+pub fn obs_new_batch() -> u64 {
+    let mut guard = OBS.lock().expect("obs lock");
+    match guard.as_mut() {
+        None => 0,
+        Some(state) => {
+            let id = state.batch_experiments.len() as u64;
+            state.batch_experiments.push(current_experiment());
+            id
+        }
+    }
+}
+
+/// The observation attachment for grid job `index` of `batch`, or `None`
+/// when collection is off or neither tracing nor windowing is requested.
+pub fn obs_job_attachment(batch: u64, index: usize) -> Option<JobObs> {
+    let guard = OBS.lock().expect("obs lock");
+    let state = guard.as_ref()?;
+    if !state.cfg.is_enabled() {
+        return None;
+    }
+    Some(JobObs {
+        cfg: state.cfg.clone(),
+        sink: Arc::clone(&state.sink),
+        batch,
+        index,
+    })
+}
+
+/// Records one finished grid cell for the manifest. No-op when
+/// collection is off.
+pub fn obs_record_cell(record: CellRecord) {
+    if let Some(state) = OBS.lock().expect("obs lock").as_mut() {
+        state.cells.push(record);
+    }
+}
+
+/// Records one finished experiment id's wall time for the manifest.
+/// No-op when collection is off.
+pub fn obs_record_experiment(id: &str, wall_ms: u64) {
+    if let Some(state) = OBS.lock().expect("obs lock").as_mut() {
+        state.experiments.push(ExperimentRecord {
+            id: id.to_string(),
+            wall_ms,
+        });
+    }
+}
+
+/// Ends collection and returns everything accumulated, with sink entries
+/// drained in `(batch, index)` order. `None` if collection was off.
+pub fn take_obs() -> Option<ObsTaken> {
+    let state = OBS.lock().expect("obs lock").take()?;
+    Some(ObsTaken {
+        cells: state.cells,
+        experiments: state.experiments,
+        entries: state.sink.drain_sorted(),
+        batch_experiments: state.batch_experiments,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +212,39 @@ mod tests {
         // so the defaults observed here are the process-wide truth.
         assert!(fault_plan().is_empty());
         assert_eq!(policy(), RunPolicy::default());
+    }
+
+    #[test]
+    fn obs_lifecycle_collects_and_drains() {
+        // Collection disabled: every hook is a cheap no-op.
+        assert!(obs_job_attachment(0, 0).is_none());
+        obs_record_cell(CellRecord {
+            experiment: "none".into(),
+            label: "dropped".into(),
+            status: "ok",
+            attempts: 1,
+            wall_ms: 1,
+            config_fingerprint: String::new(),
+        });
+        // Enabled with an all-off ObsConfig: records accumulate but jobs
+        // get no sink attachment (plain try_run path).
+        enable_obs(ObsConfig::default());
+        assert!(obs_enabled());
+        assert!(obs_job_attachment(obs_new_batch(), 0).is_none());
+        obs_record_cell(CellRecord {
+            experiment: "ctx-obs-test".into(),
+            label: "ctx-obs-cell".into(),
+            status: "ok",
+            attempts: 1,
+            wall_ms: 5,
+            config_fingerprint: "deadbeefdeadbeef".into(),
+        });
+        obs_record_experiment("ctx-obs-test", 9);
+        let taken = take_obs().expect("collection was on");
+        assert!(taken.cells.iter().any(|c| c.label == "ctx-obs-cell"));
+        assert!(taken.cells.iter().all(|c| c.label != "dropped"));
+        assert!(taken.experiments.iter().any(|e| e.id == "ctx-obs-test"));
+        assert!(take_obs().is_none(), "take ends collection");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod fig34;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs;
 pub mod pollution;
 pub mod report;
 pub mod sensitivity;

@@ -1,0 +1,319 @@
+//! Run-manifest assembly and artifact emission for `--emit-manifest`.
+//!
+//! The experiments binary collects three streams while it runs — per-cell
+//! [`CellRecord`]s from the grids, per-id [`ExperimentRecord`]s from the
+//! main loop, and per-run [`cdp_sim::Observation`]s from the obs sink —
+//! and this module turns them into the on-disk artifacts:
+//!
+//! * `manifest.json` — one schema-versioned document per invocation
+//!   (config fingerprints, per-cell status/attempts/wall-time, suite
+//!   aggregates) validated by [`cdp_obs::validate`];
+//! * `metrics.jsonl` — one line per metrics window per observed run;
+//! * `trace.jsonl` — one line per captured trace event.
+//!
+//! All ordering is `(batch, index)` submission order, so artifacts are
+//! byte-identical at any `--jobs` count.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cdp_obs::{Json, SCHEMA_VERSION};
+use cdp_sim::ObsEntry;
+
+use crate::common::SEED;
+
+/// One finished sweep cell, as the manifest reports it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Owning experiment id (e.g. `tlb`).
+    pub experiment: String,
+    /// The cell's grid label.
+    pub label: String,
+    /// `ok`, `failed`, or `timeout`.
+    pub status: &'static str,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Wall-clock milliseconds the cell's job consumed.
+    pub wall_ms: u64,
+    /// FNV-1a fingerprint of the cell's full `SystemConfig`.
+    pub config_fingerprint: String,
+}
+
+impl CellRecord {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("experiment", Json::Str(self.experiment.clone()));
+        o.set("label", Json::Str(self.label.clone()));
+        o.set("status", Json::Str(self.status.to_string()));
+        o.set("attempts", Json::U64(u64::from(self.attempts)));
+        o.set("wall_ms", Json::U64(self.wall_ms));
+        o.set(
+            "config_fingerprint",
+            Json::Str(self.config_fingerprint.clone()),
+        );
+        o
+    }
+}
+
+/// One experiment id's wall time, as the manifest reports it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. `fig9`).
+    pub id: String,
+    /// Wall-clock milliseconds for the whole experiment.
+    pub wall_ms: u64,
+}
+
+impl ExperimentRecord {
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("id", Json::Str(self.id.clone()));
+        o.set("wall_ms", Json::U64(self.wall_ms));
+        o
+    }
+}
+
+/// Everything the run accumulated for artifact emission.
+#[derive(Debug, Default)]
+pub struct ObsTaken {
+    /// Per-cell records, in recording order (submission order per grid).
+    pub cells: Vec<CellRecord>,
+    /// Per-experiment wall times, in invocation order.
+    pub experiments: Vec<ExperimentRecord>,
+    /// Drained observations in `(batch, index)` order.
+    pub entries: Vec<ObsEntry>,
+    /// batch id → owning experiment id (parallel to batch allocation).
+    pub batch_experiments: Vec<String>,
+}
+
+impl ObsTaken {
+    fn batch_experiment(&self, batch: u64) -> &str {
+        self.batch_experiments
+            .get(batch as usize)
+            .map_or("", String::as_str)
+    }
+}
+
+/// Builds the `manifest.json` document.
+#[must_use]
+pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
+    let mut counts = (0u64, 0u64, 0u64); // ok, failed, timeout
+    let mut wall_ms_total = 0u64;
+    for c in &taken.cells {
+        match c.status {
+            "ok" => counts.0 += 1,
+            "failed" => counts.1 += 1,
+            _ => counts.2 += 1,
+        }
+        wall_ms_total += c.wall_ms;
+    }
+    let windows_total: u64 = taken
+        .entries
+        .iter()
+        .map(|e| e.observation.windows.len() as u64)
+        .sum();
+    let (mut events_total, mut recorded, mut overwritten, mut sampled_out) = (0u64, 0, 0, 0);
+    for e in &taken.entries {
+        events_total += e.observation.events.len() as u64;
+        recorded += e.observation.trace_recorded;
+        overwritten += e.observation.trace_overwritten;
+        sampled_out += e.observation.trace_sampled_out;
+    }
+    let mut aggregates = Json::obj();
+    aggregates.set("cells_total", Json::U64(taken.cells.len() as u64));
+    aggregates.set("cells_ok", Json::U64(counts.0));
+    aggregates.set("cells_failed", Json::U64(counts.1));
+    aggregates.set("cells_timeout", Json::U64(counts.2));
+    aggregates.set("cell_wall_ms_total", Json::U64(wall_ms_total));
+    aggregates.set("metrics_windows_total", Json::U64(windows_total));
+    aggregates.set("trace_events_total", Json::U64(events_total));
+    aggregates.set("trace_recorded_total", Json::U64(recorded));
+    aggregates.set("trace_overwritten_total", Json::U64(overwritten));
+    aggregates.set("trace_sampled_out_total", Json::U64(sampled_out));
+
+    let mut doc = Json::obj();
+    doc.set("schema_version", Json::U64(SCHEMA_VERSION));
+    doc.set("tool", Json::Str("cdp-experiments".to_string()));
+    doc.set("scale", Json::Str(scale.to_string()));
+    doc.set("jobs", Json::U64(jobs as u64));
+    doc.set("seed", Json::U64(SEED));
+    doc.set(
+        "experiments",
+        Json::Arr(taken.experiments.iter().map(ExperimentRecord::to_json).collect()),
+    );
+    doc.set(
+        "cells",
+        Json::Arr(taken.cells.iter().map(CellRecord::to_json).collect()),
+    );
+    doc.set("aggregates", aggregates);
+    doc
+}
+
+/// Renders `metrics.jsonl`: one line per window per observed run.
+#[must_use]
+pub fn render_metrics_jsonl(taken: &ObsTaken) -> String {
+    let mut out = String::new();
+    for e in &taken.entries {
+        for w in &e.observation.windows {
+            let mut line = Json::obj();
+            line.set(
+                "experiment",
+                Json::Str(taken.batch_experiment(e.batch).to_string()),
+            );
+            line.set("label", Json::Str(e.label.clone()));
+            let Json::Obj(fields) = w.to_json() else {
+                unreachable!("MetricsWindow::to_json always yields an object");
+            };
+            for (k, v) in fields {
+                line.set(&k, v);
+            }
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders `trace.jsonl`: one line per captured event.
+#[must_use]
+pub fn render_trace_jsonl(taken: &ObsTaken) -> String {
+    let mut out = String::new();
+    for e in &taken.entries {
+        for ev in &e.observation.events {
+            let mut line = Json::obj();
+            line.set(
+                "experiment",
+                Json::Str(taken.batch_experiment(e.batch).to_string()),
+            );
+            line.set("label", Json::Str(e.label.clone()));
+            line.set("event", ev.to_json());
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes the artifact set into `dir`, returning the written paths.
+///
+/// `manifest.json` is always written; `metrics.jsonl` / `trace.jsonl`
+/// only when the run actually captured windows / events.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifacts(
+    dir: &Path,
+    scale: &str,
+    jobs: usize,
+    taken: &ObsTaken,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let manifest = build_manifest(scale, jobs, taken);
+    debug_assert!(
+        cdp_obs::validate(&manifest).is_ok(),
+        "emitted manifest must self-validate"
+    );
+    let mut paths = Vec::new();
+    let mut write = |name: &str, text: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(text.as_bytes())?;
+        paths.push(path);
+        Ok(())
+    };
+    write("manifest.json", format!("{manifest}\n"))?;
+    let metrics = render_metrics_jsonl(taken);
+    if !metrics.is_empty() {
+        write("metrics.jsonl", metrics)?;
+    }
+    let trace = render_trace_jsonl(taken);
+    if !trace.is_empty() {
+        write("trace.jsonl", trace)?;
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_sim::{MetricsWindow, Observation};
+
+    fn sample_taken() -> ObsTaken {
+        ObsTaken {
+            cells: vec![
+                CellRecord {
+                    experiment: "tlb".into(),
+                    label: "64/slsb".into(),
+                    status: "ok",
+                    attempts: 1,
+                    wall_ms: 12,
+                    config_fingerprint: "00baddecafc0ffee".into(),
+                },
+                CellRecord {
+                    experiment: "tlb".into(),
+                    label: "128/slsb".into(),
+                    status: "timeout",
+                    attempts: 1,
+                    wall_ms: 900,
+                    config_fingerprint: "00baddecafc0ffee".into(),
+                },
+            ],
+            experiments: vec![ExperimentRecord {
+                id: "tlb".into(),
+                wall_ms: 950,
+            }],
+            entries: vec![ObsEntry {
+                batch: 0,
+                index: 0,
+                label: "64/slsb".into(),
+                observation: Observation {
+                    windows: vec![MetricsWindow {
+                        window: 0,
+                        retired: 1000,
+                        cycles: 2000,
+                        ..MetricsWindow::default()
+                    }],
+                    ..Observation::default()
+                },
+            }],
+            batch_experiments: vec!["tlb".into()],
+        }
+    }
+
+    #[test]
+    fn manifest_validates_and_aggregates() {
+        let taken = sample_taken();
+        let doc = build_manifest("smoke", 4, &taken);
+        cdp_obs::validate(&doc).expect("schema-valid");
+        let agg = doc.get("aggregates").unwrap();
+        assert_eq!(agg.get("cells_total").unwrap().as_u64(), Some(2));
+        assert_eq!(agg.get("cells_ok").unwrap().as_u64(), Some(1));
+        assert_eq!(agg.get("cells_timeout").unwrap().as_u64(), Some(1));
+        assert_eq!(agg.get("metrics_windows_total").unwrap().as_u64(), Some(1));
+        // Round-trips through the parser.
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        cdp_obs::validate(&reparsed).expect("still valid after round-trip");
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_parse_and_carry_provenance() {
+        let taken = sample_taken();
+        let text = render_metrics_jsonl(&taken);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let j = Json::parse(lines[0]).unwrap();
+        assert_eq!(j.get("experiment").unwrap().as_str(), Some("tlb"));
+        assert_eq!(j.get("label").unwrap().as_str(), Some("64/slsb"));
+        assert_eq!(j.get("retired").unwrap().as_u64(), Some(1000));
+    }
+
+    #[test]
+    fn empty_streams_render_empty() {
+        let taken = ObsTaken::default();
+        assert!(render_metrics_jsonl(&taken).is_empty());
+        assert!(render_trace_jsonl(&taken).is_empty());
+        let doc = build_manifest("quick", 1, &taken);
+        cdp_obs::validate(&doc).expect("empty run still schema-valid");
+    }
+}

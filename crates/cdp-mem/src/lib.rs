@@ -32,7 +32,7 @@ pub mod vmem;
 pub use arbiter::{Arbiter, EnqueueOutcome};
 pub use bus::{Bus, BusStats};
 pub use cache::{AccessResult, Cache, Entry, EvictClass, EvictedLine};
-pub use mshr::{InFlight, MshrFile};
+pub use mshr::{InFlight, MshrFile, MshrStats};
 pub use phys::PhysMem;
 pub use tlb::Tlb;
 pub use vmem::{AddressSpace, WalkResult};

@@ -35,6 +35,22 @@ pub struct InFlight {
     pub issued_at: u64,
 }
 
+/// Lifetime counters for MSHR traffic, separating "a request merged into
+/// an in-flight fill" (the §3.5 promotion path, a *partial* latency mask)
+/// from plain inserts. The hierarchy's `DropCounters` record *why* a
+/// prefetch died; these record what the MSHR file itself did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Fills registered.
+    pub inserts: u64,
+    /// Merges into an in-flight fill (`promote` found an entry).
+    pub merges: u64,
+    /// Merges that actually raised the in-flight request's priority.
+    pub priority_raises: u64,
+    /// Completion times moved earlier by demand promotion.
+    pub expedites: u64,
+}
+
 /// The in-flight table.
 ///
 /// # Examples
@@ -54,6 +70,7 @@ pub struct InFlight {
 #[derive(Clone, Debug, Default)]
 pub struct MshrFile {
     inflight: HashMap<u32, InFlight>,
+    stats: MshrStats,
 }
 
 impl MshrFile {
@@ -117,6 +134,12 @@ impl MshrFile {
             },
         );
         debug_assert!(prev.is_none(), "duplicate in-flight fill for {line}");
+        self.stats.inserts += 1;
+    }
+
+    /// Lifetime traffic counters.
+    pub fn stats(&self) -> &MshrStats {
+        &self.stats
     }
 
     /// Promotes an in-flight fill to (at least) the priority and depth of
@@ -124,8 +147,10 @@ impl MshrFile {
     pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {
         match self.inflight.get_mut(&line.0) {
             Some(f) => {
+                self.stats.merges += 1;
                 if kind.priority() > f.kind.priority() {
                     f.kind = kind;
+                    self.stats.priority_raises += 1;
                 }
                 true
             }
@@ -139,7 +164,10 @@ impl MshrFile {
     pub fn expedite(&mut self, line: LineAddr, new_complete_at: u64) -> bool {
         match self.inflight.get_mut(&line.0) {
             Some(f) => {
-                f.complete_at = f.complete_at.min(new_complete_at);
+                if new_complete_at < f.complete_at {
+                    f.complete_at = new_complete_at;
+                    self.stats.expedites += 1;
+                }
                 true
             }
             None => false,
@@ -218,5 +246,49 @@ mod tests {
         fly(&mut m, 0x40, RequestKind::Demand, 500);
         assert!(m.drain_complete(499).is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn stats_separate_merges_from_inserts() {
+        let mut m = MshrFile::new();
+        fly(&mut m, 0x40, RequestKind::Content { depth: 2 }, 100);
+        fly(&mut m, 0x80, RequestKind::Stride, 200);
+        assert_eq!(m.stats().inserts, 2);
+        assert_eq!(m.stats().merges, 0);
+
+        // A prefetch hitting an in-flight line is an MSHR merge (the
+        // hierarchy counts it under drops.in_flight); a prefetch hitting a
+        // *resident* line never reaches the MSHR file at all, so nothing
+        // here moves for that case.
+        assert!(m.promote(LineAddr(0x40), RequestKind::Content { depth: 1 }));
+        assert_eq!(m.stats().merges, 1);
+        // depth 1 outranks depth 2 (priority 100 - depth), so it raises.
+        assert_eq!(m.stats().priority_raises, 1);
+
+        // A demand merge on the same line raises again …
+        assert!(m.promote(LineAddr(0x40), RequestKind::Demand));
+        assert_eq!(m.stats().merges, 2);
+        assert_eq!(m.stats().priority_raises, 2);
+        // … but a weaker merge counts as a merge without a raise.
+        assert!(m.promote(LineAddr(0x40), RequestKind::Markov));
+        assert_eq!(m.stats().merges, 3);
+        assert_eq!(m.stats().priority_raises, 2);
+
+        // Missing line: not a merge.
+        assert!(!m.promote(LineAddr(0xc0), RequestKind::Demand));
+        assert_eq!(m.stats().merges, 3);
+    }
+
+    #[test]
+    fn stats_count_effective_expedites_only() {
+        let mut m = MshrFile::new();
+        fly(&mut m, 0x40, RequestKind::Content { depth: 1 }, 500);
+        assert!(m.expedite(LineAddr(0x40), 300));
+        assert_eq!(m.lookup(LineAddr(0x40)).unwrap().complete_at, 300);
+        // Later completion is ignored and not counted.
+        assert!(m.expedite(LineAddr(0x40), 400));
+        assert_eq!(m.lookup(LineAddr(0x40)).unwrap().complete_at, 300);
+        assert_eq!(m.stats().expedites, 1);
+        assert!(!m.expedite(LineAddr(0x80), 100));
     }
 }

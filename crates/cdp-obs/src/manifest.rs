@@ -1,0 +1,183 @@
+//! Run-manifest schema helpers.
+//!
+//! A manifest is a single JSON object describing one `experiments`
+//! invocation: what ran, with which configs (fingerprinted), how long each
+//! cell took, how retries/timeouts played out, and suite-level aggregates.
+//! The schema is deliberately flat and additive — consumers must tolerate
+//! unknown keys — but the keys in [`REQUIRED_KEYS`] are guaranteed, and
+//! [`validate`] enforces them plus basic shape checks.
+
+use crate::json::Json;
+
+/// Manifest schema version; bump when a required key changes meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Keys every valid manifest must carry at the top level.
+pub const REQUIRED_KEYS: &[&str] = &[
+    "schema_version",
+    "tool",
+    "scale",
+    "jobs",
+    "seed",
+    "experiments",
+    "cells",
+    "aggregates",
+];
+
+/// Keys every cell record must carry.
+pub const CELL_KEYS: &[&str] = &["experiment", "label", "status", "attempts", "wall_ms", "config_fingerprint"];
+
+/// FNV-1a 64-bit hash, used to fingerprint a config's `Debug` rendering.
+/// Stable across runs (no randomized state), cheap, and dependency-free.
+#[must_use]
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fingerprint`] rendered as a fixed-width hex string.
+#[must_use]
+pub fn fingerprint_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fingerprint(bytes))
+}
+
+/// Validates a parsed manifest document.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint: a missing
+/// required key, a non-object document, a wrong schema version, or a
+/// malformed `experiments` / `cells` entry.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("manifest must be a JSON object".to_string());
+    }
+    for key in REQUIRED_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("manifest missing required key {key:?}"));
+        }
+    }
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+        None => return Err("schema_version must be an unsigned integer".to_string()),
+    }
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "experiments must be an array".to_string())?;
+    for (i, e) in experiments.iter().enumerate() {
+        if e.get("id").and_then(Json::as_str).is_none() {
+            return Err(format!("experiments[{i}] missing string key \"id\""));
+        }
+        if e.get("wall_ms").and_then(Json::as_f64).is_none() {
+            return Err(format!("experiments[{i}] missing numeric key \"wall_ms\""));
+        }
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "cells must be an array".to_string())?;
+    for (i, cell) in cells.iter().enumerate() {
+        for key in CELL_KEYS {
+            if cell.get(key).is_none() {
+                return Err(format!("cells[{i}] missing required key {key:?}"));
+            }
+        }
+        let status = cell.get("status").and_then(Json::as_str).unwrap_or("");
+        if !matches!(status, "ok" | "failed" | "timeout") {
+            return Err(format!("cells[{i}] has invalid status {status:?}"));
+        }
+    }
+    if !matches!(doc.get("aggregates"), Some(Json::Obj(_))) {
+        return Err("aggregates must be an object".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_manifest() -> Json {
+        let mut cell = Json::obj();
+        cell.set("experiment", Json::Str("table2".into()));
+        cell.set("label", Json::Str("slsb".into()));
+        cell.set("status", Json::Str("ok".into()));
+        cell.set("attempts", Json::U64(1));
+        cell.set("wall_ms", Json::F64(12.5));
+        cell.set("config_fingerprint", Json::Str(fingerprint_hex(b"cfg")));
+        let mut exp = Json::obj();
+        exp.set("id", Json::Str("table2".into()));
+        exp.set("wall_ms", Json::F64(30.0));
+        let mut doc = Json::obj();
+        doc.set("schema_version", Json::U64(SCHEMA_VERSION));
+        doc.set("tool", Json::Str("cdp-experiments".into()));
+        doc.set("scale", Json::Str("smoke".into()));
+        doc.set("jobs", Json::U64(2));
+        doc.set("seed", Json::U64(0x5eed_2002));
+        doc.set("experiments", Json::Arr(vec![exp]));
+        doc.set("cells", Json::Arr(vec![cell]));
+        doc.set("aggregates", Json::obj());
+        doc
+    }
+
+    #[test]
+    fn fingerprint_is_stable_fnv1a() {
+        // FNV-1a test vectors.
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint_hex(b"a").len(), 16);
+        assert_ne!(fingerprint(b"cfg1"), fingerprint(b"cfg2"));
+    }
+
+    #[test]
+    fn validate_accepts_minimal() {
+        let doc = minimal_manifest();
+        validate(&doc).expect("valid manifest");
+        // And survives a serialize/parse round trip.
+        let back = Json::parse(&doc.to_string()).unwrap();
+        validate(&back).expect("valid after roundtrip");
+    }
+
+    #[test]
+    fn validate_rejects_missing_key() {
+        for key in REQUIRED_KEYS {
+            let doc = minimal_manifest();
+            let Json::Obj(pairs) = doc else { unreachable!() };
+            let stripped =
+                Json::Obj(pairs.into_iter().filter(|(k, _)| k != key).collect());
+            let err = validate(&stripped).unwrap_err();
+            assert!(err.contains(key), "error {err:?} should name {key:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(validate(&Json::Arr(vec![])).is_err());
+
+        let mut doc = minimal_manifest();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        pairs.iter_mut().find(|(k, _)| k == "schema_version").unwrap().1 = Json::U64(99);
+        assert!(validate(&doc).unwrap_err().contains("schema_version"));
+
+        let mut doc = minimal_manifest();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        let bad_cell = {
+            let mut c = Json::obj();
+            c.set("experiment", Json::Str("x".into()));
+            c.set("label", Json::Str("y".into()));
+            c.set("status", Json::Str("exploded".into()));
+            c.set("attempts", Json::U64(1));
+            c.set("wall_ms", Json::F64(1.0));
+            c.set("config_fingerprint", Json::Str("0".into()));
+            c
+        };
+        pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1 = Json::Arr(vec![bad_cell]);
+        assert!(validate(&doc).unwrap_err().contains("status"));
+    }
+}

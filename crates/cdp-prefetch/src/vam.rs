@@ -24,6 +24,78 @@
 
 use cdp_types::{VamConfig, VirtAddr, LINE_SIZE, WORD_SIZE};
 
+/// The outcome of classifying one word against the VAM heuristic, naming
+/// which test rejected it. The observability layer records this per-word;
+/// the hot path only cares about [`VamVerdict::Accept`] via
+/// [`is_candidate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VamVerdict {
+    /// The word looks like a pointer: prefetch it.
+    Accept,
+    /// Low `align_bits` were not zero.
+    RejectAlign,
+    /// Upper `compare_bits` did not match the trigger address.
+    RejectCompare,
+    /// The word sits in an all-zeros/all-ones region and its filter bits
+    /// did not discriminate it from a small integer.
+    RejectFilter,
+}
+
+/// Classifies `word` against the fill's triggering effective address,
+/// reporting which VAM test (align, compare, filter) decided its fate.
+///
+/// This is the single source of truth for the heuristic; [`is_candidate`]
+/// is a thin wrapper, so the two can never disagree.
+#[inline]
+pub fn classify(word: u32, trigger_ea: VirtAddr, cfg: &VamConfig) -> VamVerdict {
+    // Alignment test first (cheapest): low `align_bits` must be zero.
+    if cfg.align_bits > 0 && word.trailing_zeros() < cfg.align_bits {
+        return VamVerdict::RejectAlign;
+    }
+    let n = cfg.compare_bits;
+    if n == 0 || n >= 32 {
+        // Degenerate configurations: 0 compare bits matches everything
+        // aligned; >=32 requires exact equality with the trigger.
+        return if n == 0 || word == trigger_ea.0 {
+            VamVerdict::Accept
+        } else {
+            VamVerdict::RejectCompare
+        };
+    }
+    let shift = 32 - n;
+    let upper_word = word >> shift;
+    let upper_ea = trigger_ea.0 >> shift;
+    if upper_word != upper_ea {
+        return VamVerdict::RejectCompare;
+    }
+    let all_ones_pattern = (1u32 << n) - 1;
+    let all_zeros = upper_word == 0;
+    let all_ones = upper_word == all_ones_pattern;
+    if !all_zeros && !all_ones {
+        return VamVerdict::Accept;
+    }
+    // Extreme regions: consult the filter bits. Zero filter bits means no
+    // prediction here at all.
+    if cfg.filter_bits == 0 {
+        return VamVerdict::RejectFilter;
+    }
+    let m = cfg.filter_bits.min(32 - n);
+    let filter = (word >> (32 - n - m)) & ((1u32 << m) - 1);
+    let passes = if all_zeros {
+        // A "likely address" must have some non-zero bit just below the
+        // compare field, i.e. be large enough to not be a small integer.
+        filter != 0
+    } else {
+        // Upper region: look for a non-one bit (reject small negatives).
+        filter != (1u32 << m) - 1
+    };
+    if passes {
+        VamVerdict::Accept
+    } else {
+        VamVerdict::RejectFilter
+    }
+}
+
 /// Decides whether `word` looks like a pointer given the fill's triggering
 /// effective address.
 ///
@@ -40,44 +112,9 @@ use cdp_types::{VamConfig, VirtAddr, LINE_SIZE, WORD_SIZE};
 /// // Upper byte differs: rejected.
 /// assert!(!is_candidate(0x20ab_cde0, trigger, &cfg));
 /// ```
+#[inline]
 pub fn is_candidate(word: u32, trigger_ea: VirtAddr, cfg: &VamConfig) -> bool {
-    // Alignment test first (cheapest): low `align_bits` must be zero.
-    if cfg.align_bits > 0 && word.trailing_zeros() < cfg.align_bits {
-        return false;
-    }
-    let n = cfg.compare_bits;
-    if n == 0 || n >= 32 {
-        // Degenerate configurations: 0 compare bits matches everything
-        // aligned; >=32 requires exact equality with the trigger.
-        return n == 0 || word == trigger_ea.0;
-    }
-    let shift = 32 - n;
-    let upper_word = word >> shift;
-    let upper_ea = trigger_ea.0 >> shift;
-    if upper_word != upper_ea {
-        return false;
-    }
-    let all_ones_pattern = (1u32 << n) - 1;
-    let all_zeros = upper_word == 0;
-    let all_ones = upper_word == all_ones_pattern;
-    if !all_zeros && !all_ones {
-        return true;
-    }
-    // Extreme regions: consult the filter bits. Zero filter bits means no
-    // prediction here at all.
-    if cfg.filter_bits == 0 {
-        return false;
-    }
-    let m = cfg.filter_bits.min(32 - n);
-    let filter = (word >> (32 - n - m)) & ((1u32 << m) - 1);
-    if all_zeros {
-        // A "likely address" must have some non-zero bit just below the
-        // compare field, i.e. be large enough to not be a small integer.
-        filter != 0
-    } else {
-        // Upper region: look for a non-one bit (reject small negatives).
-        filter != (1u32 << m) - 1
-    }
+    matches!(classify(word, trigger_ea, cfg), VamVerdict::Accept)
 }
 
 /// One candidate found while scanning a line.
@@ -203,6 +240,48 @@ mod tests {
             filter_bits: m,
             align_bits: a,
             scan_step: s,
+        }
+    }
+
+    #[test]
+    fn classify_names_the_rejecting_test() {
+        let c = cfg(8, 4, 1, 2);
+        let trigger = VirtAddr(0x1040_2000);
+        assert_eq!(classify(0x10ab_cde0, trigger, &c), VamVerdict::Accept);
+        // Odd word: align test fires before anything else.
+        assert_eq!(classify(0x10ab_cde1, trigger, &c), VamVerdict::RejectAlign);
+        // Upper byte differs from the trigger.
+        assert_eq!(classify(0x20ab_cde0, trigger, &c), VamVerdict::RejectCompare);
+        // All-zeros region trigger + small integer: filter test fires.
+        let low_trigger = VirtAddr(0x0000_2000);
+        assert_eq!(classify(0x0000_0004, low_trigger, &c), VamVerdict::RejectFilter);
+        // Degenerate n >= 32: exact match required.
+        let exact = cfg(32, 0, 0, 2);
+        assert_eq!(classify(trigger.0, trigger, &exact), VamVerdict::Accept);
+        assert_eq!(classify(trigger.0 + 4, trigger, &exact), VamVerdict::RejectCompare);
+        // Extreme region with no filter bits: no prediction at all.
+        let nofilter = cfg(8, 0, 0, 2);
+        assert_eq!(
+            classify(0x00ab_cde0, low_trigger, &nofilter),
+            VamVerdict::RejectFilter
+        );
+    }
+
+    #[test]
+    fn classify_agrees_with_is_candidate_everywhere() {
+        let mut rng = Rng::seed_from_u64(0x0b5e_7ab1e);
+        let configs = [cfg(8, 4, 1, 2), cfg(0, 0, 0, 4), cfg(32, 4, 2, 2), cfg(30, 8, 0, 1)];
+        for c in &configs {
+            for _ in 0..2000 {
+                let word = rng.next_u32();
+                let trigger = VirtAddr(rng.next_u32());
+                let verdict = classify(word, trigger, c);
+                assert_eq!(
+                    is_candidate(word, trigger, c),
+                    verdict == VamVerdict::Accept,
+                    "divergence for word {word:#x} trigger {trigger:?} cfg {c:?}"
+                );
+            }
         }
     }
 

@@ -21,14 +21,15 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cdp_types::{CdpError, SystemConfig};
+use cdp_types::{CdpError, ObsConfig, SystemConfig};
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
 
 use crate::fault::WalkFault;
 use crate::hierarchy::PollutionConfig;
+use crate::observe::{ObsEntry, ObsSink};
 use crate::runner::build_workload;
 use crate::system::{RunStats, Simulator};
 
@@ -92,6 +93,20 @@ impl<T> JobOutcome<T> {
     }
 }
 
+/// One labelled, timed [`JobOutcome`] from [`Pool::run_sims_profiled`].
+///
+/// `wall` is the job's total wall-clock time across every attempt,
+/// including retry backoff — the per-cell cost a manifest reports.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's label, unchanged.
+    pub label: String,
+    /// How the job ended.
+    pub outcome: JobOutcome<RunStats>,
+    /// Wall-clock time the job consumed (all attempts + backoff).
+    pub wall: Duration,
+}
+
 /// Retry / watchdog policy for [`Pool::run_with_status`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunPolicy {
@@ -141,6 +156,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         "task panicked".to_string()
     }
 }
+
+/// One result slot of [`Pool::run_with_status_timed`]'s scoped batch.
+type TimedSlot<T> = Mutex<Option<(JobOutcome<T>, Duration)>>;
 
 /// Drives one task through the retry/watchdog policy.
 fn run_one_with_policy<T, F>(task: Arc<F>, policy: RunPolicy) -> JobOutcome<T>
@@ -315,9 +333,27 @@ impl Pool {
         T: Send + 'static,
         F: Fn() -> Result<T, String> + Send + Sync + 'static,
     {
+        self.run_with_status_timed(tasks, policy)
+            .into_iter()
+            .map(|(outcome, _)| outcome)
+            .collect()
+    }
+
+    /// As [`Pool::run_with_status`], additionally reporting each job's
+    /// wall-clock time (all attempts plus retry backoff) for profiling
+    /// and manifest emission.
+    pub fn run_with_status_timed<T, F>(
+        &self,
+        tasks: Vec<F>,
+        policy: RunPolicy,
+    ) -> Vec<(JobOutcome<T>, Duration)>
+    where
+        T: Send + 'static,
+        F: Fn() -> Result<T, String> + Send + Sync + 'static,
+    {
         let n = tasks.len();
         let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
-        let slots: Vec<Mutex<Option<JobOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<TimedSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(n);
         thread::scope(|s| {
@@ -327,8 +363,10 @@ impl Pool {
                     if i >= n {
                         break;
                     }
+                    let start = Instant::now();
                     let outcome = run_one_with_policy(Arc::clone(&tasks[i]), policy);
-                    *slots[i].lock().expect("slot never poisoned") = Some(outcome);
+                    *slots[i].lock().expect("slot never poisoned") =
+                        Some((outcome, start.elapsed()));
                 });
             }
         });
@@ -356,6 +394,16 @@ impl Pool {
         jobs: Vec<SimJob>,
         policy: RunPolicy,
     ) -> Vec<(String, JobOutcome<RunStats>)> {
+        self.run_sims_profiled(jobs, policy)
+            .into_iter()
+            .map(|r| (r.label, r.outcome))
+            .collect()
+    }
+
+    /// As [`Pool::run_sims_with_status`], additionally timing each job
+    /// ([`JobReport::wall`]) and routing any attached [`JobObs`]
+    /// observation into its sink.
+    pub fn run_sims_profiled(&self, jobs: Vec<SimJob>, policy: RunPolicy) -> Vec<JobReport> {
         let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
         let tasks: Vec<_> = jobs
             .into_iter()
@@ -363,9 +411,32 @@ impl Pool {
             .collect();
         labels
             .into_iter()
-            .zip(self.run_with_status(tasks, policy))
+            .zip(self.run_with_status_timed(tasks, policy))
+            .map(|(label, (outcome, wall))| JobReport {
+                label,
+                outcome,
+                wall,
+            })
             .collect()
     }
+}
+
+/// Observability attachment for a [`SimJob`]: which signals to collect
+/// and where the resulting [`Observation`](crate::observe::Observation)
+/// goes.
+///
+/// The `(batch, index)` pair tags the sink entry so artifacts drain in
+/// submission order at any job count (see [`ObsSink::drain_sorted`]).
+#[derive(Clone, Debug)]
+pub struct JobObs {
+    /// What to observe (trace ring and/or metrics windowing).
+    pub cfg: ObsConfig,
+    /// Destination shared across the batch's jobs.
+    pub sink: Arc<ObsSink>,
+    /// Caller-assigned batch id (one per submission wave).
+    pub batch: u64,
+    /// Submission index within the batch.
+    pub index: usize,
 }
 
 /// One independent simulation: a configuration over a shared workload.
@@ -382,6 +453,10 @@ pub struct SimJob {
     pub pollution: Option<PollutionConfig>,
     /// Optional injected page-walk failures (fault studies).
     pub walk_fault: Option<WalkFault>,
+    /// Optional observability attachment; `None` keeps the run on the
+    /// plain [`Simulator::try_run`] path, byte-identical to a build
+    /// without tracing.
+    pub obs: Option<JobObs>,
 }
 
 impl SimJob {
@@ -393,12 +468,21 @@ impl SimJob {
             workload,
             pollution: None,
             walk_fault: None,
+            obs: None,
         }
     }
 
     /// Adds injected page-walk failures.
     pub fn with_walk_fault(mut self, f: WalkFault) -> SimJob {
         self.walk_fault = Some(f);
+        self
+    }
+
+    /// Attaches an observability sink: the run switches to
+    /// [`Simulator::try_run_observed`] and pushes its
+    /// [`Observation`](crate::observe::Observation) into `obs.sink`.
+    pub fn with_obs(mut self, obs: JobObs) -> SimJob {
+        self.obs = Some(obs);
         self
     }
 
@@ -434,7 +518,20 @@ impl SimJob {
     /// [`CdpError::Config`] for an invalid configuration, otherwise the
     /// first fault latched by the memory hierarchy.
     pub fn try_execute(&self) -> Result<RunStats, CdpError> {
-        self.simulator()?.try_run(&self.workload)
+        match &self.obs {
+            None => self.simulator()?.try_run(&self.workload),
+            Some(o) => {
+                let (stats, observation) =
+                    self.simulator()?.try_run_observed(&self.workload, &o.cfg)?;
+                o.sink.push(ObsEntry {
+                    batch: o.batch,
+                    index: o.index,
+                    label: self.label.clone(),
+                    observation,
+                });
+                Ok(stats)
+            }
+        }
     }
 }
 
@@ -741,6 +838,47 @@ mod tests {
         assert!(got[0].1.is_ok());
         assert_eq!(got[1].0, "bad");
         assert!(got[1].1.failure().unwrap().contains("configuration"));
+    }
+
+    #[test]
+    fn profiled_sims_time_jobs_and_route_observations() {
+        use cdp_types::TraceConfig;
+        let cache = WorkloadCache::new();
+        let w = cache.get(Benchmark::Slsb, Scale::smoke());
+        let sink = ObsSink::shared();
+        let jobs: Vec<SimJob> = (0..2)
+            .map(|i| {
+                SimJob::new(format!("cell/{i}"), SystemConfig::with_content(), Arc::clone(&w))
+                    .with_obs(JobObs {
+                        cfg: ObsConfig {
+                            trace: Some(TraceConfig::default()),
+                            metrics_window: Some(16_384),
+                        },
+                        sink: Arc::clone(&sink),
+                        batch: 7,
+                        index: i,
+                    })
+            })
+            .collect();
+        let reports = Pool::new(2).run_sims_profiled(jobs, RunPolicy::default());
+        assert_eq!(reports.len(), 2);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.label, format!("cell/{i}"));
+            assert!(r.outcome.is_ok(), "{:?}", r.outcome.failure());
+            assert!(r.wall > Duration::ZERO);
+        }
+        let entries = sink.drain_sorted();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].index, 0);
+        assert!(!entries[0].observation.windows.is_empty());
+        // Observed runs must not perturb the simulation itself.
+        let plain = SimJob::new("p", SystemConfig::with_content(), Arc::clone(&w))
+            .try_execute()
+            .unwrap();
+        let observed = reports[0].outcome.clone().ok().unwrap();
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.retired, observed.retired);
+        assert_eq!(plain.mem, observed.mem);
     }
 
     #[test]

@@ -22,12 +22,15 @@
 
 use cdp_core::MemoryModel;
 use cdp_mem::{AddressSpace, Bus, Cache, MshrFile, Tlb};
+use cdp_obs::trace::{DropReason, EngineTag, FaultTag, TraceData, TraceRing, VamCause};
 use cdp_prefetch::adaptive::AdaptiveVam;
 use cdp_prefetch::{
     ContentPrefetcher, MarkovPrefetcher, PrefetchRequest, StreamPrefetcher, StridePrefetcher,
+    VamVerdict,
 };
 use cdp_types::{
-    AccessKind, CdpError, LineAddr, PhysAddr, RequestKind, SystemConfig, VirtAddr, LINE_SIZE,
+    AccessKind, CdpError, LineAddr, PhysAddr, RequestKind, SystemConfig, TraceFilter, VirtAddr,
+    LINE_SIZE, WORD_SIZE,
 };
 
 use crate::fault::WalkFault;
@@ -87,6 +90,16 @@ fn engine_of(kind: RequestKind) -> Engine {
     }
 }
 
+/// Maps a request kind onto the observability layer's engine tag.
+fn engine_tag(kind: RequestKind) -> EngineTag {
+    match kind {
+        RequestKind::Demand | RequestKind::PageWalk => EngineTag::Demand,
+        RequestKind::Stride => EngineTag::Stride,
+        RequestKind::Content { .. } => EngineTag::Content,
+        RequestKind::Markov => EngineTag::Markov,
+    }
+}
+
 /// The assembled memory system.
 pub struct Hierarchy<'w> {
     space: &'w AddressSpace,
@@ -122,6 +135,10 @@ pub struct Hierarchy<'w> {
     walk_fault: Option<WalkFault>,
     /// Count of injection-eligible walks, for the period check.
     walk_tick: u64,
+    /// Structured event tracer; `None` (the default) keeps every hook a
+    /// single branch with no payload computation — the unobserved path is
+    /// allocation-free and byte-identical.
+    tracer: Option<Box<TraceRing>>,
 }
 
 impl<'w> std::fmt::Debug for Hierarchy<'w> {
@@ -166,8 +183,38 @@ impl<'w> Hierarchy<'w> {
             fault: None,
             walk_fault: None,
             walk_tick: 0,
+            tracer: None,
             space,
             cfg,
+        }
+    }
+
+    /// Installs a structured event tracer. All hook sites start recording;
+    /// simulated behavior and statistics are unaffected.
+    pub fn set_tracer(&mut self, ring: TraceRing) {
+        self.tracer = Some(Box::new(ring));
+    }
+
+    /// Removes and returns the tracer (with everything it buffered).
+    pub fn take_tracer(&mut self) -> Option<TraceRing> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Mutable access to the installed tracer, if any (used to clear it
+    /// at the warmup boundary).
+    pub fn tracer_mut(&mut self) -> Option<&mut TraceRing> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Records one trace event when a tracer is installed and its filter
+    /// wants `category`. The payload closure only runs in that case, so
+    /// hook sites cost a single branch when tracing is off.
+    #[inline]
+    fn trace(&mut self, category: TraceFilter, at: u64, make: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            if t.wants(category) {
+                t.push(at, make());
+            }
         }
     }
 
@@ -316,6 +363,12 @@ impl<'w> Hierarchy<'w> {
         at: u64,
         is_rescan: bool,
     ) {
+        // Trace-only VAM classification: a separate read-only walk over the
+        // same words the scanner will examine, so the scan hot path below
+        // stays untouched when tracing is off.
+        if self.tracer.is_some() {
+            self.trace_vam_pass(trigger_ea, data, fill_depth, at);
+        }
         let mut out = self.take_req_buf();
         if let Some(c) = self.content.as_mut() {
             if is_rescan {
@@ -328,6 +381,51 @@ impl<'w> Hierarchy<'w> {
             self.issue_prefetch(r, at);
         }
         self.put_req_buf(out);
+    }
+
+    /// Re-classifies every word the VAM scanner would examine and records
+    /// an accept/reject event per word. Uses [`cdp_prefetch::classify`] —
+    /// the same function `is_candidate` wraps — so the trace can never
+    /// disagree with the actual scan.
+    fn trace_vam_pass(
+        &mut self,
+        trigger_ea: VirtAddr,
+        data: &[u8; LINE_SIZE],
+        fill_depth: u8,
+        at: u64,
+    ) {
+        let Some(c) = self.content.as_ref() else { return };
+        if !c.may_scan(fill_depth) {
+            return;
+        }
+        let vam = c.config().vam;
+        let Some(t) = self.tracer.as_deref_mut() else { return };
+        if !t.wants(TraceFilter::VAM) {
+            return;
+        }
+        let step = vam.scan_step.max(1);
+        let mut off = 0;
+        while off + WORD_SIZE <= LINE_SIZE {
+            let word =
+                u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+            let event = match cdp_prefetch::classify(word, trigger_ea, &vam) {
+                VamVerdict::Accept => TraceData::VamAccept { word },
+                VamVerdict::RejectAlign => TraceData::VamReject {
+                    word,
+                    cause: VamCause::Align,
+                },
+                VamVerdict::RejectCompare => TraceData::VamReject {
+                    word,
+                    cause: VamCause::Compare,
+                },
+                VamVerdict::RejectFilter => TraceData::VamReject {
+                    word,
+                    cause: VamCause::Filter,
+                },
+            };
+            t.push(at, event);
+            off += step;
+        }
     }
 
     /// Borrows a request buffer from the reuse stack (steady state: no
@@ -448,11 +546,21 @@ impl<'w> Hierarchy<'w> {
                 .unwrap_or(0);
             if depth > threshold {
                 self.stats.drops.too_deep += 1;
+                self.trace(TraceFilter::DROP, now, || TraceData::PrefetchDrop {
+                    line: req.vaddr.line().0,
+                    reason: DropReason::TooDeep,
+                    depth,
+                });
                 return;
             }
         }
         let Some((paddr, walk_penalty)) = self.translate_prefetch(req.vaddr, now) else {
             self.stats.drops.unmapped += 1;
+            self.trace(TraceFilter::DROP, now, || TraceData::PrefetchDrop {
+                line: req.vaddr.line().0,
+                reason: DropReason::Unmapped,
+                depth: req.kind.depth(),
+            });
             return;
         };
         let pline = paddr.line();
@@ -473,11 +581,25 @@ impl<'w> Hierarchy<'w> {
                     let trigger = req.vaddr;
                     self.stats.depth_promotions += 1;
                     self.stats.rescans += 1;
+                    self.trace(TraceFilter::DEPTH, now, || TraceData::DepthTransition {
+                        line: pline.0,
+                        from: stored,
+                        to: depth,
+                    });
+                    self.trace(TraceFilter::RESCAN, now, || TraceData::Rescan {
+                        line: pline.0,
+                        depth,
+                    });
                     let data = self.space.phys().read_line(pline);
                     self.scan_and_issue(trigger, &data, depth, now, true);
                 }
             }
             self.stats.drops.resident += 1;
+            self.trace(TraceFilter::DROP, now, || TraceData::PrefetchDrop {
+                line: pline.0,
+                reason: DropReason::Resident,
+                depth: req.kind.depth(),
+            });
             return;
         }
 
@@ -486,6 +608,15 @@ impl<'w> Hierarchy<'w> {
         if self.mshrs.lookup(pline).is_some() {
             self.mshrs.promote(pline, req.kind);
             self.stats.drops.in_flight += 1;
+            self.trace(TraceFilter::MSHR, now, || TraceData::MshrMerge {
+                line: pline.0,
+                engine: engine_tag(req.kind),
+            });
+            self.trace(TraceFilter::DROP, now, || TraceData::PrefetchDrop {
+                line: pline.0,
+                reason: DropReason::InFlight,
+                depth: req.kind.depth(),
+            });
             return;
         }
 
@@ -495,6 +626,11 @@ impl<'w> Hierarchy<'w> {
             || self.bus.prefetch_backlog_at(now) >= self.cfg.bus.queue_size
         {
             self.stats.drops.queue_full += 1;
+            self.trace(TraceFilter::DROP, now, || TraceData::PrefetchDrop {
+                line: pline.0,
+                reason: DropReason::QueueFull,
+                depth: req.kind.depth(),
+            });
             return;
         }
 
@@ -507,6 +643,11 @@ impl<'w> Hierarchy<'w> {
             Engine::Markov => self.stats.markov.issued += 1,
             Engine::Demand => {}
         }
+        self.trace(TraceFilter::ISSUE, now, || TraceData::PrefetchIssue {
+            line: pline.0,
+            engine: engine_tag(req.kind),
+            depth: req.kind.depth(),
+        });
     }
 
     /// The §3.5 pollution limit study: when enabled, force junk lines into
@@ -577,6 +718,12 @@ impl<'w> MemoryModel for Hierarchy<'w> {
         let (paddr, walk_penalty) = match self.translate_demand(pc, vaddr, now) {
             Ok(t) => t,
             Err(e) => {
+                let tag = match &e {
+                    CdpError::UnmappedAccess { .. } => FaultTag::Unmapped,
+                    CdpError::TranslationFailure { .. } => FaultTag::Walk,
+                    _ => FaultTag::Other,
+                };
+                self.trace(TraceFilter::FAULT, now, || TraceData::Fault { kind: tag });
                 if self.fault.is_none() {
                     self.fault = Some(e);
                 }
@@ -629,6 +776,15 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                     }
                     self.stats.depth_promotions += 1;
                     self.stats.rescans += 1;
+                    self.trace(TraceFilter::DEPTH, now, || TraceData::DepthTransition {
+                        line: pline.0,
+                        from: stored_depth,
+                        to: 0,
+                    });
+                    self.trace(TraceFilter::RESCAN, now, || TraceData::Rescan {
+                        line: pline.0,
+                        depth: 0,
+                    });
                     let data = self.space.phys().read_line(pline);
                     self.scan_and_issue(vaddr, &data, 0, now, true);
                 }
@@ -641,6 +797,10 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                         self.pending_dirty.insert(pline.0);
                     }
                     self.stats.l2_miss_merged += 1;
+                    self.trace(TraceFilter::MSHR, now, || TraceData::MshrMerge {
+                        line: pline.0,
+                        engine: EngineTag::Demand,
+                    });
                     // A prefetch whose bus transfer has not started yet is
                     // re-arbitrated at demand priority (§3.5 promotion):
                     // otherwise the demand would wait out the prefetch

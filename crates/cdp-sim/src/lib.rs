@@ -16,6 +16,9 @@
 //!   submission-order (deterministic) results, plus the shared
 //!   [`WorkloadCache`]. [`Pool::run_with_status`] adds watchdog
 //!   timeouts, bounded retry, and per-job [`JobOutcome`] reporting.
+//! * [`observe`] — windowed metrics time-series ([`MetricsWindow`]) and
+//!   the deterministic [`ObsSink`] that collects per-run
+//!   [`Observation`]s from parallel jobs for manifest emission.
 //! * [`fault`] — deterministic, seeded fault injection (corrupt pointer
 //!   words, unmap pages, force TLB-walk failures) for robustness tests:
 //!   the prefetcher must squash, the demand path must surface typed
@@ -40,14 +43,18 @@ pub mod exec;
 pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
+pub mod observe;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
-pub use exec::{default_jobs, JobOutcome, Pool, RunPolicy, SimJob, SimResult, WorkloadCache};
+pub use exec::{
+    default_jobs, JobObs, JobOutcome, JobReport, Pool, RunPolicy, SimJob, SimResult, WorkloadCache,
+};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
 pub use metrics::{accuracy, coverage, geomean, mean};
+pub use observe::{MetricsWindow, Observation, ObsEntry, ObsSink};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
 pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
 pub use system::{speedup, RunLength, RunStats, Simulator, WindowSample};

@@ -87,6 +87,33 @@ mod tests {
     }
 
     #[test]
+    fn markov_coverage_and_accuracy_use_markov_counters() {
+        let base = run_with(0, 0, 400);
+        let mut variant = run_with(10, 20, 300);
+        variant.mem.markov = EngineCounters {
+            issued: 80,
+            useful_full: 30,
+            useful_partial: 10,
+            wasted_evictions: 8,
+        };
+        // Markov metrics read the Markov engine's counters, not content's.
+        assert!((coverage(&variant, &base, Engine::Markov) - 0.1).abs() < 1e-12);
+        assert!((accuracy(&variant, Engine::Markov) - 0.5).abs() < 1e-12);
+        // Content metrics over the same run stay on the content counters.
+        assert!((coverage(&variant, &base, Engine::Content) - 0.025).abs() < 1e-12);
+        assert!((accuracy(&variant, Engine::Content) - 0.5).abs() < 1e-12);
+        // Demand has no prefetch counters: both metrics report 0.
+        assert_eq!(coverage(&variant, &base, Engine::Demand), 0.0);
+        assert_eq!(accuracy(&variant, Engine::Demand), 0.0);
+    }
+
+    #[test]
+    fn markov_accuracy_with_no_issues_is_zero() {
+        let variant = run_with(0, 0, 100);
+        assert_eq!(accuracy(&variant, Engine::Markov), 0.0);
+    }
+
+    #[test]
     fn means() {
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);

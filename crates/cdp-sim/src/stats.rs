@@ -47,6 +47,16 @@ impl EngineCounters {
             self.useful() as f64 / self.issued as f64
         }
     }
+
+    /// wasted = evicted-unused / issued — the pollution-pressure ratio
+    /// complementing [`EngineCounters::accuracy`].
+    pub fn wasted(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.wasted_evictions as f64 / self.issued as f64
+        }
+    }
 }
 
 /// Why a prefetch request was dropped before issue.
@@ -229,7 +239,9 @@ mod tests {
         };
         assert_eq!(e.useful(), 40);
         assert!((e.accuracy() - 0.4).abs() < 1e-12);
+        assert!((e.wasted() - 0.05).abs() < 1e-12);
         assert_eq!(EngineCounters::default().accuracy(), 0.0);
+        assert_eq!(EngineCounters::default().wasted(), 0.0);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use cdp_core::{Core, CoreStats};
 use cdp_mem::BusStats;
+use cdp_obs::TraceRing;
 use cdp_prefetch::adaptive::AdaptiveStats;
 use cdp_prefetch::{ContentStats, MarkovStats, StreamStats, StrideStats};
-use cdp_types::SystemConfig;
+use cdp_types::{ObsConfig, SystemConfig};
 use cdp_workloads::suite::Scale;
 use cdp_workloads::Workload;
 
@@ -12,6 +13,7 @@ use cdp_types::CdpError;
 
 use crate::fault::WalkFault;
 use crate::hierarchy::{Hierarchy, PollutionConfig};
+use crate::observe::{MetricsWindow, Observation};
 use crate::stats::MemStats;
 
 /// Canonical run sizes used across examples, tests, and experiments.
@@ -281,6 +283,88 @@ impl Simulator {
         })
     }
 
+    /// As [`Simulator::try_run`], with observability: installs a tracer
+    /// when `obs.trace` is set, and snapshots a [`MetricsWindow`] delta
+    /// every `obs.metrics_window` retired uops. The driving loop has the
+    /// same shape as `try_run` (window boundaries change no simulated
+    /// state), so the returned `RunStats` are identical to an unobserved
+    /// run — asserted by `tests/observability.rs`. Warmup is excluded:
+    /// the tracer is cleared and window 0 starts at the warmup boundary.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CdpError`] latched by the memory hierarchy.
+    pub fn try_run_observed(
+        &self,
+        workload: &Workload,
+        obs: &ObsConfig,
+    ) -> Result<(RunStats, Observation), CdpError> {
+        let mut hierarchy = self.build_hierarchy(workload);
+        if let Some(tc) = &obs.trace {
+            hierarchy.set_tracer(TraceRing::new(tc.clone()));
+        }
+        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut target = 0u64;
+        if self.cfg.warmup_uops > 0 {
+            target = self.cfg.warmup_uops;
+            core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                return Err(e);
+            }
+            core.reset_stats();
+            hierarchy.reset_stats();
+            if let Some(t) = hierarchy.tracer_mut() {
+                t.clear();
+            }
+        }
+        let window = obs.metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1);
+        let mut windows = Vec::new();
+        let mut prev_retired = 0u64;
+        let mut prev_cycles = 0u64;
+        let mut prev_mem = MemStats::default();
+        loop {
+            target += window;
+            let done = core.run_until_retired(&mut hierarchy, target);
+            if let Some(e) = hierarchy.take_fault() {
+                return Err(e);
+            }
+            if obs.metrics_window.is_some() {
+                let cs = core.stats();
+                let mem = *hierarchy.stats();
+                windows.push(MetricsWindow::delta(
+                    windows.len(),
+                    cs.retired - prev_retired,
+                    cs.cycles - prev_cycles,
+                    &mem,
+                    &prev_mem,
+                ));
+                prev_retired = cs.retired;
+                prev_cycles = cs.cycles;
+                prev_mem = mem;
+            }
+            if done {
+                break;
+            }
+        }
+        let cs = core.stats();
+        let observation = Observation::new(windows, hierarchy.take_tracer());
+        Ok((
+            RunStats {
+                cycles: cs.cycles,
+                retired: cs.retired,
+                core: cs,
+                mem: *hierarchy.stats(),
+                content: hierarchy.content_stats(),
+                stride: hierarchy.stride_stats(),
+                markov: hierarchy.markov_stats(),
+                stream: hierarchy.stream_stats(),
+                adaptive: hierarchy.adaptive_state(),
+                bus: hierarchy.bus_stats(),
+            },
+            observation,
+        ))
+    }
+
     /// Runs `workload` in windows of `window_uops` retired uops, sampling
     /// the full per-window statistics timeline (non-cumulative). The last
     /// window may be shorter than `window_uops`.
@@ -312,8 +396,7 @@ impl Simulator {
                 l2_misses: mem.l2_demand_misses - prev_mem.l2_demand_misses,
                 l1_misses: mem.l1_misses - prev_mem.l1_misses,
                 content_issued: mem.content.issued - prev_mem.content.issued,
-                content_useful: (mem.content.useful_full + mem.content.useful_partial)
-                    - (prev_mem.content.useful_full + prev_mem.content.useful_partial),
+                content_useful: mem.content.useful() - prev_mem.content.useful(),
             });
             prev_retired = cs.retired;
             prev_cycles = cs.cycles;

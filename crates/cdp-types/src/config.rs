@@ -567,9 +567,212 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+/// Bitmask selecting which trace-event categories the tracer records.
+///
+/// Categories map one-to-one onto the event taxonomy in `cdp-obs`:
+/// VAM candidate classification, prefetch issue, prefetch drop, chain
+/// depth transitions, reinforcement rescans, MSHR merges, and fault-latch
+/// drains. The default selects everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceFilter {
+    bits: u16,
+}
+
+impl TraceFilter {
+    /// VAM candidate accept/reject events.
+    pub const VAM: TraceFilter = TraceFilter { bits: 1 };
+    /// Prefetch issue events.
+    pub const ISSUE: TraceFilter = TraceFilter { bits: 1 << 1 };
+    /// Prefetch drop events (resident, in-flight, unmapped, queue-full,
+    /// too-deep).
+    pub const DROP: TraceFilter = TraceFilter { bits: 1 << 2 };
+    /// Chain depth transitions (reinforcement promotions).
+    pub const DEPTH: TraceFilter = TraceFilter { bits: 1 << 3 };
+    /// Reinforcement rescans.
+    pub const RESCAN: TraceFilter = TraceFilter { bits: 1 << 4 };
+    /// MSHR merges (demand or prefetch hitting an in-flight line).
+    pub const MSHR: TraceFilter = TraceFilter { bits: 1 << 5 };
+    /// Fault-latch drains (injected or detected memory faults).
+    pub const FAULT: TraceFilter = TraceFilter { bits: 1 << 6 };
+
+    /// Every category enabled.
+    #[must_use]
+    pub const fn all() -> Self {
+        TraceFilter { bits: 0x7f }
+    }
+
+    /// No category enabled.
+    #[must_use]
+    pub const fn none() -> Self {
+        TraceFilter { bits: 0 }
+    }
+
+    /// Union of two filters.
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        TraceFilter {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// True when every category in `other` is enabled in `self`.
+    #[must_use]
+    pub const fn contains(self, other: Self) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// True when no category is enabled.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Parses a comma-separated category list, e.g. `"vam,drop,mshr"`.
+    /// `"all"` selects every category.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token when a category name is unknown.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut filter = TraceFilter::none();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let cat = match tok {
+                "all" => TraceFilter::all(),
+                "vam" => TraceFilter::VAM,
+                "issue" => TraceFilter::ISSUE,
+                "drop" => TraceFilter::DROP,
+                "depth" => TraceFilter::DEPTH,
+                "rescan" => TraceFilter::RESCAN,
+                "mshr" => TraceFilter::MSHR,
+                "fault" => TraceFilter::FAULT,
+                other => {
+                    return Err(format!(
+                        "unknown trace category {other:?} (expected one of: \
+                         all vam issue drop depth rescan mshr fault)"
+                    ))
+                }
+            };
+            filter = filter.union(cat);
+        }
+        if filter.is_empty() {
+            return Err("trace filter selects no categories".to_string());
+        }
+        Ok(filter)
+    }
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter::all()
+    }
+}
+
+impl fmt::Display for TraceFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == TraceFilter::all() {
+            return write!(f, "all");
+        }
+        let names = [
+            (TraceFilter::VAM, "vam"),
+            (TraceFilter::ISSUE, "issue"),
+            (TraceFilter::DROP, "drop"),
+            (TraceFilter::DEPTH, "depth"),
+            (TraceFilter::RESCAN, "rescan"),
+            (TraceFilter::MSHR, "mshr"),
+            (TraceFilter::FAULT, "fault"),
+        ];
+        let mut first = true;
+        for (cat, name) in names {
+            if self.contains(cat) {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration for the ring-buffered event tracer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity in events; the oldest events are overwritten once the
+    /// ring is full.
+    pub capacity: usize,
+    /// Record every `sample`-th eligible event (1 = record all).
+    pub sample: u64,
+    /// Which event categories to record.
+    pub filter: TraceFilter,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 4096,
+            sample: 1,
+            filter: TraceFilter::all(),
+        }
+    }
+}
+
+/// Observability settings for a simulation run.
+///
+/// The default (`trace: None`, `metrics_window: None`) keeps the simulator
+/// on its unobserved path: no tracer is installed, no per-window snapshots
+/// are taken, and results are byte-identical to a plain run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsConfig {
+    /// Event-tracing configuration; `None` disables tracing entirely.
+    pub trace: Option<TraceConfig>,
+    /// Metrics snapshot window in retired µops; `None` disables the
+    /// time-series.
+    pub metrics_window: Option<u64>,
+}
+
+impl ObsConfig {
+    /// True when any observability feature is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics_window.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_filter_parse_and_display() {
+        assert_eq!(TraceFilter::parse("all").unwrap(), TraceFilter::all());
+        let f = TraceFilter::parse("vam, drop").unwrap();
+        assert!(f.contains(TraceFilter::VAM));
+        assert!(f.contains(TraceFilter::DROP));
+        assert!(!f.contains(TraceFilter::ISSUE));
+        assert_eq!(f.to_string(), "vam,drop");
+        assert_eq!(TraceFilter::all().to_string(), "all");
+        assert!(TraceFilter::parse("bogus").is_err());
+        assert!(TraceFilter::parse("").is_err());
+    }
+
+    #[test]
+    fn obs_config_default_is_off() {
+        let obs = ObsConfig::default();
+        assert!(!obs.is_enabled());
+        assert!(ObsConfig {
+            trace: Some(TraceConfig::default()),
+            metrics_window: None
+        }
+        .is_enabled());
+        assert!(ObsConfig {
+            trace: None,
+            metrics_window: Some(65_536)
+        }
+        .is_enabled());
+        assert_eq!(TraceConfig::default().capacity, 4096);
+        assert_eq!(TraceConfig::default().sample, 1);
+    }
 
     #[test]
     fn table1_values() {

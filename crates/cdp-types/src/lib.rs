@@ -35,9 +35,8 @@ pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr};
 pub use error::CdpError;
 pub use config::{
     AdaptiveConfig, ArbiterConfig, BusConfig, CacheConfig, ContentConfig, CoreConfig,
-    MarkovConfig, PrefetchersConfig, ReplacementPolicy, StreamConfig, StrideConfig, SystemConfig,
-    TlbConfig,
-    VamConfig,
+    MarkovConfig, ObsConfig, PrefetchersConfig, ReplacementPolicy, StreamConfig, StrideConfig,
+    SystemConfig, TlbConfig, TraceConfig, TraceFilter, VamConfig,
 };
 pub use request::{AccessKind, Priority, RequestKind, MAX_REQUEST_DEPTH};
 pub use validate::ConfigError;

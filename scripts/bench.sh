@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pinned observability sweep: runs a fixed experiment set with metrics
+# windowing and manifest emission, validates the artifacts, and snapshots
+# the manifest as BENCH_<utc-stamp>.json in the repo root so a
+# machine-readable performance trajectory accumulates across commits.
+#
+# Knobs (environment variables):
+#   SCALE  smoke|quick|full   run size           (default: smoke)
+#   JOBS   N                  worker threads     (default: 2)
+#   OUT    dir                artifact directory (default: target/bench-manifest)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-smoke}"
+JOBS="${JOBS:-2}"
+OUT="${OUT:-target/bench-manifest}"
+# The pinned sweep: one TLB-pressure grid and one depth/width/reinforce
+# grid — together they exercise every prefetch engine and drop path.
+IDS=(tlb fig9)
+
+cargo build --release -p cdp-experiments -p cdp-obs
+
+rm -rf "$OUT"
+./target/release/experiments "${IDS[@]}" "--${SCALE}" --jobs "$JOBS" \
+    --metrics-window 65536 --emit-manifest "$OUT" > /dev/null
+
+./target/release/validate-manifest "$OUT/manifest.json" "$OUT/metrics.jsonl"
+
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+cp "$OUT/manifest.json" "BENCH_${stamp}.json"
+echo "bench: wrote BENCH_${stamp}.json (scale=$SCALE jobs=$JOBS ids=${IDS[*]})"

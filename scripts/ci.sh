@@ -19,6 +19,21 @@ cargo test -q --release --workspace
 echo "== experiments all --smoke --jobs 2 =="
 ./target/release/experiments all --smoke --jobs 2 > /dev/null
 
+echo "== observability smoke (byte-identity + manifest validation) =="
+# The default path must be byte-identical with all observability flags
+# off vs. on (and at different --jobs counts), and the emitted manifest
+# must parse and carry the required schema keys.
+rm -rf /tmp/cdp-obs-ci
+./target/release/experiments tlb --smoke --jobs 2 > /tmp/cdp-obs-ci-plain.out
+./target/release/experiments tlb --smoke --jobs 1 --trace --metrics-window 16384 \
+    --emit-manifest /tmp/cdp-obs-ci > /tmp/cdp-obs-ci-obs.out 2> /dev/null
+cmp /tmp/cdp-obs-ci-plain.out /tmp/cdp-obs-ci-obs.out || {
+    echo "observability smoke: stdout differs with tracing enabled" >&2
+    exit 1
+}
+./target/release/validate-manifest /tmp/cdp-obs-ci/manifest.json \
+    /tmp/cdp-obs-ci/metrics.jsonl /tmp/cdp-obs-ci/trace.jsonl
+
 echo "== fault-injection smoke (expect partial-failure exit 3) =="
 # Unmap two trace pages of slsb: its cells must gap out, every other
 # cell must complete, and the run must exit with the documented

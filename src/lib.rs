@@ -16,6 +16,8 @@
 //! * [`workloads`] — synthetic linked-data-structure workloads standing in
 //!   for the paper's 15 commercial traces.
 //! * [`sim`] — the full-system simulator, statistics, and speedup harness.
+//! * [`obs`] — structured event tracing, JSON/JSONL serialization, and run
+//!   manifests for machine-readable experiment artifacts.
 //! * [`experiments`] — one entry point per paper table/figure.
 //!
 //! # Quickstart
@@ -39,6 +41,7 @@
 pub use cdp_core as core;
 pub use cdp_experiments as experiments;
 pub use cdp_mem as mem;
+pub use cdp_obs as obs;
 pub use cdp_prefetch as prefetch;
 pub use cdp_sim as sim;
 pub use cdp_types as types;
