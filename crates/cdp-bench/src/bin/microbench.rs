@@ -1,0 +1,153 @@
+//! Std-only microbenchmarks of the simulator's hot kernels.
+//!
+//! ```text
+//! microbench [--inject <manifest.json>]
+//! ```
+//!
+//! Times the per-access kernels the flat-memory refactor targets — cache
+//! access/fill, physical line reads, the VAM scan, and MSHR
+//! insert/drain — with plain `Instant` loops, and prints one JSON object
+//! of `<kernel>_ns` numbers to stdout. With `--inject <file>`, the same
+//! object is also merged into an existing manifest snapshot under a
+//! top-level `micro` key (how `scripts/bench.sh --micro` annotates
+//! `BENCH_*.json`).
+//!
+//! Wall-clock numbers are machine-dependent by nature; everything else
+//! about the run (inputs, iteration counts, seeds) is fixed so two runs
+//! on the same machine are comparable.
+
+use cdp_bench::time_ns_per_iter;
+use cdp_mem::{Cache, MshrFile, PhysMem};
+use cdp_obs::Json;
+use cdp_prefetch::scan_line;
+use cdp_types::{LineAddr, PhysAddr, RequestKind, VamConfig, VirtAddr, LINE_SIZE};
+
+/// Resident-hit access over a 1 MiB-equivalent flat cache.
+fn cache_access_hit() -> f64 {
+    let mut cache: Cache<u8> = Cache::new(2048, 8, 64);
+    for i in 0..16_384u32 {
+        cache.fill(i * 64, 0);
+    }
+    time_ns_per_iter(100_000, 5, |i| {
+        let addr = ((i as u32) % 16_384) * 64;
+        std::hint::black_box(cache.access(std::hint::black_box(addr)).is_some());
+    })
+}
+
+/// Streaming fill that evicts on every insertion.
+fn cache_fill_evict() -> f64 {
+    let mut cache: Cache<u8> = Cache::new(256, 4, 64);
+    for i in 0..1024u32 {
+        cache.fill(i * 64, 0);
+    }
+    time_ns_per_iter(100_000, 5, |i| {
+        let addr = (i as u32).wrapping_mul(64).wrapping_add(0x10_0000);
+        std::hint::black_box(cache.fill(std::hint::black_box(addr), 1));
+    })
+}
+
+/// One-frame-lookup line read through the open-addressed frame table.
+fn phys_read_line_into() -> f64 {
+    let mut mem = PhysMem::new();
+    const FRAMES: u32 = 256;
+    for f in 0..FRAMES {
+        for off in (0..4096).step_by(64) {
+            mem.write_u32(PhysAddr(f * 4096 + off), f ^ off);
+        }
+    }
+    let mut out = [0u8; LINE_SIZE];
+    time_ns_per_iter(100_000, 5, |i| {
+        let line = ((i as u32).wrapping_mul(64)) % (FRAMES * 4096);
+        mem.read_line_into(LineAddr(std::hint::black_box(line)), &mut out);
+        std::hint::black_box(out[0]);
+    })
+}
+
+/// The §3.2 virtual-address-match scan over one line.
+fn vam_scan() -> f64 {
+    let cfg = VamConfig::tuned();
+    let trigger = VirtAddr(0x1040_2468);
+    // A line with a realistic mix: two pointers, rest junk.
+    let mut data = [0u8; LINE_SIZE];
+    data[4..8].copy_from_slice(&0x1023_4560u32.to_le_bytes());
+    data[36..40].copy_from_slice(&0x10ab_cd00u32.to_le_bytes());
+    for i in (8..32).step_by(4) {
+        data[i..i + 4].copy_from_slice(&(i as u32 * 37).to_le_bytes());
+    }
+    time_ns_per_iter(100_000, 5, |_| {
+        std::hint::black_box(scan_line(
+            std::hint::black_box(&data),
+            std::hint::black_box(trigger),
+            std::hint::black_box(&cfg),
+        ));
+    })
+}
+
+/// A burst of 16 MSHR registrations followed by a full drain into a
+/// reused buffer — one simulated tick's worth of miss traffic.
+fn mshr_insert_drain() -> f64 {
+    let mut mshrs = MshrFile::with_capacity(32);
+    let mut buf = Vec::with_capacity(16);
+    let ns = time_ns_per_iter(20_000, 5, |i| {
+        let base = (i as u32).wrapping_mul(17) & 0x000f_ffc0;
+        for k in 0..16u32 {
+            let line = base.wrapping_add(k * 64);
+            mshrs.insert(
+                LineAddr(line),
+                VirtAddr(line),
+                RequestKind::Demand,
+                i as u64,
+                i as u64 + 1,
+            );
+        }
+        mshrs.drain_complete_into(u64::MAX, &mut buf);
+        std::hint::black_box(buf.len());
+    });
+    ns / 16.0
+}
+
+fn measure() -> Json {
+    let mut o = Json::obj();
+    o.set("cache_access_hit_ns", Json::F64(cache_access_hit()));
+    o.set("cache_fill_evict_ns", Json::F64(cache_fill_evict()));
+    o.set("phys_read_line_into_ns", Json::F64(phys_read_line_into()));
+    o.set("vam_scan_line_ns", Json::F64(vam_scan()));
+    o.set("mshr_insert_drain_ns", Json::F64(mshr_insert_drain()));
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inject = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--inject" => Some(std::path::PathBuf::from(path)),
+        _ => {
+            eprintln!("usage: microbench [--inject <manifest.json>]");
+            std::process::exit(2);
+        }
+    };
+    let micro = measure();
+    println!("{micro}");
+    if let Some(path) = inject {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--inject: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let mut doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("--inject: {} is not valid JSON: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        doc.set("micro", micro);
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("--inject: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("microbench: injected `micro` into {}", path.display());
+    }
+}

@@ -1,16 +1,18 @@
-//! Shared helpers for the Criterion benchmark suites.
+//! Std-only microbenchmark support for the CDP reproduction.
 //!
-//! Three bench targets live in `benches/`:
+//! The crate ships one binary, `microbench`, which times the simulator's
+//! hot kernels (flat cache access, physical line reads, VAM scans, MSHR
+//! insert/drain) with plain [`std::time::Instant`] loops — no registry
+//! dependencies, so it builds inside the offline tier-1 gate. Numbers
+//! are emitted as a JSON object; `scripts/bench.sh --micro` merges them
+//! into the benchmark manifest snapshot (`BENCH_*.json`).
 //!
-//! * `kernels` — micro-benchmarks of the hot simulator kernels (VAM line
-//!   scan, cache access, bus scheduling, gshare, full-hierarchy access).
-//! * `figures` — one benchmark per paper table/figure, running the
-//!   corresponding experiment at smoke scale so regressions in any
-//!   reproduced result's cost are visible.
-//! * `ablations` — design-choice sweeps called out in DESIGN.md
-//!   (chain depth, width, reinforcement margin, Markov fan-out).
+//! This module holds the shared pieces: workload helpers and the
+//! measurement harness.
 
 #![warn(missing_docs)]
+
+use std::time::Instant;
 
 use cdp_sim::{RunStats, Simulator};
 use cdp_types::SystemConfig;
@@ -31,6 +33,30 @@ pub fn run(cfg: &SystemConfig, w: &Workload) -> RunStats {
     Simulator::new(cfg.clone()).run(w)
 }
 
+/// Times `op` and reports nanoseconds per iteration.
+///
+/// The harness runs `iters` warm-up iterations, then takes `takes`
+/// timed passes of `iters` iterations each and reports the fastest —
+/// the standard min-of-N defense against scheduler noise. `op` receives
+/// the iteration index so loops can vary their input without consulting
+/// a timer or rng.
+pub fn time_ns_per_iter<F: FnMut(usize)>(iters: usize, takes: usize, mut op: F) -> f64 {
+    assert!(iters > 0 && takes > 0, "empty measurement");
+    for i in 0..iters {
+        op(i);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..takes {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            op(i);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +66,14 @@ mod tests {
         let w = bench_workload(Benchmark::B2e);
         let r = run(&SystemConfig::asplos2002(), &w);
         assert!(r.retired > 0);
+    }
+
+    #[test]
+    fn harness_reports_positive_time() {
+        let mut acc = 0u64;
+        let ns = time_ns_per_iter(1000, 3, |i| acc = acc.wrapping_add(i as u64));
+        assert!(ns.is_finite());
+        assert!(ns >= 0.0);
+        assert!(acc > 0);
     }
 }

@@ -72,14 +72,37 @@ impl CoreStats {
     }
 }
 
+/// `RobEntry::complete_at` sentinel: the uop has not issued yet.
+const NOT_ISSUED: u64 = u64::MAX;
+/// `RobEntry::sq_free_at` sentinel: no store-queue entry to free.
+const NO_SQ: u64 = u64::MAX;
+/// `RobEntry::srcs` sentinel: source slot unused. Indexes the
+/// permanently-zero pad slot of `reg_ready`, so the per-entry readiness
+/// check is two unconditional loads and a `max` — no branches.
+const NO_REG: u8 = NUM_REGS as u8;
+
+/// Uop classes, mirrored from [`UopKind`] so the per-cycle issue scan
+/// never has to chase `program.uops` for entries that cannot issue.
+const CLASS_ALU: u8 = 0;
+const CLASS_FP: u8 = 1;
+const CLASS_LOAD: u8 = 2;
+const CLASS_STORE: u8 = 3;
+const CLASS_BRANCH: u8 = 4;
+
 #[derive(Clone, Copy, Debug)]
 struct RobEntry {
     /// Index into the program.
-    idx: usize,
-    /// Completion cycle once issued.
-    complete_at: Option<u64>,
+    idx: u32,
+    /// Source registers, copied from the uop at dispatch ([`NO_REG`] =
+    /// slot unused). The issue stage scans the ROB every cycle; keeping
+    /// the readiness inputs inline makes that scan touch one flat array.
+    srcs: [u8; 2],
+    /// [`CLASS_ALU`] .. [`CLASS_BRANCH`].
+    class: u8,
+    /// Completion cycle once issued ([`NOT_ISSUED`] before).
+    complete_at: u64,
     /// For stores: cycle the store-queue entry frees (memory completion).
-    sq_free_at: Option<u64>,
+    sq_free_at: u64,
 }
 
 /// A resumable instance of the out-of-order core executing one program.
@@ -108,12 +131,14 @@ pub struct Core<'p> {
     /// Fetch is blocked until this cycle (branch redirect).
     fetch_resume_at: u64,
     rob: std::collections::VecDeque<RobEntry>,
-    /// Ready cycle per architectural register.
-    reg_ready: [u64; NUM_REGS],
-    /// Store-queue completion times still occupying entries.
-    sq_busy: Vec<u64>,
-    /// Loads in flight (LQ occupancy): completion times.
-    lq_busy: Vec<u64>,
+    /// Ready cycle per architectural register, plus one permanently-zero
+    /// pad slot indexed by [`NO_REG`] sources.
+    reg_ready: [u64; NUM_REGS + 1],
+    /// Store-queue completion times still occupying entries (min-heap:
+    /// expired entries are popped instead of re-scanning every cycle).
+    sq_busy: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Loads in flight (LQ occupancy): completion times (min-heap).
+    lq_busy: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     bp: Gshare,
     now: u64,
     stats: CoreStats,
@@ -122,6 +147,27 @@ pub struct Core<'p> {
     /// Recent store addresses eligible for store-to-load forwarding:
     /// (word address, cycle the data is forwardable).
     forward_window: std::collections::VecDeque<(u32, u64)>,
+    /// Loads in the ROB that have not issued (incremental mirror of a
+    /// full ROB scan — LQ admission check runs per fetched uop).
+    rob_loads_unissued: usize,
+    /// Stores resident in the ROB (incremental, same reason).
+    rob_stores: usize,
+    /// ROB entries that have not issued yet (bounds the issue scan).
+    rob_unissued: usize,
+    /// Bit `p` set ⇔ the ROB entry at position `p` (0 = head) has not
+    /// issued. Issued entries are invisible to the issue scan (skipping
+    /// them has no side effects), so the scan walks set bits only —
+    /// ascending bit order is exactly oldest-first program order.
+    /// Maintained only while `rob_size` fits the mask width (128);
+    /// larger ROBs take the plain linear scan.
+    unissued_mask: u128,
+    /// Cycle before which the issue scan is provably barren: the last
+    /// full scan issued nothing, so every unissued entry's sources become
+    /// ready no earlier than this. Issue scans while `now` is below it
+    /// are skipped outright. `reg_ready` only changes when something
+    /// issues (which resets this to 0), and newly fetched entries merge
+    /// their ready cycle in, so the bound stays exact. 0 = no bound.
+    issue_idle_until: u64,
     /// Uops retired since construction (never reset).
     total_retired: u64,
     /// Cycle at which statistics were last reset (warm-up boundary).
@@ -132,20 +178,27 @@ impl<'p> Core<'p> {
     /// Creates a core ready to execute `program` from its first uop.
     pub fn new(cfg: CoreConfig, program: &'p Program) -> Self {
         let bp = Gshare::new(cfg.gshare_log2_entries);
+        let rob = std::collections::VecDeque::with_capacity(cfg.rob_size + 1);
+        let forward_window = std::collections::VecDeque::with_capacity(cfg.store_buffer + 1);
         Core {
             cfg,
             program,
             fetch_idx: 0,
             fetch_resume_at: 0,
-            rob: std::collections::VecDeque::new(),
-            reg_ready: [0; NUM_REGS],
-            sq_busy: Vec::new(),
-            lq_busy: Vec::new(),
+            rob,
+            reg_ready: [0; NUM_REGS + 1],
+            sq_busy: std::collections::BinaryHeap::new(),
+            lq_busy: std::collections::BinaryHeap::new(),
             bp,
             now: 0,
             stats: CoreStats::default(),
             pending_redirect: None,
-            forward_window: std::collections::VecDeque::new(),
+            forward_window,
+            rob_loads_unissued: 0,
+            rob_stores: 0,
+            rob_unissued: 0,
+            unissued_mask: 0,
+            issue_idle_until: 0,
             total_retired: 0,
             stats_base_cycle: 0,
         }
@@ -212,26 +265,70 @@ impl<'p> Core<'p> {
     }
 
     fn next_event_cycle(&self) -> u64 {
+        // This only runs after a step in which nothing progressed, so the
+        // issue stage just completed a barren scan (or skipped under a
+        // still-valid bound). With the bound in hand, the earliest cycle
+        // anything can happen is O(1):
+        //   * retire — the ROB head's completion (in-order retirement);
+        //   * issue  — `issue_idle_until`, the proven earliest readiness
+        //     of any unissued entry;
+        //   * fetch  — a load/store-queue entry freeing (heap minima), a
+        //     branch redirect resolving, or ROB space freeing (the retire
+        //     event above).
+        // A zero bound can only mean the barren scan saw a ready entry
+        // blocked on a zero-sized unit pool (degenerate configuration):
+        // fall back to scanning every in-flight completion.
+        if self.issue_idle_until == 0 {
+            return self.next_event_cycle_scan();
+        }
         let mut next = u64::MAX;
-        for e in &self.rob {
-            if let Some(c) = e.complete_at {
+        if let Some(e) = self.rob.front() {
+            if e.complete_at != NOT_ISSUED && e.complete_at > self.now {
+                next = next.min(e.complete_at);
+            }
+        }
+        if self.issue_idle_until > self.now {
+            next = next.min(self.issue_idle_until);
+        }
+        // Heap minima (entries at or before `now` were pruned at issue).
+        for q in [&self.sq_busy, &self.lq_busy] {
+            if let Some(&std::cmp::Reverse(c)) = q.peek() {
                 if c > self.now {
                     next = next.min(c);
                 }
             }
         }
-        for &c in self.sq_busy.iter().chain(self.lq_busy.iter()) {
-            if c > self.now {
-                next = next.min(c);
+        if self.fetch_resume_at > self.now {
+            next = next.min(self.fetch_resume_at);
+        }
+        if next == u64::MAX {
+            self.now + 1
+        } else {
+            next
+        }
+    }
+
+    /// Full-scan fallback for [`Self::next_event_cycle`]. Register ready
+    /// times need no separate scan even here: every future `reg_ready`
+    /// value was written as the completion cycle of an issued entry that
+    /// cannot have retired yet (retirement requires completion), so the
+    /// ROB walk already covers it.
+    fn next_event_cycle_scan(&self) -> u64 {
+        let mut next = u64::MAX;
+        for e in &self.rob {
+            if e.complete_at != NOT_ISSUED && e.complete_at > self.now {
+                next = next.min(e.complete_at);
+            }
+        }
+        for q in [&self.sq_busy, &self.lq_busy] {
+            if let Some(&std::cmp::Reverse(c)) = q.peek() {
+                if c > self.now {
+                    next = next.min(c);
+                }
             }
         }
         if self.fetch_resume_at > self.now {
             next = next.min(self.fetch_resume_at);
-        }
-        for &r in &self.reg_ready {
-            if r > self.now {
-                next = next.min(r);
-            }
         }
         if next == u64::MAX {
             self.now + 1
@@ -245,13 +342,19 @@ impl<'p> Core<'p> {
         let mut any = false;
         for _ in 0..self.cfg.retire_width {
             match self.rob.front() {
-                Some(e) if matches!(e.complete_at, Some(c) if c <= self.now) => {
+                Some(e) if e.complete_at != NOT_ISSUED && e.complete_at <= self.now => {
                     let e = self.rob.pop_front().expect("front exists");
+                    if self.cfg.rob_size <= 128 {
+                        // The popped head had issued, so bit 0 is clear.
+                        debug_assert_eq!(self.unissued_mask & 1, 0);
+                        self.unissued_mask >>= 1;
+                    }
+                    if e.class == CLASS_STORE {
+                        self.rob_stores -= 1;
+                    }
                     // Free queue entries whose back-pressure window ended.
-                    if let Some(sq) = e.sq_free_at {
-                        if sq > self.now {
-                            self.sq_busy.push(sq);
-                        }
+                    if e.sq_free_at != NO_SQ && e.sq_free_at > self.now {
+                        self.sq_busy.push(std::cmp::Reverse(e.sq_free_at));
                     }
                     self.total_retired += 1;
                     self.stats.retired += 1;
@@ -267,48 +370,116 @@ impl<'p> Core<'p> {
     fn issue<M: MemoryModel>(&mut self, mem: &mut M) -> bool {
         // Prune queue-occupancy trackers.
         let now = self.now;
-        self.sq_busy.retain(|&c| c > now);
-        self.lq_busy.retain(|&c| c > now);
+        while matches!(self.sq_busy.peek(), Some(&std::cmp::Reverse(c)) if c <= now) {
+            self.sq_busy.pop();
+        }
+        while matches!(self.lq_busy.peek(), Some(&std::cmp::Reverse(c)) if c <= now) {
+            self.lq_busy.pop();
+        }
+
+        // A prior barren scan proved no source becomes ready before
+        // `issue_idle_until`; until then the scan below would examine
+        // every unissued entry and issue nothing.
+        if now < self.issue_idle_until {
+            return false;
+        }
 
         let mut issued = 0;
         let mut int_used = 0;
         let mut mem_used = 0;
         let mut fp_used = 0;
         let mut any = false;
+        let mut unissued_left = self.rob_unissued;
+        // Barren-scan bound computed over this pass.
+        let mut min_ready = u64::MAX;
+        let mut blocked_ready = false;
+        let use_mask = self.cfg.rob_size <= 128;
 
-        for slot in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
+        // Split borrows so the scan can index the deque's contiguous
+        // slices directly (per-slot `VecDeque` indexing re-pays the wrap
+        // and bounds checks on every entry).
+        let Core {
+            cfg,
+            program,
+            rob,
+            reg_ready,
+            sq_busy: _,
+            lq_busy,
+            now,
+            stats,
+            pending_redirect,
+            forward_window,
+            rob_loads_unissued,
+            rob_unissued,
+            unissued_mask,
+            fetch_resume_at,
+            ..
+        } = self;
+        let now = *now;
+        let (front, back) = rob.as_mut_slices();
+        let front_len = front.len();
+        let rob_len = front_len + back.len();
+
+        // Positions to examine: set bits of the unissued mask (ascending
+        // = oldest-first), or every position when the mask is not
+        // maintained. Both orders match the original full scan with its
+        // no-op visits to issued entries removed.
+        let mut mask_iter = *unissued_mask;
+        let mut lin = 0usize;
+        loop {
+            let p = if use_mask {
+                if mask_iter == 0 {
+                    break;
+                }
+                let p = mask_iter.trailing_zeros() as usize;
+                mask_iter &= mask_iter - 1;
+                p
+            } else {
+                if lin >= rob_len {
+                    break;
+                }
+                let p = lin;
+                lin += 1;
+                p
+            };
+            if issued >= cfg.issue_width || unissued_left == 0 {
                 break;
             }
-            let entry = self.rob[slot];
-            if entry.complete_at.is_some() {
+            if int_used >= cfg.int_units && fp_used >= cfg.fp_units && mem_used >= cfg.mem_units
+            {
+                break;
+            }
+            let entry = if p < front_len {
+                &mut front[p]
+            } else {
+                &mut back[p - front_len]
+            };
+            if entry.complete_at != NOT_ISSUED {
+                debug_assert!(!use_mask, "mask bit set for an issued entry");
                 continue;
             }
-            let uop = &self.program.uops[entry.idx];
-            // Source readiness.
-            let ready_at = uop
-                .srcs
-                .iter()
-                .flatten()
-                .map(|&r| self.reg_ready[r as usize])
-                .max()
-                .unwrap_or(0);
-            if ready_at > self.now {
+            unissued_left -= 1;
+            // Source readiness, from the inline copies (absent
+            // sources hit the zero pad slot).
+            let ready_at =
+                reg_ready[entry.srcs[0] as usize].max(reg_ready[entry.srcs[1] as usize]);
+            if ready_at > now {
+                if ready_at < min_ready {
+                    min_ready = ready_at;
+                }
                 continue;
             }
             // Functional unit availability.
-            let (unit_ok, unit): (bool, u8) = match uop.kind {
-                UopKind::Alu { .. } | UopKind::Branch { .. } => {
-                    (int_used < self.cfg.int_units, 0)
-                }
-                UopKind::Fp { .. } => (fp_used < self.cfg.fp_units, 1),
-                UopKind::Load { .. } | UopKind::Store { .. } => {
-                    (mem_used < self.cfg.mem_units, 2)
-                }
+            let (unit_ok, unit): (bool, u8) = match entry.class {
+                CLASS_ALU | CLASS_BRANCH => (int_used < cfg.int_units, 0),
+                CLASS_FP => (fp_used < cfg.fp_units, 1),
+                _ => (mem_used < cfg.mem_units, 2),
             };
             if !unit_ok {
+                blocked_ready = true;
                 continue;
             }
+            let uop = &program.uops[entry.idx as usize];
             match unit {
                 0 => int_used += 1,
                 1 => fp_used += 1,
@@ -319,67 +490,78 @@ impl<'p> Core<'p> {
 
             let (complete_at, sq_free_at) = match uop.kind {
                 UopKind::Alu { latency } | UopKind::Fp { latency } => {
-                    (self.now + latency as u64, None)
+                    (now + latency as u64, None)
                 }
                 UopKind::Branch { taken } => {
-                    self.stats.branches += 1;
+                    stats.branches += 1;
                     // Prediction was recorded at fetch via `mispredicted`
                     // bookkeeping below; resolution happens here.
                     let _ = taken;
-                    (self.now + 1, None)
+                    (now + 1, None)
                 }
                 UopKind::Load { vaddr } => {
-                    self.stats.loads += 1;
+                    stats.loads += 1;
                     // Store-to-load forwarding: a pending store to the same
                     // word supplies the data without a cache access.
-                    let forwarded = self
-                        .forward_window
+                    let forwarded = forward_window
                         .iter()
                         .rev()
                         .find(|&&(a, _)| a == vaddr.0)
                         .map(|&(_, ready)| ready);
                     match forwarded {
                         Some(ready) => {
-                            self.stats.forwarded_loads += 1;
-                            let done = ready.max(self.now) + 1;
-                            self.lq_busy.push(done);
+                            stats.forwarded_loads += 1;
+                            let done = ready.max(now) + 1;
+                            lq_busy.push(std::cmp::Reverse(done));
                             (done, None)
                         }
                         None => {
-                            let done = mem.access(uop.pc, vaddr, AccessKind::Load, self.now);
-                            self.lq_busy.push(done);
+                            let done = mem.access(uop.pc, vaddr, AccessKind::Load, now);
+                            lq_busy.push(std::cmp::Reverse(done));
                             (done, None)
                         }
                     }
                 }
                 UopKind::Store { vaddr } => {
-                    self.stats.stores += 1;
-                    let done = mem.access(uop.pc, vaddr, AccessKind::Store, self.now);
+                    stats.stores += 1;
+                    let done = mem.access(uop.pc, vaddr, AccessKind::Store, now);
                     // Forwardable as soon as the store has its data (next
                     // cycle); the window is bounded by the SQ capacity.
-                    self.forward_window.push_back((vaddr.0, self.now + 1));
-                    while self.forward_window.len() > self.cfg.store_buffer {
-                        self.forward_window.pop_front();
+                    forward_window.push_back((vaddr.0, now + 1));
+                    while forward_window.len() > cfg.store_buffer {
+                        forward_window.pop_front();
                     }
                     // Store releases the pipeline next cycle; its SQ entry
                     // is busy until the memory system completes.
-                    (self.now + 1, Some(done))
+                    (now + 1, Some(done))
                 }
             };
-            self.rob[slot].complete_at = Some(complete_at);
-            self.rob[slot].sq_free_at = sq_free_at;
+            entry.complete_at = complete_at;
+            entry.sq_free_at = sq_free_at.unwrap_or(NO_SQ);
+            if use_mask {
+                *unissued_mask &= !(1u128 << p);
+            }
+            *rob_unissued -= 1;
+            if entry.class == CLASS_LOAD {
+                *rob_loads_unissued -= 1;
+            }
             if let Some(dst) = uop.dst {
-                self.reg_ready[dst as usize] = complete_at;
+                reg_ready[dst as usize] = complete_at;
             }
             // Branch redirect: if this branch was fetched mispredicted,
             // fetch resumes after it resolves plus the penalty.
-            if self.pending_redirect == Some(entry.idx) {
-                self.pending_redirect = None;
-                let resume_at = complete_at + self.cfg.mispredict_penalty;
-                self.stats.redirect_stall_cycles += resume_at.saturating_sub(self.now);
-                self.fetch_resume_at = resume_at;
+            if *pending_redirect == Some(entry.idx as usize) {
+                *pending_redirect = None;
+                let resume_at = complete_at + cfg.mispredict_penalty;
+                stats.redirect_stall_cycles += resume_at.saturating_sub(now);
+                *fetch_resume_at = resume_at;
             }
         }
+        // Barren full scan: nothing issued and nothing was blocked on a
+        // functional unit, so the earliest future readiness bounds every
+        // scan until then. Anything issuing invalidates the bound
+        // (`reg_ready` changed).
+        self.issue_idle_until = if any || blocked_ready { 0 } else { min_ready };
         any
     }
 
@@ -399,14 +581,47 @@ impl<'p> Core<'p> {
             let uop = &self.program.uops[self.fetch_idx];
             match uop.kind {
                 UopKind::Load { .. }
-                    if self.lq_busy.len() + self.loads_in_rob() >= self.cfg.load_buffer => {
+                    if self.lq_busy.len() + self.rob_loads_unissued >= self.cfg.load_buffer => {
                         break;
                     }
                 UopKind::Store { .. }
-                    if self.sq_busy.len() + self.stores_in_rob() >= self.cfg.store_buffer => {
+                    if self.sq_busy.len() + self.rob_stores >= self.cfg.store_buffer => {
                         break;
                     }
+                UopKind::Load { .. } => self.rob_loads_unissued += 1,
+                UopKind::Store { .. } => self.rob_stores += 1,
                 _ => {}
+            }
+            self.rob_unissued += 1;
+            let entry = RobEntry {
+                idx: self.fetch_idx as u32,
+                srcs: [
+                    uop.srcs[0].unwrap_or(NO_REG),
+                    uop.srcs[1].unwrap_or(NO_REG),
+                ],
+                class: match uop.kind {
+                    UopKind::Alu { .. } => CLASS_ALU,
+                    UopKind::Fp { .. } => CLASS_FP,
+                    UopKind::Load { .. } => CLASS_LOAD,
+                    UopKind::Store { .. } => CLASS_STORE,
+                    UopKind::Branch { .. } => CLASS_BRANCH,
+                },
+                complete_at: NOT_ISSUED,
+                sq_free_at: NO_SQ,
+            };
+            // Keep the barren-scan bound exact: a dispatched entry may be
+            // ready earlier than everything already waiting. `reg_ready`
+            // is unchanged since the scan that set the bound (any issue
+            // clears it), so this ready cycle is the one the next scan
+            // would compute.
+            if self.issue_idle_until != 0 {
+                let ready_at = self.reg_ready[entry.srcs[0] as usize]
+                    .max(self.reg_ready[entry.srcs[1] as usize]);
+                self.issue_idle_until = if ready_at <= self.now {
+                    0
+                } else {
+                    self.issue_idle_until.min(ready_at)
+                };
             }
             // Branch prediction at fetch.
             if let UopKind::Branch { taken } = uop.kind {
@@ -415,11 +630,10 @@ impl<'p> Core<'p> {
                 if predicted != taken {
                     self.stats.mispredicts += 1;
                     self.pending_redirect = Some(self.fetch_idx);
-                    self.rob.push_back(RobEntry {
-                        idx: self.fetch_idx,
-                        complete_at: None,
-                        sq_free_at: None,
-                    });
+                    self.rob.push_back(entry);
+                    if self.cfg.rob_size <= 128 {
+                        self.unissued_mask |= 1u128 << (self.rob.len() - 1);
+                    }
                     self.fetch_idx += 1;
                     // Stop fetching: the front end is on the wrong path
                     // until this branch resolves.
@@ -427,32 +641,14 @@ impl<'p> Core<'p> {
                     return true;
                 }
             }
-            self.rob.push_back(RobEntry {
-                idx: self.fetch_idx,
-                complete_at: None,
-                sq_free_at: None,
-            });
+            self.rob.push_back(entry);
+            if self.cfg.rob_size <= 128 {
+                self.unissued_mask |= 1u128 << (self.rob.len() - 1);
+            }
             self.fetch_idx += 1;
             any = true;
         }
         any
-    }
-
-    fn loads_in_rob(&self) -> usize {
-        self.rob
-            .iter()
-            .filter(|e| {
-                matches!(self.program.uops[e.idx].kind, UopKind::Load { .. })
-                    && e.complete_at.is_none()
-            })
-            .count()
-    }
-
-    fn stores_in_rob(&self) -> usize {
-        self.rob
-            .iter()
-            .filter(|e| matches!(self.program.uops[e.idx].kind, UopKind::Store { .. }))
-            .count()
     }
 }
 

@@ -5,7 +5,7 @@
 //!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
-//!             [--verbose-timing]
+//!             [--verbose-timing] [--no-result-cache]
 //! experiments all [--quick] [--jobs N]
 //! ```
 //!
@@ -13,6 +13,12 @@
 //! available core). Output is byte-identical at any job count; per-id
 //! wall times go to stderr under `--verbose-timing` so stdout stays
 //! comparable.
+//!
+//! A fingerprint-keyed result cache (DESIGN.md §8) replays finished
+//! cells that recur across sweeps — same config, workload, scale, and
+//! seed — instead of re-simulating them. Stdout is byte-identical with
+//! the cache on or off; `--no-result-cache` disables it, and
+//! `--verbose-timing` reports the hit/miss counts on stderr.
 //!
 //! Observability (see EXPERIMENTS.md and DESIGN.md §7):
 //!
@@ -185,6 +191,7 @@ fn main() {
     let mut trace_filter: Option<TraceFilter> = None;
     let mut metrics_window: Option<u64> = None;
     let mut manifest_dir: Option<std::path::PathBuf> = None;
+    let mut result_cache = true;
     let mut expecting: Option<&str> = None;
     for a in &args {
         if let Some(flag) = expecting.take() {
@@ -253,6 +260,7 @@ fn main() {
             "--keep-going" => context::set_keep_going(true),
             "--trace" => trace = true,
             "--verbose-timing" => context::set_verbose_timing(true),
+            "--no-result-cache" => result_cache = false,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
             | "--trace-filter" | "--metrics-window" | "--emit-manifest" => {
                 expecting = Some(a.as_str());
@@ -274,7 +282,7 @@ fn main() {
         );
         eprintln!(
             "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
-             [--metrics-window UOPS] [--verbose-timing]"
+             [--metrics-window UOPS] [--verbose-timing] [--no-result-cache]"
         );
         eprintln!("ids: {}  (or: all)", ALL.join(" "));
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
@@ -299,6 +307,7 @@ fn main() {
             metrics_window,
         });
     }
+    context::set_result_cache(result_cache);
     let pool = jobs.map_or_else(Pool::default, Pool::new);
     for id in ids {
         let t0 = Instant::now();
@@ -322,6 +331,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if context::verbose_timing() {
+        let (hits, misses) = context::result_cache_stats();
+        eprintln!("result cache: {hits} hit(s), {misses} miss(es)");
     }
     if let (Some(dir), Some(taken)) = (&manifest_dir, context::take_obs()) {
         match obs::write_artifacts(dir, scale.name(), pool.jobs(), &taken) {

@@ -125,6 +125,7 @@ pub fn run_grid_cells(
     let plan = context::fault_plan();
     let collect = context::obs_enabled();
     let batch = context::obs_new_batch();
+    let result_cache = context::result_cache();
     let mut fingerprints = Vec::new();
     let jobs: Vec<SimJob> = grid
         .into_iter()
@@ -134,9 +135,32 @@ pub fn run_grid_cells(
             if collect {
                 fingerprints.push(cdp_obs::fingerprint_hex(format!("{cfg:?}").as_bytes()));
             }
+            let walk_fault = plan.walk_fault(bench.name());
             let mut job = SimJob::new(label, cfg, ws.get(bench, scale));
-            if let Some(wf) = plan.walk_fault(bench.name()) {
+            if let Some(wf) = walk_fault {
                 job = job.with_walk_fault(wf);
+            }
+            if let Some(cache) = &result_cache {
+                // The cell key covers everything behavior-affecting: the
+                // warmed-up config, the workload identity (benchmark +
+                // scale + seed, which determine the deterministic build),
+                // and any injected walk fault. The fault *plan* also
+                // mutates workload images, but it does so identically for
+                // every cell of a (bench, scale) in this process, so
+                // equal keys still mean equal results.
+                let key = cdp_obs::fingerprint(
+                    format!(
+                        "{:?}|{}|{}/{}|{}|{:?}",
+                        job.cfg,
+                        bench.name(),
+                        scale.target_uops,
+                        scale.footprint_div,
+                        SEED,
+                        walk_fault,
+                    )
+                    .as_bytes(),
+                );
+                job = job.with_result_cache(Arc::clone(cache), key);
             }
             if let Some(obs) = context::obs_job_attachment(batch, index) {
                 job = job.with_obs(obs);

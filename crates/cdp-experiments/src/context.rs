@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cdp_sim::{FaultPlan, FaultSpec, JobObs, ObsSink, RunPolicy};
+use cdp_sim::{FaultPlan, FaultSpec, JobObs, ObsSink, ResultCache, RunPolicy};
 use cdp_types::ObsConfig;
 
 use crate::obs::{CellRecord, ExperimentRecord, ObsTaken};
@@ -50,6 +50,7 @@ static POLICY: Mutex<Option<RunPolicy>> = Mutex::new(None);
 static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
 static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
 static OBS: Mutex<Option<ObsState>> = Mutex::new(None);
+static RESULT_CACHE: Mutex<Option<Arc<ResultCache>>> = Mutex::new(None);
 
 /// Enables (or disables) keep-going mode: failing sweep cells render as
 /// annotated gaps instead of aborting the run.
@@ -190,15 +191,44 @@ pub fn obs_record_experiment(id: &str, wall_ms: u64) {
     }
 }
 
+/// Enables (or disables) the process-wide fingerprint-keyed result
+/// cache. Cached cells replay their finished [`RunStats`] (and any
+/// observation) instead of re-simulating; rendered output is
+/// byte-identical either way, so the binary turns it on by default and
+/// `--no-result-cache` opts out.
+///
+/// [`RunStats`]: cdp_sim::RunStats
+pub fn set_result_cache(on: bool) {
+    *RESULT_CACHE.lock().expect("result cache lock") =
+        if on { Some(Arc::new(ResultCache::new())) } else { None };
+}
+
+/// The shared result cache, if enabled.
+pub fn result_cache() -> Option<Arc<ResultCache>> {
+    RESULT_CACHE.lock().expect("result cache lock").clone()
+}
+
+/// `(hits, misses)` served by the result cache so far (zeros when the
+/// cache is disabled).
+pub fn result_cache_stats() -> (u64, u64) {
+    match result_cache() {
+        Some(c) => (c.hits(), c.misses()),
+        None => (0, 0),
+    }
+}
+
 /// Ends collection and returns everything accumulated, with sink entries
 /// drained in `(batch, index)` order. `None` if collection was off.
 pub fn take_obs() -> Option<ObsTaken> {
     let state = OBS.lock().expect("obs lock").take()?;
+    let (result_cache_hits, result_cache_misses) = result_cache_stats();
     Some(ObsTaken {
         cells: state.cells,
         experiments: state.experiments,
         entries: state.sink.drain_sorted(),
         batch_experiments: state.batch_experiments,
+        result_cache_hits,
+        result_cache_misses,
     })
 }
 

@@ -84,6 +84,10 @@ pub struct ObsTaken {
     pub entries: Vec<ObsEntry>,
     /// batch id → owning experiment id (parallel to batch allocation).
     pub batch_experiments: Vec<String>,
+    /// Cells served from the fingerprint-keyed result cache.
+    pub result_cache_hits: u64,
+    /// Cells simulated because the result cache had no usable entry.
+    pub result_cache_misses: u64,
 }
 
 impl ObsTaken {
@@ -131,12 +135,17 @@ pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
     aggregates.set("trace_overwritten_total", Json::U64(overwritten));
     aggregates.set("trace_sampled_out_total", Json::U64(sampled_out));
 
+    let suite_wall_ms: u64 = taken.experiments.iter().map(|e| e.wall_ms).sum();
+
     let mut doc = Json::obj();
     doc.set("schema_version", Json::U64(SCHEMA_VERSION));
     doc.set("tool", Json::Str("cdp-experiments".to_string()));
     doc.set("scale", Json::Str(scale.to_string()));
     doc.set("jobs", Json::U64(jobs as u64));
     doc.set("seed", Json::U64(SEED));
+    doc.set("suite_wall_ms", Json::U64(suite_wall_ms));
+    doc.set("result_cache_hits", Json::U64(taken.result_cache_hits));
+    doc.set("result_cache_misses", Json::U64(taken.result_cache_misses));
     doc.set(
         "experiments",
         Json::Arr(taken.experiments.iter().map(ExperimentRecord::to_json).collect()),
@@ -278,6 +287,8 @@ mod tests {
                 },
             }],
             batch_experiments: vec!["tlb".into()],
+            result_cache_hits: 3,
+            result_cache_misses: 5,
         }
     }
 
@@ -291,6 +302,9 @@ mod tests {
         assert_eq!(agg.get("cells_ok").unwrap().as_u64(), Some(1));
         assert_eq!(agg.get("cells_timeout").unwrap().as_u64(), Some(1));
         assert_eq!(agg.get("metrics_windows_total").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("suite_wall_ms").unwrap().as_u64(), Some(950));
+        assert_eq!(doc.get("result_cache_hits").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("result_cache_misses").unwrap().as_u64(), Some(5));
         // Round-trips through the parser.
         let reparsed = Json::parse(&doc.to_string()).unwrap();
         cdp_obs::validate(&reparsed).expect("still valid after round-trip");

@@ -68,6 +68,13 @@ pub struct ArbiterStats {
 
 /// A fixed-capacity, strict-priority request queue.
 ///
+/// The backing store is a binary max-heap ordered by
+/// `(priority, Reverse(seq))`, so [`Arbiter::pop`] is O(log n) instead of
+/// a full scan; the unique, monotone `seq` makes the order total, which
+/// keeps pops FIFO within a priority level and deterministic. Line-keyed
+/// operations (merge, promote, remove) still scan — the queue is a few
+/// entries deep, and those paths are off the pop fast path.
+///
 /// # Examples
 ///
 /// ```
@@ -82,10 +89,17 @@ pub struct ArbiterStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Arbiter {
+    /// Binary max-heap on `(priority, Reverse(seq))`.
     queue: Vec<PendingRequest>,
     capacity: usize,
     seq: u64,
     stats: ArbiterStats,
+}
+
+/// Heap ordering: `a` pops before `b`.
+#[inline]
+fn pops_before(a: &PendingRequest, b: &PendingRequest) -> bool {
+    (a.kind.priority(), std::cmp::Reverse(a.seq)) > (b.kind.priority(), std::cmp::Reverse(b.seq))
 }
 
 impl Arbiter {
@@ -144,9 +158,10 @@ impl Arbiter {
     /// keeps the *higher* of the two priorities (this implements the
     /// in-flight promotion of §3.5 for queued-but-not-yet-issued requests).
     pub fn enqueue(&mut self, line: LineAddr, kind: RequestKind, now: u64) -> EnqueueOutcome {
-        if let Some(existing) = self.queue.iter_mut().find(|r| r.line == line) {
-            if kind.priority() > existing.kind.priority() {
-                existing.kind = kind;
+        if let Some(i) = self.queue.iter().position(|r| r.line == line) {
+            if kind.priority() > self.queue[i].kind.priority() {
+                self.queue[i].kind = kind;
+                self.sift_up(i);
             }
             self.stats.merged += 1;
             return EnqueueOutcome::Accepted;
@@ -166,7 +181,7 @@ impl Arbiter {
                 .map(|(i, _)| i);
             match victim_idx {
                 Some(i) => {
-                    let victim = self.queue.swap_remove(i);
+                    let victim = self.remove_at(i);
                     self.push(line, kind, now);
                     self.stats.evicted += 1;
                     self.stats.accepted += 1;
@@ -191,28 +206,68 @@ impl Arbiter {
             enqueued_at: now,
             seq: self.seq,
         });
+        self.sift_up(self.queue.len() - 1);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if pops_before(&self.queue[i], &self.queue[parent]) {
+                self.queue.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut best = i;
+            if left < self.queue.len() && pops_before(&self.queue[left], &self.queue[best]) {
+                best = left;
+            }
+            if right < self.queue.len() && pops_before(&self.queue[right], &self.queue[best]) {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.queue.swap(i, best);
+            i = best;
+        }
+    }
+
+    /// Removes the element at heap index `i`, restoring the heap invariant.
+    fn remove_at(&mut self, i: usize) -> PendingRequest {
+        let removed = self.queue.swap_remove(i);
+        if i < self.queue.len() {
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        removed
     }
 
     /// Removes and returns the highest-priority request (FIFO within a
     /// priority level).
     pub fn pop(&mut self) -> Option<PendingRequest> {
-        let idx = self
-            .queue
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, r)| (r.kind.priority(), std::cmp::Reverse(r.seq)))
-            .map(|(i, _)| i)?;
-        Some(self.queue.swap_remove(idx))
+        if self.queue.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
     }
 
     /// Raises the priority of a queued request for `line` to that of `kind`
     /// (demand promotion of an in-flight prefetch, §3.5). Returns `true` if
     /// a queued request was found.
     pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {
-        match self.queue.iter_mut().find(|r| r.line == line) {
-            Some(r) => {
-                if kind.priority() > r.kind.priority() {
-                    r.kind = kind;
+        match self.queue.iter().position(|r| r.line == line) {
+            Some(i) => {
+                if kind.priority() > self.queue[i].kind.priority() {
+                    self.queue[i].kind = kind;
+                    self.sift_up(i);
                 }
                 true
             }
@@ -224,7 +279,7 @@ impl Arbiter {
     /// another path).
     pub fn remove(&mut self, line: LineAddr) -> Option<PendingRequest> {
         let idx = self.queue.iter().position(|r| r.line == line)?;
-        Some(self.queue.swap_remove(idx))
+        Some(self.remove_at(idx))
     }
 }
 
@@ -369,6 +424,113 @@ mod tests {
             while let Some(r) = a.pop() {
                 assert!(r.kind.priority() <= last);
                 last = r.kind.priority();
+            }
+        }
+    }
+
+    /// The heap-backed pop order is identical to the original linear-scan
+    /// implementation (`max_by_key((priority, Reverse(seq)))` over a plain
+    /// `Vec`) across a randomized enqueue/pop/promote/remove mix.
+    #[test]
+    fn prop_pop_order_matches_linear_reference() {
+        /// The pre-heap Arbiter, reduced to its ordering-relevant parts.
+        struct LinearRef {
+            queue: Vec<(LineAddr, RequestKind, u64)>,
+            capacity: usize,
+            seq: u64,
+        }
+        impl LinearRef {
+            fn enqueue(&mut self, line: LineAddr, kind: RequestKind) {
+                if let Some(r) = self.queue.iter_mut().find(|r| r.0 == line) {
+                    if kind.priority() > r.1.priority() {
+                        r.1 = kind;
+                    }
+                    return;
+                }
+                if self.queue.len() >= self.capacity {
+                    if kind.is_prefetch() {
+                        return;
+                    }
+                    let victim = self
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.1.is_prefetch())
+                        .min_by_key(|(_, r)| (r.1.priority(), std::cmp::Reverse(r.2)))
+                        .map(|(i, _)| i);
+                    match victim {
+                        Some(i) => {
+                            self.queue.swap_remove(i);
+                        }
+                        None => return,
+                    }
+                }
+                self.seq += 1;
+                self.queue.push((line, kind, self.seq));
+            }
+            fn pop(&mut self) -> Option<(LineAddr, RequestKind, u64)> {
+                let idx = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, r)| (r.1.priority(), std::cmp::Reverse(r.2)))
+                    .map(|(i, _)| i)?;
+                Some(self.queue.swap_remove(idx))
+            }
+        }
+
+        let mut rng = Rng::seed_from_u64(0xa4b1_0004);
+        for _ in 0..64 {
+            let cap = rng.gen_range_usize(1..12);
+            let mut heap = Arbiter::new(cap);
+            let mut lin = LinearRef {
+                queue: Vec::new(),
+                capacity: cap,
+                seq: 0,
+            };
+            for step in 0..rng.gen_range_usize(10..400) {
+                match rng.gen_range_u8(0..8) {
+                    0..=4 => {
+                        let line = LineAddr(rng.gen_range_u32(0..48) * 64);
+                        let kind = match rng.gen_range_u8(0..6) {
+                            0 => RequestKind::Demand,
+                            1 => RequestKind::Stride,
+                            2 => RequestKind::Markov,
+                            k => RequestKind::Content { depth: k },
+                        };
+                        heap.enqueue(line, kind, step as u64);
+                        lin.enqueue(line, kind);
+                    }
+                    5 => {
+                        let line = LineAddr(rng.gen_range_u32(0..48) * 64);
+                        heap.promote(line, RequestKind::Demand);
+                        if let Some(r) = lin.queue.iter_mut().find(|r| r.0 == line) {
+                            if RequestKind::Demand.priority() > r.1.priority() {
+                                r.1 = RequestKind::Demand;
+                            }
+                        }
+                    }
+                    6 => {
+                        let line = LineAddr(rng.gen_range_u32(0..48) * 64);
+                        heap.remove(line);
+                        if let Some(i) = lin.queue.iter().position(|r| r.0 == line) {
+                            lin.queue.swap_remove(i);
+                        }
+                    }
+                    _ => {
+                        let got = heap.pop().map(|r| (r.line, r.kind, r.seq));
+                        assert_eq!(got, lin.pop(), "pop order diverged");
+                    }
+                }
+            }
+            // Drain both to the end.
+            loop {
+                let got = heap.pop().map(|r| (r.line, r.kind, r.seq));
+                let want = lin.pop();
+                assert_eq!(got, want, "drain order diverged");
+                if want.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -7,6 +7,13 @@
 //! metadata. Lookups are by *line-aligned address* as a raw `u32`; the
 //! paper's L1 is virtually indexed and the L2 physically indexed, so the
 //! hierarchy layer decides which address space each cache sees.
+//!
+//! Storage is one contiguous set-major array: way `w` of set `s` lives at
+//! slot `s * associativity + w`, and the occupied ways of a set are packed
+//! at the front of its slot range (`0..len[s]`). A probe therefore walks
+//! one short contiguous stretch of memory instead of chasing a per-set
+//! `Vec` pointer, which matters because every simulated access — L1, L2,
+//! and both TLBs — lands here.
 
 use std::fmt;
 
@@ -72,7 +79,15 @@ pub enum AccessResult {
 /// ```
 #[derive(Clone)]
 pub struct Cache<M> {
-    sets: Vec<Vec<Entry<M>>>,
+    /// Set-major flat storage: `slots[set * associativity + way]`. The
+    /// occupied ways of a set are packed at `0..lens[set]`; vacancy is
+    /// `None`. Within a set, slot order reproduces the historical
+    /// push/swap-remove order of the per-set `Vec` this replaced, so the
+    /// Random policy's candidate indexing is bit-for-bit unchanged.
+    slots: Vec<Option<Entry<M>>>,
+    /// Occupied way count per set.
+    lens: Vec<u32>,
+    num_sets: usize,
     associativity: usize,
     line_size: usize,
     line_shift: u32,
@@ -86,7 +101,7 @@ pub struct Cache<M> {
 impl<M: fmt::Debug> fmt::Debug for Cache<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cache")
-            .field("sets", &self.sets.len())
+            .field("sets", &self.num_sets)
             .field("associativity", &self.associativity)
             .field("line_size", &self.line_size)
             .field("hits", &self.hits)
@@ -109,8 +124,12 @@ impl<M: EvictClass> Cache<M> {
             line_size.is_power_of_two(),
             "line size must be a power of two"
         );
+        let mut slots = Vec::new();
+        slots.resize_with(num_sets * associativity, || None);
         Cache {
-            sets: (0..num_sets).map(|_| Vec::with_capacity(associativity)).collect(),
+            slots,
+            lens: vec![0; num_sets],
+            num_sets,
             associativity,
             line_size,
             line_shift: line_size.trailing_zeros(),
@@ -141,12 +160,12 @@ impl<M: EvictClass> Cache<M> {
 
     /// Total line capacity.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.num_sets * self.associativity
     }
 
     /// Number of lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// (hits, misses) counted by [`Cache::access`].
@@ -162,7 +181,7 @@ impl<M: EvictClass> Cache<M> {
 
     #[inline]
     fn set_index(&self, line: u32) -> usize {
-        ((line >> self.line_shift) as usize) % self.sets.len()
+        ((line >> self.line_shift) as usize) % self.num_sets
     }
 
     #[inline]
@@ -170,13 +189,28 @@ impl<M: EvictClass> Cache<M> {
         addr & !(self.line_size as u32 - 1)
     }
 
+    /// Occupied slice of a set.
+    #[inline]
+    fn set(&self, set: usize) -> &[Option<Entry<M>>] {
+        let base = set * self.associativity;
+        &self.slots[base..base + self.lens[set] as usize]
+    }
+
+    /// Index into `slots` of `line` within `set`, if resident.
+    #[inline]
+    fn find(&self, set: usize, line: u32) -> Option<usize> {
+        let base = set * self.associativity;
+        self.set(set)
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.line == line))
+            .map(|w| base + w)
+    }
+
     /// Whether the line containing `addr` is resident. Does **not** update
     /// LRU state or statistics.
     pub fn probe(&self, addr: u32) -> bool {
         let line = self.align(addr);
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|e| e.line == line)
+        self.find(self.set_index(line), line).is_some()
     }
 
     /// Looks up the line containing `addr`, updating LRU and hit/miss
@@ -187,12 +221,13 @@ impl<M: EvictClass> Cache<M> {
         self.clock += 1;
         let clock = self.clock;
         let refresh = !matches!(self.policy, cdp_types::ReplacementPolicy::Fifo);
-        match self.sets[set].iter_mut().find(|e| e.line == line) {
-            Some(entry) => {
+        match self.find(set, line) {
+            Some(slot) => {
+                self.hits += 1;
+                let entry = self.slots[slot].as_mut().expect("occupied slot");
                 if refresh {
                     entry.stamp = clock;
                 }
-                self.hits += 1;
                 Some(&mut entry.meta)
             }
             None => {
@@ -207,20 +242,15 @@ impl<M: EvictClass> Cache<M> {
     /// stored depths out of band).
     pub fn peek(&self, addr: u32) -> Option<&M> {
         let line = self.align(addr);
-        self.sets[self.set_index(line)]
-            .iter()
-            .find(|e| e.line == line)
-            .map(|e| &e.meta)
+        let slot = self.find(self.set_index(line), line)?;
+        self.slots[slot].as_ref().map(|e| &e.meta)
     }
 
     /// Mutable [`Cache::peek`].
     pub fn peek_mut(&mut self, addr: u32) -> Option<&mut M> {
         let line = self.align(addr);
-        let set = self.set_index(line);
-        self.sets[set]
-            .iter_mut()
-            .find(|e| e.line == line)
-            .map(|e| &mut e.meta)
+        let slot = self.find(self.set_index(line), line)?;
+        self.slots[slot].as_mut().map(|e| &mut e.meta)
     }
 
     /// Inserts the line containing `addr`, evicting the LRU way if the set
@@ -231,44 +261,55 @@ impl<M: EvictClass> Cache<M> {
         let set = self.set_index(line);
         self.clock += 1;
         let clock = self.clock;
-        if let Some(entry) = self.sets[set].iter_mut().find(|e| e.line == line) {
+        if let Some(slot) = self.find(set, line) {
+            let entry = self.slots[slot].as_mut().expect("occupied slot");
             entry.meta = meta;
             entry.stamp = clock;
             return None;
         }
-        let evicted = if self.sets[set].len() >= self.associativity {
-            let victim = match self.policy {
+        let evicted = if self.lens[set] as usize >= self.associativity {
+            let way = match self.policy {
                 // LRU and FIFO both evict the minimum stamp — they differ
                 // in whether access() refreshed it.
                 cdp_types::ReplacementPolicy::Lru | cdp_types::ReplacementPolicy::Fifo => self
-                    .sets[set]
+                    .set(set)
                     .iter()
                     .enumerate()
+                    .filter_map(|(w, e)| e.as_ref().map(|e| (w, e)))
                     .min_by_key(|(_, e)| (std::cmp::Reverse(e.meta.evict_class()), e.stamp))
-                    .map(|(i, _)| i)
+                    .map(|(w, _)| w)
                     .expect("set is non-empty"),
                 cdp_types::ReplacementPolicy::Random => {
                     // Deterministic xorshift; eviction-class preference
-                    // still applies (random within the worst class).
+                    // still applies (random within the worst class). The
+                    // k-th worst-class way in slot order is selected —
+                    // identical to indexing the old candidate Vec, without
+                    // materializing it.
                     self.rng ^= self.rng << 13;
                     self.rng ^= self.rng >> 7;
                     self.rng ^= self.rng << 17;
-                    let set_ref = &self.sets[set];
-                    let worst = set_ref
+                    let ways = self.set(set);
+                    let worst = ways
                         .iter()
-                        .map(|e| e.meta.evict_class())
+                        .filter_map(|e| e.as_ref().map(|e| e.meta.evict_class()))
                         .max()
                         .expect("set is non-empty");
-                    let candidates: Vec<usize> = set_ref
+                    let count = ways
                         .iter()
+                        .filter(|e| e.as_ref().is_some_and(|e| e.meta.evict_class() == worst))
+                        .count();
+                    let pick = (self.rng as usize) % count;
+                    ways.iter()
                         .enumerate()
-                        .filter(|(_, e)| e.meta.evict_class() == worst)
-                        .map(|(i, _)| i)
-                        .collect();
-                    candidates[(self.rng as usize) % candidates.len()]
+                        .filter(|(_, e)| {
+                            e.as_ref().is_some_and(|e| e.meta.evict_class() == worst)
+                        })
+                        .nth(pick)
+                        .map(|(w, _)| w)
+                        .expect("candidate index in range")
                 }
             };
-            let e = self.sets[set].swap_remove(victim);
+            let e = self.swap_remove(set, way);
             Some(EvictedLine {
                 line: e.line,
                 meta: e.meta,
@@ -276,34 +317,54 @@ impl<M: EvictClass> Cache<M> {
         } else {
             None
         };
-        self.sets[set].push(Entry {
+        // Emulated push: append at the packed end of the set's slot range.
+        let base = set * self.associativity;
+        let len = self.lens[set] as usize;
+        debug_assert!(self.slots[base + len].is_none());
+        self.slots[base + len] = Some(Entry {
             line,
             meta,
             stamp: clock,
         });
+        self.lens[set] += 1;
         evicted
+    }
+
+    /// Removes way `way` of `set`, moving the last occupied way into the
+    /// hole — the same reordering `Vec::swap_remove` performed when each
+    /// set was its own `Vec`.
+    fn swap_remove(&mut self, set: usize, way: usize) -> Entry<M> {
+        let base = set * self.associativity;
+        let last = self.lens[set] as usize - 1;
+        debug_assert!(way <= last);
+        self.slots.swap(base + way, base + last);
+        self.lens[set] -= 1;
+        self.slots[base + last].take().expect("occupied slot")
     }
 
     /// Removes the line containing `addr`, returning its metadata.
     pub fn invalidate(&mut self, addr: u32) -> Option<M> {
         let line = self.align(addr);
         let set = self.set_index(line);
-        let idx = self.sets[set].iter().position(|e| e.line == line)?;
-        Some(self.sets[set].swap_remove(idx).meta)
+        let way = self.find(set, line)? - set * self.associativity;
+        Some(self.swap_remove(set, way).meta)
     }
 
     /// Empties the cache (statistics are preserved).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        for len in &mut self.lens {
+            *len = 0;
         }
     }
 
     /// Iterates over resident lines (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (&u32, &M)> {
-        self.sets
+        self.slots
             .iter()
-            .flat_map(|s| s.iter().map(|e| (&e.line, &e.meta)))
+            .filter_map(|e| e.as_ref().map(|e| (&e.line, &e.meta)))
     }
 }
 
@@ -501,6 +562,34 @@ mod tests {
                         (ev.line >> 6) as usize % num_sets,
                         (a >> 6) as usize % num_sets
                     );
+                }
+            }
+        }
+    }
+
+    /// Packed occupancy invariant: occupied ways are contiguous from way 0.
+    #[test]
+    fn prop_packed_occupancy() {
+        let mut rng = Rng::seed_from_u64(0xcac4_0004);
+        let mut c: Cache<u8> = Cache::new(4, 4, 64);
+        for _ in 0..2000 {
+            let a = rng.gen_range_u32(0..0x8000);
+            match rng.gen_range_u8(0..3) {
+                0 => {
+                    c.fill(a, rng.gen_range_u8(0..4));
+                }
+                1 => {
+                    c.access(a);
+                }
+                _ => {
+                    c.invalidate(a);
+                }
+            }
+            for set in 0..4 {
+                let base = set * c.associativity;
+                let len = c.lens[set] as usize;
+                for w in 0..c.associativity {
+                    assert_eq!(c.slots[base + w].is_some(), w < len);
                 }
             }
         }

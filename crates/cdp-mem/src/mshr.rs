@@ -12,8 +12,13 @@
 //!   request is promoted to the priority and depth of the demand request"
 //!   — [`MshrFile::promote`]. A promoted prefetch also counts as a
 //!   *partial* latency mask for the timeliness accounting of Figure 10.
-
-use std::collections::HashMap;
+//!
+//! The table is a small open-addressed, linear-probe array (fibonacci
+//! hashing, power-of-two capacity) sized from the configured MSHR count —
+//! a hardware MSHR file holds a handful of entries, so a flat array probed
+//! in cache order beats a `HashMap` that hashes and chases buckets on
+//! every lookup. Removal uses backward-shift deletion, keeping probing
+//! tombstone-free.
 
 use cdp_types::{LineAddr, RequestKind, VirtAddr};
 
@@ -51,6 +56,13 @@ pub struct MshrStats {
     pub expedites: u64,
 }
 
+/// Fibonacci multiplier (2^64 / golden ratio).
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Default slot count for [`MshrFile::new`]; callers that know the
+/// configured MSHR count should use [`MshrFile::with_capacity`].
+const DEFAULT_SLOTS: usize = 64;
+
 /// The in-flight table.
 ///
 /// # Examples
@@ -67,31 +79,94 @@ pub struct MshrStats {
 /// assert!(mshrs.promote(LineAddr(0x40), RequestKind::Demand));
 /// assert_eq!(mshrs.lookup(LineAddr(0x40)).unwrap().kind, RequestKind::Demand);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MshrFile {
-    inflight: HashMap<u32, InFlight>,
+    /// Power-of-two linear-probe array; `None` is vacancy.
+    slots: Vec<Option<InFlight>>,
+    len: usize,
+    /// Lower bound on the earliest outstanding completion ([`u64::MAX`]
+    /// when none). Drains are called once per demand access; this lets
+    /// them return without touching the slot array while every fill is
+    /// still in flight. Removals may leave it stale-low, which only
+    /// costs a wasted scan, never a missed completion.
+    earliest: u64,
     stats: MshrStats,
 }
 
+impl Default for MshrFile {
+    fn default() -> Self {
+        MshrFile::new()
+    }
+}
+
 impl MshrFile {
-    /// Creates an empty MSHR file.
+    /// Creates an empty MSHR file with the default capacity.
     pub fn new() -> Self {
-        MshrFile::default()
+        MshrFile::with_capacity(DEFAULT_SLOTS / 2)
+    }
+
+    /// Creates an empty MSHR file sized for `entries` outstanding fills.
+    /// The slot array keeps 2x headroom (demand misses are admitted past
+    /// the prefetch queue bound) and grows if even that is exceeded.
+    pub fn with_capacity(entries: usize) -> Self {
+        let slots = (entries.max(1) * 2).next_power_of_two();
+        MshrFile {
+            slots: vec![None; slots],
+            len: 0,
+            earliest: u64::MAX,
+            stats: MshrStats::default(),
+        }
     }
 
     /// Number of outstanding fills.
     pub fn len(&self) -> usize {
-        self.inflight.len()
+        self.len
     }
 
     /// Whether no fills are outstanding.
     pub fn is_empty(&self) -> bool {
-        self.inflight.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn probe_start(&self, line: u32) -> usize {
+        let shift = 64 - self.slots.len().trailing_zeros();
+        ((line as u64).wrapping_mul(HASH_MUL) >> shift) as usize
+    }
+
+    /// Slot index of `line`, if in flight.
+    #[inline]
+    fn slot_of(&self, line: u32) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(line);
+        loop {
+            match &self.slots[i] {
+                Some(f) if f.line.0 == line => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
     }
 
     /// The in-flight fill for `line`, if any.
     pub fn lookup(&self, line: LineAddr) -> Option<&InFlight> {
-        self.inflight.get(&line.0)
+        self.slot_of(line.0)
+            .map(|i| self.slots[i].as_ref().expect("occupied slot"))
+    }
+
+    /// Doubles the slot array and reinserts every fill (safety valve — the
+    /// construction-time capacity normally suffices).
+    fn grow(&mut self) {
+        let old = std::mem::take(&mut self.slots);
+        self.slots = vec![None; old.len() * 2];
+        let mask = self.slots.len() - 1;
+        for f in old.into_iter().flatten() {
+            let mut i = self.probe_start(f.line.0);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(f);
+        }
     }
 
     /// Registers an outstanding fill.
@@ -122,18 +197,28 @@ impl MshrFile {
         complete_at: u64,
         width: bool,
     ) {
-        let prev = self.inflight.insert(
-            line.0,
-            InFlight {
-                line,
-                vline,
-                kind,
-                width,
-                complete_at,
-                issued_at,
-            },
+        debug_assert!(
+            self.slot_of(line.0).is_none(),
+            "duplicate in-flight fill for {line}"
         );
-        debug_assert!(prev.is_none(), "duplicate in-flight fill for {line}");
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(line.0);
+        while self.slots[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Some(InFlight {
+            line,
+            vline,
+            kind,
+            width,
+            complete_at,
+            issued_at,
+        });
+        self.len += 1;
+        self.earliest = self.earliest.min(complete_at);
         self.stats.inserts += 1;
     }
 
@@ -145,8 +230,9 @@ impl MshrFile {
     /// Promotes an in-flight fill to (at least) the priority and depth of
     /// `kind`. Returns `false` if no fill is outstanding for `line`.
     pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {
-        match self.inflight.get_mut(&line.0) {
-            Some(f) => {
+        match self.slot_of(line.0) {
+            Some(i) => {
+                let f = self.slots[i].as_mut().expect("occupied slot");
                 self.stats.merges += 1;
                 if kind.priority() > f.kind.priority() {
                     f.kind = kind;
@@ -162,10 +248,12 @@ impl MshrFile {
     /// backlogged prefetch at demand priority). Later completion times are
     /// ignored — promotion never delays a fill.
     pub fn expedite(&mut self, line: LineAddr, new_complete_at: u64) -> bool {
-        match self.inflight.get_mut(&line.0) {
-            Some(f) => {
+        match self.slot_of(line.0) {
+            Some(i) => {
+                let f = self.slots[i].as_mut().expect("occupied slot");
                 if new_complete_at < f.complete_at {
                     f.complete_at = new_complete_at;
+                    self.earliest = self.earliest.min(new_complete_at);
                     self.stats.expedites += 1;
                 }
                 true
@@ -174,25 +262,66 @@ impl MshrFile {
         }
     }
 
-    /// Removes and returns every fill complete by cycle `now`, ordered by
-    /// completion time (ties broken by line address for determinism).
-    pub fn drain_complete(&mut self, now: u64) -> Vec<InFlight> {
-        let mut done: Vec<InFlight> = self
-            .inflight
-            .values()
-            .filter(|f| f.complete_at <= now)
-            .copied()
-            .collect();
-        done.sort_by_key(|f| (f.complete_at, f.line.0));
-        for f in &done {
-            self.inflight.remove(&f.line.0);
+    /// Removes the fill in `slot`, backward-shifting the probe chain so
+    /// later lookups never cross a tombstone.
+    fn remove_slot(&mut self, mut hole: usize) {
+        self.slots[hole] = None;
+        self.len -= 1;
+        let mask = self.slots.len() - 1;
+        let mut j = (hole + 1) & mask;
+        while let Some(f) = self.slots[j] {
+            let home = self.probe_start(f.line.0);
+            // Shift back iff the hole sits within f's probe chain, i.e.
+            // home..=j (cyclically) covers the hole.
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = Some(f);
+                self.slots[j] = None;
+                hole = j;
+            }
+            j = (j + 1) & mask;
         }
-        done
+    }
+
+    /// Removes every fill complete by cycle `now` into `out` (which is
+    /// cleared first), ordered by completion time (ties broken by line
+    /// address for determinism). The caller owns the buffer, so steady-state
+    /// draining performs no allocation.
+    pub fn drain_complete_into(&mut self, now: u64, out: &mut Vec<InFlight>) {
+        out.clear();
+        if self.len == 0 || now < self.earliest {
+            return;
+        }
+        let mut remaining_min = u64::MAX;
+        for f in self.slots.iter().flatten() {
+            if f.complete_at <= now {
+                out.push(*f);
+            } else if f.complete_at < remaining_min {
+                remaining_min = f.complete_at;
+            }
+        }
+        self.earliest = remaining_min;
+        out.sort_by_key(|f| (f.complete_at, f.line.0));
+        for f in out.iter() {
+            let slot = self.slot_of(f.line.0).expect("drained fill is resident");
+            self.remove_slot(slot);
+        }
+    }
+
+    /// Allocating wrapper over [`MshrFile::drain_complete_into`] (tests and
+    /// tools; the hierarchy reuses a buffer).
+    pub fn drain_complete(&mut self, now: u64) -> Vec<InFlight> {
+        let mut out = Vec::new();
+        self.drain_complete_into(now, &mut out);
+        out
     }
 
     /// The earliest outstanding completion time, if any.
     pub fn next_completion(&self) -> Option<u64> {
-        self.inflight.values().map(|f| f.complete_at).min()
+        self.slots
+            .iter()
+            .flatten()
+            .map(|f| f.complete_at)
+            .min()
     }
 }
 
@@ -246,6 +375,77 @@ mod tests {
         fly(&mut m, 0x40, RequestKind::Demand, 500);
         assert!(m.drain_complete(499).is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer() {
+        let mut m = MshrFile::with_capacity(4);
+        let mut buf = Vec::new();
+        fly(&mut m, 0x40, RequestKind::Demand, 10);
+        m.drain_complete_into(10, &mut buf);
+        assert_eq!(buf.len(), 1);
+        // Stale contents are cleared on the next drain.
+        m.drain_complete_into(10, &mut buf);
+        assert!(buf.is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_past_construction_capacity() {
+        let mut m = MshrFile::with_capacity(2);
+        for i in 0..64u32 {
+            fly(&mut m, i * 0x40, RequestKind::Demand, 100 + i as u64);
+        }
+        assert_eq!(m.len(), 64);
+        for i in 0..64u32 {
+            assert!(m.lookup(LineAddr(i * 0x40)).is_some());
+        }
+        let done = m.drain_complete(200);
+        assert_eq!(done.len(), 64);
+        assert!(m.is_empty());
+    }
+
+    /// Interleaved inserts and removals keep every remaining entry
+    /// findable (backward-shift deletion correctness).
+    #[test]
+    fn prop_backward_shift_keeps_chains_intact() {
+        use cdp_types::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x5a5a_0001);
+        let mut m = MshrFile::with_capacity(8);
+        let mut reference: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut tick = 0u64;
+        for step in 0..4000u64 {
+            let line = rng.gen_range_u32(0..64) * 0x40;
+            match reference.entry(line) {
+                // Already in flight: promote instead of duplicate-insert.
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    assert!(m.promote(LineAddr(line), RequestKind::Demand));
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    tick += 1 + rng.gen_range_u32(0..5) as u64;
+                    m.insert(
+                        LineAddr(line),
+                        VirtAddr(line),
+                        RequestKind::Stride,
+                        step,
+                        tick,
+                    );
+                    v.insert(tick);
+                }
+            }
+            if rng.gen_range_u8(0..4) == 0 {
+                let now = tick.saturating_sub(rng.gen_range_u32(0..8) as u64);
+                let drained = m.drain_complete(now);
+                for f in &drained {
+                    assert_eq!(reference.remove(&f.line.0), Some(f.complete_at));
+                }
+            }
+            assert_eq!(m.len(), reference.len());
+            for (&line, &done) in &reference {
+                let f = m.lookup(LineAddr(line)).expect("entry findable");
+                assert_eq!(f.complete_at, done);
+            }
+        }
     }
 
     #[test]

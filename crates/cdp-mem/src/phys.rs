@@ -5,10 +5,33 @@
 //! fills. Frames are allocated lazily; untouched memory reads as zero
 //! (which the VAM heuristic correctly rejects in the all-zeros region
 //! unless filter bits say otherwise).
+//!
+//! The frame table is an open-addressed, linear-probe hash table
+//! (fibonacci hashing, power-of-two capacity) rather than a `HashMap`:
+//! every simulated fill scan does one frame lookup per *line*, and the
+//! byte/word read paths one per access, so the lookup is squarely on the
+//! hot path. Frames are never deleted, which keeps probing tombstone-free.
+//! A last-frame hint (a relaxed atomic, so shared read-only images stay
+//! `Sync`) short-circuits the common case of consecutive reads landing in
+//! the same page.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cdp_types::{LineAddr, PhysAddr, LINE_SIZE, PAGE_SIZE};
+
+/// One materialized frame.
+#[derive(Clone, Debug)]
+struct Frame {
+    number: u32,
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+/// Fibonacci multiplier (2^64 / golden ratio).
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Hint value meaning "no cached lookup" — the frame half is all-ones,
+/// which no real frame number reaches (frames are `addr >> 12`).
+const HINT_EMPTY: u64 = u64::MAX;
 
 /// A sparse physical memory image.
 ///
@@ -24,33 +47,138 @@ use cdp_types::{LineAddr, PhysAddr, LINE_SIZE, PAGE_SIZE};
 /// // Untouched memory reads as zero.
 /// assert_eq!(mem.read_u32(PhysAddr(0x9_0000)), 0);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct PhysMem {
-    frames: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Power-of-two slot array; `None` is vacancy.
+    slots: Vec<Option<Frame>>,
+    /// Resident frame count.
+    len: usize,
+    /// Last successful lookup, packed `(frame << 32) | slot`. Purely a
+    /// cache: every use re-verifies against `slots`, so a stale value
+    /// (e.g. after a rehash) is harmless. Relaxed is sufficient for the
+    /// same reason.
+    hint: AtomicU64,
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        PhysMem::new()
+    }
+}
+
+impl Clone for PhysMem {
+    fn clone(&self) -> Self {
+        PhysMem {
+            slots: self.slots.clone(),
+            len: self.len,
+            hint: AtomicU64::new(self.hint.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PhysMem {
     /// Creates an empty physical memory.
     pub fn new() -> Self {
         PhysMem {
-            frames: HashMap::new(),
+            slots: Vec::new(),
+            len: 0,
+            hint: AtomicU64::new(HINT_EMPTY),
         }
     }
 
     /// Number of frames that have been materialized.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.len
+    }
+
+    #[inline]
+    fn probe_start(&self, frame: u32) -> usize {
+        let shift = 64 - self.slots.len().trailing_zeros();
+        ((frame as u64).wrapping_mul(HASH_MUL) >> shift) as usize
+    }
+
+    /// Slot index of `frame`, if resident.
+    #[inline]
+    fn slot_of(&self, frame: u32) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let hint = self.hint.load(Ordering::Relaxed);
+        if (hint >> 32) as u32 == frame {
+            let slot = (hint & 0xffff_ffff) as usize;
+            if slot < self.slots.len()
+                && self.slots[slot].as_ref().is_some_and(|f| f.number == frame)
+            {
+                return Some(slot);
+            }
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(frame);
+        loop {
+            match &self.slots[i] {
+                Some(f) if f.number == frame => {
+                    self.hint
+                        .store(((frame as u64) << 32) | i as u64, Ordering::Relaxed);
+                    return Some(i);
+                }
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    #[inline]
+    fn frame(&self, frame: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.slot_of(frame)
+            .map(|i| &*self.slots[i].as_ref().expect("occupied slot").data)
+    }
+
+    /// Doubles the table (or seeds it) and reinserts every frame.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_cap, || None);
+        self.hint = AtomicU64::new(HINT_EMPTY);
+        let mask = new_cap - 1;
+        for frame in old.into_iter().flatten() {
+            let mut i = self.probe_start(frame.number);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(frame);
+        }
     }
 
     fn frame_mut(&mut self, frame: u32) -> &mut [u8; PAGE_SIZE] {
-        self.frames
-            .entry(frame)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        // Keep load factor under ~7/8 so probe chains stay short; frames
+        // are never removed, so there is no tombstone accounting.
+        if (self.slots.is_empty() || self.len * 8 >= self.slots.len() * 7)
+            && self.slot_of(frame).is_none()
+        {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(frame);
+        loop {
+            match &self.slots[i] {
+                Some(f) if f.number == frame => break,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.slots[i] = Some(Frame {
+                        number: frame,
+                        data: Box::new([0u8; PAGE_SIZE]),
+                    });
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        &mut self.slots[i].as_mut().expect("occupied slot").data
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: PhysAddr) -> u8 {
-        match self.frames.get(&addr.frame()) {
+        match self.frame(addr.frame()) {
             Some(f) => f[addr.page_offset() as usize],
             None => 0,
         }
@@ -68,7 +196,7 @@ impl PhysMem {
     pub fn read_u32(&self, addr: PhysAddr) -> u32 {
         let off = addr.page_offset() as usize;
         if off + 4 <= PAGE_SIZE {
-            match self.frames.get(&addr.frame()) {
+            match self.frame(addr.frame()) {
                 Some(f) => u32::from_le_bytes([f[off], f[off + 1], f[off + 2], f[off + 3]]),
                 None => 0,
             }
@@ -94,14 +222,22 @@ impl PhysMem {
     /// the paper's "a copy of the cache line is passed to the content
     /// prefetcher").
     pub fn read_line(&self, line: LineAddr) -> [u8; LINE_SIZE] {
+        let mut out = [0u8; LINE_SIZE];
+        self.read_line_into(line, &mut out);
+        out
+    }
+
+    /// Copies the cache line at `line` into `out` — one frame lookup per
+    /// line, no per-byte hashing, no allocation. This is the fill-scan
+    /// entry point.
+    pub fn read_line_into(&self, line: LineAddr, out: &mut [u8; LINE_SIZE]) {
         let addr = line.addr();
         let off = addr.page_offset() as usize;
         debug_assert!(off + LINE_SIZE <= PAGE_SIZE, "line straddles page");
-        let mut out = [0u8; LINE_SIZE];
-        if let Some(f) = self.frames.get(&addr.frame()) {
-            out.copy_from_slice(&f[off..off + LINE_SIZE]);
+        match self.frame(addr.frame()) {
+            Some(f) => out.copy_from_slice(&f[off..off + LINE_SIZE]),
+            None => out.fill(0),
         }
-        out
     }
 
     /// Writes a full cache line.
@@ -121,6 +257,8 @@ impl PhysMem {
     }
 
     /// Reads `len` consecutive bytes starting at `addr` (may span pages).
+    /// Allocates — tests and tools only; the simulation path uses
+    /// [`PhysMem::read_line_into`].
     pub fn read_bytes(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
         (0..len)
             .map(|i| self.read_u8(PhysAddr(addr.0.wrapping_add(i as u32))))
@@ -130,14 +268,19 @@ impl PhysMem {
     /// Iterates over resident frames as `(frame_number, bytes)`, sorted by
     /// frame number (serialization support).
     pub fn frames(&self) -> impl Iterator<Item = (u32, &[u8; PAGE_SIZE])> {
-        let mut keys: Vec<u32> = self.frames.keys().copied().collect();
-        keys.sort_unstable();
-        keys.into_iter().map(move |k| (k, &*self.frames[&k]))
+        let mut resident: Vec<(u32, &[u8; PAGE_SIZE])> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|f| (f.number, &*f.data))
+            .collect();
+        resident.sort_unstable_by_key(|&(n, _)| n);
+        resident.into_iter()
     }
 
     /// Installs a whole frame (serialization support).
     pub fn install_frame(&mut self, frame: u32, data: [u8; PAGE_SIZE]) {
-        self.frames.insert(frame, Box::new(data));
+        *self.frame_mut(frame) = data;
     }
 }
 
@@ -180,6 +323,22 @@ mod tests {
     }
 
     #[test]
+    fn read_line_into_matches_read_line() {
+        let mut mem = PhysMem::new();
+        let mut data = [0u8; LINE_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37);
+        }
+        mem.write_line(LineAddr(0x5_00c0), &data);
+        let mut out = [0xffu8; LINE_SIZE];
+        mem.read_line_into(LineAddr(0x5_00c0), &mut out);
+        assert_eq!(out, data);
+        // Absent line zero-fills the caller buffer, even if it was dirty.
+        mem.read_line_into(LineAddr(0x7_0000), &mut out);
+        assert_eq!(out, [0u8; LINE_SIZE]);
+    }
+
+    #[test]
     fn cross_page_byte_copy() {
         let mut mem = PhysMem::new();
         let data: Vec<u8> = (0..100).collect();
@@ -196,6 +355,37 @@ mod tests {
         assert_eq!(mem.read_u32(PhysAddr(0xffe)), 0xaabb_ccdd);
         assert_eq!(mem.read_u8(PhysAddr(0xffe)), 0xdd, "first page");
         assert_eq!(mem.read_u8(PhysAddr(0x1001)), 0xaa, "second page");
+    }
+
+    #[test]
+    fn many_frames_survive_rehash() {
+        let mut mem = PhysMem::new();
+        // Enough frames to force several table doublings.
+        for i in 0..500u32 {
+            mem.write_u8(PhysAddr(i * PAGE_SIZE as u32), i as u8);
+        }
+        assert_eq!(mem.resident_frames(), 500);
+        for i in 0..500u32 {
+            assert_eq!(mem.read_u8(PhysAddr(i * PAGE_SIZE as u32)), i as u8);
+        }
+        // frames() is sorted.
+        let numbers: Vec<u32> = mem.frames().map(|(n, _)| n).collect();
+        let mut sorted = numbers.clone();
+        sorted.sort_unstable();
+        assert_eq!(numbers, sorted);
+        assert_eq!(numbers.len(), 500);
+    }
+
+    #[test]
+    fn install_frame_overwrites() {
+        let mut mem = PhysMem::new();
+        mem.write_u8(PhysAddr(0x3000), 0xaa);
+        let mut page = [0u8; PAGE_SIZE];
+        page[7] = 0xbb;
+        mem.install_frame(3, page);
+        assert_eq!(mem.read_u8(PhysAddr(0x3000)), 0, "old byte replaced");
+        assert_eq!(mem.read_u8(PhysAddr(0x3007)), 0xbb);
+        assert_eq!(mem.resident_frames(), 1);
     }
 
     #[test]
@@ -247,6 +437,27 @@ mod tests {
             mem.write_line(line, &data);
             for (i, &expected) in data.iter().enumerate() {
                 assert_eq!(mem.read_u8(PhysAddr(line.0 + i as u32)), expected);
+            }
+        }
+    }
+
+    /// Reference-check the open-addressed table against a plain map over
+    /// a mixed write workload.
+    #[test]
+    fn prop_table_matches_reference_map() {
+        use std::collections::HashMap;
+        let mut rng = Rng::seed_from_u64(0x9415_0004);
+        let mut mem = PhysMem::new();
+        let mut reference: HashMap<u32, u8> = HashMap::new();
+        for _ in 0..4000 {
+            let addr = PhysAddr(rng.gen_range_u32(0..0x40_0000));
+            if rng.gen_range_u8(0..2) == 0 {
+                let v = rng.next_u32() as u8;
+                mem.write_u8(addr, v);
+                reference.insert(addr.0, v);
+            } else {
+                let expected = reference.get(&addr.0).copied().unwrap_or(0);
+                assert_eq!(mem.read_u8(addr), expected);
             }
         }
     }

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -29,7 +29,7 @@ use cdp_workloads::Workload;
 
 use crate::fault::WalkFault;
 use crate::hierarchy::PollutionConfig;
-use crate::observe::{ObsEntry, ObsSink};
+use crate::observe::{ObsEntry, ObsSink, Observation};
 use crate::runner::build_workload;
 use crate::system::{RunStats, Simulator};
 
@@ -439,6 +439,69 @@ pub struct JobObs {
     pub index: usize,
 }
 
+/// A process-wide, fingerprint-keyed cache of finished simulation
+/// results.
+///
+/// Sweeps across experiments repeat identical cells — the same
+/// `(config, workload, scale, seed)` shows up in several grids (e.g. the
+/// baseline column of every figure). The simulator is deterministic, so a
+/// finished cell's [`RunStats`] (and, when observability is on, its
+/// [`Observation`]) can be replayed instead of re-simulated with no
+/// visible difference: stdout stays byte-identical at any job count,
+/// cache on or off. Keys are caller-computed FNV-1a fingerprints that
+/// must cover *everything* behavior-affecting: the full config, workload
+/// identity, scale, seed, and any pollution/fault attachments.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<u64, (RunStats, Option<Observation>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (cells actually simulated) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Finished cells currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("result cache poisoned").len()
+    }
+
+    /// Whether no cells are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: u64) -> Option<(RunStats, Option<Observation>)> {
+        self.entries
+            .lock()
+            .expect("result cache poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    fn put(&self, key: u64, stats: RunStats, observation: Option<Observation>) {
+        // Duplicate inserts under a race carry identical values
+        // (deterministic simulation), so either copy may win.
+        self.entries
+            .lock()
+            .expect("result cache poisoned")
+            .insert(key, (stats, observation));
+    }
+}
+
 /// One independent simulation: a configuration over a shared workload.
 #[derive(Clone, Debug)]
 pub struct SimJob {
@@ -457,6 +520,8 @@ pub struct SimJob {
     /// plain [`Simulator::try_run`] path, byte-identical to a build
     /// without tracing.
     pub obs: Option<JobObs>,
+    /// Optional result cache plus this job's precomputed key.
+    pub result_cache: Option<(Arc<ResultCache>, u64)>,
 }
 
 impl SimJob {
@@ -469,6 +534,7 @@ impl SimJob {
             pollution: None,
             walk_fault: None,
             obs: None,
+            result_cache: None,
         }
     }
 
@@ -483,6 +549,15 @@ impl SimJob {
     /// [`Observation`](crate::observe::Observation) into `obs.sink`.
     pub fn with_obs(mut self, obs: JobObs) -> SimJob {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches a shared result cache under `key`. The key must fold in
+    /// every behavior-affecting input of this job — config, workload
+    /// identity, scale, seed, pollution, and fault attachments — or a hit
+    /// would replay the wrong cell.
+    pub fn with_result_cache(mut self, cache: Arc<ResultCache>, key: u64) -> SimJob {
+        self.result_cache = Some((cache, key));
         self
     }
 
@@ -518,11 +593,48 @@ impl SimJob {
     /// [`CdpError::Config`] for an invalid configuration, otherwise the
     /// first fault latched by the memory hierarchy.
     pub fn try_execute(&self) -> Result<RunStats, CdpError> {
+        // A cached result is usable when it can satisfy this job's full
+        // contract: plain jobs need only the stats; observed jobs also
+        // need a cached observation to replay into their sink.
+        if let Some((cache, key)) = &self.result_cache {
+            if let Some((stats, cached_obs)) = cache.get(*key) {
+                match (&self.obs, cached_obs) {
+                    (None, _) => {
+                        cache.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(stats);
+                    }
+                    (Some(o), Some(observation)) => {
+                        cache.hits.fetch_add(1, Ordering::Relaxed);
+                        o.sink.push(ObsEntry {
+                            batch: o.batch,
+                            index: o.index,
+                            label: self.label.clone(),
+                            observation,
+                        });
+                        return Ok(stats);
+                    }
+                    // Cached entry lacks the observation this job needs:
+                    // fall through and re-simulate (the fresh entry below
+                    // upgrades the cache).
+                    (Some(_), None) => {}
+                }
+            }
+            cache.misses.fetch_add(1, Ordering::Relaxed);
+        }
         match &self.obs {
-            None => self.simulator()?.try_run(&self.workload),
+            None => {
+                let stats = self.simulator()?.try_run(&self.workload)?;
+                if let Some((cache, key)) = &self.result_cache {
+                    cache.put(*key, stats, None);
+                }
+                Ok(stats)
+            }
             Some(o) => {
                 let (stats, observation) =
                     self.simulator()?.try_run_observed(&self.workload, &o.cfg)?;
+                if let Some((cache, key)) = &self.result_cache {
+                    cache.put(*key, stats, Some(observation.clone()));
+                }
                 o.sink.push(ObsEntry {
                     batch: o.batch,
                     index: o.index,

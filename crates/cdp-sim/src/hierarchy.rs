@@ -126,6 +126,9 @@ pub struct Hierarchy<'w> {
     /// a resident-line rescan back into `scan_and_issue`, which needs a
     /// second buffer while the first is still borrowed out.
     req_bufs: Vec<Vec<PrefetchRequest>>,
+    /// Reusable buffer for MSHR completion draining (taken out of `self`
+    /// while `drain` iterates, so steady-state ticks never allocate).
+    drain_buf: Vec<cdp_mem::InFlight>,
     /// First unrecoverable demand-path fault, latched for the driver.
     /// The hierarchy keeps serving accesses after a fault (returning
     /// L1-hit latency) so the core can be driven to a clean stop; the
@@ -168,7 +171,7 @@ impl<'w> Hierarchy<'w> {
             l2: Cache::from_config(&cfg.ul2),
             dtlb: Tlb::new(&cfg.dtlb),
             bus: Bus::new(&cfg.bus),
-            mshrs: MshrFile::new(),
+            mshrs: MshrFile::with_capacity(cfg.arbiters.l2_queue_size),
             stride,
             content,
             markov,
@@ -180,6 +183,7 @@ impl<'w> Hierarchy<'w> {
             pollution_rng: 0x1234_5678_9abc_def0,
             pending_dirty: std::collections::HashSet::new(),
             req_bufs: Vec::new(),
+            drain_buf: Vec::new(),
             fault: None,
             walk_fault: None,
             walk_tick: 0,
@@ -297,15 +301,17 @@ impl<'w> Hierarchy<'w> {
     /// Processes every fill that has completed by `now`, in completion
     /// order, including chained fills that complete before `now`.
     fn drain(&mut self, now: u64) {
+        let mut done = std::mem::take(&mut self.drain_buf);
         loop {
-            let done = self.mshrs.drain_complete(now);
+            self.mshrs.drain_complete_into(now, &mut done);
             if done.is_empty() {
-                return;
+                break;
             }
-            for fill in done {
+            for fill in done.iter().copied() {
                 self.install_fill(fill.line, fill.vline, fill.kind, fill.width, fill.complete_at);
             }
         }
+        self.drain_buf = done;
     }
 
     /// Installs one arrived line into the L2 (and L1 for demand fills) and
@@ -348,7 +354,8 @@ impl<'w> Hierarchy<'w> {
         }
         // Content prefetcher sees a copy of every fill except page walks.
         if !matches!(kind, RequestKind::PageWalk) {
-            let data = self.space.phys().read_line(line);
+            let mut data = [0u8; LINE_SIZE];
+            self.space.phys().read_line_into(line, &mut data);
             self.scan_and_issue(trigger_ea, &data, kind.depth(), at, false);
         }
     }
@@ -590,7 +597,8 @@ impl<'w> Hierarchy<'w> {
                         line: pline.0,
                         depth,
                     });
-                    let data = self.space.phys().read_line(pline);
+                    let mut data = [0u8; LINE_SIZE];
+                    self.space.phys().read_line_into(pline, &mut data);
                     self.scan_and_issue(trigger, &data, depth, now, true);
                 }
             }
@@ -785,7 +793,8 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                         line: pline.0,
                         depth: 0,
                     });
-                    let data = self.space.phys().read_line(pline);
+                    let mut data = [0u8; LINE_SIZE];
+                    self.space.phys().read_line_into(pline, &mut data);
                     self.scan_and_issue(vaddr, &data, 0, now, true);
                 }
                 base + self.cfg.ul2.latency

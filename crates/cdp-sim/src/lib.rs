@@ -49,7 +49,8 @@ pub mod stats;
 pub mod system;
 
 pub use exec::{
-    default_jobs, JobObs, JobOutcome, JobReport, Pool, RunPolicy, SimJob, SimResult, WorkloadCache,
+    default_jobs, JobObs, JobOutcome, JobReport, Pool, ResultCache, RunPolicy, SimJob, SimResult,
+    WorkloadCache,
 };
 pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};

@@ -4,12 +4,33 @@
 # the manifest as BENCH_<utc-stamp>.json in the repo root so a
 # machine-readable performance trajectory accumulates across commits.
 #
+# The snapshot's header carries the suite-level numbers the trajectory
+# tracks: `suite_wall_ms` (total wall time across the pinned ids),
+# `result_cache_hits`/`result_cache_misses`, and
+# `aggregates.cells_total`.
+#
+# Usage: bench.sh [--micro]
+#   --micro  also run the std-only `microbench` kernels (cache access,
+#            line read, VAM scan, MSHR insert/drain) and merge their
+#            numbers into the snapshot under a top-level `micro` key.
+#
 # Knobs (environment variables):
 #   SCALE  smoke|quick|full   run size           (default: smoke)
 #   JOBS   N                  worker threads     (default: 2)
 #   OUT    dir                artifact directory (default: target/bench-manifest)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MICRO=0
+for arg in "$@"; do
+    case "$arg" in
+        --micro) MICRO=1 ;;
+        *)
+            echo "usage: bench.sh [--micro]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 SCALE="${SCALE:-smoke}"
 JOBS="${JOBS:-2}"
@@ -18,7 +39,7 @@ OUT="${OUT:-target/bench-manifest}"
 # grid — together they exercise every prefetch engine and drop path.
 IDS=(tlb fig9)
 
-cargo build --release -p cdp-experiments -p cdp-obs
+cargo build --release -p cdp-experiments -p cdp-obs -p cdp-bench
 
 rm -rf "$OUT"
 ./target/release/experiments "${IDS[@]}" "--${SCALE}" --jobs "$JOBS" \
@@ -28,4 +49,12 @@ rm -rf "$OUT"
 
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 cp "$OUT/manifest.json" "BENCH_${stamp}.json"
+if [ "$MICRO" -eq 1 ]; then
+    ./target/release/microbench --inject "BENCH_${stamp}.json" > /dev/null
+fi
+
+wall="$(grep -o '"suite_wall_ms":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
+hits="$(grep -o '"result_cache_hits":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
+cells="$(grep -o '"cells_total":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
 echo "bench: wrote BENCH_${stamp}.json (scale=$SCALE jobs=$JOBS ids=${IDS[*]})"
+echo "bench: suite_wall_ms=$wall cells=$cells result_cache_hits=$hits micro=$MICRO"

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: offline build, full test suite, lint, and a smoke pass of
 # every experiment through the parallel engine — both fault-free and
-# under injected faults. No network access required — the workspace has
-# zero registry dependencies (criterion lives in the excluded cdp-bench
-# crate).
+# under injected faults. No network access required — the workspace
+# (including the std-only cdp-bench microbenchmarks) has zero registry
+# dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +33,18 @@ cmp /tmp/cdp-obs-ci-plain.out /tmp/cdp-obs-ci-obs.out || {
 }
 ./target/release/validate-manifest /tmp/cdp-obs-ci/manifest.json \
     /tmp/cdp-obs-ci/metrics.jsonl /tmp/cdp-obs-ci/trace.jsonl
+
+echo "== result-cache smoke (byte-identity cache on vs off) =="
+# The fingerprint-keyed result cache must never change rendered output:
+# the same ids at different --jobs counts, cache on vs --no-result-cache,
+# must produce byte-identical stdout.
+./target/release/experiments tlb table2 --smoke --jobs 2 > /tmp/cdp-rc-on.out
+./target/release/experiments tlb table2 --smoke --jobs 4 --no-result-cache \
+    > /tmp/cdp-rc-off.out
+cmp /tmp/cdp-rc-on.out /tmp/cdp-rc-off.out || {
+    echo "result-cache smoke: stdout differs between cache on and off" >&2
+    exit 1
+}
 
 echo "== fault-injection smoke (expect partial-failure exit 3) =="
 # Unmap two trace pages of slsb: its cells must gap out, every other

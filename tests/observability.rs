@@ -182,6 +182,8 @@ fn manifest_from_real_runs_validates_and_round_trips() {
         }],
         entries: sink.drain_sorted(),
         batch_experiments: vec!["obs-it".into()],
+        result_cache_hits: 0,
+        result_cache_misses: 0,
     };
     assert_eq!(taken.entries.len(), 2, "both runs delivered observations");
     let manifest = build_manifest("smoke", 2, &taken);
