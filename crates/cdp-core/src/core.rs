@@ -650,6 +650,188 @@ impl<'p> Core<'p> {
         }
         any
     }
+
+    /// Serializes the complete pipeline state: ROB (in order), register
+    /// scoreboard, queue-occupancy heaps (sorted — heap entries are plain
+    /// cycle numbers, so sorted reinsertion is observationally identical),
+    /// branch predictor, forwarding window, and all counters.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.usize(self.fetch_idx);
+        enc.u64(self.fetch_resume_at);
+        enc.u64(self.now);
+        enc.u64(self.issue_idle_until);
+        enc.u64(self.total_retired);
+        enc.u64(self.stats_base_cycle);
+        enc.u128(self.unissued_mask);
+        enc.usize(self.rob_loads_unissued);
+        enc.usize(self.rob_stores);
+        enc.usize(self.rob_unissued);
+        match self.pending_redirect {
+            Some(idx) => {
+                enc.bool(true);
+                enc.usize(idx);
+            }
+            None => enc.bool(false),
+        }
+        self.stats.save_state(enc);
+        for r in &self.reg_ready {
+            enc.u64(*r);
+        }
+        enc.seq_len(self.rob.len());
+        for e in &self.rob {
+            enc.u32(e.idx);
+            enc.u8(e.srcs[0]);
+            enc.u8(e.srcs[1]);
+            enc.u8(e.class);
+            enc.u64(e.complete_at);
+            enc.u64(e.sq_free_at);
+        }
+        for heap in [&self.sq_busy, &self.lq_busy] {
+            let mut entries: Vec<u64> = heap.iter().map(|r| r.0).collect();
+            entries.sort_unstable();
+            enc.seq_len(entries.len());
+            for c in entries {
+                enc.u64(c);
+            }
+        }
+        enc.seq_len(self.forward_window.len());
+        for &(addr, ready) in &self.forward_window {
+            enc.u32(addr);
+            enc.u64(ready);
+        }
+        self.bp.save_state(enc);
+    }
+
+    /// Restores state written by [`Core::save_state`] into a freshly
+    /// constructed core over the *same* program and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or on
+    /// structurally impossible state (ROB deeper than `rob_size`, a uop
+    /// index past the program end, an unknown uop class).
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        let fetch_idx = dec.usize("core fetch_idx")?;
+        if fetch_idx > self.program.len() {
+            return Err(SnapshotError::Corrupt {
+                context: "core fetch_idx",
+            });
+        }
+        self.fetch_idx = fetch_idx;
+        self.fetch_resume_at = dec.u64("core fetch_resume_at")?;
+        self.now = dec.u64("core now")?;
+        self.issue_idle_until = dec.u64("core issue_idle_until")?;
+        self.total_retired = dec.u64("core total_retired")?;
+        self.stats_base_cycle = dec.u64("core stats_base_cycle")?;
+        self.unissued_mask = dec.u128("core unissued_mask")?;
+        self.rob_loads_unissued = dec.usize("core rob_loads_unissued")?;
+        self.rob_stores = dec.usize("core rob_stores")?;
+        self.rob_unissued = dec.usize("core rob_unissued")?;
+        self.pending_redirect = if dec.bool("core pending_redirect flag")? {
+            Some(dec.usize("core pending_redirect")?)
+        } else {
+            None
+        };
+        self.stats.restore_state(dec)?;
+        for r in self.reg_ready.iter_mut() {
+            *r = dec.u64("core reg_ready")?;
+        }
+        let rob_len = dec.seq_len(4 + 3 + 8 + 8, "core rob length")?;
+        if rob_len > self.cfg.rob_size {
+            return Err(SnapshotError::Corrupt {
+                context: "core rob length",
+            });
+        }
+        self.rob.clear();
+        for _ in 0..rob_len {
+            let idx = dec.u32("core rob idx")?;
+            if idx as usize >= self.program.len() {
+                return Err(SnapshotError::Corrupt {
+                    context: "core rob idx",
+                });
+            }
+            let srcs = [dec.u8("core rob src0")?, dec.u8("core rob src1")?];
+            if srcs.iter().any(|&s| s > NO_REG) {
+                return Err(SnapshotError::Corrupt {
+                    context: "core rob src register",
+                });
+            }
+            let class = dec.u8("core rob class")?;
+            if class > CLASS_BRANCH {
+                return Err(SnapshotError::Corrupt {
+                    context: "core rob class",
+                });
+            }
+            self.rob.push_back(RobEntry {
+                idx,
+                srcs,
+                class,
+                complete_at: dec.u64("core rob complete_at")?,
+                sq_free_at: dec.u64("core rob sq_free_at")?,
+            });
+        }
+        self.sq_busy.clear();
+        let n = dec.seq_len(8, "core sq_busy length")?;
+        for _ in 0..n {
+            self.sq_busy
+                .push(std::cmp::Reverse(dec.u64("core sq_busy entry")?));
+        }
+        self.lq_busy.clear();
+        let n = dec.seq_len(8, "core lq_busy length")?;
+        for _ in 0..n {
+            self.lq_busy
+                .push(std::cmp::Reverse(dec.u64("core lq_busy entry")?));
+        }
+        self.forward_window.clear();
+        let n = dec.seq_len(4 + 8, "core forward window length")?;
+        for _ in 0..n {
+            let addr = dec.u32("core forward addr")?;
+            let ready = dec.u64("core forward ready")?;
+            self.forward_window.push_back((addr, ready));
+        }
+        self.bp.restore_state(dec)?;
+        Ok(())
+    }
+}
+
+impl CoreStats {
+    /// Serializes every counter.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.cycles);
+        enc.u64(self.retired);
+        enc.u64(self.loads);
+        enc.u64(self.stores);
+        enc.u64(self.branches);
+        enc.u64(self.mispredicts);
+        enc.u64(self.redirect_stall_cycles);
+        enc.u64(self.forwarded_loads);
+        enc.u64(self.rob_occupancy_cycles);
+    }
+
+    /// Restores counters written by [`CoreStats::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.cycles = dec.u64("core stats cycles")?;
+        self.retired = dec.u64("core stats retired")?;
+        self.loads = dec.u64("core stats loads")?;
+        self.stores = dec.u64("core stats stores")?;
+        self.branches = dec.u64("core stats branches")?;
+        self.mispredicts = dec.u64("core stats mispredicts")?;
+        self.redirect_stall_cycles = dec.u64("core stats redirect_stall_cycles")?;
+        self.forwarded_loads = dec.u64("core stats forwarded_loads")?;
+        self.rob_occupancy_cycles = dec.u64("core stats rob_occupancy_cycles")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -987,6 +1169,47 @@ mod tests {
                 };
                 assert_eq!(run(), run());
             }
+        }
+    }
+
+    /// Snapshot mid-run, restore into a fresh core, and drive both to
+    /// completion: every statistic (including cycle counts) must match,
+    /// i.e. resume(snapshot(S)) continues bit-identically.
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identically() {
+        let mut rng = cdp_types::rng::Rng::seed_from_u64(0xc04e_5a9e);
+        for trial in 0..24 {
+            let p: Program = (0..400)
+                .map(|i| {
+                    let pc = (i as u32) * 4;
+                    match rng.gen_range_u8(0..5) {
+                        0 => Uop::alu(pc),
+                        1 => Uop::alu_dep(pc, 3, [Some(2), None], 2),
+                        2 => Uop::load(pc, VirtAddr(0x1000 + i as u32 * 32), 5, Some(5)),
+                        3 => Uop::store(pc, VirtAddr(0x9000 + i as u32 * 32), None, None),
+                        _ => Uop::branch(pc, rng.gen_bool(0.5), None),
+                    }
+                })
+                .collect();
+            let stop = u64::from(rng.gen_range_u32(1..350));
+            let mut mem_a = FixedLatencyMemory { latency: 9 };
+            let mut a = Core::new(CoreConfig::default(), &p);
+            a.run_until_retired(&mut mem_a, stop);
+
+            let mut enc = cdp_snap::Enc::new();
+            a.save_state(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut b = Core::new(CoreConfig::default(), &p);
+            let mut dec = cdp_snap::Dec::new(&bytes);
+            b.restore_state(&mut dec).unwrap();
+            assert!(dec.is_exhausted(), "trial {trial}: trailing bytes");
+            assert_eq!(a.now(), b.now());
+
+            let mut mem_b = FixedLatencyMemory { latency: 9 };
+            a.run_to_completion(&mut mem_a);
+            b.run_to_completion(&mut mem_b);
+            assert_eq!(a.stats(), b.stats(), "trial {trial} diverged");
+            assert_eq!(a.now(), b.now(), "trial {trial} cycle drift");
         }
     }
 

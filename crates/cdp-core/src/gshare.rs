@@ -80,6 +80,40 @@ impl Gshare {
         }
         self.history = ((self.history << 1) | outcome as u32) & self.mask;
     }
+
+    /// Serializes the predictor state (history register + counter table).
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u32(self.history);
+        enc.bytes(&self.counters);
+    }
+
+    /// Restores state written by [`Gshare::save_state`] into a predictor
+    /// of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation, a
+    /// counter-table size mismatch, or a counter value outside 0..=3.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        let history = dec.u32("gshare history")?;
+        let counters = dec.bytes("gshare counters")?;
+        if counters.len() != self.counters.len() {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "gshare table size",
+            });
+        }
+        if counters.iter().any(|&c| c > 3) {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "gshare counter value",
+            });
+        }
+        self.history = history & self.mask;
+        self.counters.copy_from_slice(counters);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -125,7 +125,7 @@ impl Uop {
 }
 
 /// An executable uop trace.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Program {
     /// The uops, in program order.
     pub uops: Vec<Uop>,

@@ -6,6 +6,7 @@
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
 //!             [--verbose-timing] [--no-result-cache]
+//!             [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]
 //! experiments all [--quick] [--jobs N]
 //! ```
 //!
@@ -35,6 +36,21 @@
 //! The three capture flags require `--emit-manifest`. With all of them
 //! off, simulated state and stdout are byte-identical to a build without
 //! the observability layer.
+//!
+//! Checkpointing (DESIGN.md §12):
+//!
+//! * `--checkpoint-dir <dir>` — every sweep cell periodically snapshots
+//!   its full simulation state into `<dir>/cell-<key>.snap` (atomic
+//!   tmp-file + rename writes; the file is removed when the cell
+//!   finishes).
+//! * `--checkpoint-every CYCLES` — simulated cycles between snapshot
+//!   writes (default 1000000).
+//! * `--resume` — cells whose checkpoint file exists continue from it
+//!   instead of starting over; a checkpoint that fails validation is
+//!   discarded and the cell restarts fresh. Resumed runs produce
+//!   byte-identical stdout, manifests, and trace series; the manifest
+//!   records each cell's provenance (`fresh`, `resumed`,
+//!   `corrupt-fallback`, or `off`).
 //!
 //! Fault tolerance:
 //!
@@ -71,6 +87,12 @@ const ALL: [&str; 19] = [
 
 /// Partial-failure exit code (documented in the header and DESIGN.md).
 const EXIT_PARTIAL: i32 = 3;
+
+/// Default simulated cycles between checkpoint writes
+/// (`--checkpoint-every`): frequent enough that a killed quick-scale run
+/// loses at most a few seconds of simulation, rare enough that snapshot
+/// encoding stays invisible in the cell wall times.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
 
 fn run_one(
     id: &str,
@@ -192,6 +214,9 @@ fn main() {
     let mut metrics_window: Option<u64> = None;
     let mut manifest_dir: Option<std::path::PathBuf> = None;
     let mut result_cache = true;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: u64 = DEFAULT_CHECKPOINT_EVERY;
+    let mut resume = false;
     let mut expecting: Option<&str> = None;
     for a in &args {
         if let Some(flag) = expecting.take() {
@@ -249,6 +274,14 @@ fn main() {
                     }
                 },
                 "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
+                "--checkpoint-dir" => checkpoint_dir = Some(std::path::PathBuf::from(a)),
+                "--checkpoint-every" => match a.parse::<u64>() {
+                    Ok(n) if n > 0 => checkpoint_every = n,
+                    _ => {
+                        eprintln!("--checkpoint-every requires a positive number of cycles, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
                 _ => unreachable!("expecting only set for value-taking flags"),
             }
             continue;
@@ -261,8 +294,10 @@ fn main() {
             "--trace" => trace = true,
             "--verbose-timing" => context::set_verbose_timing(true),
             "--no-result-cache" => result_cache = false,
+            "--resume" => resume = true,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
-            | "--trace-filter" | "--metrics-window" | "--emit-manifest" => {
+            | "--trace-filter" | "--metrics-window" | "--emit-manifest"
+            | "--checkpoint-dir" | "--checkpoint-every" => {
                 expecting = Some(a.as_str());
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
@@ -284,6 +319,9 @@ fn main() {
             "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
              [--metrics-window UOPS] [--verbose-timing] [--no-result-cache]"
         );
+        eprintln!(
+            "       [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]"
+        );
         eprintln!("ids: {}  (or: all)", ALL.join(" "));
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
         std::process::exit(2);
@@ -291,6 +329,21 @@ fn main() {
     if (trace || metrics_window.is_some()) && manifest_dir.is_none() {
         eprintln!("--trace/--trace-filter/--metrics-window require --emit-manifest <dir>");
         std::process::exit(2);
+    }
+    if (resume || checkpoint_every != DEFAULT_CHECKPOINT_EVERY) && checkpoint_dir.is_none() {
+        eprintln!("--resume/--checkpoint-every require --checkpoint-dir <dir>");
+        std::process::exit(2);
+    }
+    if let Some(dir) = checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        context::set_checkpointing(Some(context::CheckpointSettings {
+            dir,
+            every: checkpoint_every,
+            resume,
+        }));
     }
     if !fault_specs.is_empty() {
         context::set_fault_plan(FaultPlan { specs: fault_specs });

@@ -4,7 +4,10 @@
 use std::sync::Arc;
 
 use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
-use cdp_sim::{JobOutcome, JobReport, Pool, RunStats, SimJob, Simulator, WorkloadCache};
+use cdp_sim::{
+    CheckpointSpec, CheckpointStatus, JobOutcome, JobReport, Pool, RunStats, SimJob, Simulator,
+    WorkloadCache,
+};
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::{Benchmark, Scale};
 use cdp_workloads::Workload;
@@ -126,7 +129,9 @@ pub fn run_grid_cells(
     let collect = context::obs_enabled();
     let batch = context::obs_new_batch();
     let result_cache = context::result_cache();
+    let checkpointing = context::checkpointing();
     let mut fingerprints = Vec::new();
+    let mut checkpoint_statuses: Vec<Option<Arc<CheckpointStatus>>> = Vec::new();
     let jobs: Vec<SimJob> = grid
         .into_iter()
         .enumerate()
@@ -140,27 +145,41 @@ pub fn run_grid_cells(
             if let Some(wf) = walk_fault {
                 job = job.with_walk_fault(wf);
             }
+            // The cell key covers everything behavior-affecting: the
+            // warmed-up config, the workload identity (benchmark +
+            // scale + seed, which determine the deterministic build),
+            // and any injected walk fault. The fault *plan* also
+            // mutates workload images, but it does so identically for
+            // every cell of a (bench, scale) in this process, so
+            // equal keys still mean equal results. The result cache and
+            // the checkpoint files share it.
+            let key = cdp_obs::fingerprint(
+                format!(
+                    "{:?}|{}|{}/{}|{}|{:?}",
+                    job.cfg,
+                    bench.name(),
+                    scale.target_uops,
+                    scale.footprint_div,
+                    SEED,
+                    walk_fault,
+                )
+                .as_bytes(),
+            );
             if let Some(cache) = &result_cache {
-                // The cell key covers everything behavior-affecting: the
-                // warmed-up config, the workload identity (benchmark +
-                // scale + seed, which determine the deterministic build),
-                // and any injected walk fault. The fault *plan* also
-                // mutates workload images, but it does so identically for
-                // every cell of a (bench, scale) in this process, so
-                // equal keys still mean equal results.
-                let key = cdp_obs::fingerprint(
-                    format!(
-                        "{:?}|{}|{}/{}|{}|{:?}",
-                        job.cfg,
-                        bench.name(),
-                        scale.target_uops,
-                        scale.footprint_div,
-                        SEED,
-                        walk_fault,
-                    )
-                    .as_bytes(),
-                );
                 job = job.with_result_cache(Arc::clone(cache), key);
+            }
+            if let Some(ck) = &checkpointing {
+                let status = CheckpointStatus::shared();
+                checkpoint_statuses.push(Some(Arc::clone(&status)));
+                job = job.with_checkpoint(CheckpointSpec {
+                    dir: ck.dir.clone(),
+                    every: ck.every,
+                    key,
+                    resume: ck.resume,
+                    status: Some(status),
+                });
+            } else {
+                checkpoint_statuses.push(None);
             }
             if let Some(obs) = context::obs_job_attachment(batch, index) {
                 job = job.with_obs(obs);
@@ -193,6 +212,9 @@ pub fn run_grid_cells(
                 attempts: outcome.attempts(),
                 wall_ms: wall.as_millis() as u64,
                 config_fingerprint: fingerprints[index].clone(),
+                checkpoint: checkpoint_statuses[index]
+                    .as_ref()
+                    .map_or("off", |s| s.get().as_str()),
             });
         }
         match outcome {

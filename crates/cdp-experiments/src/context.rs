@@ -10,6 +10,7 @@
 //! fault-free behavior, and rendered output is byte-identical to a build
 //! without this module.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -51,6 +52,19 @@ static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
 static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
 static OBS: Mutex<Option<ObsState>> = Mutex::new(None);
 static RESULT_CACHE: Mutex<Option<Arc<ResultCache>>> = Mutex::new(None);
+static CHECKPOINT: Mutex<Option<CheckpointSettings>> = Mutex::new(None);
+
+/// Process-wide checkpointing configuration (`--checkpoint-dir`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSettings {
+    /// Directory holding the per-cell `.snap` files.
+    pub dir: PathBuf,
+    /// Simulated cycles between checkpoint writes.
+    pub every: u64,
+    /// Whether cells may resume from an existing checkpoint
+    /// (`--resume`).
+    pub resume: bool,
+}
 
 /// Enables (or disables) keep-going mode: failing sweep cells render as
 /// annotated gaps instead of aborting the run.
@@ -208,6 +222,20 @@ pub fn result_cache() -> Option<Arc<ResultCache>> {
     RESULT_CACHE.lock().expect("result cache lock").clone()
 }
 
+/// Enables per-cell checkpointing: sweep cells snapshot their simulation
+/// state into `settings.dir` every `settings.every` cycles, and — when
+/// `settings.resume` is set — pick up from an existing checkpoint
+/// instead of starting over. Rendered output is byte-identical with
+/// checkpointing on, off, or resumed (DESIGN.md §12).
+pub fn set_checkpointing(settings: Option<CheckpointSettings>) {
+    *CHECKPOINT.lock().expect("checkpoint lock") = settings;
+}
+
+/// The active checkpoint settings, if any.
+pub fn checkpointing() -> Option<CheckpointSettings> {
+    CHECKPOINT.lock().expect("checkpoint lock").clone()
+}
+
 /// `(hits, misses)` served by the result cache so far (zeros when the
 /// cache is disabled).
 pub fn result_cache_stats() -> (u64, u64) {
@@ -255,6 +283,7 @@ mod tests {
             attempts: 1,
             wall_ms: 1,
             config_fingerprint: String::new(),
+            checkpoint: "off",
         });
         // Enabled with an all-off ObsConfig: records accumulate but jobs
         // get no sink attachment (plain try_run path).
@@ -268,6 +297,7 @@ mod tests {
             attempts: 1,
             wall_ms: 5,
             config_fingerprint: "deadbeefdeadbeef".into(),
+            checkpoint: "off",
         });
         obs_record_experiment("ctx-obs-test", 9);
         let taken = take_obs().expect("collection was on");

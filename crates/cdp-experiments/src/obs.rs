@@ -37,6 +37,9 @@ pub struct CellRecord {
     pub wall_ms: u64,
     /// FNV-1a fingerprint of the cell's full `SystemConfig`.
     pub config_fingerprint: String,
+    /// Checkpoint provenance: `off` (checkpointing disabled), `fresh`,
+    /// `resumed`, or `corrupt-fallback` (see DESIGN.md §12).
+    pub checkpoint: &'static str,
 }
 
 impl CellRecord {
@@ -51,6 +54,7 @@ impl CellRecord {
             "config_fingerprint",
             Json::Str(self.config_fingerprint.clone()),
         );
+        o.set("checkpoint", Json::Str(self.checkpoint.to_string()));
         o
     }
 }
@@ -258,6 +262,7 @@ mod tests {
                     attempts: 1,
                     wall_ms: 12,
                     config_fingerprint: "00baddecafc0ffee".into(),
+                    checkpoint: "off",
                 },
                 CellRecord {
                     experiment: "tlb".into(),
@@ -266,6 +271,7 @@ mod tests {
                     attempts: 1,
                     wall_ms: 900,
                     config_fingerprint: "00baddecafc0ffee".into(),
+                    checkpoint: "resumed",
                 },
             ],
             experiments: vec![ExperimentRecord {

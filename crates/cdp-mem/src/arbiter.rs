@@ -281,6 +281,64 @@ impl Arbiter {
         let idx = self.queue.iter().position(|r| r.line == line)?;
         Some(self.remove_at(idx))
     }
+
+    /// Serializes the complete arbiter state. The backing heap array is
+    /// written verbatim (not sorted) so a restored arbiter pops, sifts,
+    /// and evicts in exactly the order the original would have.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.seq);
+        enc.u64(self.stats.accepted);
+        enc.u64(self.stats.squashed);
+        enc.u64(self.stats.evicted);
+        enc.u64(self.stats.stalled);
+        enc.u64(self.stats.merged);
+        enc.seq_len(self.queue.len());
+        for r in &self.queue {
+            enc.u32(r.line.0);
+            crate::mshr::save_request_kind(r.kind, enc);
+            enc.u64(r.enqueued_at);
+            enc.u64(r.seq);
+        }
+    }
+
+    /// Restores state written by [`Arbiter::save_state`] into an arbiter
+    /// constructed with the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation, an
+    /// unknown request-kind tag, or more queued entries than `capacity`.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.seq = dec.u64("arbiter seq")?;
+        self.stats.accepted = dec.u64("arbiter stats")?;
+        self.stats.squashed = dec.u64("arbiter stats")?;
+        self.stats.evicted = dec.u64("arbiter stats")?;
+        self.stats.stalled = dec.u64("arbiter stats")?;
+        self.stats.merged = dec.u64("arbiter stats")?;
+        let n = dec.seq_len(4 + 2 + 8 + 8, "arbiter queue length")?;
+        if n > self.capacity {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "arbiter queue length",
+            });
+        }
+        self.queue.clear();
+        for _ in 0..n {
+            let line = LineAddr(dec.u32("arbiter line")?);
+            let kind = crate::mshr::load_request_kind(dec)?;
+            let enqueued_at = dec.u64("arbiter enqueued_at")?;
+            let seq = dec.u64("arbiter entry seq")?;
+            self.queue.push(PendingRequest {
+                line,
+                kind,
+                enqueued_at,
+                seq,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

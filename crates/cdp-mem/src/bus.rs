@@ -219,6 +219,59 @@ impl Bus {
         self.stats.busy_cycles += self.cycles_per_line;
         complete
     }
+
+    /// Serializes the complete bus state (timing tracks, the three
+    /// outstanding queues in order, and statistics).
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.next_free_all);
+        enc.u64(self.next_free_demand);
+        for q in [
+            &self.outstanding,
+            &self.outstanding_demand,
+            &self.prefetch_starts,
+        ] {
+            enc.seq_len(q.len());
+            for &t in q {
+                enc.u64(t);
+            }
+        }
+        enc.u64(self.stats.transfers);
+        enc.u64(self.stats.demand_transfers);
+        enc.u64(self.stats.busy_cycles);
+        enc.u64(self.stats.queue_waits);
+    }
+
+    /// Restores state written by [`Bus::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or a
+    /// corrupted queue length.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.next_free_all = dec.u64("bus next_free_all")?;
+        self.next_free_demand = dec.u64("bus next_free_demand")?;
+        for q in [
+            &mut self.outstanding,
+            &mut self.outstanding_demand,
+            &mut self.prefetch_starts,
+        ] {
+            let len = dec.seq_len(8, "bus queue length")?;
+            q.clear();
+            for _ in 0..len {
+                q.push_back(dec.u64("bus queue entry")?);
+            }
+        }
+        self.stats = BusStats {
+            transfers: dec.u64("bus transfers")?,
+            demand_transfers: dec.u64("bus demand transfers")?,
+            busy_cycles: dec.u64("bus busy cycles")?,
+            queue_waits: dec.u64("bus queue waits")?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -366,6 +366,80 @@ impl<M: EvictClass> Cache<M> {
             .iter()
             .filter_map(|e| e.as_ref().map(|e| (&e.line, &e.meta)))
     }
+
+    /// Serializes the cache's complete state — slot layout (way order
+    /// included, so Random/LRU victim streams continue bit-identically),
+    /// LRU stamps, clock, xorshift word, and hit/miss counters. `meta`
+    /// encodes the per-line metadata.
+    pub fn save_state(
+        &self,
+        enc: &mut cdp_snap::Enc,
+        mut meta: impl FnMut(&M, &mut cdp_snap::Enc),
+    ) {
+        enc.u64(self.rng);
+        enc.u64(self.clock);
+        enc.u64(self.hits);
+        enc.u64(self.misses);
+        enc.seq_len(self.num_sets);
+        for set in 0..self.num_sets {
+            let len = self.lens[set] as usize;
+            enc.u32(self.lens[set]);
+            let base = set * self.associativity;
+            for e in &self.slots[base..base + len] {
+                let e = e.as_ref().expect("packed slot");
+                enc.u32(e.line);
+                enc.u64(e.stamp);
+                meta(&e.meta, enc);
+            }
+        }
+    }
+
+    /// Restores state written by [`Cache::save_state`] into a cache of
+    /// identical geometry (typically freshly built from the same config).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] when the stream is
+    /// truncated or structurally impossible for this geometry.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+        mut meta: impl FnMut(&mut cdp_snap::Dec<'_>) -> Result<M, cdp_types::SnapshotError>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        self.rng = dec.u64("cache rng")?;
+        self.clock = dec.u64("cache clock")?;
+        self.hits = dec.u64("cache hits")?;
+        self.misses = dec.u64("cache misses")?;
+        let sets = dec.seq_len(4, "cache set count")?;
+        if sets != self.num_sets {
+            return Err(SnapshotError::Corrupt {
+                context: "cache set count",
+            });
+        }
+        self.clear();
+        for set in 0..self.num_sets {
+            let len = dec.u32("cache set occupancy")? as usize;
+            if len > self.associativity {
+                return Err(SnapshotError::Corrupt {
+                    context: "cache set occupancy",
+                });
+            }
+            let base = set * self.associativity;
+            for w in 0..len {
+                let line = dec.u32("cache line")?;
+                let stamp = dec.u64("cache stamp")?;
+                let m = meta(dec)?;
+                self.slots[base + w] = Some(Entry {
+                    line,
+                    meta: m,
+                    stamp,
+                });
+            }
+            self.lens[set] = len as u32;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -323,6 +323,115 @@ impl MshrFile {
             .map(|f| f.complete_at)
             .min()
     }
+
+    /// Serializes the complete table state. The slot array is written
+    /// verbatim (layout included) so restored probe chains — and
+    /// therefore every later insert — behave bit-identically.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.usize(self.slots.len());
+        enc.u64(self.earliest);
+        enc.u64(self.stats.inserts);
+        enc.u64(self.stats.merges);
+        enc.u64(self.stats.priority_raises);
+        enc.u64(self.stats.expedites);
+        for slot in &self.slots {
+            match slot {
+                None => enc.bool(false),
+                Some(f) => {
+                    enc.bool(true);
+                    enc.u32(f.line.0);
+                    enc.u32(f.vline.0);
+                    save_request_kind(f.kind, enc);
+                    enc.bool(f.width);
+                    enc.u64(f.complete_at);
+                    enc.u64(f.issued_at);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`MshrFile::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or a
+    /// structurally impossible table.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        let slots = dec.usize("mshr slot count")?;
+        // The run may have grown the table past its construction size;
+        // accept any power-of-two count the stream can actually back.
+        if !slots.is_power_of_two() || slots > dec.remaining() {
+            return Err(SnapshotError::Corrupt {
+                context: "mshr slot count",
+            });
+        }
+        self.earliest = dec.u64("mshr earliest")?;
+        self.stats = MshrStats {
+            inserts: dec.u64("mshr inserts")?,
+            merges: dec.u64("mshr merges")?,
+            priority_raises: dec.u64("mshr priority raises")?,
+            expedites: dec.u64("mshr expedites")?,
+        };
+        self.slots = vec![None; slots];
+        self.len = 0;
+        for i in 0..slots {
+            if dec.bool("mshr slot occupancy")? {
+                let line = LineAddr(dec.u32("mshr line")?);
+                let vline = VirtAddr(dec.u32("mshr vline")?);
+                let kind = load_request_kind(dec)?;
+                let width = dec.bool("mshr width flag")?;
+                let complete_at = dec.u64("mshr complete_at")?;
+                let issued_at = dec.u64("mshr issued_at")?;
+                self.slots[i] = Some(InFlight {
+                    line,
+                    vline,
+                    kind,
+                    width,
+                    complete_at,
+                    issued_at,
+                });
+                self.len += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`RequestKind`] as a tag byte plus depth.
+pub(crate) fn save_request_kind(kind: RequestKind, enc: &mut cdp_snap::Enc) {
+    let (tag, depth) = match kind {
+        RequestKind::Demand => (0u8, 0u8),
+        RequestKind::PageWalk => (1, 0),
+        RequestKind::Stride => (2, 0),
+        RequestKind::Content { depth } => (3, depth),
+        RequestKind::Markov => (4, 0),
+    };
+    enc.u8(tag);
+    enc.u8(depth);
+}
+
+/// Decodes a [`RequestKind`] written by [`save_request_kind`].
+pub(crate) fn load_request_kind(
+    dec: &mut cdp_snap::Dec<'_>,
+) -> Result<RequestKind, cdp_types::SnapshotError> {
+    let tag = dec.u8("request kind tag")?;
+    let depth = dec.u8("request kind depth")?;
+    Ok(match tag {
+        0 => RequestKind::Demand,
+        1 => RequestKind::PageWalk,
+        2 => RequestKind::Stride,
+        3 => RequestKind::Content { depth },
+        4 => RequestKind::Markov,
+        _ => {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "request kind tag",
+            })
+        }
+    })
 }
 
 #[cfg(test)]

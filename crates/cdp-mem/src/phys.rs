@@ -282,6 +282,56 @@ impl PhysMem {
     pub fn install_frame(&mut self, frame: u32, data: [u8; PAGE_SIZE]) {
         *self.frame_mut(frame) = data;
     }
+
+    /// Order-independent digest of the resident frame contents. Two images
+    /// with the same bytes in the same frames produce the same value
+    /// regardless of insertion order or table capacity; used to validate
+    /// that a deterministically rebuilt memory image matches the one a
+    /// snapshot was taken against.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = cdp_snap::Fnv1a::new();
+        h.write_u64(self.len as u64);
+        for (number, data) in self.frames() {
+            h.write_u32(number);
+            h.write(&data[..]);
+        }
+        h.finish()
+    }
+
+    /// Serializes every resident frame, sorted by frame number.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.seq_len(self.len);
+        for (number, data) in self.frames() {
+            enc.u32(number);
+            enc.bytes(&data[..]);
+        }
+    }
+
+    /// Restores frames written by [`PhysMem::save_state`] into `self`
+    /// (existing frames with the same number are overwritten; the table
+    /// need not be empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or a
+    /// frame payload that is not exactly [`PAGE_SIZE`] bytes.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        let n = dec.seq_len(4 + PAGE_SIZE, "phys frame count")?;
+        for _ in 0..n {
+            let number = dec.u32("phys frame number")?;
+            let bytes = dec.bytes("phys frame data")?;
+            let page: &[u8; PAGE_SIZE] = bytes
+                .try_into()
+                .map_err(|_| cdp_types::SnapshotError::Corrupt {
+                    context: "phys frame size",
+                })?;
+            self.install_frame(number, *page);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,25 @@ impl Tlb {
     pub fn reset_stats(&mut self) {
         self.inner.reset_stats()
     }
+
+    /// Serializes the complete TLB state (delegates to the inner cache).
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        self.inner.save_state(enc, |frame, e| e.u32(frame.0));
+    }
+
+    /// Restores state written by [`Tlb::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or a
+    /// geometry mismatch.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.inner
+            .restore_state(dec, |d| Ok(PhysAddr(d.u32("tlb frame base")?)))
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,15 @@ pub const REQUIRED_KEYS: &[&str] = &[
 ];
 
 /// Keys every cell record must carry.
-pub const CELL_KEYS: &[&str] = &["experiment", "label", "status", "attempts", "wall_ms", "config_fingerprint"];
+pub const CELL_KEYS: &[&str] = &[
+    "experiment",
+    "label",
+    "status",
+    "attempts",
+    "wall_ms",
+    "config_fingerprint",
+    "checkpoint",
+];
 
 /// FNV-1a 64-bit hash, used to fingerprint a config's `Debug` rendering.
 /// Stable across runs (no randomized state), cheap, and dependency-free.
@@ -92,6 +100,12 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if !matches!(status, "ok" | "failed" | "timeout") {
             return Err(format!("cells[{i}] has invalid status {status:?}"));
         }
+        let checkpoint = cell.get("checkpoint").and_then(Json::as_str).unwrap_or("");
+        if !matches!(checkpoint, "off" | "fresh" | "resumed" | "corrupt-fallback") {
+            return Err(format!(
+                "cells[{i}] has invalid checkpoint provenance {checkpoint:?}"
+            ));
+        }
     }
     if !matches!(doc.get("aggregates"), Some(Json::Obj(_))) {
         return Err("aggregates must be an object".to_string());
@@ -111,6 +125,7 @@ mod tests {
         cell.set("attempts", Json::U64(1));
         cell.set("wall_ms", Json::F64(12.5));
         cell.set("config_fingerprint", Json::Str(fingerprint_hex(b"cfg")));
+        cell.set("checkpoint", Json::Str("off".into()));
         let mut exp = Json::obj();
         exp.set("id", Json::Str("table2".into()));
         exp.set("wall_ms", Json::F64(30.0));
@@ -175,9 +190,26 @@ mod tests {
             c.set("attempts", Json::U64(1));
             c.set("wall_ms", Json::F64(1.0));
             c.set("config_fingerprint", Json::Str("0".into()));
+            c.set("checkpoint", Json::Str("off".into()));
             c
         };
         pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1 = Json::Arr(vec![bad_cell]);
         assert!(validate(&doc).unwrap_err().contains("status"));
+
+        let mut doc = minimal_manifest();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        let bad_ckpt = {
+            let mut c = Json::obj();
+            c.set("experiment", Json::Str("x".into()));
+            c.set("label", Json::Str("y".into()));
+            c.set("status", Json::Str("ok".into()));
+            c.set("attempts", Json::U64(1));
+            c.set("wall_ms", Json::F64(1.0));
+            c.set("config_fingerprint", Json::Str("0".into()));
+            c.set("checkpoint", Json::Str("sideways".into()));
+            c
+        };
+        pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1 = Json::Arr(vec![bad_ckpt]);
+        assert!(validate(&doc).unwrap_err().contains("checkpoint"));
     }
 }

@@ -380,6 +380,229 @@ impl TraceRing {
     pub fn config(&self) -> &TraceConfig {
         &self.cfg
     }
+
+    /// Serializes the buffered events and bookkeeping counters. The
+    /// configuration is *not* written — a restored ring keeps the config
+    /// it was constructed with, which the caller derives from the run
+    /// configuration exactly as the original did.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.seq);
+        enc.u64(self.seen);
+        enc.u64(self.recorded);
+        enc.u64(self.overwritten);
+        enc.u64(self.sampled_out);
+        enc.seq_len(self.buf.len());
+        for e in &self.buf {
+            enc.u64(e.seq);
+            enc.u64(e.at);
+            save_trace_data(&e.data, enc);
+        }
+    }
+
+    /// Restores state written by [`TraceRing::save_state`] into a ring of
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation, an
+    /// unknown event tag, or more buffered events than the ring capacity.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.seq = dec.u64("trace seq")?;
+        self.seen = dec.u64("trace seen")?;
+        self.recorded = dec.u64("trace recorded")?;
+        self.overwritten = dec.u64("trace overwritten")?;
+        self.sampled_out = dec.u64("trace sampled_out")?;
+        let n = dec.seq_len(8 + 8 + 1, "trace buffer length")?;
+        if n > self.cfg.capacity {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "trace buffer length",
+            });
+        }
+        self.buf.clear();
+        for _ in 0..n {
+            let seq = dec.u64("trace event seq")?;
+            let at = dec.u64("trace event at")?;
+            let data = load_trace_data(dec)?;
+            self.buf.push_back(TraceEvent { seq, at, data });
+        }
+        Ok(())
+    }
+}
+
+fn engine_tag_code(e: EngineTag) -> u8 {
+    match e {
+        EngineTag::Demand => 0,
+        EngineTag::Stride => 1,
+        EngineTag::Content => 2,
+        EngineTag::Markov => 3,
+    }
+}
+
+fn engine_tag_from(code: u8) -> Result<EngineTag, cdp_types::SnapshotError> {
+    Ok(match code {
+        0 => EngineTag::Demand,
+        1 => EngineTag::Stride,
+        2 => EngineTag::Content,
+        3 => EngineTag::Markov,
+        _ => {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "trace engine tag",
+            })
+        }
+    })
+}
+
+/// Encodes one [`TraceData`] payload (variant tag byte + fields).
+pub fn save_trace_data(data: &TraceData, enc: &mut cdp_snap::Enc) {
+    match *data {
+        TraceData::VamAccept { word } => {
+            enc.u8(0);
+            enc.u32(word);
+        }
+        TraceData::VamReject { word, cause } => {
+            enc.u8(1);
+            enc.u32(word);
+            enc.u8(match cause {
+                VamCause::Align => 0,
+                VamCause::Compare => 1,
+                VamCause::Filter => 2,
+            });
+        }
+        TraceData::PrefetchIssue {
+            line,
+            engine,
+            depth,
+        } => {
+            enc.u8(2);
+            enc.u32(line);
+            enc.u8(engine_tag_code(engine));
+            enc.u8(depth);
+        }
+        TraceData::PrefetchDrop {
+            line,
+            reason,
+            depth,
+        } => {
+            enc.u8(3);
+            enc.u32(line);
+            enc.u8(match reason {
+                DropReason::Resident => 0,
+                DropReason::InFlight => 1,
+                DropReason::Unmapped => 2,
+                DropReason::QueueFull => 3,
+                DropReason::TooDeep => 4,
+            });
+            enc.u8(depth);
+        }
+        TraceData::DepthTransition { line, from, to } => {
+            enc.u8(4);
+            enc.u32(line);
+            enc.u8(from);
+            enc.u8(to);
+        }
+        TraceData::Rescan { line, depth } => {
+            enc.u8(5);
+            enc.u32(line);
+            enc.u8(depth);
+        }
+        TraceData::MshrMerge { line, engine } => {
+            enc.u8(6);
+            enc.u32(line);
+            enc.u8(engine_tag_code(engine));
+        }
+        TraceData::Fault { kind } => {
+            enc.u8(7);
+            enc.u8(match kind {
+                FaultTag::Unmapped => 0,
+                FaultTag::Walk => 1,
+                FaultTag::Other => 2,
+            });
+        }
+    }
+}
+
+/// Decodes one payload written by [`save_trace_data`].
+///
+/// # Errors
+///
+/// Returns a typed [`cdp_types::SnapshotError`] on truncation or an
+/// unknown variant/enum tag.
+pub fn load_trace_data(
+    dec: &mut cdp_snap::Dec<'_>,
+) -> Result<TraceData, cdp_types::SnapshotError> {
+    use cdp_types::SnapshotError;
+    Ok(match dec.u8("trace data tag")? {
+        0 => TraceData::VamAccept {
+            word: dec.u32("trace vam word")?,
+        },
+        1 => TraceData::VamReject {
+            word: dec.u32("trace vam word")?,
+            cause: match dec.u8("trace vam cause")? {
+                0 => VamCause::Align,
+                1 => VamCause::Compare,
+                2 => VamCause::Filter,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        context: "trace vam cause",
+                    })
+                }
+            },
+        },
+        2 => TraceData::PrefetchIssue {
+            line: dec.u32("trace issue line")?,
+            engine: engine_tag_from(dec.u8("trace issue engine")?)?,
+            depth: dec.u8("trace issue depth")?,
+        },
+        3 => TraceData::PrefetchDrop {
+            line: dec.u32("trace drop line")?,
+            reason: match dec.u8("trace drop reason")? {
+                0 => DropReason::Resident,
+                1 => DropReason::InFlight,
+                2 => DropReason::Unmapped,
+                3 => DropReason::QueueFull,
+                4 => DropReason::TooDeep,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        context: "trace drop reason",
+                    })
+                }
+            },
+            depth: dec.u8("trace drop depth")?,
+        },
+        4 => TraceData::DepthTransition {
+            line: dec.u32("trace depth line")?,
+            from: dec.u8("trace depth from")?,
+            to: dec.u8("trace depth to")?,
+        },
+        5 => TraceData::Rescan {
+            line: dec.u32("trace rescan line")?,
+            depth: dec.u8("trace rescan depth")?,
+        },
+        6 => TraceData::MshrMerge {
+            line: dec.u32("trace merge line")?,
+            engine: engine_tag_from(dec.u8("trace merge engine")?)?,
+        },
+        7 => TraceData::Fault {
+            kind: match dec.u8("trace fault kind")? {
+                0 => FaultTag::Unmapped,
+                1 => FaultTag::Walk,
+                2 => FaultTag::Other,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        context: "trace fault kind",
+                    })
+                }
+            },
+        },
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                context: "trace data tag",
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -465,6 +688,68 @@ mod tests {
         assert_eq!(r.recorded(), 0);
         r.push(2, issue(8));
         assert_eq!(r.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn ring_state_roundtrips_through_codec() {
+        let mut r = TraceRing::new(TraceConfig {
+            capacity: 4,
+            sample: 2,
+            ..TraceConfig::default()
+        });
+        let payloads = [
+            TraceData::VamAccept { word: 0x1000_0000 },
+            TraceData::VamReject {
+                word: 0x7,
+                cause: VamCause::Align,
+            },
+            issue(0x40),
+            TraceData::PrefetchDrop {
+                line: 0x80,
+                reason: DropReason::QueueFull,
+                depth: 2,
+            },
+            TraceData::DepthTransition {
+                line: 0xc0,
+                from: 3,
+                to: 1,
+            },
+            TraceData::Rescan {
+                line: 0x100,
+                depth: 1,
+            },
+            TraceData::MshrMerge {
+                line: 0x140,
+                engine: EngineTag::Markov,
+            },
+            TraceData::Fault {
+                kind: FaultTag::Walk,
+            },
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            r.push(i as u64 * 7, *p);
+        }
+        let mut enc = cdp_snap::Enc::new();
+        r.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = TraceRing::new(r.config().clone());
+        let mut dec = cdp_snap::Dec::new(&bytes);
+        restored.restore_state(&mut dec).unwrap();
+        assert!(dec.is_exhausted());
+        assert_eq!(restored.events(), r.events());
+        assert_eq!(restored.recorded(), r.recorded());
+        assert_eq!(restored.overwritten(), r.overwritten());
+        assert_eq!(restored.sampled_out(), r.sampled_out());
+        // Future pushes continue the same sampling phase and seq stream.
+        r.push(1000, issue(0x999));
+        restored.push(1000, issue(0x999));
+        assert_eq!(restored.events(), r.events());
+        // Truncated payloads are typed errors, never panics.
+        for n in 0..bytes.len() {
+            let mut fresh = TraceRing::new(r.config().clone());
+            let mut d = cdp_snap::Dec::new(&bytes[..n]);
+            assert!(fresh.restore_state(&mut d).is_err(), "prefix {n}");
+        }
     }
 
     #[test]

@@ -140,6 +140,32 @@ impl AdaptiveVam {
             Adjustment::Hold
         }
     }
+
+    /// Serializes the controller state (window anchors + counters).
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.last_issued);
+        enc.u64(self.last_useful);
+        enc.u64(self.stats.windows);
+        enc.u64(self.stats.tightened);
+        enc.u64(self.stats.loosened);
+    }
+
+    /// Restores state written by [`AdaptiveVam::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.last_issued = dec.u64("adaptive last_issued")?;
+        self.last_useful = dec.u64("adaptive last_useful")?;
+        self.stats.windows = dec.u64("adaptive stats windows")?;
+        self.stats.tightened = dec.u64("adaptive stats tightened")?;
+        self.stats.loosened = dec.u64("adaptive stats loosened")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,53 @@ impl ContentPrefetcher {
         incoming_depth
     }
 
+    /// Serializes the prefetcher state. The configuration rides along
+    /// because the adaptive controller mutates it at run time — a resumed
+    /// run must pick up the knobs exactly where the controller left them,
+    /// not at the construction-time values.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u32(self.cfg.vam.compare_bits);
+        enc.u32(self.cfg.vam.filter_bits);
+        enc.u32(self.cfg.vam.align_bits);
+        enc.usize(self.cfg.vam.scan_step);
+        enc.u8(self.cfg.depth_threshold);
+        enc.bool(self.cfg.reinforcement);
+        enc.u8(self.cfg.reinforcement_margin);
+        enc.u32(self.cfg.prev_lines);
+        enc.u32(self.cfg.next_lines);
+        enc.u64(self.stats.fills_scanned);
+        enc.u64(self.stats.rescans);
+        enc.u64(self.stats.candidates);
+        enc.u64(self.stats.emitted);
+        enc.u64(self.stats.depth_terminations);
+    }
+
+    /// Restores state written by [`ContentPrefetcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.cfg.vam.compare_bits = dec.u32("content vam compare_bits")?;
+        self.cfg.vam.filter_bits = dec.u32("content vam filter_bits")?;
+        self.cfg.vam.align_bits = dec.u32("content vam align_bits")?;
+        self.cfg.vam.scan_step = dec.usize("content vam scan_step")?;
+        self.cfg.depth_threshold = dec.u8("content depth_threshold")?;
+        self.cfg.reinforcement = dec.bool("content reinforcement")?;
+        self.cfg.reinforcement_margin = dec.u8("content reinforcement_margin")?;
+        self.cfg.prev_lines = dec.u32("content prev_lines")?;
+        self.cfg.next_lines = dec.u32("content next_lines")?;
+        self.stats.fills_scanned = dec.u64("content stats fills_scanned")?;
+        self.stats.rescans = dec.u64("content stats rescans")?;
+        self.stats.candidates = dec.u64("content stats candidates")?;
+        self.stats.emitted = dec.u64("content stats emitted")?;
+        self.stats.depth_terminations = dec.u64("content stats depth_terminations")?;
+        Ok(())
+    }
+
     /// Performs a reinforcement rescan of a resident line (counted
     /// separately from fill scans; the paper notes rescans consume L2
     /// cycles and can flood arbiters, which the hierarchy models).

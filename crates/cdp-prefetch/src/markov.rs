@@ -177,6 +177,98 @@ impl MarkovPrefetcher {
     pub fn state_bytes(&self) -> usize {
         self.resident() * (4 + 4 * self.fanout)
     }
+
+    /// Serializes the complete STAB state. Per-set entry vectors are
+    /// written in their resident order (swap_remove leaves them
+    /// unsorted), so LRU victim selection and successor MRU order
+    /// continue bit-identically after restore.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.clock);
+        match self.prev_miss {
+            Some(line) => {
+                enc.bool(true);
+                enc.u32(line);
+            }
+            None => enc.bool(false),
+        }
+        enc.u64(self.stats.observed);
+        enc.u64(self.stats.stab_hits);
+        enc.u64(self.stats.emitted);
+        enc.u64(self.stats.trained);
+        enc.u64(self.stats.evictions);
+        enc.seq_len(self.sets.len());
+        for set in &self.sets {
+            enc.seq_len(set.len());
+            for e in set {
+                enc.u32(e.tag);
+                enc.u64(e.stamp);
+                enc.seq_len(e.successors.len());
+                for &s in &e.successors {
+                    enc.u32(s);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`MarkovPrefetcher::save_state`] into a
+    /// prefetcher of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation, a set
+    /// count mismatch, or a set/successor list exceeding its bound.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        self.clock = dec.u64("markov clock")?;
+        self.prev_miss = if dec.bool("markov prev_miss flag")? {
+            Some(dec.u32("markov prev_miss")?)
+        } else {
+            None
+        };
+        self.stats.observed = dec.u64("markov stats observed")?;
+        self.stats.stab_hits = dec.u64("markov stats stab_hits")?;
+        self.stats.emitted = dec.u64("markov stats emitted")?;
+        self.stats.trained = dec.u64("markov stats trained")?;
+        self.stats.evictions = dec.u64("markov stats evictions")?;
+        let sets = dec.seq_len(8, "markov set count")?;
+        if sets != self.sets.len() {
+            return Err(SnapshotError::Corrupt {
+                context: "markov set count",
+            });
+        }
+        for set in self.sets.iter_mut() {
+            set.clear();
+            let len = dec.seq_len(4 + 8 + 8, "markov set length")?;
+            if len > self.associativity {
+                return Err(SnapshotError::Corrupt {
+                    context: "markov set length",
+                });
+            }
+            for _ in 0..len {
+                let tag = dec.u32("markov entry tag")?;
+                let stamp = dec.u64("markov entry stamp")?;
+                let succ_len = dec.seq_len(4, "markov successor count")?;
+                if succ_len > self.fanout {
+                    return Err(SnapshotError::Corrupt {
+                        context: "markov successor count",
+                    });
+                }
+                let mut successors = Vec::with_capacity(succ_len);
+                for _ in 0..succ_len {
+                    successors.push(dec.u32("markov successor")?);
+                }
+                set.push(StabEntry {
+                    tag,
+                    successors,
+                    stamp,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Prefetcher for MarkovPrefetcher {

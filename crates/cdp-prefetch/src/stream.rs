@@ -148,6 +148,56 @@ impl StreamPrefetcher {
             self.streams[victim] = stream;
         }
     }
+
+    /// Serializes the stream table in resident order (victim selection
+    /// depends on position for ties, so order is preserved verbatim).
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.clock);
+        enc.u64(self.stats.observed);
+        enc.u64(self.stats.confirmed);
+        enc.u64(self.stats.allocated);
+        enc.u64(self.stats.emitted);
+        enc.seq_len(self.streams.len());
+        for s in &self.streams {
+            enc.u32(s.next_line);
+            enc.u32(s.prefetched_to);
+            enc.u64(s.stamp);
+            enc.u8(s.confidence);
+        }
+    }
+
+    /// Restores state written by [`StreamPrefetcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation or more
+    /// streams than the configured maximum.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        self.clock = dec.u64("stream clock")?;
+        self.stats.observed = dec.u64("stream stats observed")?;
+        self.stats.confirmed = dec.u64("stream stats confirmed")?;
+        self.stats.allocated = dec.u64("stream stats allocated")?;
+        self.stats.emitted = dec.u64("stream stats emitted")?;
+        let n = dec.seq_len(4 + 4 + 8 + 1, "stream count")?;
+        if n > self.max_streams {
+            return Err(cdp_types::SnapshotError::Corrupt {
+                context: "stream count",
+            });
+        }
+        self.streams.clear();
+        for _ in 0..n {
+            self.streams.push(Stream {
+                next_line: dec.u32("stream next_line")?,
+                prefetched_to: dec.u32("stream prefetched_to")?,
+                stamp: dec.u64("stream stamp")?,
+                confidence: dec.u8("stream confidence")?,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Prefetcher for StreamPrefetcher {

@@ -151,6 +151,85 @@ impl StridePrefetcher {
             }
         }
     }
+
+    /// Serializes the complete RPT state.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        enc.u64(self.stats.observed);
+        enc.u64(self.stats.emitted);
+        enc.u64(self.stats.conflicts);
+        enc.seq_len(self.table.len());
+        for slot in &self.table {
+            match slot {
+                Some(e) => {
+                    enc.bool(true);
+                    enc.u32(e.tag);
+                    enc.u32(e.last_addr);
+                    enc.i64(i64::from(e.stride));
+                    enc.u8(match e.state {
+                        State::Initial => 0,
+                        State::Transient => 1,
+                        State::Steady => 2,
+                        State::NoPred => 3,
+                    });
+                }
+                None => enc.bool(false),
+            }
+        }
+    }
+
+    /// Restores state written by [`StridePrefetcher::save_state`] into a
+    /// prefetcher of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation, a table
+    /// size mismatch, or an unknown confidence-state tag.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        self.stats.observed = dec.u64("stride stats observed")?;
+        self.stats.emitted = dec.u64("stride stats emitted")?;
+        self.stats.conflicts = dec.u64("stride stats conflicts")?;
+        let n = dec.seq_len(1, "stride table size")?;
+        if n != self.table.len() {
+            return Err(SnapshotError::Corrupt {
+                context: "stride table size",
+            });
+        }
+        for slot in self.table.iter_mut() {
+            *slot = if dec.bool("stride entry flag")? {
+                let tag = dec.u32("stride entry tag")?;
+                let last_addr = dec.u32("stride entry last_addr")?;
+                let stride = i32::try_from(dec.i64("stride entry stride")?).map_err(|_| {
+                    SnapshotError::Corrupt {
+                        context: "stride entry stride",
+                    }
+                })?;
+                let state = match dec.u8("stride entry state")? {
+                    0 => State::Initial,
+                    1 => State::Transient,
+                    2 => State::Steady,
+                    3 => State::NoPred,
+                    _ => {
+                        return Err(SnapshotError::Corrupt {
+                            context: "stride entry state",
+                        })
+                    }
+                };
+                Some(Entry {
+                    tag,
+                    last_addr,
+                    stride,
+                    state,
+                })
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
 }
 
 impl Prefetcher for StridePrefetcher {

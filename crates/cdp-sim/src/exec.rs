@@ -18,7 +18,8 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -502,6 +503,103 @@ impl ResultCache {
     }
 }
 
+/// How a checkpointed cell actually started, for run-manifest provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointProvenance {
+    /// No usable checkpoint: the cell ran from cycle zero.
+    Fresh,
+    /// The cell resumed from an on-disk snapshot.
+    Resumed,
+    /// A checkpoint existed but failed to decode (truncated, corrupt, or
+    /// from a different configuration); the cell fell back to a fresh
+    /// run instead of resuming from suspect state.
+    CorruptFallback,
+}
+
+impl CheckpointProvenance {
+    /// Stable manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckpointProvenance::Fresh => "fresh",
+            CheckpointProvenance::Resumed => "resumed",
+            CheckpointProvenance::CorruptFallback => "corrupt-fallback",
+        }
+    }
+}
+
+/// A thread-safe slot a [`SimJob`] reports its [`CheckpointProvenance`]
+/// into, readable by the submitter after the batch.
+#[derive(Debug, Default)]
+pub struct CheckpointStatus(AtomicU8);
+
+impl CheckpointStatus {
+    /// A fresh slot behind an [`Arc`], ready to attach to a job.
+    pub fn shared() -> Arc<CheckpointStatus> {
+        Arc::new(CheckpointStatus::default())
+    }
+
+    fn set(&self, p: CheckpointProvenance) {
+        let code = match p {
+            CheckpointProvenance::Fresh => 0,
+            CheckpointProvenance::Resumed => 1,
+            CheckpointProvenance::CorruptFallback => 2,
+        };
+        self.0.store(code, Ordering::Relaxed);
+    }
+
+    /// The provenance last reported (defaults to `Fresh`).
+    pub fn get(&self) -> CheckpointProvenance {
+        match self.0.load(Ordering::Relaxed) {
+            1 => CheckpointProvenance::Resumed,
+            2 => CheckpointProvenance::CorruptFallback,
+            _ => CheckpointProvenance::Fresh,
+        }
+    }
+}
+
+/// Periodic-checkpoint attachment for a [`SimJob`].
+///
+/// The job snapshots its [`SimSession`](crate::system::SimSession) into
+/// `dir/cell-<key>.snap` every `every` simulated cycles (checked at
+/// window boundaries). Writes are atomic (temp file + rename), so a kill
+/// at any moment leaves either the previous or the new checkpoint intact
+/// — never a torn file. On completion the checkpoint is removed: the
+/// cell's result is deterministic, so a later resume of the sweep simply
+/// re-runs it to the identical result.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Directory the checkpoint file lives in (must exist).
+    pub dir: PathBuf,
+    /// Simulated cycles between checkpoints (0 disables periodic writes;
+    /// resume still works off whatever file is present).
+    pub every: u64,
+    /// Cell identity — the same fingerprint used for result-cache keys.
+    /// Names the file, so it must be unique per cell within `dir`.
+    pub key: u64,
+    /// Whether to look for (and resume from) an existing checkpoint.
+    pub resume: bool,
+    /// Where to report how the cell actually started.
+    pub status: Option<Arc<CheckpointStatus>>,
+}
+
+impl CheckpointSpec {
+    /// The checkpoint file path for this cell.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(format!("cell-{:016x}.snap", self.key))
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then rename. Returns whether the write landed; a failure
+/// leaves any previous checkpoint untouched.
+fn write_atomic(path: &Path, bytes: &[u8]) -> bool {
+    let tmp = path.with_extension("part");
+    if std::fs::write(&tmp, bytes).is_err() {
+        return false;
+    }
+    std::fs::rename(&tmp, path).is_ok()
+}
+
 /// One independent simulation: a configuration over a shared workload.
 #[derive(Clone, Debug)]
 pub struct SimJob {
@@ -522,6 +620,8 @@ pub struct SimJob {
     pub obs: Option<JobObs>,
     /// Optional result cache plus this job's precomputed key.
     pub result_cache: Option<(Arc<ResultCache>, u64)>,
+    /// Optional periodic checkpointing / resume (see [`CheckpointSpec`]).
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl SimJob {
@@ -535,6 +635,7 @@ impl SimJob {
             walk_fault: None,
             obs: None,
             result_cache: None,
+            checkpoint: None,
         }
     }
 
@@ -549,6 +650,12 @@ impl SimJob {
     /// [`Observation`](crate::observe::Observation) into `obs.sink`.
     pub fn with_obs(mut self, obs: JobObs) -> SimJob {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Attaches periodic checkpointing / resume.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> SimJob {
+        self.checkpoint = Some(spec);
         self
     }
 
@@ -621,6 +728,28 @@ impl SimJob {
             }
             cache.misses.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(spec) = &self.checkpoint {
+            let (stats, observation) = self.run_checkpointed(spec)?;
+            match (&self.obs, observation) {
+                (Some(o), Some(observation)) => {
+                    if let Some((cache, key)) = &self.result_cache {
+                        cache.put(*key, stats, Some(observation.clone()));
+                    }
+                    o.sink.push(ObsEntry {
+                        batch: o.batch,
+                        index: o.index,
+                        label: self.label.clone(),
+                        observation,
+                    });
+                }
+                _ => {
+                    if let Some((cache, key)) = &self.result_cache {
+                        cache.put(*key, stats, None);
+                    }
+                }
+            }
+            return Ok(stats);
+        }
         match &self.obs {
             None => {
                 let stats = self.simulator()?.try_run(&self.workload)?;
@@ -644,6 +773,58 @@ impl SimJob {
                 Ok(stats)
             }
         }
+    }
+
+    /// Drives the cell through a [`SimSession`](crate::system::SimSession)
+    /// with periodic checkpoint writes, resuming from an existing
+    /// checkpoint when asked. A checkpoint that fails to decode is never
+    /// resumed from: the cell restarts fresh (recording
+    /// [`CheckpointProvenance::CorruptFallback`]) so the result is still
+    /// bit-identical to an uninterrupted run. Checkpoint *writes* are
+    /// best-effort — a failed write leaves the previous checkpoint valid
+    /// and the simulation unaffected.
+    fn run_checkpointed(
+        &self,
+        spec: &CheckpointSpec,
+    ) -> Result<(RunStats, Option<Observation>), CdpError> {
+        let sim = self.simulator()?;
+        let obs_cfg = self.obs.as_ref().map(|o| &o.cfg);
+        let path = spec.path();
+        let mut provenance = CheckpointProvenance::Fresh;
+        let mut session = None;
+        if spec.resume {
+            if let Ok(bytes) = std::fs::read(&path) {
+                match sim.resume(&self.workload, obs_cfg, &bytes) {
+                    Ok(s) => {
+                        provenance = CheckpointProvenance::Resumed;
+                        session = Some(s);
+                    }
+                    Err(CdpError::Snapshot(_)) => {
+                        provenance = CheckpointProvenance::CorruptFallback;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if let Some(status) = &spec.status {
+            status.set(provenance);
+        }
+        let mut session = session.unwrap_or_else(|| sim.session(&self.workload, obs_cfg));
+        let mut last_checkpoint = session.cycles();
+        loop {
+            if session.step()? {
+                break;
+            }
+            if spec.every > 0 && session.cycles().saturating_sub(last_checkpoint) >= spec.every {
+                last_checkpoint = session.cycles();
+                write_atomic(&path, &session.snapshot());
+            }
+        }
+        // The cell finished: its checkpoint has served its purpose. A
+        // later sweep resume re-runs the (deterministic) cell instead.
+        let _ = std::fs::remove_file(&path);
+        let (stats, observation) = session.finish();
+        Ok((stats, self.obs.as_ref().map(|_| observation)))
     }
 }
 

@@ -693,6 +693,145 @@ impl<'w> Hierarchy<'w> {
             self.stats.injected_pollution += 1;
         }
     }
+
+    /// Serializes the complete hierarchy state: both caches (slot layout
+    /// and replacement state), DTLB, bus timing tracks, MSHR file,
+    /// every configured prefetcher, statistics, the pollution/fault RNG
+    /// streams, pending-dirty lines, and the tracer ring when installed.
+    ///
+    /// Call only between accesses (the transient request/drain buffers
+    /// are empty then and are not serialized). A latched fault is not
+    /// serialized either — the run drivers check the latch at every
+    /// window boundary before snapshotting.
+    pub fn save_state(&self, enc: &mut cdp_snap::Enc) {
+        self.l1.save_state(enc, |(), _| {});
+        self.l2.save_state(enc, |m, e| {
+            e.u8(match m.owner {
+                Engine::Demand => 0,
+                Engine::Stride => 1,
+                Engine::Content => 2,
+                Engine::Markov => 3,
+            });
+            e.u8(m.depth);
+            e.u32(m.vline.0);
+            e.bool(m.demand_touched);
+            e.bool(m.width);
+            e.bool(m.dirty);
+        });
+        self.dtlb.save_state(enc);
+        self.bus.save_state(enc);
+        self.mshrs.save_state(enc);
+        enc.bool(self.stride.is_some());
+        if let Some(p) = &self.stride {
+            p.save_state(enc);
+        }
+        enc.bool(self.content.is_some());
+        if let Some(p) = &self.content {
+            p.save_state(enc);
+        }
+        enc.bool(self.markov.is_some());
+        if let Some(p) = &self.markov {
+            p.save_state(enc);
+        }
+        enc.bool(self.stream.is_some());
+        if let Some(p) = &self.stream {
+            p.save_state(enc);
+        }
+        enc.bool(self.adaptive.is_some());
+        if let Some(p) = &self.adaptive {
+            p.save_state(enc);
+        }
+        self.stats.save_state(enc);
+        enc.u64(self.next_pollution);
+        enc.u64(self.pollution_rng);
+        enc.u64(self.walk_tick);
+        // HashSet iteration order is unspecified; serialize sorted so the
+        // snapshot bytes are deterministic for a given state.
+        let mut dirty: Vec<u32> = self.pending_dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        enc.seq_len(dirty.len());
+        for line in dirty {
+            enc.u32(line);
+        }
+        enc.bool(self.tracer.is_some());
+        if let Some(t) = self.tracer.as_deref() {
+            t.save_state(enc);
+        }
+    }
+
+    /// Restores state written by [`Hierarchy::save_state`] into a freshly
+    /// built hierarchy of the same configuration (same workload image,
+    /// same prefetcher set, tracer installed iff it was at save time).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`cdp_types::SnapshotError`] on truncation,
+    /// structural mismatch with this hierarchy's geometry, or a
+    /// prefetcher/tracer presence flag that contradicts the
+    /// configuration this hierarchy was built with.
+    pub fn restore_state(
+        &mut self,
+        dec: &mut cdp_snap::Dec<'_>,
+    ) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        self.l1.restore_state(dec, |_| Ok(()))?;
+        self.l2.restore_state(dec, |d| {
+            Ok(L2Meta {
+                owner: match d.u8("l2 meta owner")? {
+                    0 => Engine::Demand,
+                    1 => Engine::Stride,
+                    2 => Engine::Content,
+                    3 => Engine::Markov,
+                    _ => {
+                        return Err(SnapshotError::Corrupt {
+                            context: "l2 meta owner",
+                        })
+                    }
+                },
+                depth: d.u8("l2 meta depth")?,
+                vline: VirtAddr(d.u32("l2 meta vline")?),
+                demand_touched: d.bool("l2 meta demand_touched")?,
+                width: d.bool("l2 meta width")?,
+                dirty: d.bool("l2 meta dirty")?,
+            })
+        })?;
+        self.dtlb.restore_state(dec)?;
+        self.bus.restore_state(dec)?;
+        self.mshrs.restore_state(dec)?;
+        macro_rules! restore_opt {
+            ($field:ident, $ctx:literal) => {
+                if dec.bool($ctx)? != self.$field.is_some() {
+                    return Err(SnapshotError::Corrupt { context: $ctx });
+                }
+                if let Some(p) = self.$field.as_mut() {
+                    p.restore_state(dec)?;
+                }
+            };
+        }
+        restore_opt!(stride, "stride presence");
+        restore_opt!(content, "content presence");
+        restore_opt!(markov, "markov presence");
+        restore_opt!(stream, "stream presence");
+        restore_opt!(adaptive, "adaptive presence");
+        self.stats.restore_state(dec)?;
+        self.next_pollution = dec.u64("next_pollution")?;
+        self.pollution_rng = dec.u64("pollution_rng")?;
+        self.walk_tick = dec.u64("walk_tick")?;
+        let n = dec.seq_len(4, "pending_dirty count")?;
+        self.pending_dirty.clear();
+        for _ in 0..n {
+            self.pending_dirty.insert(dec.u32("pending_dirty line")?);
+        }
+        if dec.bool("tracer presence")? != self.tracer.is_some() {
+            return Err(SnapshotError::Corrupt {
+                context: "tracer presence",
+            });
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.restore_state(dec)?;
+        }
+        Ok(())
+    }
 }
 
 impl<'w> MemoryModel for Hierarchy<'w> {

@@ -6,7 +6,10 @@
 //!   the stride, content, and Markov prefetchers plugged into their hook
 //!   points.
 //! * [`system`] — [`Simulator`]: core + hierarchy, warm-up handling,
-//!   MPTU tracing, and [`system::speedup`].
+//!   MPTU tracing, and [`system::speedup`]. [`SimSession`] exposes the
+//!   stepping loop incrementally and can [`SimSession::snapshot`] the
+//!   full simulation state between steps; [`Simulator::resume`] restores
+//!   a session that continues bit-identically.
 //! * [`stats`] / [`metrics`] — counters and the paper's coverage/accuracy
 //!   and Figure 10 timeliness metrics.
 //! * [`runner`] — suite-level comparison drivers used by the experiment
@@ -49,8 +52,8 @@ pub mod stats;
 pub mod system;
 
 pub use exec::{
-    default_jobs, JobObs, JobOutcome, JobReport, Pool, ResultCache, RunPolicy, SimJob, SimResult,
-    WorkloadCache,
+    default_jobs, CheckpointProvenance, CheckpointSpec, CheckpointStatus, JobObs, JobOutcome,
+    JobReport, Pool, ResultCache, RunPolicy, SimJob, SimResult, WorkloadCache,
 };
 pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
@@ -58,4 +61,4 @@ pub use metrics::{accuracy, coverage, geomean, mean};
 pub use observe::{MetricsWindow, Observation, ObsEntry, ObsSink};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
 pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
-pub use system::{speedup, RunLength, RunStats, Simulator, WindowSample};
+pub use system::{speedup, RunLength, RunStats, SimSession, Simulator, WindowSample};

@@ -246,41 +246,9 @@ impl Simulator {
     ///
     /// The first [`CdpError`] latched by the memory hierarchy.
     pub fn try_run(&self, workload: &Workload) -> Result<RunStats, CdpError> {
-        let mut hierarchy = self.build_hierarchy(workload);
-        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
-        let mut target = 0u64;
-        if self.cfg.warmup_uops > 0 {
-            target = self.cfg.warmup_uops;
-            core.run_until_retired(&mut hierarchy, target);
-            if let Some(e) = hierarchy.take_fault() {
-                return Err(e);
-            }
-            core.reset_stats();
-            hierarchy.reset_stats();
-        }
-        loop {
-            target += FAULT_CHECK_WINDOW;
-            let done = core.run_until_retired(&mut hierarchy, target);
-            if let Some(e) = hierarchy.take_fault() {
-                return Err(e);
-            }
-            if done {
-                break;
-            }
-        }
-        let cs = core.stats();
-        Ok(RunStats {
-            cycles: cs.cycles,
-            retired: cs.retired,
-            core: cs,
-            mem: *hierarchy.stats(),
-            content: hierarchy.content_stats(),
-            stride: hierarchy.stride_stats(),
-            markov: hierarchy.markov_stats(),
-            stream: hierarchy.stream_stats(),
-            adaptive: hierarchy.adaptive_state(),
-            bus: hierarchy.bus_stats(),
-        })
+        let mut session = self.session(workload, None);
+        while !session.step()? {}
+        Ok(session.finish().0)
     }
 
     /// As [`Simulator::try_run`], with observability: installs a tracer
@@ -299,70 +267,77 @@ impl Simulator {
         workload: &Workload,
         obs: &ObsConfig,
     ) -> Result<(RunStats, Observation), CdpError> {
+        let mut session = self.session(workload, Some(obs));
+        while !session.step()? {}
+        Ok(session.finish())
+    }
+
+    /// The fingerprint a snapshot of this simulator over `workload` (with
+    /// observability `obs`) carries in its header. It folds in everything
+    /// that determines simulated behavior — full system configuration,
+    /// pollution and fault attachments, observability settings, and the
+    /// workload's content fingerprint — so a snapshot can only be resumed
+    /// against a bit-identical setup.
+    pub fn snapshot_fingerprint(&self, workload: &Workload, obs: Option<&ObsConfig>) -> u64 {
+        let mut h = cdp_snap::Fnv1a::new();
+        h.write(format!("{:?}", self.cfg).as_bytes());
+        h.write(format!("{:?}", self.pollution).as_bytes());
+        h.write(format!("{:?}", self.walk_fault).as_bytes());
+        h.write(format!("{:?}", obs).as_bytes());
+        h.write_u64(workload.fingerprint());
+        h.finish()
+    }
+
+    /// Starts a pausable run: the same windowed driving loop as
+    /// [`Simulator::try_run`] / [`Simulator::try_run_observed`] (which are
+    /// implemented on top of it), but surfaced as an object that can be
+    /// stepped window by window and snapshotted between steps.
+    pub fn session<'w>(&self, workload: &'w Workload, obs: Option<&ObsConfig>) -> SimSession<'w> {
         let mut hierarchy = self.build_hierarchy(workload);
-        if let Some(tc) = &obs.trace {
+        if let Some(tc) = obs.and_then(|o| o.trace.as_ref()) {
             hierarchy.set_tracer(TraceRing::new(tc.clone()));
         }
-        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
-        let mut target = 0u64;
-        if self.cfg.warmup_uops > 0 {
-            target = self.cfg.warmup_uops;
-            core.run_until_retired(&mut hierarchy, target);
-            if let Some(e) = hierarchy.take_fault() {
-                return Err(e);
-            }
-            core.reset_stats();
-            hierarchy.reset_stats();
-            if let Some(t) = hierarchy.tracer_mut() {
-                t.clear();
-            }
+        let metrics_window = obs.and_then(|o| o.metrics_window);
+        let window = match obs {
+            None => FAULT_CHECK_WINDOW,
+            Some(_) => metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1),
+        };
+        SimSession {
+            core: Core::new(self.cfg.core.clone(), &workload.program),
+            hierarchy,
+            warmup_uops: self.cfg.warmup_uops,
+            window,
+            record_windows: metrics_window.is_some(),
+            fingerprint: self.snapshot_fingerprint(workload, obs),
+            target: 0,
+            warmed: false,
+            done: false,
+            windows: Vec::new(),
+            prev_retired: 0,
+            prev_cycles: 0,
+            prev_mem: MemStats::default(),
         }
-        let window = obs.metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1);
-        let mut windows = Vec::new();
-        let mut prev_retired = 0u64;
-        let mut prev_cycles = 0u64;
-        let mut prev_mem = MemStats::default();
-        loop {
-            target += window;
-            let done = core.run_until_retired(&mut hierarchy, target);
-            if let Some(e) = hierarchy.take_fault() {
-                return Err(e);
-            }
-            if obs.metrics_window.is_some() {
-                let cs = core.stats();
-                let mem = *hierarchy.stats();
-                windows.push(MetricsWindow::delta(
-                    windows.len(),
-                    cs.retired - prev_retired,
-                    cs.cycles - prev_cycles,
-                    &mem,
-                    &prev_mem,
-                ));
-                prev_retired = cs.retired;
-                prev_cycles = cs.cycles;
-                prev_mem = mem;
-            }
-            if done {
-                break;
-            }
-        }
-        let cs = core.stats();
-        let observation = Observation::new(windows, hierarchy.take_tracer());
-        Ok((
-            RunStats {
-                cycles: cs.cycles,
-                retired: cs.retired,
-                core: cs,
-                mem: *hierarchy.stats(),
-                content: hierarchy.content_stats(),
-                stride: hierarchy.stride_stats(),
-                markov: hierarchy.markov_stats(),
-                stream: hierarchy.stream_stats(),
-                adaptive: hierarchy.adaptive_state(),
-                bus: hierarchy.bus_stats(),
-            },
-            observation,
-        ))
+    }
+
+    /// Rebuilds a [`SimSession`] from a [`SimSession::snapshot`] taken
+    /// with the same configuration over the same workload, continuing the
+    /// run bit-identically: every subsequent window, statistic, trace
+    /// event, and the final [`RunStats`] match the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`CdpError::Snapshot`] when `bytes` is truncated, corrupted,
+    /// version-incompatible, or was taken under a different
+    /// configuration/workload (fingerprint mismatch).
+    pub fn resume<'w>(
+        &self,
+        workload: &'w Workload,
+        obs: Option<&ObsConfig>,
+        bytes: &[u8],
+    ) -> Result<SimSession<'w>, CdpError> {
+        let mut session = self.session(workload, obs);
+        session.restore(bytes).map_err(CdpError::Snapshot)?;
+        Ok(session)
     }
 
     /// Runs `workload` in windows of `window_uops` retired uops, sampling
@@ -434,6 +409,206 @@ impl Simulator {
             }
             target += window_uops;
         }
+    }
+}
+
+/// Snapshot section holding the driver-loop scalars.
+const SEC_RUN: u32 = 1;
+/// Snapshot section holding the out-of-order core.
+const SEC_CORE: u32 = 2;
+/// Snapshot section holding the memory hierarchy.
+const SEC_HIER: u32 = 3;
+/// Snapshot section holding the metrics-window accumulator (present only
+/// when the session records windows).
+const SEC_OBS: u32 = 4;
+
+/// A pausable simulation: core + hierarchy plus the windowed driver-loop
+/// state, steppable one window at a time.
+///
+/// Between [`SimSession::step`] calls the simulation sits at a window
+/// boundary — the only points where the transient buffers are empty and
+/// the fault latch has been checked — so [`SimSession::snapshot`] is
+/// valid whenever the borrow checker lets you call it. The contract,
+/// enforced by `tests/snapshot_roundtrip.rs`: `resume(snapshot(S))`
+/// continues bit-identically — same windows, same trace events, same
+/// final [`RunStats`] — as the session that was never interrupted.
+#[derive(Debug)]
+pub struct SimSession<'w> {
+    core: Core<'w>,
+    hierarchy: Hierarchy<'w>,
+    warmup_uops: u64,
+    window: u64,
+    record_windows: bool,
+    fingerprint: u64,
+    target: u64,
+    warmed: bool,
+    done: bool,
+    windows: Vec<MetricsWindow>,
+    prev_retired: u64,
+    prev_cycles: u64,
+    prev_mem: MemStats,
+}
+
+impl<'w> SimSession<'w> {
+    /// Advances the run by one window (the first call runs the warm-up
+    /// phase instead, when one is configured). Returns `true` once the
+    /// program has fully retired.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CdpError`] latched by the memory hierarchy in this
+    /// window.
+    pub fn step(&mut self) -> Result<bool, CdpError> {
+        if self.done {
+            return Ok(true);
+        }
+        if !self.warmed {
+            self.warmed = true;
+            if self.warmup_uops > 0 {
+                self.target = self.warmup_uops;
+                self.core.run_until_retired(&mut self.hierarchy, self.target);
+                if let Some(e) = self.hierarchy.take_fault() {
+                    return Err(e);
+                }
+                self.core.reset_stats();
+                self.hierarchy.reset_stats();
+                if let Some(t) = self.hierarchy.tracer_mut() {
+                    t.clear();
+                }
+                return Ok(false);
+            }
+        }
+        self.target += self.window;
+        let done = self.core.run_until_retired(&mut self.hierarchy, self.target);
+        if let Some(e) = self.hierarchy.take_fault() {
+            return Err(e);
+        }
+        if self.record_windows {
+            let cs = self.core.stats();
+            let mem = *self.hierarchy.stats();
+            self.windows.push(MetricsWindow::delta(
+                self.windows.len(),
+                cs.retired - self.prev_retired,
+                cs.cycles - self.prev_cycles,
+                &mem,
+                &self.prev_mem,
+            ));
+            self.prev_retired = cs.retired;
+            self.prev_cycles = cs.cycles;
+            self.prev_mem = mem;
+        }
+        self.done = done;
+        Ok(done)
+    }
+
+    /// Whether the program has fully retired.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Cycles simulated so far (post-warm-up measurement clock).
+    pub fn cycles(&self) -> u64 {
+        self.core.stats().cycles
+    }
+
+    /// Uops retired so far (post-warm-up).
+    pub fn retired(&self) -> u64 {
+        self.core.stats().retired
+    }
+
+    /// Serializes the complete session — core, hierarchy, driver-loop
+    /// scalars, and the metrics accumulator — into a self-describing
+    /// snapshot (magic, version, fingerprint, per-section checksums).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = cdp_snap::SnapWriter::new(self.fingerprint);
+        w.section(SEC_RUN, |e| {
+            e.u64(self.target);
+            e.bool(self.warmed);
+            e.bool(self.done);
+        });
+        w.section(SEC_CORE, |e| self.core.save_state(e));
+        w.section(SEC_HIER, |e| self.hierarchy.save_state(e));
+        if self.record_windows {
+            w.section(SEC_OBS, |e| {
+                e.u64(self.prev_retired);
+                e.u64(self.prev_cycles);
+                self.prev_mem.save_state(e);
+                e.seq_len(self.windows.len());
+                for win in &self.windows {
+                    win.save_state(e);
+                }
+            });
+        }
+        w.finish()
+    }
+
+    /// Restores a snapshot into this freshly constructed session.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), cdp_types::SnapshotError> {
+        use cdp_types::SnapshotError;
+        let reader = cdp_snap::SnapReader::parse(bytes, Some(self.fingerprint))?;
+        let mut dec = reader.section(SEC_RUN)?;
+        self.target = dec.u64("run target")?;
+        self.warmed = dec.bool("run warmed")?;
+        self.done = dec.bool("run done")?;
+        if !dec.is_exhausted() {
+            return Err(SnapshotError::Corrupt {
+                context: "run section trailing bytes",
+            });
+        }
+        let mut dec = reader.section(SEC_CORE)?;
+        self.core.restore_state(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(SnapshotError::Corrupt {
+                context: "core section trailing bytes",
+            });
+        }
+        let mut dec = reader.section(SEC_HIER)?;
+        self.hierarchy.restore_state(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(SnapshotError::Corrupt {
+                context: "hierarchy section trailing bytes",
+            });
+        }
+        if self.record_windows {
+            let mut dec = reader.section(SEC_OBS)?;
+            self.prev_retired = dec.u64("obs prev_retired")?;
+            self.prev_cycles = dec.u64("obs prev_cycles")?;
+            self.prev_mem.restore_state(&mut dec)?;
+            let n = dec.seq_len(16 * 8, "obs window count")?;
+            self.windows.clear();
+            for _ in 0..n {
+                self.windows.push(MetricsWindow::restore_state(&mut dec)?);
+            }
+            if !dec.is_exhausted() {
+                return Err(SnapshotError::Corrupt {
+                    context: "obs section trailing bytes",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the session, producing the final [`RunStats`] and the
+    /// [`Observation`] accumulated so far (empty for unobserved runs).
+    pub fn finish(mut self) -> (RunStats, Observation) {
+        let cs = self.core.stats();
+        let stats = RunStats {
+            cycles: cs.cycles,
+            retired: cs.retired,
+            core: cs,
+            mem: *self.hierarchy.stats(),
+            content: self.hierarchy.content_stats(),
+            stride: self.hierarchy.stride_stats(),
+            markov: self.hierarchy.markov_stats(),
+            stream: self.hierarchy.stream_stats(),
+            adaptive: self.hierarchy.adaptive_state(),
+            bus: self.hierarchy.bus_stats(),
+        };
+        let observation = Observation::new(
+            std::mem::take(&mut self.windows),
+            self.hierarchy.take_tracer(),
+        );
+        (stats, observation)
     }
 }
 
@@ -545,5 +720,139 @@ mod tests {
         assert!(RunLength::Smoke.scale().target_uops < RunLength::Quick.scale().target_uops);
         assert!(RunLength::Quick.scale().target_uops < RunLength::Full.scale().target_uops);
         assert!(RunLength::Full.warmup_uops() > 0);
+    }
+
+    fn observed_cfg() -> ObsConfig {
+        ObsConfig {
+            trace: Some(cdp_types::TraceConfig::default()),
+            metrics_window: Some(4_000),
+        }
+    }
+
+    #[test]
+    fn session_loop_matches_run() {
+        let w = Benchmark::Slsb.build(Scale::smoke(), 11);
+        let sim = Simulator::new(SystemConfig::with_content());
+        let direct = sim.run(&w);
+        let mut session = sim.session(&w, None);
+        while !session.step().unwrap() {}
+        let (stepped, _) = session.finish();
+        assert_eq!(format!("{direct:?}"), format!("{stepped:?}"));
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_plain() {
+        let w = Benchmark::Tpcc1.build(Scale::smoke(), 17);
+        let mut cfg = SystemConfig::with_content();
+        cfg.warmup_uops = 5_000;
+        let sim = Simulator::new(cfg.clone());
+        let reference = sim.try_run(&w).unwrap();
+
+        // Step past warm-up, snapshot, and throw the session away — as
+        // if the process had been killed. (A plain session steps in
+        // fault-check windows larger than a smoke run, so the warm-up
+        // boundary is its one mid-run snapshot point.)
+        let mut session = sim.session(&w, None);
+        assert!(!session.step().unwrap(), "smoke run ended during warm-up");
+        let bytes = session.snapshot();
+        drop(session);
+
+        // A brand-new simulator resumes and must finish identically.
+        let sim2 = Simulator::new(cfg);
+        let mut resumed = sim2.resume(&w, None, &bytes).unwrap();
+        while !resumed.step().unwrap() {}
+        let (stats, _) = resumed.finish();
+        assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_observed() {
+        let w = Benchmark::SpecjbbVsnet.build(Scale::smoke(), 23);
+        let cfg = SystemConfig::with_content();
+        let obs = observed_cfg();
+        let sim = Simulator::new(cfg.clone());
+        let (ref_stats, ref_obs) = sim.try_run_observed(&w, &obs).unwrap();
+
+        let mut session = sim.session(&w, Some(&obs));
+        for _ in 0..2 {
+            assert!(!session.step().unwrap(), "smoke run ended before step 2");
+        }
+        let bytes = session.snapshot();
+        drop(session);
+
+        let mut resumed = Simulator::new(cfg).resume(&w, Some(&obs), &bytes).unwrap();
+        while !resumed.step().unwrap() {}
+        let (stats, observation) = resumed.finish();
+        assert_eq!(format!("{ref_stats:?}"), format!("{stats:?}"));
+        assert_eq!(ref_obs.windows, observation.windows);
+        assert_eq!(ref_obs.events, observation.events);
+        assert_eq!(ref_obs.trace_recorded, observation.trace_recorded);
+        assert_eq!(ref_obs.trace_overwritten, observation.trace_overwritten);
+        assert_eq!(ref_obs.trace_sampled_out, observation.trace_sampled_out);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_workload_or_config() {
+        let w = Benchmark::Slsb.build(Scale::smoke(), 31);
+        let sim = Simulator::new(SystemConfig::with_content());
+        let mut session = sim.session(&w, None);
+        session.step().unwrap();
+        let bytes = session.snapshot();
+
+        // Different workload seed → different fingerprint.
+        let other = Benchmark::Slsb.build(Scale::smoke(), 32);
+        match sim.resume(&other, None, &bytes) {
+            Err(CdpError::Snapshot(cdp_types::SnapshotError::FingerprintMismatch {
+                ..
+            })) => {}
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+
+        // Different system config → different fingerprint.
+        let sim2 = Simulator::new(SystemConfig::asplos2002());
+        assert!(matches!(
+            sim2.resume(&w, None, &bytes),
+            Err(CdpError::Snapshot(
+                cdp_types::SnapshotError::FingerprintMismatch { .. }
+            ))
+        ));
+
+        // Observability config is part of the fingerprint too.
+        let obs = observed_cfg();
+        assert!(matches!(
+            sim.resume(&w, Some(&obs), &bytes),
+            Err(CdpError::Snapshot(
+                cdp_types::SnapshotError::FingerprintMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_corruption_without_panicking() {
+        let w = Benchmark::Tpcc1.build(Scale::smoke(), 41);
+        let sim = Simulator::new(SystemConfig::with_content());
+        let mut session = sim.session(&w, None);
+        session.step().unwrap();
+        let bytes = session.snapshot();
+
+        // Every truncation prefix must yield a typed error, never a panic.
+        for len in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    sim.resume(&w, None, &bytes[..len]),
+                    Err(CdpError::Snapshot(_))
+                ),
+                "truncation to {len} bytes must fail with a typed error"
+            );
+        }
+
+        // A flipped payload byte breaks a section checksum.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        assert!(matches!(
+            sim.resume(&w, None, &flipped),
+            Err(CdpError::Snapshot(_))
+        ));
     }
 }

@@ -6,7 +6,6 @@
 use cdp_core::MemoryModel;
 use cdp_mem::AddressSpace;
 use cdp_sim::hierarchy::Hierarchy;
-use cdp_types::rng::Rng;
 use cdp_types::{AccessKind, ContentConfig, SystemConfig, VirtAddr};
 use cdp_workloads::structures::build_list;
 use cdp_workloads::Heap;
@@ -14,7 +13,7 @@ use cdp_workloads::Heap;
 fn pointer_space(nodes: usize) -> (AddressSpace, Vec<VirtAddr>) {
     let mut space = AddressSpace::new();
     let mut heap = Heap::new(Heap::DEFAULT_BASE, 1 << 24);
-    let mut rng = Rng::seed_from_u64(99);
+    let mut rng = cdp_testutil::seeded_rng(99);
     let list = build_list(&mut space, &mut heap, &mut rng, nodes, 48, true);
     (space, list.nodes)
 }
@@ -24,7 +23,7 @@ fn pointer_space(nodes: usize) -> (AddressSpace, Vec<VirtAddr>) {
 #[test]
 fn completion_respects_minimum_latency() {
     let (space, nodes) = pointer_space(64);
-    let mut rng = Rng::seed_from_u64(0x41e4_0001);
+    let mut rng = cdp_testutil::seeded_rng(0x41e4_0001);
     for case in 0..24 {
         let with_content = case % 2 == 0;
         let cfg = if with_content {
@@ -52,7 +51,7 @@ fn completion_respects_minimum_latency() {
 #[test]
 fn accounting_partitions() {
     let (space, nodes) = pointer_space(48);
-    let mut rng = Rng::seed_from_u64(0x41e4_0002);
+    let mut rng = cdp_testutil::seeded_rng(0x41e4_0002);
     for _ in 0..24 {
         let mut h = Hierarchy::new(SystemConfig::with_content(), &space);
         let mut now = 0u64;
@@ -79,7 +78,7 @@ fn accounting_partitions() {
 #[test]
 fn determinism_across_configs() {
     let (space, nodes) = pointer_space(32);
-    let mut rng = Rng::seed_from_u64(0x41e4_0003);
+    let mut rng = cdp_testutil::seeded_rng(0x41e4_0003);
     for _ in 0..24 {
         let n = rng.gen_range_usize(1..60);
         let picks: Vec<(usize, u64)> = (0..n)
@@ -112,7 +111,7 @@ fn determinism_across_configs() {
 #[test]
 fn depth_threshold_enforced_at_source() {
     let (space, nodes) = pointer_space(32);
-    let mut rng = Rng::seed_from_u64(0x41e4_0004);
+    let mut rng = cdp_testutil::seeded_rng(0x41e4_0004);
     for _ in 0..24 {
         let depth = rng.gen_range_u8(1..8);
         let mut cfg = SystemConfig::asplos2002();

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cdp_core::{MemoryModel, UopKind};
 use cdp_sim::Hierarchy;
 use cdp_types::{AccessKind, SystemConfig};
-use cdp_workloads::suite::{Benchmark, Scale};
+use cdp_workloads::suite::Benchmark;
 
 /// System allocator wrapper that counts every allocation.
 struct CountingAlloc;
@@ -58,7 +58,7 @@ fn fill_scan_prefetch_roundtrip_never_allocates() {
     // A pointer-chasing workload (the content prefetcher's bread and
     // butter) over a deliberately small L2, so the measured pass keeps
     // missing, filling, evicting, and chaining prefetches.
-    let w = Benchmark::Slsb.build(Scale::smoke(), 0xa110_c001);
+    let w = cdp_testutil::tiny_workload(Benchmark::Slsb, 0xa110_c001);
     let mut cfg = SystemConfig::with_content();
     cfg.ul2.size_bytes = 32 * 1024;
     let mut h = Hierarchy::new(cfg, &w.space);

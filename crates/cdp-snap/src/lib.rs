@@ -1,0 +1,552 @@
+//! Checkpoint snapshot codec (DESIGN.md §12).
+//!
+//! A snapshot is a single byte blob:
+//!
+//! ```text
+//! magic     8 bytes   b"CDPSNAP\0"
+//! version   u32 LE    format version (this build writes VERSION)
+//! run fp    u64 LE    FNV-1a fingerprint of the run being checkpointed
+//!                     (config + workload identity + fault plan)
+//! count     u32 LE    number of sections (so truncation at a section
+//!                     boundary is still detected)
+//! sections  repeated  [tag u32][len u64][payload len bytes][checksum u64]
+//!                     checksum = fnv1a(tag ∥ len ∥ payload), so damage to
+//!                     the framing is caught as surely as damage to the data
+//! ```
+//!
+//! Everything inside a payload is written with [`Enc`] (little-endian,
+//! fixed-width, length-prefixed collections) and read back with [`Dec`],
+//! whose every accessor returns a typed [`SnapshotError`] instead of
+//! panicking. The resume contract rests on this codec being *defensive*:
+//! a truncated file, a flipped byte, a fingerprint from a different run,
+//! or a future version number must all be rejected before any simulator
+//! state is touched.
+
+#![warn(missing_docs)]
+
+use cdp_types::SnapshotError;
+
+/// Magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"CDPSNAP\0";
+
+/// Format version this build writes (and the highest it reads).
+pub const VERSION: u32 = 1;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a (same function the section
+/// checksums use).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Streaming 64-bit FNV-1a hasher, for fingerprinting state that is
+/// inconvenient to materialize as one byte slice (frame tables, traces).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// Little-endian binary encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128` as two little-endian `u64` halves (low, high).
+    pub fn u128(&mut self, v: u128) {
+        self.u64(v as u64);
+        self.u64((v >> 64) as u64);
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` by bit pattern (round-trips exactly).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a collection length prefix (`u64`); the caller then
+    /// appends that many elements.
+    pub fn seq_len(&mut self, len: usize) {
+        self.usize(len);
+    }
+}
+
+/// Little-endian binary decoder over a section payload. Every accessor
+/// is bounds-checked and returns [`SnapshotError::Truncated`] with the
+/// caller-supplied context when the bytes run out.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `data`.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed (restores check this to
+    /// catch trailing garbage).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a bool byte, rejecting anything but 0 or 1.
+    pub fn bool(&mut self, context: &'static str) -> Result<bool, SnapshotError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt { context }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, context: &'static str) -> Result<i64, SnapshotError> {
+        let b = self.take(8, context)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `u128` written by [`Enc::u128`].
+    pub fn u128(&mut self, context: &'static str) -> Result<u128, SnapshotError> {
+        let lo = self.u64(context)?;
+        let hi = self.u64(context)?;
+        Ok(u128::from(lo) | (u128::from(hi) << 64))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`, rejecting overflow.
+    pub fn usize(&mut self, context: &'static str) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64(context)?).map_err(|_| SnapshotError::Corrupt { context })
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let len = self.usize(context)?;
+        self.take(len, context)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<&'a str, SnapshotError> {
+        std::str::from_utf8(self.bytes(context)?).map_err(|_| SnapshotError::Corrupt { context })
+    }
+
+    /// Reads a collection length prefix, rejecting lengths that could
+    /// not possibly fit in the remaining bytes (`min_elem_bytes` is the
+    /// smallest possible encoded element). This keeps a corrupted length
+    /// from turning into a huge allocation.
+    pub fn seq_len(
+        &mut self,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, SnapshotError> {
+        let len = self.usize(context)?;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(SnapshotError::Corrupt { context });
+        }
+        Ok(len)
+    }
+}
+
+/// Writes a snapshot: header first, then checksummed sections.
+#[derive(Debug)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+/// Byte offset of the section-count field within the header.
+const COUNT_OFFSET: usize = 8 + 4 + 8;
+
+impl SnapWriter {
+    /// Starts a snapshot for the run identified by `fingerprint`.
+    #[must_use]
+    pub fn new(fingerprint: u64) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&fingerprint.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // section count, patched in finish()
+        SnapWriter { buf, count: 0 }
+    }
+
+    /// Appends one section: the closure fills the payload, the writer
+    /// adds the tag, length prefix, and FNV-1a checksum.
+    pub fn section(&mut self, tag: u32, fill: impl FnOnce(&mut Enc)) {
+        let mut enc = Enc::new();
+        fill(&mut enc);
+        let payload = enc.into_bytes();
+        self.buf.extend_from_slice(&tag.to_le_bytes());
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut sum = Fnv1a::new();
+        sum.write_u32(tag);
+        sum.write_u64(payload.len() as u64);
+        sum.write(&payload);
+        self.buf.extend_from_slice(&payload);
+        self.buf.extend_from_slice(&sum.finish().to_le_bytes());
+        self.count += 1;
+    }
+
+    /// The finished snapshot bytes.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[COUNT_OFFSET..COUNT_OFFSET + 4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Parses and validates a snapshot: header checks up front, checksum
+/// checks per section, typed errors throughout.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    fingerprint: u64,
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Parses `data`, verifying magic, version, every section's framing
+    /// and checksum, and — when `expected_fingerprint` is given — the
+    /// header fingerprint.
+    pub fn parse(
+        data: &'a [u8],
+        expected_fingerprint: Option<u64>,
+    ) -> Result<SnapReader<'a>, SnapshotError> {
+        let mut d = Dec::new(data);
+        let magic = d.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = d.u32("version")?;
+        if version > VERSION || version == 0 {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let fingerprint = d.u64("fingerprint")?;
+        if let Some(expected) = expected_fingerprint {
+            if fingerprint != expected {
+                return Err(SnapshotError::FingerprintMismatch {
+                    expected,
+                    found: fingerprint,
+                });
+            }
+        }
+        let count = d.u32("section count")?;
+        let mut sections = Vec::new();
+        for _ in 0..count {
+            let tag = d.u32("section tag")?;
+            let len = d.usize("section length")?;
+            let payload = d.take(len, "section payload")?;
+            let stored = d.u64("section checksum")?;
+            let mut sum = Fnv1a::new();
+            sum.write_u32(tag);
+            sum.write_u64(len as u64);
+            sum.write(payload);
+            if sum.finish() != stored {
+                return Err(SnapshotError::ChecksumMismatch { tag });
+            }
+            sections.push((tag, payload));
+        }
+        if !d.is_exhausted() {
+            return Err(SnapshotError::Corrupt {
+                context: "trailing bytes after final section",
+            });
+        }
+        Ok(SnapReader {
+            fingerprint,
+            sections,
+        })
+    }
+
+    /// The run fingerprint stored in the header.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A decoder over the payload of section `tag`, or
+    /// [`SnapshotError::MissingSection`].
+    pub fn section(&self, tag: u32) -> Result<Dec<'a>, SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, payload)| Dec::new(payload))
+            .ok_or(SnapshotError::MissingSection { tag })
+    }
+
+    /// True when section `tag` is present.
+    #[must_use]
+    pub fn has_section(&self, tag: u32) -> bool {
+        self.sections.iter().any(|(t, _)| *t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = SnapWriter::new(0xfeed_f00d);
+        w.section(1, |e| {
+            e.u64(42);
+            e.str("hello");
+            e.i64(-7);
+            e.u128(u128::MAX - 1);
+            e.bool(true);
+        });
+        w.section(2, |e| e.bytes(&[1, 2, 3]));
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = sample();
+        let r = SnapReader::parse(&bytes, Some(0xfeed_f00d)).unwrap();
+        assert_eq!(r.fingerprint(), 0xfeed_f00d);
+        let mut d = r.section(1).unwrap();
+        assert_eq!(d.u64("a").unwrap(), 42);
+        assert_eq!(d.str("b").unwrap(), "hello");
+        assert_eq!(d.i64("c").unwrap(), -7);
+        assert_eq!(d.u128("d").unwrap(), u128::MAX - 1);
+        assert!(d.bool("e").unwrap());
+        assert!(d.is_exhausted());
+        let mut d2 = r.section(2).unwrap();
+        assert_eq!(d2.bytes("p").unwrap(), &[1, 2, 3]);
+        assert!(!r.has_section(3));
+        assert!(matches!(
+            r.section(3),
+            Err(SnapshotError::MissingSection { tag: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xff;
+        assert_eq!(
+            SnapReader::parse(&bytes, None).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        assert_eq!(
+            SnapReader::parse(&bytes, None).unwrap_err(),
+            SnapshotError::UnsupportedVersion {
+                found: VERSION + 1,
+                supported: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected() {
+        let bytes = sample();
+        assert_eq!(
+            SnapReader::parse(&bytes, Some(1)).unwrap_err(),
+            SnapshotError::FingerprintMismatch {
+                expected: 1,
+                found: 0xfeed_f00d
+            }
+        );
+        // Without an expectation the header fingerprint is just reported.
+        assert!(SnapReader::parse(&bytes, None).is_ok());
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = sample();
+        for n in 0..bytes.len() {
+            let err = SnapReader::parse(&bytes[..n], Some(0xfeed_f00d))
+                .expect_err("every prefix must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::Corrupt { .. }
+                ),
+                "prefix {n}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_payload_byte_fails_a_checksum() {
+        let bytes = sample();
+        // Flip each byte past the header; the damage must surface as a
+        // checksum, framing, or header error — never a clean parse that
+        // could silently feed wrong state to a resume.
+        let header = MAGIC.len() + 4 + 8;
+        for i in header..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x01;
+            assert!(
+                SnapReader::parse(&b, Some(0xfeed_f00d)).is_err(),
+                "flipping byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_len_rejects_absurd_lengths() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(
+            d.seq_len(8, "table"),
+            Err(SnapshotError::Corrupt { context: "table" })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a 64-bit of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"ab");
+        assert_eq!(h.finish(), fnv1a(b"ab"));
+    }
+}

@@ -49,6 +49,95 @@ pub enum CdpError {
         /// The unmapped address it targets.
         addr: VirtAddr,
     },
+    /// A checkpoint snapshot could not be decoded or does not belong to
+    /// this run (see [`SnapshotError`]). Resume refuses rather than
+    /// continuing from a silently-wrong state.
+    Snapshot(SnapshotError),
+}
+
+/// Everything that can go wrong decoding a checkpoint snapshot.
+///
+/// The snapshot codec (crate `cdp-snap`) is defensive by contract: a
+/// truncated file, a flipped byte, a snapshot from a different
+/// configuration, or a snapshot from a future format version must all
+/// surface as one of these typed values — never a panic, and never a
+/// resume that silently diverges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The snapshot was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u32,
+        /// Highest version this build can decode.
+        supported: u32,
+    },
+    /// The snapshot's run fingerprint does not match the run being
+    /// resumed (different config, workload, or fault plan).
+    FingerprintMismatch {
+        /// Fingerprint the resuming run expects.
+        expected: u64,
+        /// Fingerprint stored in the snapshot header.
+        found: u64,
+    },
+    /// The byte stream ended before the decoder got what the length
+    /// prefixes promised.
+    Truncated {
+        /// What the decoder was reading when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not hash to its stored checksum.
+    ChecksumMismatch {
+        /// Tag of the damaged section.
+        tag: u32,
+    },
+    /// A required section is absent from the snapshot.
+    MissingSection {
+        /// Tag of the absent section.
+        tag: u32,
+    },
+    /// A decoded value is structurally impossible for the run being
+    /// resumed (wrong table size, invalid enum tag, out-of-range index).
+    Corrupt {
+        /// What the decoder was validating when it rejected the value.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a cdp snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot version {found} unsupported (this build reads <= {supported})")
+            }
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot belongs to a different run: fingerprint {found:#018x}, expected {expected:#018x}"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::ChecksumMismatch { tag } => {
+                write!(f, "snapshot section {tag} failed its checksum")
+            }
+            SnapshotError::MissingSection { tag } => {
+                write!(f, "snapshot is missing required section {tag}")
+            }
+            SnapshotError::Corrupt { context } => {
+                write!(f, "snapshot is corrupt: invalid {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapshotError> for CdpError {
+    fn from(e: SnapshotError) -> Self {
+        CdpError::Snapshot(e)
+    }
 }
 
 impl fmt::Display for CdpError {
@@ -68,6 +157,7 @@ impl fmt::Display for CdpError {
             } => {
                 write!(f, "corrupt workload {benchmark}: uop {uop} targets unmapped {addr}")
             }
+            CdpError::Snapshot(e) => write!(f, "checkpoint snapshot rejected: {e}"),
         }
     }
 }
@@ -76,6 +166,7 @@ impl std::error::Error for CdpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CdpError::Config(e) => Some(e),
+            CdpError::Snapshot(e) => Some(e),
             _ => None,
         }
     }

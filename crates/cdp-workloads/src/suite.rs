@@ -15,7 +15,7 @@
 //!
 //! Workloads are fully deterministic given `(benchmark, scale, seed)`.
 
-use cdp_core::Program;
+use cdp_core::{Program, UopKind};
 use cdp_mem::AddressSpace;
 use cdp_types::rng::Rng;
 
@@ -147,6 +147,42 @@ impl Workload {
                 uop,
                 addr,
             })
+    }
+
+    /// A content fingerprint over the trace and the memory image.
+    ///
+    /// Workloads are rebuilt deterministically from `(Benchmark, Scale,
+    /// seed)` when a checkpoint is resumed; this fingerprint is recorded
+    /// in the snapshot header so a resume against a workload that was
+    /// built differently (changed generator, changed scale) is rejected
+    /// with a typed error instead of silently diverging.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = cdp_snap::Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.program.uops.len() as u64);
+        for u in &self.program.uops {
+            h.write_u32(u.pc);
+            let (tag, payload) = match u.kind {
+                UopKind::Alu { latency } => (0u8, u32::from(latency)),
+                UopKind::Fp { latency } => (1, u32::from(latency)),
+                UopKind::Load { vaddr } => (2, vaddr.0),
+                UopKind::Store { vaddr } => (3, vaddr.0),
+                UopKind::Branch { taken } => (4, u32::from(taken)),
+            };
+            h.write(&[
+                tag,
+                u.dst.map_or(0xff, |r| r),
+                u.srcs[0].map_or(0xff, |r| r),
+                u.srcs[1].map_or(0xff, |r| r),
+            ]);
+            h.write_u32(payload);
+        }
+        let (heap, table, rng) = self.space.cursors();
+        h.write_u32(heap);
+        h.write_u32(table);
+        h.write_u64(rng);
+        h.write_u64(self.space.phys().state_fingerprint());
+        h.finish()
     }
 
     /// A one-paragraph characterization: uop mix percentages and the

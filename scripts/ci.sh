@@ -46,6 +46,38 @@ cmp /tmp/cdp-rc-on.out /tmp/cdp-rc-off.out || {
     exit 1
 }
 
+echo "== checkpoint smoke (kill mid-flight, resume, byte-identity) =="
+# Snapshot/resume (DESIGN.md §12): a sweep killed mid-flight and resumed
+# from its checkpoints must produce byte-identical stdout to an
+# uninterrupted run, at any --jobs count. A tight --checkpoint-every
+# forces many snapshot writes; SIGKILL guarantees no graceful teardown.
+rm -rf /tmp/cdp-ckpt-ci
+mkdir -p /tmp/cdp-ckpt-ci
+./target/release/experiments tlb table2 --smoke --jobs 2 > /tmp/cdp-ckpt-ref.out
+for jobs in 1 4; do
+    rm -f /tmp/cdp-ckpt-ci/*.snap /tmp/cdp-ckpt-ci/*.part
+    ./target/release/experiments tlb table2 --smoke --jobs "$jobs" \
+        --checkpoint-dir /tmp/cdp-ckpt-ci --checkpoint-every 50000 \
+        > /tmp/cdp-ckpt-killed.out 2> /dev/null &
+    pid=$!
+    sleep 2
+    kill -9 "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    ./target/release/experiments tlb table2 --smoke --jobs "$jobs" \
+        --checkpoint-dir /tmp/cdp-ckpt-ci --checkpoint-every 50000 --resume \
+        > /tmp/cdp-ckpt-resumed.out
+    cmp /tmp/cdp-ckpt-ref.out /tmp/cdp-ckpt-resumed.out || {
+        echo "checkpoint smoke: resumed stdout differs at --jobs $jobs" >&2
+        exit 1
+    }
+done
+# Completed cells delete their checkpoints: the dir must be empty.
+leftover=$(find /tmp/cdp-ckpt-ci -name '*.snap' | wc -l)
+if [ "$leftover" -ne 0 ]; then
+    echo "checkpoint smoke: $leftover checkpoint(s) left after completion" >&2
+    exit 1
+fi
+
 echo "== fault-injection smoke (expect partial-failure exit 3) =="
 # Unmap two trace pages of slsb: its cells must gap out, every other
 # cell must complete, and the run must exit with the documented

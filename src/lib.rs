@@ -18,6 +18,8 @@
 //! * [`sim`] — the full-system simulator, statistics, and speedup harness.
 //! * [`obs`] — structured event tracing, JSON/JSONL serialization, and run
 //!   manifests for machine-readable experiment artifacts.
+//! * [`snap`] — the versioned, checksummed snapshot codec behind
+//!   checkpoint/resume (DESIGN.md §12).
 //! * [`experiments`] — one entry point per paper table/figure.
 //!
 //! # Quickstart
@@ -44,5 +46,6 @@ pub use cdp_mem as mem;
 pub use cdp_obs as obs;
 pub use cdp_prefetch as prefetch;
 pub use cdp_sim as sim;
+pub use cdp_snap as snap;
 pub use cdp_types as types;
 pub use cdp_workloads as workloads;

@@ -2,13 +2,10 @@
 //! simulator, checking accounting invariants that no single crate can see
 //! on its own.
 
-use cdp::sim::{speedup, RunLength, Simulator};
+use cdp::sim::{speedup, Simulator};
 use cdp::types::{ContentConfig, SystemConfig};
-use cdp::workloads::suite::{Benchmark, Scale};
-
-fn smoke() -> Scale {
-    RunLength::Smoke.scale()
-}
+use cdp::workloads::suite::Benchmark;
+use cdp_testutil::smoke;
 
 #[test]
 fn every_benchmark_runs_to_completion_on_both_systems() {

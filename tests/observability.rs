@@ -11,13 +11,9 @@ use std::sync::Arc;
 
 use cdp::experiments::obs::{build_manifest, CellRecord, ExperimentRecord, ObsTaken};
 use cdp::obs::{Json, TraceData};
-use cdp::sim::{JobObs, ObsSink, Pool, RunLength, RunPolicy, SimJob, Simulator};
+use cdp::sim::{JobObs, ObsSink, Pool, RunPolicy, SimJob, Simulator};
 use cdp::types::{ObsConfig, SystemConfig, TraceConfig, TraceFilter};
-use cdp::workloads::suite::Benchmark;
-
-fn workload() -> cdp::workloads::Workload {
-    Benchmark::Slsb.build(RunLength::Smoke.scale(), 42)
-}
+use cdp_testutil::default_workload as workload;
 
 #[test]
 fn observed_run_matches_plain_run_exactly() {
@@ -174,6 +170,7 @@ fn manifest_from_real_runs_validates_and_round_trips() {
                 attempts: r.outcome.attempts(),
                 wall_ms: r.wall.as_millis() as u64,
                 config_fingerprint: cdp::obs::fingerprint_hex(r.label.as_bytes()),
+                checkpoint: "off",
             })
             .collect(),
         experiments: vec![ExperimentRecord {

@@ -1,0 +1,301 @@
+//! Differential snapshot/resume harness (DESIGN.md §12).
+//!
+//! The checkpointing contract is `resume(snapshot(S))` continues
+//! *bit-identically*: a run interrupted at any step boundary and resumed
+//! in a brand-new process-equivalent (fresh `Simulator`, fresh
+//! `SimSession`) must produce the same `RunStats`, the same metrics
+//! windows, and the same trace events as the uninterrupted reference.
+//! These tests enforce that contract across benchmarks, with randomized
+//! snapshot points, with fault injection live, and through an actual
+//! on-disk round trip — plus the corruption paths (truncation, bit
+//! flips, wrong fingerprint, future version), which must all surface as
+//! typed errors, never panics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cdp::sim::{
+    CheckpointProvenance, CheckpointSpec, CheckpointStatus, SimJob, SimSession, Simulator,
+    WalkFault,
+};
+use cdp::types::{CdpError, ObsConfig, SnapshotError, SystemConfig, TraceConfig};
+use cdp::workloads::suite::{Benchmark, Scale};
+use cdp::workloads::Workload;
+use cdp_testutil::{seeded_rng, tiny_workload};
+
+/// An observability config exercising both capture paths (trace ring +
+/// metrics windows). Small windows give every smoke run several step
+/// boundaries to snapshot at.
+fn obs_cfg() -> ObsConfig {
+    ObsConfig {
+        trace: Some(TraceConfig::default()),
+        metrics_window: Some(4_000),
+    }
+}
+
+/// A fresh per-test scratch directory under the target-adjacent temp
+/// root (std-only; no tempfile crate in this workspace).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cdp-snapshot-resume-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Counts the step boundaries (`step()` returning `false`) a session
+/// passes through before completion.
+fn count_steps(sim: &Simulator, w: &Workload, obs: Option<&ObsConfig>) -> usize {
+    let mut session = sim.session(w, obs);
+    let mut steps = 0;
+    while !session.step().expect("reference run is fault-free") {
+        steps += 1;
+    }
+    steps
+}
+
+/// Runs uninterrupted, then re-runs with a snapshot/drop/resume at step
+/// `cut`, and asserts stats + observation are identical. Returns the
+/// snapshot bytes so callers can reuse them for corruption tests.
+fn assert_roundtrip_at(
+    cfg: &SystemConfig,
+    walk_fault: Option<WalkFault>,
+    w: &Workload,
+    obs: Option<&ObsConfig>,
+    cut: usize,
+) -> Vec<u8> {
+    let build = |cfg: &SystemConfig| {
+        let sim = Simulator::new(cfg.clone());
+        match walk_fault {
+            Some(f) => sim.with_walk_fault(f),
+            None => sim,
+        }
+    };
+    // Reference: uninterrupted.
+    let sim = build(cfg);
+    let mut reference = sim.session(w, obs);
+    while !reference.step().expect("reference run") {}
+    let (ref_stats, ref_obs) = reference.finish();
+
+    // Interrupted: step to `cut`, snapshot, throw the session (and the
+    // simulator) away, resume in fresh ones.
+    let sim = build(cfg);
+    let mut session = sim.session(w, obs);
+    for s in 0..cut {
+        assert!(!session.step().expect("pre-cut step"), "run ended at step {s}, cut {cut} too late");
+    }
+    let bytes = session.snapshot();
+    drop(session);
+
+    let sim = build(cfg);
+    let mut resumed: SimSession = sim.resume(w, obs, &bytes).expect("snapshot resumes");
+    while !resumed.step().expect("post-cut step") {}
+    let (stats, observation) = resumed.finish();
+
+    assert_eq!(
+        format!("{ref_stats:?}"),
+        format!("{stats:?}"),
+        "RunStats diverged after resume at step {cut}"
+    );
+    assert_eq!(ref_obs.windows, observation.windows, "metrics windows diverged");
+    assert_eq!(ref_obs.events, observation.events, "trace events diverged");
+    assert_eq!(ref_obs.trace_recorded, observation.trace_recorded);
+    assert_eq!(ref_obs.trace_overwritten, observation.trace_overwritten);
+    assert_eq!(ref_obs.trace_sampled_out, observation.trace_sampled_out);
+    bytes
+}
+
+#[test]
+fn randomized_cuts_across_benchmarks_are_bit_identical() {
+    // Fault injection stays live through the snapshot: every 64th
+    // prefetch-candidate walk fails, so the squash path state must
+    // round-trip too.
+    let fault = WalkFault {
+        period: 64,
+        demand: false,
+    };
+    let cfg = SystemConfig::with_content();
+    let obs = obs_cfg();
+    let mut rng = seeded_rng(0x5eed_0001);
+    for (i, bench) in [
+        Benchmark::Slsb,
+        Benchmark::SpecjbbVsnet,
+        Benchmark::Tpcc1,
+        Benchmark::B2e,
+        Benchmark::Quake,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let w = tiny_workload(bench, 42 + i as u64);
+        let sim = Simulator::new(cfg.clone()).with_walk_fault(fault);
+        let steps = count_steps(&sim, &w, Some(&obs));
+        assert!(steps >= 2, "{bench:?} too short to cut: {steps} step(s)");
+        // A randomized interior cut, plus the first boundary (the
+        // warm-up hand-off, the trickiest state transition).
+        let cut = 1 + rng.gen_range_usize(1..steps);
+        assert_roundtrip_at(&cfg, Some(fault), &w, Some(&obs), cut);
+        assert_roundtrip_at(&cfg, Some(fault), &w, Some(&obs), 1);
+    }
+}
+
+#[test]
+fn plain_sessions_roundtrip_at_fault_check_boundaries() {
+    // Without observability the session steps in coarse fault-check
+    // windows; a larger-than-smoke run gives it interior boundaries.
+    let scale = Scale {
+        target_uops: 150_000,
+        footprint_div: 16,
+    };
+    let w = Benchmark::Slsb.build(scale, 7);
+    let mut cfg = SystemConfig::with_content();
+    cfg.warmup_uops = 10_000;
+    let sim = Simulator::new(cfg.clone());
+    let steps = count_steps(&sim, &w, None);
+    assert!(steps >= 2, "expected interior boundaries, got {steps}");
+    let mut rng = seeded_rng(0x5eed_0002);
+    let cut = 1 + rng.gen_range_usize(0..steps);
+    assert_roundtrip_at(&cfg, None, &w, None, cut);
+}
+
+#[test]
+fn disk_roundtrip_and_every_corruption_is_a_typed_error() {
+    let cfg = SystemConfig::with_content();
+    let obs = obs_cfg();
+    let w = tiny_workload(Benchmark::SpecjbbVsnet, 42);
+    let bytes = assert_roundtrip_at(&cfg, None, &w, Some(&obs), 2);
+
+    // Through the filesystem: what a checkpoint file actually does.
+    let dir = scratch("disk");
+    let path = dir.join("cell.snap");
+    std::fs::write(&path, &bytes).expect("write checkpoint");
+    let read = std::fs::read(&path).expect("read checkpoint");
+    let sim = Simulator::new(cfg.clone());
+    let mut resumed = sim.resume(&w, Some(&obs), &read).expect("disk roundtrip");
+    while !resumed.step().expect("resumed run") {}
+
+    // Truncation at randomized points: typed error, never a panic.
+    let mut rng = seeded_rng(0x5eed_0003);
+    for _ in 0..16 {
+        let len = rng.gen_range_usize(0..bytes.len());
+        assert!(
+            matches!(
+                sim.resume(&w, Some(&obs), &bytes[..len]),
+                Err(CdpError::Snapshot(_))
+            ),
+            "truncation to {len} bytes must be a typed error"
+        );
+    }
+
+    // A flipped byte anywhere past the header breaks a checksum (or the
+    // structure); either way it is a typed error.
+    for _ in 0..16 {
+        let mut flipped = bytes.clone();
+        let at = rng.gen_range_usize(24..flipped.len());
+        flipped[at] ^= 0x80;
+        assert!(
+            matches!(
+                sim.resume(&w, Some(&obs), &flipped),
+                Err(CdpError::Snapshot(_))
+            ),
+            "flipped byte at {at} must be a typed error"
+        );
+    }
+
+    // Wrong fingerprint: the same bytes offered to a different config.
+    let other = Simulator::new(SystemConfig::asplos2002());
+    assert!(matches!(
+        other.resume(&w, Some(&obs), &bytes),
+        Err(CdpError::Snapshot(SnapshotError::FingerprintMismatch { .. }))
+    ));
+
+    // Future format version (bytes 8..12, after the 8-byte magic).
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        sim.resume(&w, Some(&obs), &future),
+        Err(CdpError::Snapshot(SnapshotError::UnsupportedVersion { found: 99, .. }))
+    ));
+
+    // Bad magic.
+    let mut bad = bytes;
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        sim.resume(&w, Some(&obs), &bad),
+        Err(CdpError::Snapshot(SnapshotError::BadMagic))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simjob_checkpointing_reports_provenance_and_stays_identical() {
+    // Warm-up gives the plain (coarse-window) session a step boundary to
+    // seed mid-run checkpoints at.
+    let mut cfg = SystemConfig::with_content();
+    cfg.warmup_uops = 5_000;
+    let w = Arc::new(tiny_workload(Benchmark::Slsb, 42));
+    let reference = SimJob::new("ref", cfg.clone(), Arc::clone(&w))
+        .try_execute()
+        .expect("reference cell");
+    let dir = scratch("job");
+    let spec = |resume: bool, status: &Arc<CheckpointStatus>| CheckpointSpec {
+        dir: dir.clone(),
+        every: 10_000,
+        key: 0xc0ffee,
+        resume,
+        status: Some(Arc::clone(status)),
+    };
+
+    // Fresh: no checkpoint on disk.
+    let status = CheckpointStatus::shared();
+    let stats = SimJob::new("fresh", cfg.clone(), Arc::clone(&w))
+        .with_checkpoint(spec(true, &status))
+        .try_execute()
+        .expect("fresh cell");
+    assert_eq!(status.get(), CheckpointProvenance::Fresh);
+    assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+
+    let path = dir.join(format!("cell-{:016x}.snap", 0xc0ffeeu64));
+    assert!(
+        !path.exists(),
+        "completed cells must remove their checkpoint"
+    );
+
+    // Resumed: seed a genuine mid-run checkpoint, then run the job.
+    let sim = Simulator::new(cfg.clone());
+    let mut session = sim.session(&w, None);
+    assert!(!session.step().expect("seed step"));
+    std::fs::write(&path, session.snapshot()).expect("seed checkpoint");
+    let status = CheckpointStatus::shared();
+    let stats = SimJob::new("resumed", cfg.clone(), Arc::clone(&w))
+        .with_checkpoint(spec(true, &status))
+        .try_execute()
+        .expect("resumed cell");
+    assert_eq!(status.get(), CheckpointProvenance::Resumed);
+    assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+    assert!(!path.exists());
+
+    // Corrupt fallback: garbage on disk restarts fresh, same result.
+    std::fs::write(&path, b"not a snapshot").expect("garbage checkpoint");
+    let status = CheckpointStatus::shared();
+    let stats = SimJob::new("corrupt", cfg.clone(), Arc::clone(&w))
+        .with_checkpoint(spec(true, &status))
+        .try_execute()
+        .expect("corrupt-fallback cell");
+    assert_eq!(status.get(), CheckpointProvenance::CorruptFallback);
+    assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+
+    // resume=false ignores a present checkpoint entirely.
+    let mut session = Simulator::new(cfg.clone()).session(&w, None);
+    assert!(!session.step().expect("seed step"));
+    std::fs::write(&path, session.snapshot()).expect("seed checkpoint");
+    let status = CheckpointStatus::shared();
+    let stats = SimJob::new("no-resume", cfg, Arc::clone(&w))
+        .with_checkpoint(spec(false, &status))
+        .try_execute()
+        .expect("no-resume cell");
+    assert_eq!(status.get(), CheckpointProvenance::Fresh);
+    assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
