@@ -1,0 +1,50 @@
+//! Diffs two `BENCH_*.json` snapshots.
+//!
+//! ```text
+//! bench-compare <old.json> <new.json>
+//! ```
+//!
+//! Every metric present in both files is classified as improved,
+//! regressed, or unchanged — by 95% confidence-interval overlap when
+//! both sides carry sampled statistics (BENCH schema v2), by a ±5%
+//! point threshold for legacy v1 snapshots (flagged in the output).
+//! Lower is always better (all tracked metrics are times).
+//!
+//! Exit codes: `0` no regression, `1` at least one metric regressed,
+//! `2` usage or parse error.
+
+use cdp_bench::compare::compare;
+use cdp_obs::Json;
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench-compare: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench-compare <old.json> <new.json>");
+        eprintln!("exit codes: 0 no regression, 1 regression, 2 usage/parse error");
+        std::process::exit(2);
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let c = compare(&old, &new);
+    print!("{}", c.report);
+    if c.regressed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Upgrades a BENCH snapshot to schema v2 with suite-level statistics.
+//!
+//! ```text
+//! bench-stats --inject <BENCH.json> --suite-wall-ms <ms>,<ms>,...
+//! ```
+//!
+//! `scripts/bench.sh` runs the pinned sweep N times, collects each
+//! run's `suite_wall_ms`, and hands the list here. The snapshot gains
+//!
+//! * `bench_schema_version: 2`
+//! * `suite_wall_stats` — `{mean_ms, median_ms, ci95_lo, ci95_hi,
+//!   samples, rejected}` over the provided wall times (MAD outlier
+//!   rejection, Student's-t 95% interval; see `cdp_bench::stats`)
+//! * `suite_wall_samples_ms` — the raw sample list, for re-analysis
+//!
+//! Exit codes: `0` ok, `2` usage/parse error.
+
+use cdp_bench::stats::sample_stats;
+use cdp_obs::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || -> ! {
+        eprintln!("usage: bench-stats --inject <BENCH.json> --suite-wall-ms <ms>,<ms>,...");
+        std::process::exit(2);
+    };
+    let (mut path, mut samples): (Option<String>, Option<Vec<f64>>) = (None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--inject" => path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--suite-wall-ms" => {
+                let raw = it.next().unwrap_or_else(|| usage());
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(str::trim).map(str::parse::<f64>).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|x| x.is_finite() && *x >= 0.0) => {
+                        samples = Some(v);
+                    }
+                    _ => {
+                        eprintln!("bench-stats: bad --suite-wall-ms list {raw:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(path), Some(samples)) = (path, samples) else {
+        usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-stats: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-stats: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stats = sample_stats(&samples);
+    doc.set("bench_schema_version", Json::U64(cdp_obs::BENCH_SCHEMA_VERSION));
+    doc.set("suite_wall_stats", stats.to_json());
+    doc.set(
+        "suite_wall_samples_ms",
+        Json::Arr(samples.iter().map(|&s| Json::F64(s)).collect()),
+    );
+    if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+        eprintln!("bench-stats: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "bench-stats: {path}: suite_wall mean={:.1}ms ci95=[{:.1}, {:.1}] n={} rejected={}",
+        stats.mean, stats.ci95_lo, stats.ci95_hi, stats.samples, stats.rejected
+    );
+}

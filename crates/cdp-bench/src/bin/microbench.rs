@@ -1,26 +1,39 @@
 //! Std-only microbenchmarks of the simulator's hot kernels.
 //!
 //! ```text
-//! microbench [--inject <manifest.json>]
+//! microbench [--samples <N>] [--inject <manifest.json>]
 //! ```
 //!
-//! Times the per-access kernels the flat-memory refactor targets — cache
-//! access/fill, physical line reads, the VAM scan, and MSHR
-//! insert/drain — with plain `Instant` loops, and prints one JSON object
-//! of `<kernel>_ns` numbers to stdout. With `--inject <file>`, the same
-//! object is also merged into an existing manifest snapshot under a
-//! top-level `micro` key (how `scripts/bench.sh --micro` annotates
-//! `BENCH_*.json`).
+//! Times the per-access kernels the hot-path optimization rounds target —
+//! cache access/fill, physical line reads, the VAM scan, MSHR
+//! insert/drain, snapshot encoding, and result-cache contention — with
+//! plain `Instant` loops, and prints one JSON object to stdout. Each
+//! kernel always emits a `<kernel>_ns` point estimate; with
+//! `--samples N` (N > 1) the kernel is re-timed N times and additionally
+//! emits a `<kernel>_stats` object (`{mean_ms, median_ms, ci95_lo,
+//! ci95_hi, samples, rejected}` — MAD outlier rejection plus a
+//! Student's-t 95% interval, see `cdp_bench::stats`), with the point
+//! estimate set to the per-sample median so legacy consumers see the
+//! robust number. With `--inject <file>`, the object is also merged into
+//! an existing manifest snapshot under a top-level `micro` key (how
+//! `scripts/bench.sh --micro` annotates `BENCH_*.json`).
 //!
 //! Wall-clock numbers are machine-dependent by nature; everything else
 //! about the run (inputs, iteration counts, seeds) is fixed so two runs
 //! on the same machine are comparable.
 
+use std::time::Instant;
+
+use cdp_bench::stats::sample_stats;
 use cdp_bench::time_ns_per_iter;
 use cdp_mem::{Cache, MshrFile, PhysMem};
 use cdp_obs::Json;
 use cdp_prefetch::scan_line;
-use cdp_types::{LineAddr, PhysAddr, RequestKind, VamConfig, VirtAddr, LINE_SIZE};
+use cdp_sim::{ResultCache, RunStats, Simulator};
+use cdp_types::{
+    LineAddr, PhysAddr, RequestKind, SystemConfig, VamConfig, VirtAddr, LINE_SIZE,
+};
+use cdp_workloads::suite::Benchmark;
 
 /// Resident-hit access over a 1 MiB-equivalent flat cache.
 fn cache_access_hit() -> f64 {
@@ -106,27 +119,143 @@ fn mshr_insert_drain() -> f64 {
     ns / 16.0
 }
 
-fn measure() -> Json {
+/// Full-session snapshot encode (core + hierarchy + driver scalars) of a
+/// mid-run smoke-scale session — the serialization path the checkpoint
+/// subsystem exercises every `--checkpoint-every` window.
+fn snapshot_encode() -> f64 {
+    let w = cdp_bench::bench_workload(Benchmark::B2e);
+    let sim = Simulator::new(SystemConfig::asplos2002());
+    let mut session = sim.session(&w, None);
+    // Advance past warm-up and one measurement window so the snapshot
+    // captures a populated hierarchy, not an empty cold state.
+    for _ in 0..2 {
+        if session.step().expect("bench workload must not fault") {
+            break;
+        }
+    }
+    time_ns_per_iter(300, 3, |_| {
+        std::hint::black_box(session.snapshot().len());
+    })
+}
+
+/// [`snapshot_encode`] through the recycled-arena path the checkpoint
+/// loop actually uses: one buffer handed back to
+/// [`SimSession::snapshot_into`] every iteration, so steady-state
+/// encodes pay zero allocation.
+fn snapshot_encode_reuse() -> f64 {
+    let w = cdp_bench::bench_workload(Benchmark::B2e);
+    let sim = Simulator::new(SystemConfig::asplos2002());
+    let mut session = sim.session(&w, None);
+    for _ in 0..2 {
+        if session.step().expect("bench workload must not fault") {
+            break;
+        }
+    }
+    let mut buf = Vec::new();
+    time_ns_per_iter(300, 3, |_| {
+        buf = session.snapshot_into(std::mem::take(&mut buf));
+        std::hint::black_box(buf.len());
+    })
+}
+
+/// Eight threads hammering a shared [`ResultCache`] with a small,
+/// fully-contended key set — the lock-acquisition pattern a parallel
+/// suite sweep with `--jobs 8` produces. Reported as ns per get(+put).
+fn result_cache_contention() -> f64 {
+    const THREADS: usize = 8;
+    const OPS: usize = 4_000;
+    const KEYS: u64 = 64;
+    let stats = RunStats::default();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let cache = ResultCache::new();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        let key = (i as u64 + t as u64)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            % KEYS;
+                        if cache.get(std::hint::black_box(key)).is_none() {
+                            cache.put(key, stats, None);
+                        }
+                    }
+                });
+            }
+        });
+        let ns = t0.elapsed().as_nanos() as f64 / (THREADS * OPS) as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// One microbenchmark kernel: stable key prefix plus the measurement
+/// function. Keys become `<name>_ns` (and `<name>_stats` under
+/// `--samples`).
+type Kernel = (&'static str, fn() -> f64);
+
+/// The kernel table.
+const KERNELS: &[Kernel] = &[
+    ("cache_access_hit", cache_access_hit),
+    ("cache_fill_evict", cache_fill_evict),
+    ("phys_read_line_into", phys_read_line_into),
+    ("vam_scan_line", vam_scan),
+    ("mshr_insert_drain", mshr_insert_drain),
+    ("snapshot_encode", snapshot_encode),
+    ("snapshot_encode_reuse", snapshot_encode_reuse),
+    ("result_cache_contention", result_cache_contention),
+];
+
+fn measure(samples: usize) -> Json {
     let mut o = Json::obj();
-    o.set("cache_access_hit_ns", Json::F64(cache_access_hit()));
-    o.set("cache_fill_evict_ns", Json::F64(cache_fill_evict()));
-    o.set("phys_read_line_into_ns", Json::F64(phys_read_line_into()));
-    o.set("vam_scan_line_ns", Json::F64(vam_scan()));
-    o.set("mshr_insert_drain_ns", Json::F64(mshr_insert_drain()));
+    for (name, kernel) in KERNELS {
+        if samples <= 1 {
+            o.set(&format!("{name}_ns"), Json::F64(kernel()));
+            continue;
+        }
+        let ms: Vec<f64> = (0..samples).map(|_| kernel() / 1e6).collect();
+        let st = sample_stats(&ms);
+        // Point estimate = robust median, in ns, so legacy consumers and
+        // v1 comparisons keep working against the same key.
+        o.set(&format!("{name}_ns"), Json::F64(st.median * 1e6));
+        o.set(&format!("{name}_stats"), st.to_json());
+        eprintln!(
+            "microbench: {name}: median={:.1}ns ci95=[{:.1}, {:.1}]ns n={} rejected={}",
+            st.median * 1e6,
+            st.ci95_lo * 1e6,
+            st.ci95_hi * 1e6,
+            st.samples,
+            st.rejected
+        );
+    }
     o
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let inject = match args.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--inject" => Some(std::path::PathBuf::from(path)),
-        _ => {
-            eprintln!("usage: microbench [--inject <manifest.json>]");
-            std::process::exit(2);
-        }
+    let usage = || -> ! {
+        eprintln!("usage: microbench [--samples <N>] [--inject <manifest.json>]");
+        std::process::exit(2);
     };
-    let micro = measure();
+    let mut inject: Option<std::path::PathBuf> = None;
+    let mut samples = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--inject" => inject = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let micro = measure(samples);
     println!("{micro}");
     if let Some(path) = inject {
         let text = match std::fs::read_to_string(&path) {

@@ -1,0 +1,362 @@
+//! BENCH snapshot comparison: classifies each shared metric of two
+//! `BENCH_*.json` files as improved / regressed / unchanged.
+//!
+//! All tracked metrics are times, so lower is better. When both sides
+//! carry sampled statistics (BENCH schema v2), the verdict comes from
+//! 95% confidence-interval overlap: a difference only counts when the
+//! intervals are disjoint. Legacy v1 snapshots (no
+//! `bench_schema_version`, point estimates only) are still comparable —
+//! flagged as such, with a ±5% relative-delta threshold standing in for
+//! the missing intervals.
+
+use cdp_obs::Json;
+
+use crate::stats::SampleStats;
+
+/// Relative-delta threshold used when one side only has a point
+/// estimate: within ±5% is "unchanged".
+const POINT_THRESHOLD: f64 = 0.05;
+
+/// Outcome of comparing one metric across two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// New time is lower and the intervals are disjoint.
+    Improved,
+    /// New time is higher and the intervals are disjoint.
+    Regressed,
+    /// The intervals overlap (or the point delta is within threshold).
+    Unchanged,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "regressed",
+            Verdict::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// One metric's value in one snapshot: a full sampled distribution or a
+/// legacy point estimate (milliseconds either way).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// BENCH v2: sampled statistics.
+    Stats(SampleStats),
+    /// BENCH v1 or an unsampled key: a single number.
+    Point(f64),
+}
+
+impl Metric {
+    fn mean(&self) -> f64 {
+        match self {
+            Metric::Stats(s) => s.mean,
+            Metric::Point(p) => *p,
+        }
+    }
+
+    fn interval(&self) -> (f64, f64) {
+        match self {
+            Metric::Stats(s) => (s.ci95_lo, s.ci95_hi),
+            Metric::Point(p) => (*p, *p),
+        }
+    }
+}
+
+/// Classifies an old/new metric pair. Point-vs-point comparisons (no
+/// intervals on either side) use the ±5% threshold; any degenerate
+/// interval otherwise participates in the overlap test as a point.
+#[must_use]
+pub fn classify(old: &Metric, new: &Metric) -> Verdict {
+    if let (Metric::Point(a), Metric::Point(b)) = (old, new) {
+        let delta = (b - a) / a.abs().max(f64::MIN_POSITIVE);
+        return if delta <= -POINT_THRESHOLD {
+            Verdict::Improved
+        } else if delta >= POINT_THRESHOLD {
+            Verdict::Regressed
+        } else {
+            Verdict::Unchanged
+        };
+    }
+    let (old_lo, old_hi) = old.interval();
+    let (new_lo, new_hi) = new.interval();
+    if new_hi < old_lo {
+        Verdict::Improved
+    } else if new_lo > old_hi {
+        Verdict::Regressed
+    } else {
+        Verdict::Unchanged
+    }
+}
+
+/// A named metric extracted from one snapshot.
+#[derive(Clone, Debug)]
+pub struct Extracted {
+    /// Metric key (e.g. `suite_wall` or `micro.vam_scan_line`).
+    pub key: String,
+    /// Its value.
+    pub metric: Metric,
+}
+
+/// Pulls every comparable metric out of a parsed BENCH document:
+/// `suite_wall_stats` (v2) or `suite_wall_ms` (v1), and each sampled
+/// `micro.<kernel>_stats` object (v2) or `micro.<kernel>_ns` point
+/// (v1, converted to milliseconds).
+#[must_use]
+pub fn extract_metrics(doc: &Json) -> Vec<Extracted> {
+    let mut out = Vec::new();
+    if let Some(s) = doc.get("suite_wall_stats").and_then(SampleStats::from_json) {
+        out.push(Extracted {
+            key: "suite_wall".to_string(),
+            metric: Metric::Stats(s),
+        });
+    } else if let Some(p) = doc.get("suite_wall_ms").and_then(Json::as_f64) {
+        out.push(Extracted {
+            key: "suite_wall".to_string(),
+            metric: Metric::Point(p),
+        });
+    }
+    if let Some(Json::Obj(pairs)) = doc.get("micro") {
+        for (k, v) in pairs {
+            if let Some(kernel) = k.strip_suffix("_stats") {
+                if let Some(s) = SampleStats::from_json(v) {
+                    out.push(Extracted {
+                        key: format!("micro.{kernel}"),
+                        metric: Metric::Stats(s),
+                    });
+                }
+            } else if let Some(kernel) = k.strip_suffix("_ns") {
+                // Only use the point key when no stats object shadows it.
+                let has_stats = pairs.iter().any(|(k2, _)| k2 == &format!("{kernel}_stats"));
+                if !has_stats {
+                    if let Some(p) = v.as_f64() {
+                        out.push(Extracted {
+                            key: format!("micro.{kernel}"),
+                            metric: Metric::Point(p / 1.0e6),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The BENCH schema version of a document: explicit
+/// `bench_schema_version`, or 1 for legacy snapshots that predate the
+/// key.
+#[must_use]
+pub fn bench_version(doc: &Json) -> u64 {
+    doc.get("bench_schema_version")
+        .and_then(Json::as_u64)
+        .unwrap_or(1)
+}
+
+/// A rendered comparison: the report text and whether any metric
+/// regressed (the binary's exit status).
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Human-readable per-metric lines plus a summary.
+    pub report: String,
+    /// True when at least one shared metric classified as regressed.
+    pub regressed: bool,
+}
+
+fn fmt_ms(ms: f64) -> String {
+    if ms >= 1.0 {
+        format!("{ms:.1}ms")
+    } else if ms >= 1.0e-3 {
+        format!("{:.2}us", ms * 1.0e3)
+    } else {
+        format!("{:.1}ns", ms * 1.0e6)
+    }
+}
+
+fn fmt_metric(m: &Metric) -> String {
+    match m {
+        Metric::Stats(s) => format!(
+            "{} [{}, {}] (n={})",
+            fmt_ms(s.mean),
+            fmt_ms(s.ci95_lo),
+            fmt_ms(s.ci95_hi),
+            s.samples
+        ),
+        Metric::Point(p) => format!("{} (point)", fmt_ms(*p)),
+    }
+}
+
+/// Compares two parsed BENCH documents and renders the classification
+/// report. Metrics present on only one side are listed but never affect
+/// the exit status.
+#[must_use]
+pub fn compare(old: &Json, new: &Json) -> Comparison {
+    let mut report = String::new();
+    for (label, doc) in [("old", old), ("new", new)] {
+        let v = bench_version(doc);
+        if v < 2 {
+            report.push_str(&format!(
+                "note: {label} file is BENCH schema v{v} (pre-stats); \
+                 point-estimate comparison with a +/-5% threshold\n"
+            ));
+        }
+    }
+    let old_metrics = extract_metrics(old);
+    let new_metrics = extract_metrics(new);
+    let mut counts = (0usize, 0usize, 0usize); // improved, regressed, unchanged
+    let mut regressed = false;
+    for om in &old_metrics {
+        let Some(nm) = new_metrics.iter().find(|m| m.key == om.key) else {
+            report.push_str(&format!("{}: only in old file (skipped)\n", om.key));
+            continue;
+        };
+        let verdict = classify(&om.metric, &nm.metric);
+        let old_mean = om.metric.mean();
+        let delta_pct = (nm.metric.mean() - old_mean) / old_mean.abs().max(f64::MIN_POSITIVE) * 100.0;
+        report.push_str(&format!(
+            "{}: {} -> {}  {} ({:+.1}%)\n",
+            om.key,
+            fmt_metric(&om.metric),
+            fmt_metric(&nm.metric),
+            verdict.as_str(),
+            delta_pct,
+        ));
+        match verdict {
+            Verdict::Improved => counts.0 += 1,
+            Verdict::Regressed => {
+                counts.1 += 1;
+                regressed = true;
+            }
+            Verdict::Unchanged => counts.2 += 1,
+        }
+    }
+    for nm in &new_metrics {
+        if !old_metrics.iter().any(|m| m.key == nm.key) {
+            report.push_str(&format!("{}: only in new file (skipped)\n", nm.key));
+        }
+    }
+    if old_metrics.is_empty() || new_metrics.is_empty() {
+        report.push_str("warning: no comparable metrics found\n");
+    }
+    report.push_str(&format!(
+        "summary: {} improved, {} regressed, {} unchanged\n",
+        counts.0, counts.1, counts.2
+    ));
+    Comparison { report, regressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::sample_stats;
+
+    fn stats(vals: &[f64]) -> Metric {
+        Metric::Stats(sample_stats(vals))
+    }
+
+    #[test]
+    fn disjoint_intervals_classify_by_direction() {
+        let slow = stats(&[100.0, 101.0, 99.0, 100.5, 99.5]);
+        let fast = stats(&[80.0, 81.0, 79.0, 80.5, 79.5]);
+        assert_eq!(classify(&slow, &fast), Verdict::Improved);
+        assert_eq!(classify(&fast, &slow), Verdict::Regressed);
+    }
+
+    #[test]
+    fn overlapping_intervals_are_unchanged() {
+        let a = stats(&[100.0, 105.0, 95.0]);
+        let b = stats(&[101.0, 106.0, 96.0]);
+        assert_eq!(classify(&a, &b), Verdict::Unchanged);
+    }
+
+    #[test]
+    fn point_comparison_uses_threshold() {
+        assert_eq!(
+            classify(&Metric::Point(100.0), &Metric::Point(98.0)),
+            Verdict::Unchanged
+        );
+        assert_eq!(
+            classify(&Metric::Point(100.0), &Metric::Point(90.0)),
+            Verdict::Improved
+        );
+        assert_eq!(
+            classify(&Metric::Point(100.0), &Metric::Point(110.0)),
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn stats_vs_point_uses_interval_overlap() {
+        let s = stats(&[100.0, 101.0, 99.0]);
+        // A point inside the interval: unchanged; far outside: directional.
+        assert_eq!(classify(&s, &Metric::Point(100.2)), Verdict::Unchanged);
+        assert_eq!(classify(&s, &Metric::Point(50.0)), Verdict::Improved);
+        assert_eq!(classify(&s, &Metric::Point(150.0)), Verdict::Regressed);
+    }
+
+    fn bench_doc(version: Option<u64>, suite: &[f64]) -> Json {
+        let mut doc = Json::obj();
+        if let Some(v) = version {
+            doc.set("bench_schema_version", Json::U64(v));
+            doc.set("suite_wall_stats", sample_stats(suite).to_json());
+        }
+        doc.set("suite_wall_ms", Json::U64(suite[0] as u64));
+        doc
+    }
+
+    #[test]
+    fn self_diff_is_all_unchanged() {
+        let doc = bench_doc(Some(2), &[974.0, 980.0, 968.0, 975.0, 972.0]);
+        let c = compare(&doc, &doc);
+        assert!(!c.regressed);
+        assert!(c.report.contains("suite_wall"));
+        assert!(c.report.contains("unchanged"));
+        assert!(c.report.contains("0 regressed"));
+    }
+
+    #[test]
+    fn legacy_v1_files_are_flagged_and_compared_as_points() {
+        let old = bench_doc(None, &[1000.0]);
+        let new = bench_doc(None, &[850.0]);
+        let c = compare(&old, &new);
+        assert!(c.report.contains("schema v1"));
+        assert!(c.report.contains("improved"));
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn regression_sets_the_flag() {
+        let old = bench_doc(Some(2), &[800.0, 801.0, 799.0, 800.5, 799.5]);
+        let new = bench_doc(Some(2), &[900.0, 901.0, 899.0, 900.5, 899.5]);
+        let c = compare(&old, &new);
+        assert!(c.regressed);
+        assert!(c.report.contains("regressed"));
+    }
+
+    #[test]
+    fn micro_kernels_are_extracted_with_and_without_stats() {
+        let mut micro = Json::obj();
+        micro.set("vam_scan_line_ns", Json::F64(55.0));
+        micro.set("vam_scan_line_stats", sample_stats(&[5.5e-5, 5.6e-5]).to_json());
+        micro.set("cache_access_hit_ns", Json::F64(7.0));
+        let mut doc = Json::obj();
+        doc.set("micro", micro);
+        let metrics = extract_metrics(&doc);
+        let vam = metrics.iter().find(|m| m.key == "micro.vam_scan_line").unwrap();
+        assert!(
+            matches!(vam.metric, Metric::Stats(_)),
+            "stats object must shadow the point key"
+        );
+        let cah = metrics.iter().find(|m| m.key == "micro.cache_access_hit").unwrap();
+        assert_eq!(cah.metric, Metric::Point(7.0 / 1.0e6), "ns converts to ms");
+    }
+
+    #[test]
+    fn missing_metrics_never_regress() {
+        let old = bench_doc(Some(2), &[800.0, 801.0, 799.0]);
+        let new = Json::obj();
+        let c = compare(&old, &new);
+        assert!(!c.regressed);
+        assert!(c.report.contains("only in old file"));
+    }
+}

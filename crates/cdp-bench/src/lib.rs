@@ -1,16 +1,27 @@
 //! Std-only microbenchmark support for the CDP reproduction.
 //!
-//! The crate ships one binary, `microbench`, which times the simulator's
-//! hot kernels (flat cache access, physical line reads, VAM scans, MSHR
-//! insert/drain) with plain [`std::time::Instant`] loops — no registry
-//! dependencies, so it builds inside the offline tier-1 gate. Numbers
-//! are emitted as a JSON object; `scripts/bench.sh --micro` merges them
-//! into the benchmark manifest snapshot (`BENCH_*.json`).
+//! The crate ships three binaries — no registry dependencies, so all of
+//! them build inside the offline tier-1 gate:
+//!
+//! * `microbench` — times the simulator's hot kernels (flat cache
+//!   access, physical line reads, VAM scans, MSHR insert/drain,
+//!   snapshot encode, result-cache contention) with plain
+//!   [`std::time::Instant`] loops; `--samples N` repeats each kernel
+//!   and attaches [`stats::SampleStats`] objects.
+//! * `bench-compare` — diffs two `BENCH_*.json` snapshots and
+//!   classifies each shared metric by confidence-interval overlap
+//!   (see [`compare`]); exits non-zero on a regression.
+//! * `bench-stats` — folds repeated suite-sweep wall times into a
+//!   `suite_wall_stats` object inside a snapshot (how
+//!   `scripts/bench.sh` upgrades its copies to BENCH schema v2).
 //!
 //! This module holds the shared pieces: workload helpers and the
 //! measurement harness.
 
 #![warn(missing_docs)]
+
+pub mod compare;
+pub mod stats;
 
 use std::time::Instant;
 

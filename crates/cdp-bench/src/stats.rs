@@ -1,0 +1,211 @@
+//! Repeated-sampling statistics for benchmark results.
+//!
+//! Single-shot wall times are hostage to scheduler noise; every perf
+//! claim in PERF.md therefore rests on N repeated samples reduced to a
+//! mean, median, and 95% confidence interval. Outliers (a page-cache
+//! miss, a background daemon waking up) are rejected with the modified
+//! z-score rule over the median absolute deviation (MAD) before the
+//! moments are computed, and the confidence interval uses Student's t
+//! critical values so small sample counts widen it honestly.
+//!
+//! Two results are only called different when their confidence
+//! intervals do not overlap — see [`crate::compare`].
+
+/// Scale factor that makes the MAD a consistent estimator of the
+/// standard deviation under normality.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Modified z-score threshold beyond which a sample is an outlier
+/// (Iglewicz–Hoaglin's recommended 3.5).
+const OUTLIER_Z: f64 = 3.5;
+
+/// Two-sided 95% Student's t critical values for 1..=30 degrees of
+/// freedom; larger sample counts fall back to the normal 1.96.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Summary statistics of one repeatedly-sampled measurement.
+///
+/// All values carry the unit of the input samples (the bench pipeline
+/// uses milliseconds everywhere, including for nanosecond-scale micro
+/// kernels, so every stats object in a `BENCH_*.json` is comparable by
+/// the same code).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleStats {
+    /// Mean of the kept (non-outlier) samples.
+    pub mean: f64,
+    /// Median of the kept samples.
+    pub median: f64,
+    /// Lower bound of the 95% confidence interval of the mean.
+    pub ci95_lo: f64,
+    /// Upper bound of the 95% confidence interval of the mean.
+    pub ci95_hi: f64,
+    /// Number of samples kept after outlier rejection.
+    pub samples: usize,
+    /// Number of samples rejected as outliers.
+    pub rejected: usize,
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Reduces raw samples to [`SampleStats`]: MAD outlier rejection, then
+/// mean/median and a Student's-t 95% confidence interval of the mean.
+///
+/// A zero MAD (more than half the samples identical) disables rejection
+/// — with no spread estimate, calling anything an outlier would be
+/// arbitrary. A single sample yields a degenerate interval
+/// `[mean, mean]`.
+///
+/// # Panics
+///
+/// Panics if `raw` is empty or contains a non-finite value.
+#[must_use]
+pub fn sample_stats(raw: &[f64]) -> SampleStats {
+    assert!(!raw.is_empty(), "sample_stats needs at least one sample");
+    assert!(raw.iter().all(|x| x.is_finite()), "non-finite sample");
+    let mut sorted = raw.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let raw_median = median_of_sorted(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - raw_median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
+    let mad = median_of_sorted(&deviations);
+    let kept: Vec<f64> = if mad > 0.0 {
+        let cutoff = OUTLIER_Z * MAD_TO_SIGMA * mad;
+        sorted
+            .iter()
+            .copied()
+            .filter(|x| (x - raw_median).abs() <= cutoff)
+            .collect()
+    } else {
+        sorted.clone()
+    };
+    let rejected = raw.len() - kept.len();
+    let n = kept.len();
+    let mean = kept.iter().sum::<f64>() / n as f64;
+    let median = median_of_sorted(&kept);
+    let (ci95_lo, ci95_hi) = if n < 2 {
+        (mean, mean)
+    } else {
+        let var = kept.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let t = T_95.get(n - 2).copied().unwrap_or(1.96);
+        let half = t * (var / n as f64).sqrt();
+        (mean - half, mean + half)
+    };
+    SampleStats {
+        mean,
+        median,
+        ci95_lo,
+        ci95_hi,
+        samples: n,
+        rejected,
+    }
+}
+
+impl SampleStats {
+    /// Renders the stats as the `BENCH_*.json` object shape
+    /// (`{mean_ms, median_ms, ci95_lo, ci95_hi, samples, rejected}`).
+    /// The caller is responsible for feeding millisecond samples in.
+    #[must_use]
+    pub fn to_json(&self) -> cdp_obs::Json {
+        let mut o = cdp_obs::Json::obj();
+        o.set("mean_ms", cdp_obs::Json::F64(self.mean));
+        o.set("median_ms", cdp_obs::Json::F64(self.median));
+        o.set("ci95_lo", cdp_obs::Json::F64(self.ci95_lo));
+        o.set("ci95_hi", cdp_obs::Json::F64(self.ci95_hi));
+        o.set("samples", cdp_obs::Json::U64(self.samples as u64));
+        o.set("rejected", cdp_obs::Json::U64(self.rejected as u64));
+        o
+    }
+
+    /// Parses a stats object previously written by
+    /// [`SampleStats::to_json`]. Returns `None` when any required key is
+    /// missing or non-numeric.
+    #[must_use]
+    pub fn from_json(j: &cdp_obs::Json) -> Option<SampleStats> {
+        Some(SampleStats {
+            mean: j.get("mean_ms")?.as_f64()?,
+            median: j.get("median_ms")?.as_f64()?,
+            ci95_lo: j.get("ci95_lo")?.as_f64()?,
+            ci95_hi: j.get("ci95_hi")?.as_f64()?,
+            samples: j.get("samples")?.as_u64()? as usize,
+            rejected: j.get("rejected").and_then(cdp_obs::Json::as_u64).unwrap_or(0) as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_degenerates() {
+        let s = sample_stats(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!((s.ci95_lo, s.ci95_hi), (5.0, 5.0));
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width_interval() {
+        let s = sample_stats(&[3.0; 7]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.ci95_lo, 3.0);
+        assert_eq!(s.ci95_hi, 3.0);
+        assert_eq!(s.rejected, 0, "zero MAD must not reject anything");
+    }
+
+    #[test]
+    fn mad_rejects_a_gross_outlier() {
+        // Nine tight samples and one 100x spike: the spike must go.
+        let mut raw = vec![10.0, 10.1, 9.9, 10.2, 9.8, 10.0, 10.1, 9.9, 10.0];
+        raw.push(1000.0);
+        let s = sample_stats(&raw);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.samples, 9);
+        assert!(s.mean < 11.0, "outlier must not drag the mean: {}", s.mean);
+        assert!(s.ci95_lo <= s.mean && s.mean <= s.ci95_hi);
+    }
+
+    #[test]
+    fn interval_brackets_mean_and_narrows_with_more_samples() {
+        let wide = sample_stats(&[10.0, 12.0, 11.0]);
+        let narrow = sample_stats(&[10.0, 12.0, 11.0, 10.5, 11.5, 10.8, 11.2, 10.9, 11.1, 11.0]);
+        assert!(wide.ci95_lo < wide.mean && wide.mean < wide.ci95_hi);
+        assert!(
+            (narrow.ci95_hi - narrow.ci95_lo) < (wide.ci95_hi - wide.ci95_lo),
+            "more samples must narrow the interval"
+        );
+    }
+
+    #[test]
+    fn even_sample_count_median_averages() {
+        let s = sample_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample_stats(&[10.0, 10.5, 9.5, 10.2, 9.8]);
+        let back = SampleStats::from_json(&s.to_json()).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_keys() {
+        let mut o = cdp_obs::Json::obj();
+        o.set("mean_ms", cdp_obs::Json::F64(1.0));
+        assert!(SampleStats::from_json(&o).is_none());
+    }
+}

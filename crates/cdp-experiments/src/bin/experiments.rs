@@ -5,7 +5,7 @@
 //!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
-//!             [--verbose-timing] [--no-result-cache]
+//!             [--verbose-timing] [--no-result-cache] [--no-fast-forward]
 //!             [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]
 //! experiments all [--quick] [--jobs N]
 //! ```
@@ -20,6 +20,12 @@
 //! seed — instead of re-simulating them. Stdout is byte-identical with
 //! the cache on or off; `--no-result-cache` disables it, and
 //! `--verbose-timing` reports the hit/miss counts on stderr.
+//!
+//! `--no-fast-forward` disables the core's idle-cycle event skip and
+//! steps every cycle (DESIGN.md §"Event fast-forward"). Skipped cycles
+//! are provably barren, so output is byte-identical either way — the
+//! flag exists so CI can diff the fast path against the cycle-by-cycle
+//! reference schedule.
 //!
 //! Observability (see EXPERIMENTS.md and DESIGN.md §7):
 //!
@@ -294,6 +300,7 @@ fn main() {
             "--trace" => trace = true,
             "--verbose-timing" => context::set_verbose_timing(true),
             "--no-result-cache" => result_cache = false,
+            "--no-fast-forward" => cdp_sim::set_fast_forward(false),
             "--resume" => resume = true,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
             | "--trace-filter" | "--metrics-window" | "--emit-manifest"
@@ -319,6 +326,7 @@ fn main() {
             "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
              [--metrics-window UOPS] [--verbose-timing] [--no-result-cache]"
         );
+        eprintln!("       [--no-fast-forward]");
         eprintln!(
             "       [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]"
         );

@@ -1,32 +1,58 @@
-//! Validates a run manifest produced by `experiments --emit-manifest`.
+//! Validates a run manifest produced by `experiments --emit-manifest`,
+//! or (with `--bench`) a `BENCH_*.json` snapshot.
 //!
 //! ```text
 //! validate-manifest <manifest.json> [<metrics.jsonl>...]
+//! validate-manifest --bench <BENCH.json>
 //! ```
 //!
 //! Exit codes: 0 valid, 1 invalid or unreadable, 2 usage.
 //!
-//! Extra arguments are treated as JSONL files: every non-empty line must
-//! parse as a JSON object. Used by `scripts/ci.sh` to gate artifacts.
+//! In manifest mode, extra arguments are treated as JSONL files: every
+//! non-empty line must parse as a JSON object. In `--bench` mode the
+//! file must satisfy the BENCH v2 schema (manifest keys plus
+//! `bench_schema_version` and a well-formed `suite_wall_stats`; legacy
+//! v1 snapshots are rejected with a message naming them as such). Used
+//! by `scripts/ci.sh` and `scripts/bench.sh` to gate artifacts.
 
-use cdp_obs::{validate, Json};
+use cdp_obs::{validate, validate_bench, Json};
 
 fn fail(msg: &str) -> ! {
     eprintln!("validate-manifest: {msg}");
     std::process::exit(1);
 }
 
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: JSON parse error: {e}")))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_mode = if args.first().is_some_and(|a| a == "--bench") {
+        args.remove(0);
+        true
+    } else {
+        false
+    };
+    if args.is_empty() || (bench_mode && args.len() != 1) {
         eprintln!("usage: validate-manifest <manifest.json> [<metrics.jsonl>...]");
+        eprintln!("       validate-manifest --bench <BENCH.json>");
         std::process::exit(2);
     }
     let path = &args[0];
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let doc = Json::parse(&text)
-        .unwrap_or_else(|e| fail(&format!("{path}: JSON parse error: {e}")));
+    let doc = load(path);
+    if bench_mode {
+        validate_bench(&doc).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        let n = doc
+            .get("suite_wall_stats")
+            .and_then(|s| s.get("samples"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        println!("{path}: BENCH v2 OK (suite_wall_stats over {n} sample(s))");
+        return;
+    }
     validate(&doc).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
     let cells = doc.get("cells").and_then(Json::as_arr).map_or(0, <[Json]>::len);
 

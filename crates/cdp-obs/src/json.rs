@@ -36,11 +36,16 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Appends `key: value` to an object; panics on non-objects (a
-    /// programming error in artifact-building code, not a data error).
+    /// Sets `key: value` in an object — replacing in place if the key
+    /// already exists (so re-setting never emits duplicate JSON keys),
+    /// appending otherwise. Panics on non-objects (a programming error
+    /// in artifact-building code, not a data error).
     pub fn set(&mut self, key: &str, value: Json) {
         match self {
-            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            Json::Obj(pairs) => match pairs.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => pairs.push((key.to_string(), value)),
+            },
             other => panic!("Json::set on non-object {other:?}"),
         }
     }

@@ -24,5 +24,8 @@ pub mod manifest;
 pub mod trace;
 
 pub use json::Json;
-pub use manifest::{fingerprint, fingerprint_hex, validate, REQUIRED_KEYS, SCHEMA_VERSION};
+pub use manifest::{
+    fingerprint, fingerprint_hex, validate, validate_bench, BENCH_SCHEMA_VERSION, REQUIRED_KEYS,
+    SCHEMA_VERSION,
+};
 pub use trace::{DropReason, EngineTag, FaultTag, TraceData, TraceEvent, TraceRing, VamCause};

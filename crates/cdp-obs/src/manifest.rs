@@ -12,6 +12,16 @@ use crate::json::Json;
 /// Manifest schema version; bump when a required key changes meaning.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// BENCH snapshot schema version. A `BENCH_*.json` is a copied manifest
+/// plus benchmark-layer keys; v2 adds `bench_schema_version` itself and
+/// the sampled `suite_wall_stats` object (v1 snapshots predate both and
+/// carry only the point `suite_wall_ms` — some not even that).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Keys every `suite_wall_stats` (and micro `*_stats`) object must
+/// carry, all numeric.
+pub const BENCH_STATS_KEYS: &[&str] = &["mean_ms", "median_ms", "ci95_lo", "ci95_hi", "samples"];
+
 /// Keys every valid manifest must carry at the top level.
 pub const REQUIRED_KEYS: &[&str] = &[
     "schema_version",
@@ -113,6 +123,67 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one sampled-statistics object (`suite_wall_stats` or a
+/// micro kernel's `*_stats`).
+fn validate_stats(name: &str, j: &Json) -> Result<(), String> {
+    if !matches!(j, Json::Obj(_)) {
+        return Err(format!("{name} must be an object"));
+    }
+    for key in BENCH_STATS_KEYS {
+        if j.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("{name} missing numeric key {key:?}"));
+        }
+    }
+    let lo = j.get("ci95_lo").and_then(Json::as_f64).expect("checked");
+    let hi = j.get("ci95_hi").and_then(Json::as_f64).expect("checked");
+    if lo > hi {
+        return Err(format!("{name} has inverted interval [{lo}, {hi}]"));
+    }
+    match j.get("samples").and_then(Json::as_u64) {
+        Some(n) if n >= 1 => Ok(()),
+        _ => Err(format!("{name}.samples must be a positive integer")),
+    }
+}
+
+/// Validates a parsed BENCH snapshot (`BENCH_*.json`).
+///
+/// A BENCH snapshot is a manifest superset, so [`validate`] runs first.
+/// On top of that, a v2 snapshot must carry `bench_schema_version: 2`
+/// and a well-formed `suite_wall_stats`; any `micro` entry ending in
+/// `_stats` must be well-formed too. Snapshots without
+/// `bench_schema_version` are rejected as legacy v1 — `bench-compare`
+/// still reads them, but freshly emitted files must be v2.
+///
+/// # Errors
+///
+/// Returns a message naming the first violated constraint.
+pub fn validate_bench(doc: &Json) -> Result<(), String> {
+    validate(doc)?;
+    match doc.get("bench_schema_version").and_then(Json::as_u64) {
+        Some(BENCH_SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("unsupported bench_schema_version {v}")),
+        None => {
+            return Err(
+                "missing bench_schema_version (legacy v1 BENCH snapshot — \
+                 regenerate with scripts/bench.sh)"
+                    .to_string(),
+            )
+        }
+    }
+    let stats = doc
+        .get("suite_wall_stats")
+        .ok_or_else(|| "BENCH v2 requires suite_wall_stats".to_string())?;
+    validate_stats("suite_wall_stats", stats)?;
+    if let Some(Json::Obj(pairs)) = doc.get("micro") {
+        for (k, v) in pairs {
+            if k.ends_with("_stats") {
+                validate_stats(&format!("micro.{k}"), v)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +240,72 @@ mod tests {
             let err = validate(&stripped).unwrap_err();
             assert!(err.contains(key), "error {err:?} should name {key:?}");
         }
+    }
+
+    fn minimal_bench() -> Json {
+        let mut doc = minimal_manifest();
+        doc.set("bench_schema_version", Json::U64(BENCH_SCHEMA_VERSION));
+        let mut stats = Json::obj();
+        stats.set("mean_ms", Json::F64(974.0));
+        stats.set("median_ms", Json::F64(973.0));
+        stats.set("ci95_lo", Json::F64(960.0));
+        stats.set("ci95_hi", Json::F64(988.0));
+        stats.set("samples", Json::U64(5));
+        stats.set("rejected", Json::U64(0));
+        doc.set("suite_wall_stats", stats);
+        doc
+    }
+
+    #[test]
+    fn validate_bench_accepts_v2() {
+        validate_bench(&minimal_bench()).expect("valid BENCH v2");
+    }
+
+    #[test]
+    fn validate_bench_rejects_legacy_and_malformed() {
+        // Legacy v1 (a plain manifest) is named as such.
+        let err = validate_bench(&minimal_manifest()).unwrap_err();
+        assert!(err.contains("legacy v1"), "got {err:?}");
+
+        let mut doc = minimal_bench();
+        doc.set("bench_schema_version", Json::U64(3));
+        assert!(validate_bench(&doc).unwrap_err().contains("bench_schema_version"));
+
+        let mut doc = minimal_bench();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        pairs.retain(|(k, _)| k != "suite_wall_stats");
+        assert!(validate_bench(&doc).unwrap_err().contains("suite_wall_stats"));
+
+        let mut doc = minimal_bench();
+        let mut bad = Json::obj();
+        bad.set("mean_ms", Json::F64(1.0));
+        doc.set("suite_wall_stats", bad);
+        assert!(validate_bench(&doc).unwrap_err().contains("median_ms"));
+
+        // An inverted interval is structurally impossible output.
+        let mut doc = minimal_bench();
+        let stats = doc.get("suite_wall_stats").unwrap().clone();
+        let Json::Obj(mut pairs) = stats else { unreachable!() };
+        pairs.iter_mut().find(|(k, _)| k == "ci95_lo").unwrap().1 = Json::F64(1000.0);
+        doc.set("suite_wall_stats", Json::Obj(pairs));
+        assert!(validate_bench(&doc).unwrap_err().contains("inverted"));
+
+        // Malformed micro stats objects are caught too.
+        let mut doc = minimal_bench();
+        let mut micro = Json::obj();
+        let mut bad = Json::obj();
+        bad.set("mean_ms", Json::F64(1.0));
+        micro.set("vam_scan_line_stats", bad);
+        doc.set("micro", micro);
+        assert!(validate_bench(&doc).unwrap_err().contains("vam_scan_line_stats"));
+    }
+
+    #[test]
+    fn validate_bench_still_requires_manifest_shape() {
+        let mut doc = minimal_bench();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        pairs.retain(|(k, _)| k != "cells");
+        assert!(validate_bench(&doc).unwrap_err().contains("cells"));
     }
 
     #[test]

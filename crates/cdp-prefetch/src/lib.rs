@@ -34,7 +34,10 @@ pub use content::{ContentPrefetcher, ContentStats};
 pub use markov::{MarkovPrefetcher, MarkovStats};
 pub use stream::{StreamConfig, StreamPrefetcher, StreamStats};
 pub use stride::{StridePrefetcher, StrideStats};
-pub use vam::{classify, is_candidate, scan_line, LineScan, ScanHits, VamVerdict, MAX_SCAN_HITS};
+pub use vam::{
+    classify, is_candidate, scan_line, scan_line_scalar, LineScan, ScanHits, VamVerdict,
+    MAX_SCAN_HITS,
+};
 
 use cdp_types::{RequestKind, VirtAddr};
 

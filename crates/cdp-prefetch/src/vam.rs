@@ -193,6 +193,76 @@ impl<'a> IntoIterator for &'a ScanHits {
     }
 }
 
+/// The loop-invariant part of a line scan, precomputed once per fill.
+///
+/// [`classify`] re-derives masks and shifts from the config for every
+/// word; over a 16–61-word line that work is identical each time. The
+/// plan folds the three VAM tests into three mask/shift/compare triples
+/// so the per-word check is pure straight-line bit arithmetic:
+///
+/// * align — `word & align_mask == 0` (`align_bits >= 33` can never
+///   pass, since `trailing_zeros` is at most 32: planned as reject-all);
+/// * compare — `(word as u64) >> cmp_shift == cmp_value`, which unifies
+///   the degenerate regimes: `n == 0` shifts everything away
+///   (`0 == 0`), `n >= 32` shifts nothing (exact equality);
+/// * filter — `(word >> filter_shift) & filter_mask != filter_reject`.
+///   The extreme-region test depends only on the *trigger's* upper bits
+///   (a word that passes compare shares them), so whether the filter
+///   fires at all is known before the scan: outside the extreme regions
+///   the mask is 0 and reject is 1, which can never match. A trigger in
+///   an extreme region with `filter_bits == 0` rejects every
+///   compare-passing word, i.e. the whole scan — planned as reject-all.
+struct ScanPlan {
+    align_mask: u32,
+    cmp_shift: u32,
+    cmp_value: u64,
+    filter_shift: u32,
+    filter_mask: u32,
+    filter_reject: u32,
+}
+
+impl ScanPlan {
+    /// Builds the plan, or `None` when no word can possibly be accepted.
+    fn new(trigger_ea: VirtAddr, cfg: &VamConfig) -> Option<ScanPlan> {
+        let align_mask = match cfg.align_bits {
+            0 => 0,
+            a @ 1..=31 => (1u32 << a) - 1,
+            32 => u32::MAX,
+            _ => return None,
+        };
+        let n = cfg.compare_bits;
+        let (cmp_shift, cmp_value) = if n == 0 {
+            (32, 0)
+        } else if n >= 32 {
+            (0, u64::from(trigger_ea.0))
+        } else {
+            (32 - n, u64::from(trigger_ea.0 >> (32 - n)))
+        };
+        let (mut filter_shift, mut filter_mask, mut filter_reject) = (0, 0, 1);
+        if (1..32).contains(&n) {
+            let upper_ea = trigger_ea.0 >> (32 - n);
+            let ones = (1u32 << n) - 1;
+            if upper_ea == 0 || upper_ea == ones {
+                if cfg.filter_bits == 0 {
+                    return None;
+                }
+                let m = cfg.filter_bits.min(32 - n);
+                filter_shift = 32 - n - m;
+                filter_mask = (1u32 << m) - 1;
+                filter_reject = if upper_ea == 0 { 0 } else { filter_mask };
+            }
+        }
+        Some(ScanPlan {
+            align_mask,
+            cmp_shift,
+            cmp_value,
+            filter_shift,
+            filter_mask,
+            filter_reject,
+        })
+    }
+}
+
 /// Scans a 64-byte fill for candidate virtual addresses (Figure 5).
 ///
 /// `trigger_ea` is the effective address of the memory request that caused
@@ -200,7 +270,52 @@ impl<'a> IntoIterator for &'a ScanHits {
 /// the full word stays in bounds: a 1-byte step examines 61 words, a 4-byte
 /// step 16 (§3.3's worked example). The result lives entirely on the stack:
 /// no heap allocation per scanned line.
+///
+/// This is the optimized scanner. The config-dependent mask/shift work is
+/// hoisted into a [`ScanPlan`] built once per line (including reject-all
+/// short-circuits that skip the loop entirely), words are read with
+/// single unaligned little-endian loads, and each word faces one
+/// branch-free mask/shift/compare triple per test, most discriminating
+/// first. Fully branchless per-word evaluation (accept bitmasks,
+/// unconditional stores) measured *slower* than this shape on real fill
+/// mixes — see PERF.md for the negative results. [`scan_line_scalar`] is
+/// the straight-from-the-paper reference; the differential test suite
+/// holds them hit-for-hit identical.
 pub fn scan_line(data: &[u8; LINE_SIZE], trigger_ea: VirtAddr, cfg: &VamConfig) -> ScanHits {
+    let mut found = ScanHits::new();
+    let Some(plan) = ScanPlan::new(trigger_ea, cfg) else {
+        return found;
+    };
+    let step = cfg.scan_step.max(1);
+    let mut offset = 0;
+    while offset + WORD_SIZE <= LINE_SIZE {
+        let word = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap());
+        // Compare first: it is the most discriminating test on real fill
+        // traffic (most words do not share the trigger's upper bits), so
+        // the common case is a single shift-and-compare rejection.
+        if (u64::from(word) >> plan.cmp_shift) == plan.cmp_value
+            && (word & plan.align_mask) == 0
+            && ((word >> plan.filter_shift) & plan.filter_mask) != plan.filter_reject
+        {
+            found.push(LineScan {
+                offset,
+                candidate: VirtAddr(word),
+            });
+        }
+        offset += step;
+    }
+    found
+}
+
+/// Scalar reference implementation of [`scan_line`]: one [`classify`]
+/// call per word, exactly as §3.3 describes the hardware. Kept as the
+/// differential oracle for the optimized scanner (and for readers who
+/// want the heuristic without the bit tricks).
+pub fn scan_line_scalar(
+    data: &[u8; LINE_SIZE],
+    trigger_ea: VirtAddr,
+    cfg: &VamConfig,
+) -> ScanHits {
     let step = cfg.scan_step.max(1);
     let mut found = ScanHits::new();
     let mut offset = 0;

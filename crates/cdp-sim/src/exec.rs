@@ -452,17 +452,47 @@ pub struct JobObs {
 /// cache on or off. Keys are caller-computed FNV-1a fingerprints that
 /// must cover *everything* behavior-affecting: the full config, workload
 /// identity, scale, seed, and any pollution/fault attachments.
-#[derive(Debug, Default)]
+///
+/// Storage is sharded into [`CACHE_STRIPES`] independently-locked
+/// stripes selected by the key's low bits (FNV-1a mixes well, so keys
+/// spread uniformly). Concurrent jobs touching different cells then take
+/// different locks; a single global `Mutex` serialized every lookup at
+/// high `--jobs` counts. Hit/miss counters stay whole-cache atomics —
+/// sharding changes lock granularity, never observable counts.
+#[derive(Debug)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<u64, (RunStats, Option<Observation>)>>,
+    stripes: [ResultStripe; CACHE_STRIPES],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// One independently-locked stripe of a [`ResultCache`]: fingerprint →
+/// replayable outcome.
+type ResultStripe = Mutex<HashMap<u64, (RunStats, Option<Observation>)>>;
+
+/// Lock stripes per shared cache ([`ResultCache`], [`WorkloadCache`]).
+/// A power of two so stripe selection is a mask; 16 comfortably exceeds
+/// any plausible worker count on this workload.
+pub const CACHE_STRIPES: usize = 16;
+
+impl Default for ResultCache {
+    fn default() -> ResultCache {
+        ResultCache {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ResultCache {
     /// Creates an empty cache.
     pub fn new() -> ResultCache {
         ResultCache::default()
+    }
+
+    fn stripe(&self, key: u64) -> &ResultStripe {
+        &self.stripes[key as usize & (CACHE_STRIPES - 1)]
     }
 
     /// Cache hits served so far.
@@ -477,7 +507,10 @@ impl ResultCache {
 
     /// Finished cells currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("result cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("result cache poisoned").len())
+            .sum()
     }
 
     /// Whether no cells are held.
@@ -485,18 +518,22 @@ impl ResultCache {
         self.len() == 0
     }
 
-    fn get(&self, key: u64) -> Option<(RunStats, Option<Observation>)> {
-        self.entries
+    /// Raw lookup by fingerprint key. Public for the concurrency tests
+    /// and the contention microbench; [`SimJob::try_execute`] is the
+    /// consumer that also maintains the hit/miss counters.
+    pub fn get(&self, key: u64) -> Option<(RunStats, Option<Observation>)> {
+        self.stripe(key)
             .lock()
             .expect("result cache poisoned")
             .get(&key)
             .cloned()
     }
 
-    fn put(&self, key: u64, stats: RunStats, observation: Option<Observation>) {
-        // Duplicate inserts under a race carry identical values
-        // (deterministic simulation), so either copy may win.
-        self.entries
+    /// Raw insert by fingerprint key. Duplicate inserts under a race
+    /// carry identical values (deterministic simulation), so either copy
+    /// may win.
+    pub fn put(&self, key: u64, stats: RunStats, observation: Option<Observation>) {
+        self.stripe(key)
             .lock()
             .expect("result cache poisoned")
             .insert(key, (stats, observation));
@@ -811,13 +848,16 @@ impl SimJob {
         }
         let mut session = session.unwrap_or_else(|| sim.session(&self.workload, obs_cfg));
         let mut last_checkpoint = session.cycles();
+        // One snapshot arena recycled across every checkpoint write.
+        let mut snap_buf = Vec::new();
         loop {
             if session.step()? {
                 break;
             }
             if spec.every > 0 && session.cycles().saturating_sub(last_checkpoint) >= spec.every {
                 last_checkpoint = session.cycles();
-                write_atomic(&path, &session.snapshot());
+                snap_buf = session.snapshot_into(snap_buf);
+                write_atomic(&path, &snap_buf);
             }
         }
         // The cell finished: its checkpoint has served its purpose. A
@@ -855,15 +895,38 @@ impl SimJob {
 /// matters. Workload generation is deterministic (fixed experiment
 /// seed), so the rare duplicate build under a race produces an identical
 /// image and either copy may win.
-#[derive(Debug, Default)]
+///
+/// Sharded like [`ResultCache`]: [`CACHE_STRIPES`] stripes selected by
+/// benchmark, so concurrent first-builds of *different* benchmarks never
+/// contend on one lock (the builds themselves already ran unlocked; this
+/// removes the remaining serialization on the map itself).
+#[derive(Debug)]
 pub struct WorkloadCache {
-    entries: Mutex<HashMap<(Benchmark, Scale), Arc<Workload>>>,
+    stripes: [WorkloadStripe; CACHE_STRIPES],
+}
+
+/// One independently-locked stripe of a [`WorkloadCache`]: (benchmark,
+/// scale) → shared built image.
+type WorkloadStripe = Mutex<HashMap<(Benchmark, Scale), Arc<Workload>>>;
+
+impl Default for WorkloadCache {
+    fn default() -> WorkloadCache {
+        WorkloadCache {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
 }
 
 impl WorkloadCache {
     /// An empty cache.
     pub fn new() -> WorkloadCache {
         WorkloadCache::default()
+    }
+
+    fn stripe(&self, bench: Benchmark) -> &WorkloadStripe {
+        self.stripes
+            .get(bench as usize & (CACHE_STRIPES - 1))
+            .expect("stripe mask in bounds")
     }
 
     /// The workload for `bench` at `scale` with the experiment seed,
@@ -882,12 +945,13 @@ impl WorkloadCache {
         scale: Scale,
         build: impl FnOnce() -> Workload,
     ) -> Arc<Workload> {
-        if let Some(w) = self.entries.lock().expect("cache lock").get(&(bench, scale)) {
+        let stripe = self.stripe(bench);
+        if let Some(w) = stripe.lock().expect("cache lock").get(&(bench, scale)) {
             return Arc::clone(w);
         }
         let built = Arc::new(build());
         Arc::clone(
-            self.entries
+            stripe
                 .lock()
                 .expect("cache lock")
                 .entry((bench, scale))
@@ -897,7 +961,10 @@ impl WorkloadCache {
 
     /// How many distinct `(benchmark, scale)` images are cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("cache lock").len())
+            .sum()
     }
 
     /// Whether the cache is empty.

@@ -53,7 +53,7 @@ pub mod system;
 
 pub use exec::{
     default_jobs, CheckpointProvenance, CheckpointSpec, CheckpointStatus, JobObs, JobOutcome,
-    JobReport, Pool, ResultCache, RunPolicy, SimJob, SimResult, WorkloadCache,
+    JobReport, Pool, ResultCache, RunPolicy, SimJob, SimResult, WorkloadCache, CACHE_STRIPES,
 };
 pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
@@ -61,4 +61,6 @@ pub use metrics::{accuracy, coverage, geomean, mean};
 pub use observe::{MetricsWindow, Observation, ObsEntry, ObsSink};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
 pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
-pub use system::{speedup, RunLength, RunStats, SimSession, Simulator, WindowSample};
+pub use system::{
+    set_fast_forward, speedup, RunLength, RunStats, SimSession, Simulator, WindowSample,
+};

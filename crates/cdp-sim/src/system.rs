@@ -16,6 +16,31 @@ use crate::hierarchy::{Hierarchy, PollutionConfig};
 use crate::observe::{MetricsWindow, Observation};
 use crate::stats::MemStats;
 
+/// Process-global idle-cycle fast-forward switch (on by default); see
+/// [`set_fast_forward`].
+static FAST_FORWARD: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enables or disables the core's idle-cycle fast-forwarding for every
+/// simulation constructed afterwards (on by default).
+///
+/// Fast-forwarding is behavior-neutral — skipped cycles are provably
+/// barren, so statistics, snapshots, and emitted artifacts are
+/// bit-identical either way (DESIGN.md §"Event fast-forward") — which is
+/// exactly why this switch exists: running with it off produces the
+/// cycle-by-cycle reference schedule that CI diffs against. Because it
+/// cannot change results, it is deliberately **not** part of config
+/// fingerprints, result-cache keys, or snapshot headers.
+pub fn set_fast_forward(on: bool) {
+    FAST_FORWARD.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Builds a core with the process-global fast-forward setting applied.
+fn build_core<'p>(cfg: &SystemConfig, program: &'p cdp_core::Program) -> Core<'p> {
+    let mut core = Core::new(cfg.core.clone(), program);
+    core.set_fast_forward(FAST_FORWARD.load(std::sync::atomic::Ordering::Relaxed));
+    core
+}
+
 /// Canonical run sizes used across examples, tests, and experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunLength {
@@ -303,7 +328,7 @@ impl Simulator {
             Some(_) => metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1),
         };
         SimSession {
-            core: Core::new(self.cfg.core.clone(), &workload.program),
+            core: build_core(&self.cfg, &workload.program),
             hierarchy,
             warmup_uops: self.cfg.warmup_uops,
             window,
@@ -349,7 +374,7 @@ impl Simulator {
     /// [`Simulator::try_run`]).
     pub fn run_timeline(&self, workload: &Workload, window_uops: u64) -> Vec<WindowSample> {
         let mut hierarchy = self.build_hierarchy(workload);
-        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut core = build_core(&self.cfg, &workload.program);
         let mut samples = Vec::new();
         let mut target = window_uops;
         let mut prev_retired = 0u64;
@@ -392,7 +417,7 @@ impl Simulator {
     /// [`Simulator::try_run`]).
     pub fn run_mptu_trace(&self, workload: &Workload, window_uops: u64) -> Vec<f64> {
         let mut hierarchy = self.build_hierarchy(workload);
-        let mut core = Core::new(self.cfg.core.clone(), &workload.program);
+        let mut core = build_core(&self.cfg, &workload.program);
         let mut samples = Vec::new();
         let mut target = window_uops;
         let mut prev_misses = 0u64;
@@ -520,7 +545,15 @@ impl<'w> SimSession<'w> {
     /// scalars, and the metrics accumulator — into a self-describing
     /// snapshot (magic, version, fingerprint, per-section checksums).
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut w = cdp_snap::SnapWriter::new(self.fingerprint);
+        self.snapshot_into(Vec::new())
+    }
+
+    /// [`SimSession::snapshot`] into a caller-owned buffer: `buf` is
+    /// cleared, refilled, and returned, so a periodic checkpointer can
+    /// recycle one allocation across every snapshot it writes. Output
+    /// bytes are identical to [`SimSession::snapshot`].
+    pub fn snapshot_into(&self, buf: Vec<u8>) -> Vec<u8> {
+        let mut w = cdp_snap::SnapWriter::new_in(self.fingerprint, buf);
         w.section(SEC_RUN, |e| {
             e.u64(self.target);
             e.bool(self.warmed);

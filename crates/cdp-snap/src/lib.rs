@@ -104,6 +104,15 @@ impl Enc {
         Enc::default()
     }
 
+    /// An encoder that appends to `buf`'s existing contents. Lets a
+    /// caller encode a payload directly into an arena it owns (see
+    /// [`SnapWriter::section`]) instead of paying a fresh allocation and
+    /// a copy per payload.
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Enc { buf }
+    }
+
     /// The encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
@@ -298,7 +307,17 @@ impl SnapWriter {
     /// Starts a snapshot for the run identified by `fingerprint`.
     #[must_use]
     pub fn new(fingerprint: u64) -> Self {
-        let mut buf = Vec::with_capacity(4096);
+        SnapWriter::new_in(fingerprint, Vec::with_capacity(4096))
+    }
+
+    /// Starts a snapshot in a caller-supplied buffer, clearing it first
+    /// but keeping its capacity. A periodic checkpointer that reuses one
+    /// buffer across snapshots allocates only while the snapshot is still
+    /// growing toward its steady-state size. The output bytes are
+    /// identical to [`SnapWriter::new`].
+    #[must_use]
+    pub fn new_in(fingerprint: u64, mut buf: Vec<u8>) -> Self {
+        buf.clear();
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&VERSION.to_le_bytes());
         buf.extend_from_slice(&fingerprint.to_le_bytes());
@@ -308,18 +327,27 @@ impl SnapWriter {
 
     /// Appends one section: the closure fills the payload, the writer
     /// adds the tag, length prefix, and FNV-1a checksum.
+    ///
+    /// The payload is encoded in place in the snapshot buffer (the
+    /// encoder the closure sees is a view over it, with the length
+    /// prefix patched afterwards), so a section costs no allocation of
+    /// its own once the buffer has reached steady-state capacity.
     pub fn section(&mut self, tag: u32, fill: impl FnOnce(&mut Enc)) {
-        let mut enc = Enc::new();
-        fill(&mut enc);
-        let payload = enc.into_bytes();
         self.buf.extend_from_slice(&tag.to_le_bytes());
-        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let len_at = self.buf.len();
+        self.buf.extend_from_slice(&0u64.to_le_bytes()); // patched below
+        let payload_at = self.buf.len();
+        let mut enc = Enc::from_vec(std::mem::take(&mut self.buf));
+        fill(&mut enc);
+        self.buf = enc.into_bytes();
+        let payload_len = (self.buf.len() - payload_at) as u64;
+        self.buf[len_at..len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
         let mut sum = Fnv1a::new();
         sum.write_u32(tag);
-        sum.write_u64(payload.len() as u64);
-        sum.write(&payload);
-        self.buf.extend_from_slice(&payload);
-        self.buf.extend_from_slice(&sum.finish().to_le_bytes());
+        sum.write_u64(payload_len);
+        sum.write(&self.buf[payload_at..]);
+        let digest = sum.finish();
+        self.buf.extend_from_slice(&digest.to_le_bytes());
         self.count += 1;
     }
 

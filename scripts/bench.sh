@@ -4,20 +4,28 @@
 # the manifest as BENCH_<utc-stamp>.json in the repo root so a
 # machine-readable performance trajectory accumulates across commits.
 #
-# The snapshot's header carries the suite-level numbers the trajectory
-# tracks: `suite_wall_ms` (total wall time across the pinned ids),
-# `result_cache_hits`/`result_cache_misses`, and
+# The sweep is repeated SAMPLES times (after one discarded warm-up run)
+# and the per-run wall times are folded into `suite_wall_stats`
+# ({mean_ms, median_ms, ci95_lo, ci95_hi, samples, rejected} — MAD
+# outlier rejection, Student's-t 95% interval) by `bench-stats`,
+# upgrading the snapshot to BENCH schema v2. The header still carries
+# the point numbers the v1 trajectory tracked: `suite_wall_ms` (from the
+# last run), `result_cache_hits`/`result_cache_misses`, and
 # `aggregates.cells_total`.
 #
 # Usage: bench.sh [--micro]
 #   --micro  also run the std-only `microbench` kernels (cache access,
-#            line read, VAM scan, MSHR insert/drain) and merge their
-#            numbers into the snapshot under a top-level `micro` key.
+#            line read, VAM scan, MSHR insert/drain, snapshot encode,
+#            result-cache contention) with the same SAMPLES count and
+#            merge their numbers into the snapshot under a top-level
+#            `micro` key (per-kernel `_stats` objects when SAMPLES > 1).
 #
 # Knobs (environment variables):
-#   SCALE  smoke|quick|full   run size           (default: smoke)
-#   JOBS   N                  worker threads     (default: 2)
-#   OUT    dir                artifact directory (default: target/bench-manifest)
+#   SCALE    smoke|quick|full  run size            (default: smoke)
+#   JOBS     N                 worker threads      (default: 2)
+#   SAMPLES  N                 timed sweep repeats (default: 5)
+#   OUT      dir               artifact directory  (default: target/bench-manifest)
+#   EXTRA    flags             extra experiment flags, e.g. --no-fast-forward
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,27 +42,46 @@ done
 
 SCALE="${SCALE:-smoke}"
 JOBS="${JOBS:-2}"
+SAMPLES="${SAMPLES:-5}"
 OUT="${OUT:-target/bench-manifest}"
+EXTRA="${EXTRA:-}"
 # The pinned sweep: one TLB-pressure grid and one depth/width/reinforce
 # grid — together they exercise every prefetch engine and drop path.
 IDS=(tlb fig9)
 
 cargo build --release -p cdp-experiments -p cdp-obs -p cdp-bench
 
-rm -rf "$OUT"
-./target/release/experiments "${IDS[@]}" "--${SCALE}" --jobs "$JOBS" \
-    --metrics-window 65536 --emit-manifest "$OUT" > /dev/null
+# shellcheck disable=SC2086  # EXTRA is intentionally word-split
+run_sweep() {
+    rm -rf "$OUT"
+    ./target/release/experiments "${IDS[@]}" "--${SCALE}" --jobs "$JOBS" \
+        --metrics-window 65536 --emit-manifest "$OUT" $EXTRA > /dev/null
+    grep -o '"suite_wall_ms":[0-9]*' "$OUT/manifest.json" | cut -d: -f2
+}
+
+# One discarded warm-up run (page cache, frequency governor), then the
+# timed samples. Each run re-executes the full sweep; the result cache
+# is per-process so later samples are not served from earlier ones.
+run_sweep > /dev/null
+walls=""
+for _ in $(seq "$SAMPLES"); do
+    w="$(run_sweep)"
+    walls="${walls:+$walls,}$w"
+done
 
 ./target/release/validate-manifest "$OUT/manifest.json" "$OUT/metrics.jsonl"
 
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 cp "$OUT/manifest.json" "BENCH_${stamp}.json"
+./target/release/bench-stats --inject "BENCH_${stamp}.json" --suite-wall-ms "$walls"
 if [ "$MICRO" -eq 1 ]; then
-    ./target/release/microbench --inject "BENCH_${stamp}.json" > /dev/null
+    ./target/release/microbench --samples "$SAMPLES" \
+        --inject "BENCH_${stamp}.json" > /dev/null
 fi
+./target/release/validate-manifest --bench "BENCH_${stamp}.json"
 
 wall="$(grep -o '"suite_wall_ms":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
 hits="$(grep -o '"result_cache_hits":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
 cells="$(grep -o '"cells_total":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
-echo "bench: wrote BENCH_${stamp}.json (scale=$SCALE jobs=$JOBS ids=${IDS[*]})"
-echo "bench: suite_wall_ms=$wall cells=$cells result_cache_hits=$hits micro=$MICRO"
+echo "bench: wrote BENCH_${stamp}.json (scale=$SCALE jobs=$JOBS samples=$SAMPLES ids=${IDS[*]})"
+echo "bench: suite_wall_ms=$wall samples=[$walls] cells=$cells result_cache_hits=$hits micro=$MICRO"

@@ -46,6 +46,31 @@ cmp /tmp/cdp-rc-on.out /tmp/cdp-rc-off.out || {
     exit 1
 }
 
+echo "== fast-forward smoke (byte-identity fast path vs reference schedule) =="
+# Idle-cycle fast-forwarding must be behavior-neutral: the event-driven
+# fast path and the cycle-by-cycle reference schedule forced by
+# --no-fast-forward must render byte-identical stdout (DESIGN.md §13).
+./target/release/experiments tlb fig2 --smoke --jobs 2 > /tmp/cdp-ff-on.out
+./target/release/experiments tlb fig2 --smoke --jobs 2 --no-fast-forward \
+    > /tmp/cdp-ff-off.out
+cmp /tmp/cdp-ff-on.out /tmp/cdp-ff-off.out || {
+    echo "fast-forward smoke: stdout differs with --no-fast-forward" >&2
+    exit 1
+}
+
+echo "== bench smoke (statistical harness + self-comparison) =="
+# A short bench.sh run must produce a schema-v2 snapshot that validates,
+# and bench-compare of a snapshot against itself must classify every
+# tracked metric as unchanged (exit 0) — the CI-overlap classifier can
+# never call identical confidence intervals a regression.
+SAMPLES=3 OUT=/tmp/cdp-bench-ci ./scripts/bench.sh --micro > /dev/null 2>&1
+bench_snap=$(ls -t BENCH_*.json | head -1)
+./target/release/bench-compare "$bench_snap" "$bench_snap" > /dev/null || {
+    echo "bench smoke: self-comparison of $bench_snap not clean" >&2
+    exit 1
+}
+rm -f "$bench_snap"
+
 echo "== checkpoint smoke (kill mid-flight, resume, byte-identity) =="
 # Snapshot/resume (DESIGN.md §12): a sweep killed mid-flight and resumed
 # from its checkpoints must produce byte-identical stdout to an
