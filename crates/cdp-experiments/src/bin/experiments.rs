@@ -6,6 +6,7 @@
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
 //!             [--verbose-timing] [--no-result-cache] [--no-fast-forward]
+//!             [--result-store <dir>]
 //!             [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]
 //! experiments all [--quick] [--jobs N]
 //! ```
@@ -20,6 +21,14 @@
 //! seed — instead of re-simulating them. Stdout is byte-identical with
 //! the cache on or off; `--no-result-cache` disables it, and
 //! `--verbose-timing` reports the hit/miss counts on stderr.
+//!
+//! `--result-store <dir>` (DESIGN.md §14) backs the result cache with a
+//! crash-safe on-disk store: finished cells persist across processes, so
+//! a re-run of the same sweep replays every cell from disk (the manifest
+//! shows `result_store_misses: 0`) with byte-identical stdout. Damaged
+//! entries are quarantined and recomputed, never replayed; the
+//! `store-fsck` binary validates/repairs a store directory. Requires the
+//! result cache (conflicts with `--no-result-cache`).
 //!
 //! `--no-fast-forward` disables the core's idle-cycle event skip and
 //! steps every cycle (DESIGN.md §"Event fast-forward"). Skipped cycles
@@ -220,6 +229,7 @@ fn main() {
     let mut metrics_window: Option<u64> = None;
     let mut manifest_dir: Option<std::path::PathBuf> = None;
     let mut result_cache = true;
+    let mut result_store_dir: Option<std::path::PathBuf> = None;
     let mut checkpoint_dir: Option<std::path::PathBuf> = None;
     let mut checkpoint_every: u64 = DEFAULT_CHECKPOINT_EVERY;
     let mut resume = false;
@@ -280,6 +290,7 @@ fn main() {
                     }
                 },
                 "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
+                "--result-store" => result_store_dir = Some(std::path::PathBuf::from(a)),
                 "--checkpoint-dir" => checkpoint_dir = Some(std::path::PathBuf::from(a)),
                 "--checkpoint-every" => match a.parse::<u64>() {
                     Ok(n) if n > 0 => checkpoint_every = n,
@@ -304,7 +315,7 @@ fn main() {
             "--resume" => resume = true,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
             | "--trace-filter" | "--metrics-window" | "--emit-manifest"
-            | "--checkpoint-dir" | "--checkpoint-every" => {
+            | "--result-store" | "--checkpoint-dir" | "--checkpoint-every" => {
                 expecting = Some(a.as_str());
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
@@ -326,7 +337,7 @@ fn main() {
             "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
              [--metrics-window UOPS] [--verbose-timing] [--no-result-cache]"
         );
-        eprintln!("       [--no-fast-forward]");
+        eprintln!("       [--no-fast-forward] [--result-store <dir>]");
         eprintln!(
             "       [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]"
         );
@@ -342,16 +353,36 @@ fn main() {
         eprintln!("--resume/--checkpoint-every require --checkpoint-dir <dir>");
         std::process::exit(2);
     }
+    if result_store_dir.is_some() && !result_cache {
+        eprintln!("--result-store requires the result cache (conflicts with --no-result-cache)");
+        std::process::exit(2);
+    }
     if let Some(dir) = checkpoint_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
             std::process::exit(2);
+        }
+        // Sweep stale .part files left behind by a killed predecessor so
+        // resume scans only ever see published checkpoints.
+        let swept = cdp_store::clean_stale_parts(&cdp_store::RealIo, &dir);
+        if swept > 0 && context::verbose_timing() {
+            eprintln!("checkpoint dir: swept {swept} stale .part file(s)");
         }
         context::set_checkpointing(Some(context::CheckpointSettings {
             dir,
             every: checkpoint_every,
             resume,
         }));
+    }
+    if let Some(dir) = &result_store_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create result store dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        if let Err(e) = context::set_result_store(dir) {
+            eprintln!("cannot open result store {}: {e}", dir.display());
+            std::process::exit(2);
+        }
     }
     if !fault_specs.is_empty() {
         context::set_fault_plan(FaultPlan { specs: fault_specs });
@@ -396,6 +427,13 @@ fn main() {
     if context::verbose_timing() {
         let (hits, misses) = context::result_cache_stats();
         eprintln!("result cache: {hits} hit(s), {misses} miss(es)");
+        if result_store_dir.is_some() {
+            let (s_hits, s_misses, s_quarantined) = context::result_store_stats();
+            eprintln!(
+                "result store: {s_hits} hit(s), {s_misses} miss(es), \
+                 {s_quarantined} quarantined"
+            );
+        }
     }
     if let (Some(dir), Some(taken)) = (&manifest_dir, context::take_obs()) {
         match obs::write_artifacts(dir, scale.name(), pool.jobs(), &taken) {

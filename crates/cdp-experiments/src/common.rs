@@ -177,6 +177,7 @@ pub fn run_grid_cells(
                     key,
                     resume: ck.resume,
                     status: Some(status),
+                    io: None,
                 });
             } else {
                 checkpoint_statuses.push(None);
@@ -236,6 +237,16 @@ pub fn run_grid_cells(
                 cells.push(None);
             }
         }
+    }
+    // Fold each cell's dropped checkpoint writes into the run-wide
+    // total: best-effort writes, but the manifest must not hide them.
+    let dropped: u64 = checkpoint_statuses
+        .iter()
+        .flatten()
+        .map(|s| s.dropped_writes())
+        .sum();
+    if dropped > 0 {
+        context::add_checkpoint_dropped_writes(dropped);
     }
     (cells, failures)
 }

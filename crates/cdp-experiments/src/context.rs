@@ -52,7 +52,12 @@ static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
 static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
 static OBS: Mutex<Option<ObsState>> = Mutex::new(None);
 static RESULT_CACHE: Mutex<Option<Arc<ResultCache>>> = Mutex::new(None);
+static RESULT_STORE: Mutex<Option<Arc<cdp_store::ResultStore>>> = Mutex::new(None);
 static CHECKPOINT: Mutex<Option<CheckpointSettings>> = Mutex::new(None);
+/// Checkpoint writes dropped across the whole run (summed from per-cell
+/// [`cdp_sim::CheckpointStatus`] slots after each grid).
+static CHECKPOINT_DROPPED_WRITES: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
 
 /// Process-wide checkpointing configuration (`--checkpoint-dir`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -211,10 +216,54 @@ pub fn obs_record_experiment(id: &str, wall_ms: u64) {
 /// byte-identical either way, so the binary turns it on by default and
 /// `--no-result-cache` opts out.
 ///
+/// When a persistent store directory was installed beforehand
+/// ([`set_result_store`]), the cache is created as a write-through L1
+/// over it: results persist across processes, and a warm store replays
+/// whole sweeps without simulating.
+///
 /// [`RunStats`]: cdp_sim::RunStats
 pub fn set_result_cache(on: bool) {
-    *RESULT_CACHE.lock().expect("result cache lock") =
-        if on { Some(Arc::new(ResultCache::new())) } else { None };
+    let cache = if on {
+        match RESULT_STORE.lock().expect("result store lock").as_ref() {
+            Some(store) => Some(Arc::new(ResultCache::with_store(Arc::clone(store)))),
+            None => Some(Arc::new(ResultCache::new())),
+        }
+    } else {
+        None
+    };
+    *RESULT_CACHE.lock().expect("result cache lock") = cache;
+}
+
+/// Opens (creating if needed) the persistent result store at `dir` and
+/// installs it process-wide. Must run before [`set_result_cache`] for
+/// the cache to pick it up. Opening sweeps stale temp files and bumps
+/// the store generation.
+///
+/// # Errors
+///
+/// Propagates the store's typed open failure (unwritable directory,
+/// maintenance lock held by another process).
+pub fn set_result_store(dir: &std::path::Path) -> Result<(), cdp_types::StoreError> {
+    let store = cdp_store::ResultStore::open(dir)?;
+    *RESULT_STORE.lock().expect("result store lock") = Some(Arc::new(store));
+    Ok(())
+}
+
+/// The persistent result store, if one was installed.
+pub fn result_store() -> Option<Arc<cdp_store::ResultStore>> {
+    RESULT_STORE.lock().expect("result store lock").clone()
+}
+
+/// `(hits, misses, quarantined)` served by the persistent store so far
+/// (zeros when no store is installed).
+pub fn result_store_stats() -> (u64, u64, u64) {
+    match result_store() {
+        Some(s) => {
+            let st = s.stats();
+            (st.hits, st.misses, st.quarantined)
+        }
+        None => (0, 0, 0),
+    }
 }
 
 /// The shared result cache, if enabled.
@@ -245,11 +294,23 @@ pub fn result_cache_stats() -> (u64, u64) {
     }
 }
 
+/// Adds `n` dropped checkpoint writes to the run-wide total (summed from
+/// per-cell status slots after each grid).
+pub fn add_checkpoint_dropped_writes(n: u64) {
+    CHECKPOINT_DROPPED_WRITES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Checkpoint writes dropped so far across the whole run.
+pub fn checkpoint_dropped_writes() -> u64 {
+    CHECKPOINT_DROPPED_WRITES.load(Ordering::Relaxed)
+}
+
 /// Ends collection and returns everything accumulated, with sink entries
 /// drained in `(batch, index)` order. `None` if collection was off.
 pub fn take_obs() -> Option<ObsTaken> {
     let state = OBS.lock().expect("obs lock").take()?;
     let (result_cache_hits, result_cache_misses) = result_cache_stats();
+    let (result_store_hits, result_store_misses, result_store_quarantined) = result_store_stats();
     Some(ObsTaken {
         cells: state.cells,
         experiments: state.experiments,
@@ -257,6 +318,10 @@ pub fn take_obs() -> Option<ObsTaken> {
         batch_experiments: state.batch_experiments,
         result_cache_hits,
         result_cache_misses,
+        result_store_hits,
+        result_store_misses,
+        result_store_quarantined,
+        checkpoint_dropped_writes: checkpoint_dropped_writes(),
     })
 }
 

@@ -92,6 +92,16 @@ pub struct ObsTaken {
     pub result_cache_hits: u64,
     /// Cells simulated because the result cache had no usable entry.
     pub result_cache_misses: u64,
+    /// Entries replayed from the persistent result store (0 without
+    /// `--result-store`).
+    pub result_store_hits: u64,
+    /// Store lookups that found no usable entry on disk.
+    pub result_store_misses: u64,
+    /// Damaged store entries moved aside and recomputed.
+    pub result_store_quarantined: u64,
+    /// Checkpoint writes that failed and were dropped (best-effort
+    /// writes, but never silent).
+    pub checkpoint_dropped_writes: u64,
 }
 
 impl ObsTaken {
@@ -150,6 +160,16 @@ pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
     doc.set("suite_wall_ms", Json::U64(suite_wall_ms));
     doc.set("result_cache_hits", Json::U64(taken.result_cache_hits));
     doc.set("result_cache_misses", Json::U64(taken.result_cache_misses));
+    doc.set("result_store_hits", Json::U64(taken.result_store_hits));
+    doc.set("result_store_misses", Json::U64(taken.result_store_misses));
+    doc.set(
+        "result_store_quarantined",
+        Json::U64(taken.result_store_quarantined),
+    );
+    doc.set(
+        "checkpoint_dropped_writes",
+        Json::U64(taken.checkpoint_dropped_writes),
+    );
     doc.set(
         "experiments",
         Json::Arr(taken.experiments.iter().map(ExperimentRecord::to_json).collect()),
@@ -295,6 +315,10 @@ mod tests {
             batch_experiments: vec!["tlb".into()],
             result_cache_hits: 3,
             result_cache_misses: 5,
+            result_store_hits: 2,
+            result_store_misses: 3,
+            result_store_quarantined: 1,
+            checkpoint_dropped_writes: 4,
         }
     }
 
@@ -311,6 +335,16 @@ mod tests {
         assert_eq!(doc.get("suite_wall_ms").unwrap().as_u64(), Some(950));
         assert_eq!(doc.get("result_cache_hits").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("result_cache_misses").unwrap().as_u64(), Some(5));
+        assert_eq!(doc.get("result_store_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("result_store_misses").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            doc.get("result_store_quarantined").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("checkpoint_dropped_writes").unwrap().as_u64(),
+            Some(4)
+        );
         // Round-trips through the parser.
         let reparsed = Json::parse(&doc.to_string()).unwrap();
         cdp_obs::validate(&reparsed).expect("still valid after round-trip");

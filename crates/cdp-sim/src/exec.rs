@@ -121,6 +121,10 @@ pub struct RunPolicy {
     pub backoff_base: Duration,
     /// Upper bound on the exponential backoff.
     pub backoff_cap: Duration,
+    /// Seed for deterministic retry jitter (see
+    /// [`RunPolicy::backoff_jittered`]). The same seed always produces
+    /// the same jitter schedule, so runs stay reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for RunPolicy {
@@ -132,6 +136,7 @@ impl Default for RunPolicy {
             max_attempts: 1,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0,
         }
     }
 }
@@ -144,6 +149,32 @@ impl RunPolicy {
         self.backoff_base
             .saturating_mul(factor)
             .min(self.backoff_cap)
+    }
+
+    /// [`RunPolicy::backoff`] with deterministic subtractive jitter.
+    ///
+    /// Tasks that fail together retry together: with the lockstep
+    /// schedule, every colliding retry at high `--jobs` re-lands on the
+    /// same instant, attempt after attempt. Jitter de-synchronizes them
+    /// by shortening each wait by up to 25%, mixed from `(jitter_seed,
+    /// salt, retry)` — no clock, no global RNG — so a given task index
+    /// always waits the same amount and results stay byte-identical
+    /// (backoff timing never affects submission-order output). Jitter
+    /// only ever *subtracts*, so `backoff()` remains the worst case and
+    /// the cap still holds.
+    pub fn backoff_jittered(&self, retry: u32, salt: u64) -> Duration {
+        let base = self.backoff(retry);
+        // splitmix64 finalizer over the three identity inputs.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(retry));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Shave off [0, 25%) of the wait.
+        let shave = base.mul_f64((z % 1000) as f64 / 1000.0 * 0.25);
+        base - shave
     }
 }
 
@@ -161,8 +192,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// One result slot of [`Pool::run_with_status_timed`]'s scoped batch.
 type TimedSlot<T> = Mutex<Option<(JobOutcome<T>, Duration)>>;
 
-/// Drives one task through the retry/watchdog policy.
-fn run_one_with_policy<T, F>(task: Arc<F>, policy: RunPolicy) -> JobOutcome<T>
+/// Drives one task through the retry/watchdog policy. `salt` is the
+/// task's identity (its submission index) for retry-jitter derivation.
+fn run_one_with_policy<T, F>(task: Arc<F>, policy: RunPolicy, salt: u64) -> JobOutcome<T>
 where
     T: Send + 'static,
     F: Fn() -> Result<T, String> + Send + Sync + 'static,
@@ -171,7 +203,7 @@ where
     let mut last_error = String::new();
     for attempt in 1..=max_attempts {
         if attempt > 1 {
-            thread::sleep(policy.backoff(attempt - 1));
+            thread::sleep(policy.backoff_jittered(attempt - 1, salt));
         }
         match policy.timeout {
             None => match catch_unwind(AssertUnwindSafe(|| task())) {
@@ -365,7 +397,7 @@ impl Pool {
                         break;
                     }
                     let start = Instant::now();
-                    let outcome = run_one_with_policy(Arc::clone(&tasks[i]), policy);
+                    let outcome = run_one_with_policy(Arc::clone(&tasks[i]), policy, i as u64);
                     *slots[i].lock().expect("slot never poisoned") =
                         Some((outcome, start.elapsed()));
                 });
@@ -459,11 +491,20 @@ pub struct JobObs {
 /// different locks; a single global `Mutex` serialized every lookup at
 /// high `--jobs` counts. Hit/miss counters stay whole-cache atomics —
 /// sharding changes lock granularity, never observable counts.
+///
+/// With [`ResultCache::with_store`], the in-memory cache becomes a
+/// write-through L1 over a persistent [`cdp_store::ResultStore`]: every
+/// insert also lands on disk, and an L1 miss consults the store before
+/// reporting a miss. Store failures never affect correctness — an
+/// unreadable or damaged entry is quarantined by the store and the cell
+/// recomputes; a failed persist leaves the in-memory entry serving the
+/// rest of the run.
 #[derive(Debug)]
 pub struct ResultCache {
     stripes: [ResultStripe; CACHE_STRIPES],
     hits: AtomicU64,
     misses: AtomicU64,
+    store: Option<Arc<cdp_store::ResultStore>>,
 }
 
 /// One independently-locked stripe of a [`ResultCache`]: fingerprint →
@@ -481,6 +522,7 @@ impl Default for ResultCache {
             stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store: None,
         }
     }
 }
@@ -489,6 +531,21 @@ impl ResultCache {
     /// Creates an empty cache.
     pub fn new() -> ResultCache {
         ResultCache::default()
+    }
+
+    /// Creates an empty in-memory cache backed by a persistent store:
+    /// inserts write through, and misses consult the store before
+    /// recomputing.
+    pub fn with_store(store: Arc<cdp_store::ResultStore>) -> ResultCache {
+        ResultCache {
+            store: Some(store),
+            ..ResultCache::default()
+        }
+    }
+
+    /// The backing store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<cdp_store::ResultStore>> {
+        self.store.as_ref()
     }
 
     fn stripe(&self, key: u64) -> &ResultStripe {
@@ -521,18 +578,49 @@ impl ResultCache {
     /// Raw lookup by fingerprint key. Public for the concurrency tests
     /// and the contention microbench; [`SimJob::try_execute`] is the
     /// consumer that also maintains the hit/miss counters.
+    ///
+    /// An in-memory miss falls through to the backing store (when
+    /// attached); a disk hit is promoted into the in-memory tier so the
+    /// decode cost is paid once per cell per process.
     pub fn get(&self, key: u64) -> Option<(RunStats, Option<Observation>)> {
-        self.stripe(key)
+        if let Some(found) = self
+            .stripe(key)
             .lock()
             .expect("result cache poisoned")
             .get(&key)
             .cloned()
+        {
+            return Some(found);
+        }
+        let store = self.store.as_ref()?;
+        let payload = store.get(key)?;
+        match crate::persist::decode_result(&payload) {
+            Ok((stats, observation)) => {
+                self.stripe(key)
+                    .lock()
+                    .expect("result cache poisoned")
+                    .insert(key, (stats, observation.clone()));
+                Some((stats, observation))
+            }
+            Err(e) => {
+                // The envelope checksummed clean but the payload refused
+                // to decode (e.g. a future payload version). Treat as a
+                // miss; the store has already served its framing checks.
+                eprintln!("warning: result store payload for cell {key:016x} rejected: {e}");
+                None
+            }
+        }
     }
 
     /// Raw insert by fingerprint key. Duplicate inserts under a race
     /// carry identical values (deterministic simulation), so either copy
-    /// may win.
+    /// may win. With a backing store attached the entry is also
+    /// persisted (write-through); persistence failures are counted by
+    /// the store and never surface here.
     pub fn put(&self, key: u64, stats: RunStats, observation: Option<Observation>) {
+        if let Some(store) = &self.store {
+            store.put(key, &crate::persist::encode_result(&stats, observation.as_ref()));
+        }
         self.stripe(key)
             .lock()
             .expect("result cache poisoned")
@@ -565,9 +653,15 @@ impl CheckpointProvenance {
 }
 
 /// A thread-safe slot a [`SimJob`] reports its [`CheckpointProvenance`]
-/// into, readable by the submitter after the batch.
+/// into, readable by the submitter after the batch. Also accumulates the
+/// cell's *dropped checkpoint writes* — writes are best-effort, but a
+/// silent drop would hide a dying disk, so every drop is counted (and
+/// warned about once per cell on stderr).
 #[derive(Debug, Default)]
-pub struct CheckpointStatus(AtomicU8);
+pub struct CheckpointStatus {
+    provenance: AtomicU8,
+    dropped_writes: AtomicU64,
+}
 
 impl CheckpointStatus {
     /// A fresh slot behind an [`Arc`], ready to attach to a job.
@@ -581,16 +675,26 @@ impl CheckpointStatus {
             CheckpointProvenance::Resumed => 1,
             CheckpointProvenance::CorruptFallback => 2,
         };
-        self.0.store(code, Ordering::Relaxed);
+        self.provenance.store(code, Ordering::Relaxed);
     }
 
     /// The provenance last reported (defaults to `Fresh`).
     pub fn get(&self) -> CheckpointProvenance {
-        match self.0.load(Ordering::Relaxed) {
+        match self.provenance.load(Ordering::Relaxed) {
             1 => CheckpointProvenance::Resumed,
             2 => CheckpointProvenance::CorruptFallback,
             _ => CheckpointProvenance::Fresh,
         }
+    }
+
+    /// Records one dropped (failed) checkpoint write.
+    pub fn record_dropped_write(&self) {
+        self.dropped_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checkpoint writes that failed and were dropped.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped_writes.load(Ordering::Relaxed)
     }
 }
 
@@ -617,6 +721,10 @@ pub struct CheckpointSpec {
     pub resume: bool,
     /// Where to report how the cell actually started.
     pub status: Option<Arc<CheckpointStatus>>,
+    /// Filesystem the checkpoint I/O goes through; `None` uses the real
+    /// filesystem. Tests substitute a fault-injecting
+    /// [`cdp_store::FaultyIo`] to prove the crash-safety story.
+    pub io: Option<Arc<dyn cdp_store::StoreIo>>,
 }
 
 impl CheckpointSpec {
@@ -624,17 +732,29 @@ impl CheckpointSpec {
     pub fn path(&self) -> PathBuf {
         self.dir.join(format!("cell-{:016x}.snap", self.key))
     }
+
+    /// The filesystem this spec's I/O goes through.
+    fn io(&self) -> Arc<dyn cdp_store::StoreIo> {
+        self.io
+            .clone()
+            .unwrap_or_else(|| Arc::new(cdp_store::RealIo))
+    }
 }
 
-/// Writes `bytes` to `path` atomically: a unique temp file in the same
-/// directory, then rename. Returns whether the write landed; a failure
-/// leaves any previous checkpoint untouched.
-fn write_atomic(path: &Path, bytes: &[u8]) -> bool {
+/// Writes `bytes` to `path` atomically: a temp file in the same
+/// directory, then rename. An error leaves any previous file under
+/// `path` untouched (the temp is cleaned up best-effort).
+fn write_atomic(io: &dyn cdp_store::StoreIo, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("part");
-    if std::fs::write(&tmp, bytes).is_err() {
-        return false;
+    if let Err(e) = io.write(&tmp, bytes) {
+        let _ = io.remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path).is_ok()
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// One independent simulation: a configuration over a shared workload.
@@ -826,11 +946,15 @@ impl SimJob {
     ) -> Result<(RunStats, Option<Observation>), CdpError> {
         let sim = self.simulator()?;
         let obs_cfg = self.obs.as_ref().map(|o| &o.cfg);
+        let io = spec.io();
         let path = spec.path();
         let mut provenance = CheckpointProvenance::Fresh;
         let mut session = None;
         if spec.resume {
-            if let Ok(bytes) = std::fs::read(&path) {
+            // An unreadable checkpoint file is treated as absent (fresh
+            // start); bytes that *read* but fail to decode are the
+            // corrupt-fallback case below.
+            if let Ok(bytes) = io.read(&path) {
                 match sim.resume(&self.workload, obs_cfg, &bytes) {
                     Ok(s) => {
                         provenance = CheckpointProvenance::Resumed;
@@ -857,12 +981,23 @@ impl SimJob {
             if spec.every > 0 && session.cycles().saturating_sub(last_checkpoint) >= spec.every {
                 last_checkpoint = session.cycles();
                 snap_buf = session.snapshot_into(snap_buf);
-                write_atomic(&path, &snap_buf);
+                if let Err(e) = write_atomic(io.as_ref(), &path, &snap_buf) {
+                    // Best-effort, but never silent: the previous
+                    // checkpoint stays valid, the drop is counted, and
+                    // the operator hears about the failing disk.
+                    eprintln!(
+                        "warning: checkpoint write dropped for {}: {e}",
+                        path.display()
+                    );
+                    if let Some(status) = &spec.status {
+                        status.record_dropped_write();
+                    }
+                }
             }
         }
         // The cell finished: its checkpoint has served its purpose. A
         // later sweep resume re-runs the (deterministic) cell instead.
-        let _ = std::fs::remove_file(&path);
+        let _ = io.remove_file(&path);
         let (stats, observation) = session.finish();
         Ok((stats, self.obs.as_ref().map(|_| observation)))
     }
@@ -1080,6 +1215,7 @@ mod tests {
             max_attempts: 2,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(2),
+            ..RunPolicy::default()
         };
         let got = Pool::new(3).run_with_status(tasks, policy);
         assert_eq!(got.len(), 5, "one outcome per submitted job");
@@ -1161,6 +1297,37 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_millis(20));
         assert_eq!(p.backoff(3), Duration::from_millis(35), "capped");
         assert_eq!(p.backoff(30), Duration::from_millis(35), "shift clamped");
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_desynchronized() {
+        let p = RunPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 17,
+            ..RunPolicy::default()
+        };
+        for retry in 1..=5u32 {
+            for salt in 0..8u64 {
+                let j = p.backoff_jittered(retry, salt);
+                let full = p.backoff(retry);
+                assert!(j <= full, "jitter only subtracts");
+                assert!(
+                    j >= full.mul_f64(0.75),
+                    "shave bounded at 25%: {j:?} vs {full:?}"
+                );
+                assert_eq!(
+                    j,
+                    p.backoff_jittered(retry, salt),
+                    "same (seed, salt, retry) -> same wait"
+                );
+            }
+        }
+        // Colliding tasks (same retry, different salts) must not all
+        // re-land on the same instant.
+        let waits: std::collections::HashSet<Duration> =
+            (0..16u64).map(|salt| p.backoff_jittered(1, salt)).collect();
+        assert!(waits.len() > 8, "salts de-synchronize: {waits:?}");
     }
 
     #[test]

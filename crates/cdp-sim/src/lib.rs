@@ -47,6 +47,7 @@ pub mod fault;
 pub mod hierarchy;
 pub mod metrics;
 pub mod observe;
+pub mod persist;
 pub mod runner;
 pub mod stats;
 pub mod system;
@@ -59,6 +60,7 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, WalkFault};
 pub use hierarchy::{Hierarchy, L2Meta, PollutionConfig};
 pub use metrics::{accuracy, coverage, geomean, mean};
 pub use observe::{MetricsWindow, Observation, ObsEntry, ObsSink};
+pub use persist::{decode_result, encode_result, RESULT_VERSION};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
 pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
 pub use system::{

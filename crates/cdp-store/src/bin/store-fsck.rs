@@ -1,0 +1,100 @@
+//! `store-fsck` — validate (and optionally repair) a result store
+//! directory.
+//!
+//! ```text
+//! store-fsck <dir> [--repair] [--gc KEEP]
+//! ```
+//!
+//! Walks every published entry in the store, checking magic, version,
+//! fingerprint-vs-filename, and section checksums. Without `--repair`
+//! the store is only read. With `--repair`, damaged entries are moved
+//! into `quarantine/` and stale `.part` litter is removed; `--gc KEEP`
+//! additionally drops entries more than `KEEP` generations old.
+//!
+//! Exit status: `0` clean (or fully repaired), `1` damage found and not
+//! repaired, `2` usage or store-level failure (bad arguments, lock held,
+//! unreadable directory).
+
+use std::process::ExitCode;
+
+use cdp_store::ResultStore;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: store-fsck <dir> [--repair] [--gc KEEP]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut repair = false;
+    let mut gc_keep: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--gc" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                gc_keep = Some(v);
+            }
+            "--help" | "-h" => {
+                println!("usage: store-fsck <dir> [--repair] [--gc KEEP]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(other.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
+    if !std::path::Path::new(&dir).is_dir() {
+        eprintln!("store-fsck: {dir}: not a directory");
+        return ExitCode::from(2);
+    }
+
+    let store = match ResultStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("store-fsck: cannot open {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match store.fsck(repair) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("store-fsck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "store-fsck: {dir}: {} valid, {} corrupt, {} stale .part{}",
+        report.valid,
+        report.corrupt.len(),
+        report.stale_parts,
+        if repair { " (repaired)" } else { "" }
+    );
+    for (path, err) in &report.corrupt {
+        println!("  corrupt: {}: {err}", path.display());
+    }
+
+    if let Some(keep) = gc_keep {
+        match store.gc(keep) {
+            Ok(removed) => println!("store-fsck: gc removed {removed} old entries"),
+            Err(e) => {
+                eprintln!("store-fsck: gc failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if report.is_clean() || repair {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -53,6 +53,10 @@ pub enum CdpError {
     /// this run (see [`SnapshotError`]). Resume refuses rather than
     /// continuing from a silently-wrong state.
     Snapshot(SnapshotError),
+    /// The persistent result store failed (see [`StoreError`]). Store
+    /// failures never abort a simulation — a cell recomputes instead —
+    /// but maintenance tools (`store-fsck`, GC) surface them typed.
+    Store(StoreError),
 }
 
 /// Everything that can go wrong decoding a checkpoint snapshot.
@@ -140,6 +144,69 @@ impl From<SnapshotError> for CdpError {
     }
 }
 
+/// Everything that can go wrong in the persistent result store
+/// (crate `cdp-store`).
+///
+/// The store's failure contract mirrors the snapshot codec's: a damaged
+/// entry surfaces as a typed value and is quarantined — never replayed,
+/// never a panic. Filesystem failures (full disk, failed rename) degrade
+/// a write to a counted no-op; the in-memory tier and recomputation keep
+/// the run correct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed (short write, ENOSPC, failed
+    /// rename, unreadable directory, ...).
+    Io {
+        /// The operation that failed (`write`, `rename`, `read`, ...).
+        op: &'static str,
+        /// The underlying error, rendered (std `io::Error` is neither
+        /// `Clone` nor `Eq`, so the message is carried instead).
+        detail: String,
+    },
+    /// An entry's framing or payload failed validation — the store
+    /// reuses the snapshot codec, so the damage class is a
+    /// [`SnapshotError`].
+    Entry(SnapshotError),
+    /// The store's maintenance lock is held by another process.
+    Locked {
+        /// Contents of the lock file (owner pid, when readable).
+        owner: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, detail } => write!(f, "store {op} failed: {detail}"),
+            StoreError::Entry(e) => write!(f, "store entry rejected: {e}"),
+            StoreError::Locked { owner } => {
+                write!(f, "store lock held by another process ({owner})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Entry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Entry(e)
+    }
+}
+
+impl From<StoreError> for CdpError {
+    fn from(e: StoreError) -> Self {
+        CdpError::Store(e)
+    }
+}
+
 impl fmt::Display for CdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -158,6 +225,7 @@ impl fmt::Display for CdpError {
                 write!(f, "corrupt workload {benchmark}: uop {uop} targets unmapped {addr}")
             }
             CdpError::Snapshot(e) => write!(f, "checkpoint snapshot rejected: {e}"),
+            CdpError::Store(e) => write!(f, "result store failed: {e}"),
         }
     }
 }
@@ -167,6 +235,7 @@ impl std::error::Error for CdpError {
         match self {
             CdpError::Config(e) => Some(e),
             CdpError::Snapshot(e) => Some(e),
+            CdpError::Store(e) => Some(e),
             _ => None,
         }
     }

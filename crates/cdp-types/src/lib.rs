@@ -32,7 +32,7 @@ pub mod rng;
 pub mod validate;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr};
-pub use error::{CdpError, SnapshotError};
+pub use error::{CdpError, SnapshotError, StoreError};
 pub use config::{
     AdaptiveConfig, ArbiterConfig, BusConfig, CacheConfig, ContentConfig, CoreConfig,
     MarkovConfig, ObsConfig, PrefetchersConfig, ReplacementPolicy, StreamConfig, StrideConfig,

@@ -122,4 +122,49 @@ grep -q "FAILURE REPORT" /tmp/cdp-fault-smoke.err || {
     exit 1
 }
 
+echo "== store chaos smoke (SIGKILL mid-sweep, fsck, warm replay, zero misses) =="
+# Persistent result store (DESIGN.md §14): repeatedly SIGKILL a
+# store-enabled sweep mid-flight — the store must stay consistent
+# through every crash (store-fsck repairs and then scans clean), a cold
+# completion run must be byte-identical to a store-less reference, and a
+# warm cross-process re-run must replay every cell from disk (manifest
+# records zero store misses) with byte-identical stdout.
+rm -rf /tmp/cdp-store-ci /tmp/cdp-store-ci-manifest
+mkdir -p /tmp/cdp-store-ci
+./target/release/experiments tlb table2 --smoke --jobs 2 --no-result-cache \
+    > /tmp/cdp-store-ref.out
+for i in 1 2 3; do
+    ./target/release/experiments tlb table2 --smoke --jobs 2 \
+        --result-store /tmp/cdp-store-ci > /dev/null 2> /dev/null &
+    pid=$!
+    sleep 1
+    kill -9 "$pid" 2> /dev/null || true
+    wait "$pid" 2> /dev/null || true
+    ./target/release/store-fsck /tmp/cdp-store-ci --repair > /dev/null || {
+        echo "store smoke: fsck --repair failed after kill #$i" >&2
+        exit 1
+    }
+done
+./target/release/experiments tlb table2 --smoke --jobs 4 \
+    --result-store /tmp/cdp-store-ci > /tmp/cdp-store-cold.out
+cmp /tmp/cdp-store-ref.out /tmp/cdp-store-cold.out || {
+    echo "store smoke: cold store-backed stdout differs from reference" >&2
+    exit 1
+}
+./target/release/experiments tlb table2 --smoke --jobs 2 \
+    --result-store /tmp/cdp-store-ci --emit-manifest /tmp/cdp-store-ci-manifest \
+    > /tmp/cdp-store-warm.out 2> /dev/null
+cmp /tmp/cdp-store-ref.out /tmp/cdp-store-warm.out || {
+    echo "store smoke: warm store-backed stdout differs from reference" >&2
+    exit 1
+}
+grep -q '"result_store_misses":0' /tmp/cdp-store-ci-manifest/manifest.json || {
+    echo "store smoke: warm re-run did not replay every cell from disk" >&2
+    exit 1
+}
+./target/release/store-fsck /tmp/cdp-store-ci > /dev/null || {
+    echo "store smoke: store dirty after warm replay" >&2
+    exit 1
+}
+
 echo "ci: OK"

@@ -20,6 +20,8 @@
 //!   manifests for machine-readable experiment artifacts.
 //! * [`snap`] — the versioned, checksummed snapshot codec behind
 //!   checkpoint/resume (DESIGN.md §12).
+//! * [`store`] — the crash-safe on-disk result store and the deterministic
+//!   filesystem fault-injection layer (DESIGN.md §14).
 //! * [`experiments`] — one entry point per paper table/figure.
 //!
 //! # Quickstart
@@ -47,5 +49,6 @@ pub use cdp_obs as obs;
 pub use cdp_prefetch as prefetch;
 pub use cdp_sim as sim;
 pub use cdp_snap as snap;
+pub use cdp_store as store;
 pub use cdp_types as types;
 pub use cdp_workloads as workloads;

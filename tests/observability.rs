@@ -181,6 +181,10 @@ fn manifest_from_real_runs_validates_and_round_trips() {
         batch_experiments: vec!["obs-it".into()],
         result_cache_hits: 0,
         result_cache_misses: 0,
+        result_store_hits: 0,
+        result_store_misses: 0,
+        result_store_quarantined: 0,
+        checkpoint_dropped_writes: 0,
     };
     assert_eq!(taken.entries.len(), 2, "both runs delivered observations");
     let manifest = build_manifest("smoke", 2, &taken);

@@ -245,6 +245,7 @@ fn simjob_checkpointing_reports_provenance_and_stays_identical() {
         key: 0xc0ffee,
         resume,
         status: Some(Arc::clone(status)),
+        io: None,
     };
 
     // Fresh: no checkpoint on disk.
