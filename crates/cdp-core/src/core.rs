@@ -180,6 +180,14 @@ pub struct Core<'p> {
     /// [`Self::save_state`]: snapshots taken at the same retirement
     /// boundaries are byte-identical regardless of the setting.
     fast_forward: bool,
+    /// ROB stall run-length histogram (`--profile-hist`); `None` keeps
+    /// the step loop on its unobserved path (one branch, no work).
+    stall_hist: Option<Box<cdp_obs::Hist>>,
+    /// Consecutive barren cycles accumulated so far (flushed into
+    /// [`Self::stall_hist`] when progress resumes). Fast-forward jumps
+    /// only span provably barren cycles, so the accumulated run is
+    /// identical whether the core jumps or single-steps.
+    stall_run: u64,
 }
 
 impl<'p> Core<'p> {
@@ -210,6 +218,8 @@ impl<'p> Core<'p> {
             total_retired: 0,
             stats_base_cycle: 0,
             fast_forward: true,
+            stall_hist: None,
+            stall_run: 0,
         }
     }
 
@@ -235,6 +245,31 @@ impl<'p> Core<'p> {
     pub fn reset_stats(&mut self) {
         self.stats = CoreStats::default();
         self.stats_base_cycle = self.now;
+    }
+
+    /// Installs a stall run-length histogram: barren (no fetch / issue /
+    /// retire) cycle runs are recorded into it as they end. With no
+    /// histogram installed the step loop pays one branch and does no
+    /// other work.
+    pub fn set_stall_hist(&mut self, hist: Box<cdp_obs::Hist>) {
+        self.stall_hist = Some(hist);
+        self.stall_run = 0;
+    }
+
+    /// Removes and returns the stall histogram, if one was installed.
+    pub fn take_stall_hist(&mut self) -> Option<Box<cdp_obs::Hist>> {
+        self.stall_run = 0;
+        self.stall_hist.take()
+    }
+
+    /// Clears the stall histogram and any in-progress run (warm-up
+    /// boundary: the measured distribution covers the measurement phase
+    /// only, matching [`Self::reset_stats`]).
+    pub fn reset_stall_hist(&mut self) {
+        if let Some(h) = &mut self.stall_hist {
+            h.clear();
+        }
+        self.stall_run = 0;
     }
 
     /// Whether every uop has been fetched and retired.
@@ -264,11 +299,26 @@ impl<'p> Core<'p> {
     pub fn step<M: MemoryModel>(&mut self, mem: &mut M) {
         let progressed = self.retire() | self.issue(mem) | self.fetch();
         if progressed || !self.fast_forward {
+            if let Some(hist) = &mut self.stall_hist {
+                if progressed {
+                    if self.stall_run > 0 {
+                        hist.record(self.stall_run);
+                        self.stall_run = 0;
+                    }
+                } else {
+                    self.stall_run += 1;
+                }
+            }
             self.advance_to(self.now + 1);
         } else {
-            // Nothing happened: jump to the next event.
-            let next = self.next_event_cycle();
-            self.advance_to(next.max(self.now + 1));
+            // Nothing happened: jump to the next event. The skipped
+            // cycles are all barren, so they extend the current stall
+            // run exactly as single-stepping them would.
+            let next = self.next_event_cycle().max(self.now + 1);
+            if self.stall_hist.is_some() {
+                self.stall_run += next - self.now;
+            }
+            self.advance_to(next);
         }
     }
 
@@ -726,6 +776,11 @@ impl<'p> Core<'p> {
             enc.u64(ready);
         }
         self.bp.save_state(enc);
+        enc.bool(self.stall_hist.is_some());
+        if let Some(hist) = &self.stall_hist {
+            enc.u64(self.stall_run);
+            hist.save_state(enc);
+        }
     }
 
     /// Restores state written by [`Core::save_state`] into a freshly
@@ -820,6 +875,21 @@ impl<'p> Core<'p> {
             self.forward_window.push_back((addr, ready));
         }
         self.bp.restore_state(dec)?;
+        // Histogram presence must match the restoring run's
+        // configuration (mirroring the hierarchy's tracer rule): a
+        // snapshot observed differently is not the same simulation.
+        let has_hist = dec.bool("core stall hist presence")?;
+        if has_hist != self.stall_hist.is_some() {
+            return Err(SnapshotError::Corrupt {
+                context: "core stall hist presence",
+            });
+        }
+        if has_hist {
+            self.stall_run = dec.u64("core stall_run")?;
+            self.stall_hist = Some(Box::new(cdp_obs::Hist::restore_state(dec)?));
+        } else {
+            self.stall_run = 0;
+        }
         Ok(())
     }
 }

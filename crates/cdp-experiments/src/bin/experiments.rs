@@ -5,6 +5,7 @@
 //!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
+//!             [--profile-hist] [--status-jsonl PATH|-]
 //!             [--verbose-timing] [--no-result-cache] [--no-fast-forward]
 //!             [--result-store <dir>]
 //!             [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]
@@ -47,10 +48,20 @@
 //!   `--trace`.
 //! * `--metrics-window UOPS` — emit a `metrics.jsonl` time-series with
 //!   one record per `UOPS` retired µops per cell.
+//! * `--profile-hist` — collect log-bucketed latency histograms
+//!   (load-to-use, prefetch issue-to-use, MSHR occupancy, ROB stall
+//!   run-lengths; DESIGN.md §15) from every sweep cell and fold their
+//!   percentiles into the manifest's per-cell records.
 //!
-//! The three capture flags require `--emit-manifest`. With all of them
-//! off, simulated state and stdout are byte-identical to a build without
-//! the observability layer.
+//! The capture flags require `--emit-manifest`. With all of them off,
+//! simulated state and stdout are byte-identical to a build without the
+//! observability layer.
+//!
+//! `--status-jsonl PATH|-` streams one JSON object per line as sweep
+//! cells move through the pool (`queued` / `running` / `retrying` /
+//! `done` with wall time, result provenance, and a sweep ETA) into
+//! `PATH`, or onto stderr with `-`. Stdout is byte-identical with the
+//! stream on or off; it does not require `--emit-manifest`.
 //!
 //! Checkpointing (DESIGN.md §12):
 //!
@@ -227,6 +238,8 @@ fn main() {
     let mut trace = false;
     let mut trace_filter: Option<TraceFilter> = None;
     let mut metrics_window: Option<u64> = None;
+    let mut profile_hist = false;
+    let mut status_jsonl: Option<String> = None;
     let mut manifest_dir: Option<std::path::PathBuf> = None;
     let mut result_cache = true;
     let mut result_store_dir: Option<std::path::PathBuf> = None;
@@ -290,6 +303,7 @@ fn main() {
                     }
                 },
                 "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
+                "--status-jsonl" => status_jsonl = Some(a.clone()),
                 "--result-store" => result_store_dir = Some(std::path::PathBuf::from(a)),
                 "--checkpoint-dir" => checkpoint_dir = Some(std::path::PathBuf::from(a)),
                 "--checkpoint-every" => match a.parse::<u64>() {
@@ -309,13 +323,15 @@ fn main() {
             "--full" => scale = ExpScale::Full,
             "--keep-going" => context::set_keep_going(true),
             "--trace" => trace = true,
+            "--profile-hist" => profile_hist = true,
             "--verbose-timing" => context::set_verbose_timing(true),
             "--no-result-cache" => result_cache = false,
             "--no-fast-forward" => cdp_sim::set_fast_forward(false),
             "--resume" => resume = true,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
             | "--trace-filter" | "--metrics-window" | "--emit-manifest"
-            | "--result-store" | "--checkpoint-dir" | "--checkpoint-every" => {
+            | "--status-jsonl" | "--result-store" | "--checkpoint-dir"
+            | "--checkpoint-every" => {
                 expecting = Some(a.as_str());
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
@@ -335,7 +351,8 @@ fn main() {
         );
         eprintln!(
             "       [--emit-manifest <dir>] [--trace] [--trace-filter SPEC] \
-             [--metrics-window UOPS] [--verbose-timing] [--no-result-cache]"
+             [--metrics-window UOPS] [--profile-hist] [--status-jsonl PATH|-] \
+             [--verbose-timing] [--no-result-cache]"
         );
         eprintln!("       [--no-fast-forward] [--result-store <dir>]");
         eprintln!(
@@ -345,8 +362,10 @@ fn main() {
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
         std::process::exit(2);
     }
-    if (trace || metrics_window.is_some()) && manifest_dir.is_none() {
-        eprintln!("--trace/--trace-filter/--metrics-window require --emit-manifest <dir>");
+    if (trace || metrics_window.is_some() || profile_hist) && manifest_dir.is_none() {
+        eprintln!(
+            "--trace/--trace-filter/--metrics-window/--profile-hist require --emit-manifest <dir>"
+        );
         std::process::exit(2);
     }
     if (resume || checkpoint_every != DEFAULT_CHECKPOINT_EVERY) && checkpoint_dir.is_none() {
@@ -390,6 +409,22 @@ fn main() {
     if policy != RunPolicy::default() {
         context::set_policy(policy);
     }
+    if let Some(target) = &status_jsonl {
+        // The stream is diagnostic and must never perturb stdout: `-`
+        // routes it to stderr, anything else to a sidecar file.
+        let out: Box<dyn std::io::Write + Send> = if target == "-" {
+            Box::new(std::io::stderr())
+        } else {
+            match std::fs::File::create(target) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("cannot create status stream file {target}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        cdp_sim::install_status_sink(cdp_sim::StatusSink::new(out));
+    }
     if manifest_dir.is_some() {
         context::enable_obs(ObsConfig {
             trace: trace.then(|| TraceConfig {
@@ -397,6 +432,7 @@ fn main() {
                 ..TraceConfig::default()
             }),
             metrics_window,
+            profile_hist,
         });
     }
     context::set_result_cache(result_cache);

@@ -14,6 +14,7 @@
 //! All ordering is `(batch, index)` submission order, so artifacts are
 //! byte-identical at any `--jobs` count.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -110,6 +111,23 @@ impl ObsTaken {
             .get(batch as usize)
             .map_or("", String::as_str)
     }
+
+    /// Collected profiles keyed `(experiment, label)`, each key holding
+    /// its entries in drain order. Cells re-run across grids share a
+    /// label, so the manifest consumes each key as a FIFO queue: the
+    /// n-th recorded cell under a key gets the n-th profile.
+    fn profile_queues(&self) -> HashMap<(&str, &str), VecDeque<&cdp_obs::Profile>> {
+        let mut queues: HashMap<(&str, &str), VecDeque<&cdp_obs::Profile>> = HashMap::new();
+        for e in &self.entries {
+            if let Some(p) = &e.observation.profile {
+                queues
+                    .entry((self.batch_experiment(e.batch), e.label.as_str()))
+                    .or_default()
+                    .push_back(p);
+            }
+        }
+        queues
+    }
 }
 
 /// Builds the `manifest.json` document.
@@ -174,9 +192,25 @@ pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
         "experiments",
         Json::Arr(taken.experiments.iter().map(ExperimentRecord::to_json).collect()),
     );
+    let mut profiles = taken.profile_queues();
     doc.set(
         "cells",
-        Json::Arr(taken.cells.iter().map(CellRecord::to_json).collect()),
+        Json::Arr(
+            taken
+                .cells
+                .iter()
+                .map(|c| {
+                    let mut o = c.to_json();
+                    if let Some(p) = profiles
+                        .get_mut(&(c.experiment.as_str(), c.label.as_str()))
+                        .and_then(VecDeque::pop_front)
+                    {
+                        o.set("profile", p.to_json());
+                    }
+                    o
+                })
+                .collect(),
+        ),
     );
     doc.set("aggregates", aggregates);
     doc

@@ -227,6 +227,15 @@ impl MshrFile {
         &self.stats
     }
 
+    /// Records the current outstanding-fill count into an occupancy
+    /// histogram. Called at each insert so the distribution weights
+    /// occupancy by allocation events, matching how MSHR pressure is
+    /// felt (a full file stalls the *next* request, not time itself).
+    #[inline]
+    pub fn record_occupancy(&self, hist: &mut cdp_obs::Hist) {
+        hist.record(self.len as u64);
+    }
+
     /// Promotes an in-flight fill to (at least) the priority and depth of
     /// `kind`. Returns `false` if no fill is outstanding for `line`.
     pub fn promote(&mut self, line: LineAddr, kind: RequestKind) -> bool {

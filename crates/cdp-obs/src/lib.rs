@@ -16,16 +16,21 @@
 //! * [`manifest`] — run-manifest schema helpers: a FNV-1a config
 //!   fingerprint, the required-key list, and a validator used by the
 //!   `validate-manifest` binary and the integration tests.
+//! * [`hist`] — HDR-style log-bucketed histograms ([`Hist`], bundled per
+//!   run as a [`Profile`]) for latency attribution: mergeable,
+//!   snapshot-able through `cdp-snap`, with p50/p90/p99/p999 extraction.
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
 pub mod manifest;
 pub mod trace;
 
+pub use hist::{Hist, Profile, HIST_BUCKETS};
 pub use json::Json;
 pub use manifest::{
-    fingerprint, fingerprint_hex, validate, validate_bench, BENCH_SCHEMA_VERSION, REQUIRED_KEYS,
-    SCHEMA_VERSION,
+    fingerprint, fingerprint_hex, validate, validate_bench, BENCH_SCHEMA_VERSION,
+    MIN_SCHEMA_VERSION, PROFILE_HIST_KEYS, PROFILE_STAT_KEYS, REQUIRED_KEYS, SCHEMA_VERSION,
 };
 pub use trace::{DropReason, EngineTag, FaultTag, TraceData, TraceEvent, TraceRing, VamCause};

@@ -10,7 +10,21 @@
 use crate::json::Json;
 
 /// Manifest schema version; bump when a required key changes meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v1: initial flat schema. v2: cells may additionally carry a
+/// `profile` object (latency histograms, `--profile-hist`) — purely
+/// additive, so v1 documents stay valid.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// Histograms every per-cell `profile` object must carry.
+pub const PROFILE_HIST_KEYS: &[&str] =
+    &["load_to_use", "prefetch_to_use", "mshr_occupancy", "rob_stall"];
+
+/// Numeric fields every profile histogram must carry.
+pub const PROFILE_STAT_KEYS: &[&str] =
+    &["count", "sum", "min", "max", "p50", "p90", "p99", "p999"];
 
 /// BENCH snapshot schema version. A `BENCH_*.json` is a copied manifest
 /// plus benchmark-layer keys; v2 adds `bench_schema_version` itself and
@@ -80,7 +94,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         }
     }
     match doc.get("schema_version").and_then(Json::as_u64) {
-        Some(SCHEMA_VERSION) => {}
+        Some(v) if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&v) => {}
         Some(v) => return Err(format!("unsupported schema_version {v}")),
         None => return Err("schema_version must be an unsigned integer".to_string()),
     }
@@ -116,9 +130,41 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 "cells[{i}] has invalid checkpoint provenance {checkpoint:?}"
             ));
         }
+        if let Some(profile) = cell.get("profile") {
+            validate_profile(i, profile)?;
+        }
     }
     if !matches!(doc.get("aggregates"), Some(Json::Obj(_))) {
         return Err("aggregates must be an object".to_string());
+    }
+    Ok(())
+}
+
+/// Validates one cell's optional `profile` object (schema v2): each of
+/// the four latency histograms must be present with every numeric stat
+/// field, and within each the percentiles must be ordered.
+fn validate_profile(cell: usize, profile: &Json) -> Result<(), String> {
+    if !matches!(profile, Json::Obj(_)) {
+        return Err(format!("cells[{cell}].profile must be an object"));
+    }
+    for hist in PROFILE_HIST_KEYS {
+        let h = profile
+            .get(hist)
+            .ok_or_else(|| format!("cells[{cell}].profile missing histogram {hist:?}"))?;
+        for key in PROFILE_STAT_KEYS {
+            if h.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!(
+                    "cells[{cell}].profile.{hist} missing numeric key {key:?}"
+                ));
+            }
+        }
+        let at = |key: &str| h.get(key).and_then(Json::as_f64).expect("checked");
+        let ordered = [at("min"), at("p50"), at("p90"), at("p99"), at("p999"), at("max")];
+        if at("count") > 0.0 && ordered.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!(
+                "cells[{cell}].profile.{hist} percentiles are not monotone"
+            ));
+        }
     }
     Ok(())
 }
@@ -240,6 +286,73 @@ mod tests {
             let err = validate(&stripped).unwrap_err();
             assert!(err.contains(key), "error {err:?} should name {key:?}");
         }
+    }
+
+    fn sample_profile() -> Json {
+        let mut hist = Json::obj();
+        hist.set("count", Json::U64(10));
+        hist.set("sum", Json::U64(500));
+        hist.set("min", Json::U64(3));
+        hist.set("p50", Json::U64(40));
+        hist.set("p90", Json::U64(90));
+        hist.set("p99", Json::U64(120));
+        hist.set("p999", Json::U64(121));
+        hist.set("max", Json::U64(121));
+        let mut p = Json::obj();
+        for key in PROFILE_HIST_KEYS {
+            p.set(key, hist.clone());
+        }
+        p
+    }
+
+    #[test]
+    fn validate_accepts_legacy_v1_documents() {
+        let mut doc = minimal_manifest();
+        doc.set("schema_version", Json::U64(1));
+        validate(&doc).expect("v1 manifests stay valid under the v2 schema");
+        doc.set("schema_version", Json::U64(SCHEMA_VERSION + 1));
+        assert!(validate(&doc).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn validate_accepts_profile_cells() {
+        let mut doc = minimal_manifest();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        let cells = &mut pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1;
+        let Json::Arr(cells) = cells else { unreachable!() };
+        cells[0].set("profile", sample_profile());
+        validate(&doc).expect("profile-bearing cell is valid");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_profiles() {
+        let with_profile = |p: Json| {
+            let mut doc = minimal_manifest();
+            let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+            let cells = &mut pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1;
+            let Json::Arr(cells) = cells else { unreachable!() };
+            cells[0].set("profile", p);
+            doc
+        };
+        // Not an object.
+        assert!(validate(&with_profile(Json::U64(1))).unwrap_err().contains("profile"));
+        // Missing one histogram.
+        let mut p = sample_profile();
+        let Json::Obj(ref mut pairs) = p else { unreachable!() };
+        pairs.retain(|(k, _)| k != "rob_stall");
+        assert!(validate(&with_profile(p)).unwrap_err().contains("rob_stall"));
+        // Missing one stat field inside a histogram.
+        let mut p = sample_profile();
+        let mut bare = Json::obj();
+        bare.set("count", Json::U64(1));
+        p.set("load_to_use", bare);
+        assert!(validate(&with_profile(p)).unwrap_err().contains("load_to_use"));
+        // Non-monotone percentiles on a populated histogram.
+        let mut p = sample_profile();
+        let mut h = p.get("load_to_use").unwrap().clone();
+        h.set("p90", Json::U64(1));
+        p.set("load_to_use", h);
+        assert!(validate(&with_profile(p)).unwrap_err().contains("monotone"));
     }
 
     fn minimal_bench() -> Json {

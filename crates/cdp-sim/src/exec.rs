@@ -32,6 +32,7 @@ use crate::fault::WalkFault;
 use crate::hierarchy::PollutionConfig;
 use crate::observe::{ObsEntry, ObsSink, Observation};
 use crate::runner::build_workload;
+use crate::status::{status_sink, ResultSource, SourceSlot, StatusSink};
 use crate::system::{RunStats, Simulator};
 
 /// How a [`Pool::run_with_status`] job ended.
@@ -194,15 +195,26 @@ type TimedSlot<T> = Mutex<Option<(JobOutcome<T>, Duration)>>;
 
 /// Drives one task through the retry/watchdog policy. `salt` is the
 /// task's identity (its submission index) for retry-jitter derivation.
-fn run_one_with_policy<T, F>(task: Arc<F>, policy: RunPolicy, salt: u64) -> JobOutcome<T>
+/// `status` (sink, label, index) receives a `retrying` heartbeat before
+/// each backed-off re-attempt.
+fn run_one_with_policy<T, F>(
+    task: Arc<F>,
+    policy: RunPolicy,
+    salt: u64,
+    status: Option<(&StatusSink, &str, usize)>,
+) -> JobOutcome<T>
 where
     T: Send + 'static,
     F: Fn() -> Result<T, String> + Send + Sync + 'static,
 {
+    let started = Instant::now();
     let max_attempts = policy.max_attempts.max(1);
     let mut last_error = String::new();
     for attempt in 1..=max_attempts {
         if attempt > 1 {
+            if let Some((sink, label, index)) = status {
+                sink.retrying(label, index, attempt, started.elapsed().as_millis() as u64);
+            }
             thread::sleep(policy.backoff_jittered(attempt - 1, salt));
         }
         match policy.timeout {
@@ -384,11 +396,34 @@ impl Pool {
         T: Send + 'static,
         F: Fn() -> Result<T, String> + Send + Sync + 'static,
     {
+        self.run_with_status_observed(tasks, policy, None)
+    }
+
+    /// Core of [`Pool::run_with_status_timed`], optionally narrating the
+    /// batch's lifecycle into a [`StatusSink`] (`queued` / `running` /
+    /// `retrying` / `done` JSONL heartbeats). With `meta` `None` the
+    /// path is identical to before the stream existed.
+    fn run_with_status_observed<T, F>(
+        &self,
+        tasks: Vec<F>,
+        policy: RunPolicy,
+        meta: Option<BatchStatus>,
+    ) -> Vec<(JobOutcome<T>, Duration)>
+    where
+        T: Send + 'static,
+        F: Fn() -> Result<T, String> + Send + Sync + 'static,
+    {
         let n = tasks.len();
         let tasks: Vec<Arc<F>> = tasks.into_iter().map(Arc::new).collect();
         let slots: Vec<TimedSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(n);
+        if let Some(m) = &meta {
+            m.sink.batch(n);
+            for (i, label) in m.labels.iter().enumerate() {
+                m.sink.queued(label, i);
+            }
+        }
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -396,10 +431,31 @@ impl Pool {
                     if i >= n {
                         break;
                     }
+                    if let Some(m) = &meta {
+                        m.sink.running(&m.labels[i], i);
+                    }
                     let start = Instant::now();
-                    let outcome = run_one_with_policy(Arc::clone(&tasks[i]), policy, i as u64);
-                    *slots[i].lock().expect("slot never poisoned") =
-                        Some((outcome, start.elapsed()));
+                    let status = meta
+                        .as_ref()
+                        .map(|m| (m.sink.as_ref(), m.labels[i].as_str(), i));
+                    let outcome =
+                        run_one_with_policy(Arc::clone(&tasks[i]), policy, i as u64, status);
+                    let wall = start.elapsed();
+                    if let Some(m) = &meta {
+                        let status = match &outcome {
+                            JobOutcome::Ok(_) => "ok",
+                            JobOutcome::Failed { .. } => "failed",
+                            JobOutcome::TimedOut { .. } => "timeout",
+                        };
+                        m.sink.done(
+                            &m.labels[i],
+                            i,
+                            status,
+                            wall.as_millis() as u64,
+                            m.sources[i].get(),
+                        );
+                    }
+                    *slots[i].lock().expect("slot never poisoned") = Some((outcome, wall));
                 });
             }
         });
@@ -435,16 +491,30 @@ impl Pool {
 
     /// As [`Pool::run_sims_with_status`], additionally timing each job
     /// ([`JobReport::wall`]) and routing any attached [`JobObs`]
-    /// observation into its sink.
+    /// observation into its sink. When a process-global
+    /// [`StatusSink`](crate::status::StatusSink) is installed, the batch
+    /// also streams JSONL heartbeats with per-job result provenance.
     pub fn run_sims_profiled(&self, jobs: Vec<SimJob>, policy: RunPolicy) -> Vec<JobReport> {
         let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let sources: Vec<Arc<SourceSlot>> = jobs.iter().map(|_| SourceSlot::shared()).collect();
         let tasks: Vec<_> = jobs
             .into_iter()
-            .map(|j| move || j.try_execute().map_err(|e| e.to_string()))
+            .zip(sources.iter().map(Arc::clone))
+            .map(|(j, slot)| {
+                move || {
+                    j.try_execute_sourced(Some(&slot))
+                        .map_err(|e| e.to_string())
+                }
+            })
             .collect();
+        let meta = status_sink().map(|sink| BatchStatus {
+            sink,
+            labels: labels.clone(),
+            sources,
+        });
         labels
             .into_iter()
-            .zip(self.run_with_status_timed(tasks, policy))
+            .zip(self.run_with_status_observed(tasks, policy, meta))
             .map(|(label, (outcome, wall))| JobReport {
                 label,
                 outcome,
@@ -452,6 +522,15 @@ impl Pool {
             })
             .collect()
     }
+}
+
+/// Per-batch status-stream context for
+/// [`Pool::run_with_status_observed`]: the installed sink plus each
+/// job's label and provenance slot, indexed by submission order.
+struct BatchStatus {
+    sink: Arc<StatusSink>,
+    labels: Vec<String>,
+    sources: Vec<Arc<SourceSlot>>,
 }
 
 /// Observability attachment for a [`SimJob`]: which signals to collect
@@ -583,6 +662,17 @@ impl ResultCache {
     /// attached); a disk hit is promoted into the in-memory tier so the
     /// decode cost is paid once per cell per process.
     pub fn get(&self, key: u64) -> Option<(RunStats, Option<Observation>)> {
+        self.get_with_source(key).map(|(found, _)| found)
+    }
+
+    /// As [`ResultCache::get`], additionally reporting which tier served
+    /// the hit ([`ResultSource::ResultCache`] for the in-memory stripes,
+    /// [`ResultSource::ResultStore`] for a disk hit) for the status
+    /// stream's provenance field.
+    pub fn get_with_source(
+        &self,
+        key: u64,
+    ) -> Option<((RunStats, Option<Observation>), ResultSource)> {
         if let Some(found) = self
             .stripe(key)
             .lock()
@@ -590,7 +680,7 @@ impl ResultCache {
             .get(&key)
             .cloned()
         {
-            return Some(found);
+            return Some((found, ResultSource::ResultCache));
         }
         let store = self.store.as_ref()?;
         let payload = store.get(key)?;
@@ -600,7 +690,7 @@ impl ResultCache {
                     .lock()
                     .expect("result cache poisoned")
                     .insert(key, (stats, observation.clone()));
-                Some((stats, observation))
+                Some(((stats, observation), ResultSource::ResultStore))
             }
             Err(e) => {
                 // The envelope checksummed clean but the payload refused
@@ -857,18 +947,38 @@ impl SimJob {
     /// [`CdpError::Config`] for an invalid configuration, otherwise the
     /// first fault latched by the memory hierarchy.
     pub fn try_execute(&self) -> Result<RunStats, CdpError> {
+        self.try_execute_sourced(None)
+    }
+
+    /// As [`SimJob::try_execute`], additionally reporting *how* the
+    /// result was obtained (fresh run, cache/store replay, checkpoint
+    /// resume) into `source` for the status stream. The slot is a
+    /// shared atomic because a watchdogged attempt may run on a
+    /// detached thread while the pool worker reads the slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimJob::try_execute`].
+    pub fn try_execute_sourced(&self, source: Option<&SourceSlot>) -> Result<RunStats, CdpError> {
+        let report = |s: ResultSource| {
+            if let Some(slot) = source {
+                slot.set(s);
+            }
+        };
         // A cached result is usable when it can satisfy this job's full
         // contract: plain jobs need only the stats; observed jobs also
         // need a cached observation to replay into their sink.
         if let Some((cache, key)) = &self.result_cache {
-            if let Some((stats, cached_obs)) = cache.get(*key) {
+            if let Some(((stats, cached_obs), tier)) = cache.get_with_source(*key) {
                 match (&self.obs, cached_obs) {
                     (None, _) => {
                         cache.hits.fetch_add(1, Ordering::Relaxed);
+                        report(tier);
                         return Ok(stats);
                     }
                     (Some(o), Some(observation)) => {
                         cache.hits.fetch_add(1, Ordering::Relaxed);
+                        report(tier);
                         o.sink.push(ObsEntry {
                             batch: o.batch,
                             index: o.index,
@@ -886,7 +996,12 @@ impl SimJob {
             cache.misses.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(spec) = &self.checkpoint {
-            let (stats, observation) = self.run_checkpointed(spec)?;
+            let (stats, observation, provenance) = self.run_checkpointed(spec)?;
+            report(match provenance {
+                CheckpointProvenance::Fresh => ResultSource::Fresh,
+                CheckpointProvenance::Resumed => ResultSource::CheckpointResumed,
+                CheckpointProvenance::CorruptFallback => ResultSource::CorruptFallback,
+            });
             match (&self.obs, observation) {
                 (Some(o), Some(observation)) => {
                     if let Some((cache, key)) = &self.result_cache {
@@ -907,6 +1022,7 @@ impl SimJob {
             }
             return Ok(stats);
         }
+        report(ResultSource::Fresh);
         match &self.obs {
             None => {
                 let stats = self.simulator()?.try_run(&self.workload)?;
@@ -943,7 +1059,7 @@ impl SimJob {
     fn run_checkpointed(
         &self,
         spec: &CheckpointSpec,
-    ) -> Result<(RunStats, Option<Observation>), CdpError> {
+    ) -> Result<(RunStats, Option<Observation>, CheckpointProvenance), CdpError> {
         let sim = self.simulator()?;
         let obs_cfg = self.obs.as_ref().map(|o| &o.cfg);
         let io = spec.io();
@@ -999,7 +1115,7 @@ impl SimJob {
         // later sweep resume re-runs the (deterministic) cell instead.
         let _ = io.remove_file(&path);
         let (stats, observation) = session.finish();
-        Ok((stats, self.obs.as_ref().map(|_| observation)))
+        Ok((stats, self.obs.as_ref().map(|_| observation), provenance))
     }
 }
 
@@ -1380,6 +1496,7 @@ mod tests {
                         cfg: ObsConfig {
                             trace: Some(TraceConfig::default()),
                             metrics_window: Some(16_384),
+                            profile_hist: true,
                         },
                         sink: Arc::clone(&sink),
                         batch: 7,

@@ -53,6 +53,10 @@ pub struct L2Meta {
     pub width: bool,
     /// Whether a store has touched the line (writeback candidate).
     pub dirty: bool,
+    /// Cycle the fill that installed this line entered the memory system
+    /// (from its MSHR entry). Lets a demand's first touch of a prefetched
+    /// line compute issue-to-use timeliness without any per-line clock.
+    pub issued_at: u64,
 }
 
 /// Pollution-injection settings for the §3.5 limit study.
@@ -142,6 +146,9 @@ pub struct Hierarchy<'w> {
     /// single branch with no payload computation — the unobserved path is
     /// allocation-free and byte-identical.
     tracer: Option<Box<TraceRing>>,
+    /// Latency-attribution histograms (`--profile-hist`); `None` (the
+    /// default) keeps every recording site a single branch.
+    profile: Option<Box<cdp_obs::Profile>>,
 }
 
 impl<'w> std::fmt::Debug for Hierarchy<'w> {
@@ -188,6 +195,7 @@ impl<'w> Hierarchy<'w> {
             walk_fault: None,
             walk_tick: 0,
             tracer: None,
+            profile: None,
             space,
             cfg,
         }
@@ -208,6 +216,17 @@ impl<'w> Hierarchy<'w> {
     /// at the warmup boundary).
     pub fn tracer_mut(&mut self) -> Option<&mut TraceRing> {
         self.tracer.as_deref_mut()
+    }
+
+    /// Installs the latency-attribution histograms. All recording sites
+    /// start sampling; simulated behavior and statistics are unaffected.
+    pub fn set_profile(&mut self, profile: Box<cdp_obs::Profile>) {
+        self.profile = Some(profile);
+    }
+
+    /// Removes and returns the profile (with everything it recorded).
+    pub fn take_profile(&mut self) -> Option<Box<cdp_obs::Profile>> {
+        self.profile.take()
     }
 
     /// Records one trace event when a tracer is installed and its filter
@@ -296,6 +315,9 @@ impl<'w> Hierarchy<'w> {
         self.l1.reset_stats();
         self.l2.reset_stats();
         self.dtlb.reset_stats();
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.clear();
+        }
     }
 
     /// Processes every fill that has completed by `now`, in completion
@@ -308,7 +330,14 @@ impl<'w> Hierarchy<'w> {
                 break;
             }
             for fill in done.iter().copied() {
-                self.install_fill(fill.line, fill.vline, fill.kind, fill.width, fill.complete_at);
+                self.install_fill(
+                    fill.line,
+                    fill.vline,
+                    fill.kind,
+                    fill.width,
+                    fill.issued_at,
+                    fill.complete_at,
+                );
             }
         }
         self.drain_buf = done;
@@ -322,6 +351,7 @@ impl<'w> Hierarchy<'w> {
         trigger_ea: VirtAddr,
         kind: RequestKind,
         width: bool,
+        issued_at: u64,
         at: u64,
     ) {
         let is_demand = matches!(kind, RequestKind::Demand);
@@ -332,6 +362,7 @@ impl<'w> Hierarchy<'w> {
             demand_touched: is_demand,
             width,
             dirty: self.pending_dirty.remove(&line.0),
+            issued_at,
         };
         if let Some(evicted) = self.l2.fill(line.0, meta) {
             if self.cfg.model_writebacks && evicted.meta.dirty {
@@ -518,6 +549,7 @@ impl<'w> Hierarchy<'w> {
                         demand_touched: true,
                         width: false,
                         dirty: false,
+                        issued_at: now,
                     },
                 );
             }
@@ -645,6 +677,9 @@ impl<'w> Hierarchy<'w> {
         let fill_at = self.bus.schedule(now + walk_penalty + self.cfg.ul2.latency, false);
         self.mshrs
             .insert_width(pline, req.vaddr, req.kind, now, fill_at, req.width);
+        if let Some(p) = self.profile.as_deref_mut() {
+            self.mshrs.record_occupancy(&mut p.mshr_occupancy);
+        }
         match engine_of(req.kind) {
             Engine::Stride => self.stats.stride.issued += 1,
             Engine::Content => self.stats.content.issued += 1,
@@ -688,6 +723,7 @@ impl<'w> Hierarchy<'w> {
                     demand_touched: false,
                     width: true,
                     dirty: false,
+                    issued_at: at,
                 },
             );
             self.stats.injected_pollution += 1;
@@ -697,7 +733,8 @@ impl<'w> Hierarchy<'w> {
     /// Serializes the complete hierarchy state: both caches (slot layout
     /// and replacement state), DTLB, bus timing tracks, MSHR file,
     /// every configured prefetcher, statistics, the pollution/fault RNG
-    /// streams, pending-dirty lines, and the tracer ring when installed.
+    /// streams, pending-dirty lines, and the tracer ring / profile
+    /// histograms when installed.
     ///
     /// Call only between accesses (the transient request/drain buffers
     /// are empty then and are not serialized). A latched fault is not
@@ -717,6 +754,7 @@ impl<'w> Hierarchy<'w> {
             e.bool(m.demand_touched);
             e.bool(m.width);
             e.bool(m.dirty);
+            e.u64(m.issued_at);
         });
         self.dtlb.save_state(enc);
         self.bus.save_state(enc);
@@ -757,6 +795,10 @@ impl<'w> Hierarchy<'w> {
         if let Some(t) = self.tracer.as_deref() {
             t.save_state(enc);
         }
+        enc.bool(self.profile.is_some());
+        if let Some(p) = self.profile.as_deref() {
+            p.save_state(enc);
+        }
     }
 
     /// Restores state written by [`Hierarchy::save_state`] into a freshly
@@ -793,6 +835,7 @@ impl<'w> Hierarchy<'w> {
                 demand_touched: d.bool("l2 meta demand_touched")?,
                 width: d.bool("l2 meta width")?,
                 dirty: d.bool("l2 meta dirty")?,
+                issued_at: d.u64("l2 meta issued_at")?,
             })
         })?;
         self.dtlb.restore_state(dec)?;
@@ -830,6 +873,14 @@ impl<'w> Hierarchy<'w> {
         if let Some(t) = self.tracer.as_deref_mut() {
             t.restore_state(dec)?;
         }
+        if dec.bool("profile presence")? != self.profile.is_some() {
+            return Err(SnapshotError::Corrupt {
+                context: "profile presence",
+            });
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            *p = cdp_obs::Profile::restore_state(dec)?;
+        }
         Ok(())
     }
 }
@@ -843,6 +894,9 @@ impl<'w> MemoryModel for Hierarchy<'w> {
         // L1 lookup (virtually indexed).
         if self.l1.access(vaddr.line().0).is_some() {
             self.stats.l1_hits += 1;
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.load_to_use.record(self.cfg.l1d.latency);
+            }
             return now + self.cfg.l1d.latency;
         }
         self.stats.l1_misses += 1;
@@ -885,13 +939,20 @@ impl<'w> MemoryModel for Hierarchy<'w> {
         let completion = match self.l2.access(pline.0) {
             Some(meta) => {
                 self.stats.l2_demand_hits += 1;
-                let (owner, stored_depth, first_touch) =
-                    (meta.owner, meta.depth, !meta.demand_touched);
+                let (owner, stored_depth, first_touch, fill_issued_at) =
+                    (meta.owner, meta.depth, !meta.demand_touched, meta.issued_at);
                 meta.demand_touched = true;
                 if kind.is_store() {
                     meta.dirty = true;
                 }
                 if first_touch {
+                    if owner != Engine::Demand {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            // Full latency mask: issue-to-use spans the
+                            // whole fill plus the resident dwell time.
+                            p.prefetch_to_use.record(now.saturating_sub(fill_issued_at));
+                        }
+                    }
                     match owner {
                         Engine::Stride => {
                             self.stats.stride.useful_full += 1;
@@ -963,6 +1024,11 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                         self.mshrs.expedite(pline, effective);
                     }
                     if inflight.kind.is_prefetch() {
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            // Partial mask: the demand arrived while the
+                            // prefetch was still in flight.
+                            p.prefetch_to_use.record(now.saturating_sub(inflight.issued_at));
+                        }
                         match engine_of(inflight.kind) {
                             Engine::Stride => {
                                 self.stats.stride.useful_partial += 1;
@@ -999,6 +1065,9 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                     }
                     let fill_at = self.bus.schedule(base + self.cfg.ul2.latency, true);
                     self.mshrs.insert(pline, vaddr, RequestKind::Demand, now, fill_at);
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        self.mshrs.record_occupancy(&mut p.mshr_occupancy);
+                    }
                     fill_at
                 }
             }
@@ -1017,6 +1086,9 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                 ctl.adjust(&mut cfg, self.stats.content.issued, self.stats.content.useful());
                 content.set_config(cfg);
             }
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.load_to_use.record(completion.saturating_sub(now));
         }
         completion
     }

@@ -50,6 +50,7 @@ pub mod observe;
 pub mod persist;
 pub mod runner;
 pub mod stats;
+pub mod status;
 pub mod system;
 
 pub use exec::{
@@ -63,6 +64,7 @@ pub use observe::{MetricsWindow, Observation, ObsEntry, ObsSink};
 pub use persist::{decode_result, encode_result, RESULT_VERSION};
 pub use runner::{build_workload, compare_suite, run_benchmark, Comparison};
 pub use stats::{DropCounters, Engine, EngineCounters, MemStats, RequestDistribution};
+pub use status::{install_status_sink, status_sink, ResultSource, SourceSlot, StatusSink};
 pub use system::{
     set_fast_forward, speedup, RunLength, RunStats, SimSession, Simulator, WindowSample,
 };

@@ -199,12 +199,18 @@ pub struct Observation {
     pub trace_overwritten: u64,
     /// Eligible events elided by the sampling stride.
     pub trace_sampled_out: u64,
+    /// Latency-attribution histograms (`None` unless `--profile-hist`).
+    pub profile: Option<cdp_obs::Profile>,
 }
 
 impl Observation {
     /// Builds an observation from the per-run pieces.
     #[must_use]
-    pub fn new(windows: Vec<MetricsWindow>, tracer: Option<TraceRing>) -> Self {
+    pub fn new(
+        windows: Vec<MetricsWindow>,
+        tracer: Option<TraceRing>,
+        profile: Option<cdp_obs::Profile>,
+    ) -> Self {
         match tracer {
             Some(ring) => Observation {
                 windows,
@@ -212,9 +218,11 @@ impl Observation {
                 trace_recorded: ring.recorded(),
                 trace_overwritten: ring.overwritten(),
                 trace_sampled_out: ring.sampled_out(),
+                profile,
             },
             None => Observation {
                 windows,
+                profile,
                 ..Observation::default()
             },
         }

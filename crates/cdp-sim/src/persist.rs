@@ -27,8 +27,10 @@ use crate::system::RunStats;
 
 /// Version of the result payload encoding. Bump on any layout change;
 /// older builds refuse newer payloads (and recompute) instead of
-/// misdecoding them.
-pub const RESULT_VERSION: u32 = 1;
+/// misdecoding them. History: v1 — initial layout; v2 — appends the
+/// optional latency-attribution [`cdp_obs::Profile`] to observations
+/// (v1 entries still decode, with `profile: None`).
+pub const RESULT_VERSION: u32 = 2;
 
 /// Encodes a cached cell result — run statistics plus the optional
 /// observation — into self-contained payload bytes for the store.
@@ -65,7 +67,7 @@ pub fn decode_result(bytes: &[u8]) -> Result<(RunStats, Option<Observation>), Sn
     }
     let stats = load_run_stats(&mut d)?;
     let obs = if d.bool("result has observation")? {
-        Some(load_observation(&mut d)?)
+        Some(load_observation(&mut d, version)?)
     } else {
         None
     };
@@ -289,9 +291,16 @@ fn save_observation(o: &Observation, e: &mut Enc) {
     e.u64(o.trace_recorded);
     e.u64(o.trace_overwritten);
     e.u64(o.trace_sampled_out);
+    match &o.profile {
+        Some(p) => {
+            e.bool(true);
+            p.save_state(e);
+        }
+        None => e.bool(false),
+    }
 }
 
-fn load_observation(d: &mut Dec<'_>) -> Result<Observation, SnapshotError> {
+fn load_observation(d: &mut Dec<'_>, version: u32) -> Result<Observation, SnapshotError> {
     // MetricsWindow is 16 fixed-width fields; 17 is the smallest
     // possible encoding (usize can shrink, the u64s cannot... both are
     // fixed 8 bytes here, but a conservative floor still bounds the
@@ -310,12 +319,23 @@ fn load_observation(d: &mut Dec<'_>) -> Result<Observation, SnapshotError> {
             data: load_trace_data(d)?,
         });
     }
+    let trace_recorded = d.u64("observation trace_recorded")?;
+    let trace_overwritten = d.u64("observation trace_overwritten")?;
+    let trace_sampled_out = d.u64("observation trace_sampled_out")?;
+    // v1 entries predate profiles; they decode with `profile: None` so
+    // warm store files stay usable across the upgrade.
+    let profile = if version >= 2 && d.bool("observation has profile")? {
+        Some(cdp_obs::Profile::restore_state(d)?)
+    } else {
+        None
+    };
     Ok(Observation {
         windows,
         events,
-        trace_recorded: d.u64("observation trace_recorded")?,
-        trace_overwritten: d.u64("observation trace_overwritten")?,
-        trace_sampled_out: d.u64("observation trace_sampled_out")?,
+        trace_recorded,
+        trace_overwritten,
+        trace_sampled_out,
+        profile,
     })
 }
 
@@ -369,6 +389,15 @@ mod tests {
             trace_recorded: 8,
             trace_overwritten: 1,
             trace_sampled_out: 2,
+            profile: Some({
+                let mut p = cdp_obs::Profile::new();
+                for v in [3u64, 5, 900, 4096, 1 << 40] {
+                    p.load_to_use.record(v);
+                    p.rob_stall.record(v / 2);
+                }
+                p.mshr_occupancy.record(4);
+                p
+            }),
         }
     }
 
@@ -397,6 +426,21 @@ mod tests {
         let (back, obs) = decode_result(&encode_result(&stats, None)).unwrap();
         assert!(obs.is_none());
         assert_eq!(format!("{stats:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn v1_payload_decodes_with_no_profile() {
+        // Emulate a pre-profile store entry: same layout minus the
+        // trailing "has profile" flag, tagged version 1.
+        let stats = sample_stats();
+        let mut obs = sample_observation();
+        obs.profile = None;
+        let mut bytes = encode_result(&stats, Some(&obs));
+        bytes[0..4].copy_from_slice(&1u32.to_le_bytes());
+        bytes.pop();
+        let (back_stats, back_obs) = decode_result(&bytes).unwrap();
+        assert_eq!(format!("{stats:?}"), format!("{back_stats:?}"));
+        assert!(back_obs.unwrap().profile.is_none());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Live JSONL status heartbeats for pooled sweeps (`--status-jsonl`).
+//!
+//! A [`StatusSink`] wraps any `Write` destination (a sidecar file, or
+//! stderr via `-`) and emits one JSON object per line as jobs move
+//! through the pool: `queued` at submission, `running` when a worker
+//! claims the job, `retrying` before each backed-off re-attempt, and
+//! `done` with the outcome, wall time, result provenance, batch
+//! progress, and a sweep ETA. Events never touch stdout — the sweep's
+//! rendered tables stay byte-identical with the stream on or off — and
+//! the sink is installed process-globally (like
+//! [`crate::system::set_fast_forward`]) so every experiment's pool
+//! picks it up without threading a handle through each call site.
+//!
+//! Provenance travels through a per-job [`SourceSlot`]: the executing
+//! attempt may run on a detached watchdog thread (see
+//! `run_one_with_policy`), so the worker that emits `done` reads the
+//! slot's atomic rather than anything thread-local.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use cdp_obs::Json;
+
+/// How a finished cell's result was obtained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResultSource {
+    /// Simulated from cycle zero this run.
+    #[default]
+    Fresh,
+    /// Replayed from the in-memory result cache.
+    ResultCache,
+    /// Replayed from the persistent result store.
+    ResultStore,
+    /// Resumed mid-run from an on-disk checkpoint.
+    CheckpointResumed,
+    /// A checkpoint existed but failed to decode; the cell restarted.
+    CorruptFallback,
+}
+
+impl ResultSource {
+    /// Stable JSONL spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResultSource::Fresh => "fresh",
+            ResultSource::ResultCache => "result-cache",
+            ResultSource::ResultStore => "result-store",
+            ResultSource::CheckpointResumed => "checkpoint-resumed",
+            ResultSource::CorruptFallback => "corrupt-fallback",
+        }
+    }
+}
+
+/// A thread-safe provenance slot one job's executing attempt writes and
+/// the pool worker reads when emitting the job's `done` event.
+#[derive(Debug, Default)]
+pub struct SourceSlot(AtomicU8);
+
+impl SourceSlot {
+    /// A fresh slot behind an [`Arc`], ready to capture into a task.
+    #[must_use]
+    pub fn shared() -> Arc<SourceSlot> {
+        Arc::new(SourceSlot::default())
+    }
+
+    /// Records how the result was obtained.
+    pub fn set(&self, s: ResultSource) {
+        let code = match s {
+            ResultSource::Fresh => 0,
+            ResultSource::ResultCache => 1,
+            ResultSource::ResultStore => 2,
+            ResultSource::CheckpointResumed => 3,
+            ResultSource::CorruptFallback => 4,
+        };
+        self.0.store(code, Ordering::Relaxed);
+    }
+
+    /// The provenance last recorded (defaults to [`ResultSource::Fresh`]).
+    #[must_use]
+    pub fn get(&self) -> ResultSource {
+        match self.0.load(Ordering::Relaxed) {
+            1 => ResultSource::ResultCache,
+            2 => ResultSource::ResultStore,
+            3 => ResultSource::CheckpointResumed,
+            4 => ResultSource::CorruptFallback,
+            _ => ResultSource::Fresh,
+        }
+    }
+}
+
+/// A line-buffered JSONL event stream shared by every pool batch in the
+/// process. One `write` call per event (a single line), so interleaving
+/// from concurrent workers is line-atomic in practice and each line is
+/// a complete JSON object regardless.
+pub struct StatusSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+    total: AtomicU64,
+    done: AtomicU64,
+}
+
+impl std::fmt::Debug for StatusSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusSink")
+            .field("total", &self.total)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StatusSink {
+    /// Creates a sink writing to `out`.
+    #[must_use]
+    pub fn new(out: Box<dyn Write + Send>) -> StatusSink {
+        StatusSink {
+            out: Mutex::new(out),
+            start: Instant::now(),
+            total: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes one event line. I/O errors are swallowed: the heartbeat is
+    /// diagnostic, and a full disk must never fail the sweep itself.
+    fn emit(&self, event: Json) {
+        let mut line = event.to_string();
+        line.push('\n');
+        let mut out = self.out.lock().expect("status sink poisoned");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+
+    fn base(&self, event: &str, label: &str, index: usize) -> Json {
+        let mut o = Json::obj();
+        o.set("event", Json::Str(event.to_string()));
+        o.set("label", Json::Str(label.to_string()));
+        o.set("index", Json::U64(index as u64));
+        o
+    }
+
+    /// Announces a submission wave: `jobs` new jobs join the queue.
+    pub fn batch(&self, jobs: usize) {
+        let total = self.total.fetch_add(jobs as u64, Ordering::Relaxed) + jobs as u64;
+        let mut o = Json::obj();
+        o.set("event", Json::Str("batch".to_string()));
+        o.set("jobs", Json::U64(jobs as u64));
+        o.set("total", Json::U64(total));
+        self.emit(o);
+    }
+
+    /// One job entered the queue.
+    pub fn queued(&self, label: &str, index: usize) {
+        self.emit(self.base("queued", label, index));
+    }
+
+    /// A worker claimed the job.
+    pub fn running(&self, label: &str, index: usize) {
+        self.emit(self.base("running", label, index));
+    }
+
+    /// The job is about to be re-attempted (attempt `attempt`, 1-based)
+    /// after `wall_ms` of cell wall time so far.
+    pub fn retrying(&self, label: &str, index: usize, attempt: u32, wall_ms: u64) {
+        let mut o = self.base("retrying", label, index);
+        o.set("attempt", Json::U64(u64::from(attempt)));
+        o.set("wall_ms", Json::U64(wall_ms));
+        self.emit(o);
+    }
+
+    /// The job finished with `status` (`ok` / `failed` / `timeout`),
+    /// provenance `source`, after `wall_ms`. Also reports sweep progress
+    /// and a naive ETA extrapolated from throughput so far.
+    pub fn done(&self, label: &str, index: usize, status: &str, wall_ms: u64, source: ResultSource) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total.load(Ordering::Relaxed).max(done);
+        let mut o = self.base("done", label, index);
+        o.set("status", Json::Str(status.to_string()));
+        o.set("wall_ms", Json::U64(wall_ms));
+        o.set("source", Json::Str(source.as_str().to_string()));
+        o.set("done", Json::U64(done));
+        o.set("total", Json::U64(total));
+        let elapsed = self.start.elapsed().as_millis() as u64;
+        o.set("eta_ms", Json::U64(elapsed / done * (total - done)));
+        self.emit(o);
+    }
+}
+
+/// The process-global sink slot. Write-once: experiment drivers install
+/// it during CLI parsing, before any pool runs.
+static STATUS: OnceLock<Arc<StatusSink>> = OnceLock::new();
+
+/// Installs the process-global status sink. Later calls are ignored
+/// (first writer wins), matching the one-shot CLI flag that sets it.
+pub fn install_status_sink(sink: StatusSink) {
+    let _ = STATUS.set(Arc::new(sink));
+}
+
+/// The installed sink, if any. Cheap (one atomic load) — pool hot paths
+/// call this per batch, not per event.
+#[must_use]
+pub fn status_sink() -> Option<Arc<StatusSink>> {
+    STATUS.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Write capturing into a shared buffer for assertions.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn source_slot_round_trips_all_codes() {
+        let slot = SourceSlot::shared();
+        assert_eq!(slot.get(), ResultSource::Fresh);
+        for s in [
+            ResultSource::Fresh,
+            ResultSource::ResultCache,
+            ResultSource::ResultStore,
+            ResultSource::CheckpointResumed,
+            ResultSource::CorruptFallback,
+        ] {
+            slot.set(s);
+            assert_eq!(slot.get(), s);
+            assert!(!s.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn events_are_one_parsable_json_object_per_line() {
+        let cap = Capture::default();
+        let sink = StatusSink::new(Box::new(cap.clone()));
+        sink.batch(2);
+        sink.queued("cell/a", 0);
+        sink.running("cell/a", 0);
+        sink.retrying("cell/a", 0, 2, 17);
+        sink.done("cell/a", 0, "ok", 42, ResultSource::ResultCache);
+        sink.done("cell/b", 1, "timeout", 9000, ResultSource::Fresh);
+        let bytes = cap.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            let j = Json::parse(line).expect("every event line parses");
+            assert!(j.get("event").is_some());
+        }
+        let done = Json::parse(lines[4]).unwrap();
+        assert_eq!(done.get("source").unwrap().to_string(), "\"result-cache\"");
+        assert_eq!(done.get("done").unwrap().to_string(), "1");
+        assert_eq!(done.get("total").unwrap().to_string(), "2");
+        assert!(done.get("eta_ms").is_some());
+        let last = Json::parse(lines[5]).unwrap();
+        assert_eq!(last.get("status").unwrap().to_string(), "\"timeout\"");
+        assert_eq!(last.get("done").unwrap().to_string(), "2");
+    }
+}

@@ -322,13 +322,21 @@ impl Simulator {
         if let Some(tc) = obs.and_then(|o| o.trace.as_ref()) {
             hierarchy.set_tracer(TraceRing::new(tc.clone()));
         }
+        let profile_hist = obs.is_some_and(|o| o.profile_hist);
+        if profile_hist {
+            hierarchy.set_profile(Box::new(cdp_obs::Profile::new()));
+        }
         let metrics_window = obs.and_then(|o| o.metrics_window);
         let window = match obs {
             None => FAULT_CHECK_WINDOW,
             Some(_) => metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1),
         };
+        let mut core = build_core(&self.cfg, &workload.program);
+        if profile_hist {
+            core.set_stall_hist(Box::new(cdp_obs::Hist::new()));
+        }
         SimSession {
-            core: build_core(&self.cfg, &workload.program),
+            core,
             hierarchy,
             warmup_uops: self.cfg.warmup_uops,
             window,
@@ -496,6 +504,7 @@ impl<'w> SimSession<'w> {
                     return Err(e);
                 }
                 self.core.reset_stats();
+                self.core.reset_stall_hist();
                 self.hierarchy.reset_stats();
                 if let Some(t) = self.hierarchy.tracer_mut() {
                     t.clear();
@@ -637,9 +646,18 @@ impl<'w> SimSession<'w> {
             adaptive: self.hierarchy.adaptive_state(),
             bus: self.hierarchy.bus_stats(),
         };
+        let profile = self.hierarchy.take_profile().map(|mut p| {
+            // The core's stall histogram is the fourth leg of the profile;
+            // fold it in so callers see one bundle.
+            if let Some(stall) = self.core.take_stall_hist() {
+                p.rob_stall.merge(&stall);
+            }
+            *p
+        });
         let observation = Observation::new(
             std::mem::take(&mut self.windows),
             self.hierarchy.take_tracer(),
+            profile,
         );
         (stats, observation)
     }
@@ -759,6 +777,7 @@ mod tests {
         ObsConfig {
             trace: Some(cdp_types::TraceConfig::default()),
             metrics_window: Some(4_000),
+            profile_hist: true,
         }
     }
 
@@ -822,6 +841,13 @@ mod tests {
         assert_eq!(ref_obs.trace_recorded, observation.trace_recorded);
         assert_eq!(ref_obs.trace_overwritten, observation.trace_overwritten);
         assert_eq!(ref_obs.trace_sampled_out, observation.trace_sampled_out);
+        assert!(
+            ref_obs.profile.as_ref().is_some_and(|p| {
+                !p.load_to_use.is_empty() && !p.rob_stall.is_empty()
+            }),
+            "profile histograms collected samples"
+        );
+        assert_eq!(ref_obs.profile, observation.profile);
     }
 
     #[test]

@@ -729,13 +729,17 @@ pub struct ObsConfig {
     /// Metrics snapshot window in retired µops; `None` disables the
     /// time-series.
     pub metrics_window: Option<u64>,
+    /// Collect latency-attribution histograms (load-to-use latency,
+    /// prefetch issue-to-use distance, MSHR occupancy, ROB stall
+    /// run-lengths) for the manifest's per-cell `profile` object.
+    pub profile_hist: bool,
 }
 
 impl ObsConfig {
     /// True when any observability feature is enabled.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.trace.is_some() || self.metrics_window.is_some()
+        self.trace.is_some() || self.metrics_window.is_some() || self.profile_hist
     }
 }
 
@@ -762,12 +766,17 @@ mod tests {
         assert!(!obs.is_enabled());
         assert!(ObsConfig {
             trace: Some(TraceConfig::default()),
-            metrics_window: None
+            ..ObsConfig::default()
         }
         .is_enabled());
         assert!(ObsConfig {
-            trace: None,
-            metrics_window: Some(65_536)
+            metrics_window: Some(65_536),
+            ..ObsConfig::default()
+        }
+        .is_enabled());
+        assert!(ObsConfig {
+            profile_hist: true,
+            ..ObsConfig::default()
         }
         .is_enabled());
         assert_eq!(TraceConfig::default().capacity, 4096);

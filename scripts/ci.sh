@@ -34,6 +34,41 @@ cmp /tmp/cdp-obs-ci-plain.out /tmp/cdp-obs-ci-obs.out || {
 ./target/release/validate-manifest /tmp/cdp-obs-ci/manifest.json \
     /tmp/cdp-obs-ci/metrics.jsonl /tmp/cdp-obs-ci/trace.jsonl
 
+echo "== profile/status smoke (byte-identity + run-explain self-diff) =="
+# Latency histograms and the live status stream (DESIGN.md §15) must be
+# behavior-neutral: stdout with --profile-hist + --status-jsonl on must
+# be byte-identical to the plain run at --jobs 1 and 4, the status
+# sidecars must actually stream events, the profile-bearing manifests
+# must validate, and run-explain on the two same-config runs must
+# report zero divergence (exit 0).
+rm -rf /tmp/cdp-prof-ci-1 /tmp/cdp-prof-ci-4
+./target/release/experiments tlb table2 --smoke --jobs 2 > /tmp/cdp-prof-plain.out
+for jobs in 1 4; do
+    ./target/release/experiments tlb table2 --smoke --jobs "$jobs" \
+        --profile-hist --metrics-window 16384 \
+        --status-jsonl "/tmp/cdp-prof-status-$jobs.jsonl" \
+        --emit-manifest "/tmp/cdp-prof-ci-$jobs" \
+        > "/tmp/cdp-prof-obs-$jobs.out" 2> /dev/null
+    cmp /tmp/cdp-prof-plain.out "/tmp/cdp-prof-obs-$jobs.out" || {
+        echo "profile smoke: stdout differs with histograms/status at --jobs $jobs" >&2
+        exit 1
+    }
+    test -s "/tmp/cdp-prof-status-$jobs.jsonl" || {
+        echo "profile smoke: status stream empty at --jobs $jobs" >&2
+        exit 1
+    }
+    grep -q '"event":"done"' "/tmp/cdp-prof-status-$jobs.jsonl" || {
+        echo "profile smoke: status stream missing done events at --jobs $jobs" >&2
+        exit 1
+    }
+    ./target/release/validate-manifest "/tmp/cdp-prof-ci-$jobs/manifest.json" \
+        "/tmp/cdp-prof-ci-$jobs/metrics.jsonl"
+done
+./target/release/run-explain /tmp/cdp-prof-ci-1 /tmp/cdp-prof-ci-4 > /dev/null || {
+    echo "profile smoke: run-explain found divergence between same-config runs" >&2
+    exit 1
+}
+
 echo "== result-cache smoke (byte-identity cache on vs off) =="
 # The fingerprint-keyed result cache must never change rendered output:
 # the same ids at different --jobs counts, cache on vs --no-result-cache,

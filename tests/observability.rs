@@ -27,6 +27,7 @@ fn observed_run_matches_plain_run_exactly() {
     let obs = ObsConfig {
         trace: Some(TraceConfig::default()),
         metrics_window: Some(10_000),
+        profile_hist: true,
     };
     let (observed, observation) = Simulator::try_new(cfg.clone())
         .unwrap()
@@ -56,6 +57,7 @@ fn window_deltas_sum_to_run_totals() {
     let obs = ObsConfig {
         trace: None,
         metrics_window: Some(8_192),
+        profile_hist: false,
     };
     let (stats, observation) = Simulator::try_new(SystemConfig::with_content())
         .unwrap()
@@ -87,6 +89,7 @@ fn trace_ring_honors_filter_capacity_and_sampling() {
                 &ObsConfig {
                     trace: Some(trace),
                     metrics_window: None,
+                    profile_hist: false,
                 },
             )
             .unwrap()
@@ -146,6 +149,7 @@ fn manifest_from_real_runs_validates_and_round_trips() {
             ..TraceConfig::default()
         }),
         metrics_window: Some(16_384),
+        profile_hist: true,
     };
     let jobs: Vec<SimJob> = [("base", SystemConfig::asplos2002()), ("cdp", SystemConfig::with_content())]
         .into_iter()

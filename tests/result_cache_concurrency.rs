@@ -106,6 +106,7 @@ fn observed_hits_replay_identical_observations() {
     let obs_cfg = ObsConfig {
         trace: None,
         metrics_window: Some(16_384),
+        profile_hist: true,
     };
     let jobs: Vec<SimJob> = (0..8)
         .map(|i| {

@@ -30,6 +30,7 @@ fn obs_cfg() -> ObsConfig {
     ObsConfig {
         trace: Some(TraceConfig::default()),
         metrics_window: Some(4_000),
+        profile_hist: true,
     }
 }
 
@@ -103,6 +104,13 @@ fn assert_roundtrip_at(
     assert_eq!(ref_obs.trace_recorded, observation.trace_recorded);
     assert_eq!(ref_obs.trace_overwritten, observation.trace_overwritten);
     assert_eq!(ref_obs.trace_sampled_out, observation.trace_sampled_out);
+    // Histogram state (bucket counts, min/max, totals) must round-trip
+    // through the snapshot bit-identically, not just the percentiles.
+    assert_eq!(ref_obs.profile, observation.profile, "latency profile diverged");
+    if obs.is_some_and(|o| o.profile_hist) {
+        let p = ref_obs.profile.as_ref().expect("profile collected");
+        assert!(!p.load_to_use.is_empty(), "profile recorded load samples");
+    }
     bytes
 }
 

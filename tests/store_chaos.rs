@@ -146,6 +146,7 @@ fn checkpointed_run_survives_faulty_checkpoint_io() {
     let obs = ObsConfig {
         trace: None,
         metrics_window: Some(4_000),
+        profile_hist: true,
     };
     let job_obs = |index: usize| JobObs {
         cfg: obs.clone(),
