@@ -6,7 +6,8 @@
 //!
 //! Times the per-access kernels the hot-path optimization rounds target —
 //! cache access/fill, physical line reads, the VAM scan, MSHR
-//! insert/drain, snapshot encoding, and result-cache contention — with
+//! insert/drain, snapshot encoding, streaming uop synthesis, and
+//! result-cache contention — with
 //! plain `Instant` loops, and prints one JSON object to stdout. Each
 //! kernel always emits a `<kernel>_ns` point estimate; with
 //! `--samples N` (N > 1) the kernel is re-timed N times and additionally
@@ -158,6 +159,36 @@ fn snapshot_encode_reuse() -> f64 {
     })
 }
 
+/// Streaming uop synthesis: `UopSource::fill` bursts from a large-tier
+/// pointer-chasing generator — the per-uop cost the streaming engine
+/// pays instead of a materialized program's upfront build. Reported as
+/// ns per generated uop.
+fn uop_gen() -> f64 {
+    use cdp_workloads::suite::Scale;
+    let w = Benchmark::Tpcc1.build(Scale::large(), cdp_bench::BENCH_SEED);
+    let spec = w.stream.as_ref().expect("large tier streams");
+    let mut src = spec.make_source();
+    let mut buf = std::collections::VecDeque::with_capacity(65_536);
+    const BURST: usize = 32_768;
+    let ns = time_ns_per_iter(20, 3, |_| {
+        let mut n = 0usize;
+        while n < BURST {
+            let got = src.fill(&mut buf);
+            if got == 0 {
+                // ~2.6M uops consumed over the whole measurement vs a
+                // ~100M-uop target, so this only fires if tier budgets
+                // shrink; restart to keep the timing loop honest.
+                src = spec.make_source();
+                continue;
+            }
+            n += got;
+            buf.clear();
+        }
+        std::hint::black_box(n);
+    });
+    ns / BURST as f64
+}
+
 /// Eight threads hammering a shared [`ResultCache`] with a small,
 /// fully-contended key set — the lock-acquisition pattern a parallel
 /// suite sweep with `--jobs 8` produces. Reported as ns per get(+put).
@@ -205,6 +236,7 @@ const KERNELS: &[Kernel] = &[
     ("mshr_insert_drain", mshr_insert_drain),
     ("snapshot_encode", snapshot_encode),
     ("snapshot_encode_reuse", snapshot_encode_reuse),
+    ("uop_gen", uop_gen),
     ("result_cache_contention", result_cache_contention),
 ];
 

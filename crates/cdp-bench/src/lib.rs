@@ -5,7 +5,8 @@
 //!
 //! * `microbench` — times the simulator's hot kernels (flat cache
 //!   access, physical line reads, VAM scans, MSHR insert/drain,
-//!   snapshot encode, result-cache contention) with plain
+//!   snapshot encode, streaming uop synthesis, result-cache
+//!   contention) with plain
 //!   [`std::time::Instant`] loops; `--samples N` repeats each kernel
 //!   and attaches [`stats::SampleStats`] objects.
 //! * `bench-compare` — diffs two `BENCH_*.json` snapshots and

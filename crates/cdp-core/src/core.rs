@@ -24,8 +24,9 @@
 
 use cdp_types::{AccessKind, CoreConfig};
 
+use crate::feed::{Feed, UopSource};
 use crate::gshare::Gshare;
-use crate::uop::{Program, UopKind, NUM_REGS};
+use crate::uop::{Program, Uop, UopKind, NUM_REGS};
 use crate::MemoryModel;
 
 /// Execution statistics.
@@ -125,7 +126,9 @@ struct RobEntry {
 #[derive(Clone, Debug)]
 pub struct Core<'p> {
     cfg: CoreConfig,
-    program: &'p Program,
+    /// Where uops come from: a borrowed whole program, or a streaming
+    /// source of which only a sliding window is resident.
+    feed: Feed<'p>,
     /// Next uop to fetch.
     fetch_idx: usize,
     /// Fetch is blocked until this cycle (branch redirect).
@@ -193,12 +196,23 @@ pub struct Core<'p> {
 impl<'p> Core<'p> {
     /// Creates a core ready to execute `program` from its first uop.
     pub fn new(cfg: CoreConfig, program: &'p Program) -> Self {
+        Self::with_feed(cfg, Feed::Whole(program))
+    }
+
+    /// Creates a core fed by a streaming uop source instead of a
+    /// materialized program. Only a sliding window of uops (the in-flight
+    /// span plus one generation chunk) is ever resident.
+    pub fn new_streaming(cfg: CoreConfig, source: Box<dyn UopSource>) -> Core<'static> {
+        Core::with_feed(cfg, Feed::stream(source))
+    }
+
+    fn with_feed(cfg: CoreConfig, feed: Feed<'_>) -> Core<'_> {
         let bp = Gshare::new(cfg.gshare_log2_entries);
         let rob = std::collections::VecDeque::with_capacity(cfg.rob_size + 1);
         let forward_window = std::collections::VecDeque::with_capacity(cfg.store_buffer + 1);
         Core {
             cfg,
-            program,
+            feed,
             fetch_idx: 0,
             fetch_resume_at: 0,
             rob,
@@ -273,8 +287,16 @@ impl<'p> Core<'p> {
     }
 
     /// Whether every uop has been fetched and retired.
+    ///
+    /// For a streaming feed the program length is learned at the fill
+    /// that produces the final uop — before that uop can be fetched — so
+    /// this predicate matches the materialized one at every cycle.
     pub fn done(&self) -> bool {
-        self.fetch_idx >= self.program.len() && self.rob.is_empty()
+        let fetched_all = match &self.feed {
+            Feed::Whole(p) => self.fetch_idx >= p.len(),
+            Feed::Stream(s) => matches!(s.total, Some(t) if self.fetch_idx >= t),
+        };
+        fetched_all && self.rob.is_empty()
     }
 
     /// Runs until at least `target_retired` uops have retired since
@@ -332,9 +354,9 @@ impl<'p> Core<'p> {
 
     fn next_event_cycle(&self) -> u64 {
         // This only runs after a step in which nothing progressed, so the
-        // issue stage just completed a barren scan (or skipped under a
-        // still-valid bound). With the bound in hand, the earliest cycle
-        // anything can happen is O(1):
+        // issue stage just completed a complete barren scan (or skipped
+        // under a still-valid bound). With the bound in hand, the
+        // earliest cycle anything can happen is O(1):
         //   * retire — the ROB head's completion (in-order retirement);
         //   * issue  — `issue_idle_until`, the proven earliest readiness
         //     of any unissued entry;
@@ -462,8 +484,16 @@ impl<'p> Core<'p> {
         let mut fp_used = 0;
         let mut any = false;
         let mut unissued_left = self.rob_unissued;
-        // Barren-scan bound computed over this pass.
+        // Idle bound computed over this pass: the earliest cycle any
+        // still-unissued entry can become ready. `min_ready` collects the
+        // readiness of entries seen not-ready; `min_complete` collects the
+        // `reg_ready` writes made by entries issuing in this same pass
+        // (a consumer already visited may become ready no earlier than
+        // its producer completes). The bound is only sound if the scan
+        // visited every unissued entry (`scanned_all`).
         let mut min_ready = u64::MAX;
+        let mut min_complete = u64::MAX;
+        let mut scanned_all = true;
         let mut blocked_ready = false;
         let use_mask = self.cfg.rob_size <= 128;
 
@@ -472,7 +502,7 @@ impl<'p> Core<'p> {
         // and bounds checks on every entry).
         let Core {
             cfg,
-            program,
+            feed,
             rob,
             reg_ready,
             sq_busy: _,
@@ -514,11 +544,17 @@ impl<'p> Core<'p> {
                 lin += 1;
                 p
             };
-            if issued >= cfg.issue_width || unissued_left == 0 {
+            if unissued_left == 0 {
                 break;
             }
-            if int_used >= cfg.int_units && fp_used >= cfg.fp_units && mem_used >= cfg.mem_units
+            if issued >= cfg.issue_width
+                || (int_used >= cfg.int_units
+                    && fp_used >= cfg.fp_units
+                    && mem_used >= cfg.mem_units)
             {
+                // Unissued entries remain unexamined; any of them could
+                // be ready right now, so no idle bound can be claimed.
+                scanned_all = false;
                 break;
             }
             let entry = if p < front_len {
@@ -551,7 +587,13 @@ impl<'p> Core<'p> {
                 blocked_ready = true;
                 continue;
             }
-            let uop = &program.uops[entry.idx as usize];
+            let uop = match &*feed {
+                Feed::Whole(p) => p.uops[entry.idx as usize],
+                // ROB indices are never pruned from the window (the prune
+                // floor is the oldest in-flight index), so this read is
+                // always in range.
+                Feed::Stream(s) => s.window[entry.idx as usize - s.base],
+            };
             match unit {
                 0 => int_used += 1,
                 1 => fp_used += 1,
@@ -623,6 +665,7 @@ impl<'p> Core<'p> {
             }
             if let Some(dst) = uop.dst {
                 reg_ready[dst as usize] = complete_at;
+                min_complete = min_complete.min(complete_at);
             }
             // Branch redirect: if this branch was fetched mispredicted,
             // fetch resumes after it resolves plus the penalty.
@@ -633,12 +676,38 @@ impl<'p> Core<'p> {
                 *fetch_resume_at = resume_at;
             }
         }
-        // Barren full scan: nothing issued and nothing was blocked on a
-        // functional unit, so the earliest future readiness bounds every
-        // scan until then. Anything issuing invalidates the bound
-        // (`reg_ready` changed).
-        self.issue_idle_until = if any || blocked_ready { 0 } else { min_ready };
+        // Complete scan: every unissued entry was examined, so the
+        // earliest future readiness (including readiness unlocked by this
+        // pass's own `reg_ready` writes, bounded below by the writers'
+        // completions) bounds every scan until then. A ready-but-unit-
+        // blocked entry stays ready next cycle, and an early break leaves
+        // entries unexamined — either forfeits the bound.
+        self.issue_idle_until = if blocked_ready || !scanned_all {
+            0
+        } else {
+            min_ready.min(min_complete)
+        };
         any
+    }
+
+    /// The uop at `fetch_idx`, or `None` at program end. On the streaming
+    /// path this refills the window from the source; the prune floor is
+    /// the oldest in-flight ROB index (every younger uop may still be
+    /// read by the issue stage), clamped to `fetch_idx` when the ROB is
+    /// empty.
+    #[inline]
+    fn fetch_uop(&mut self) -> Option<Uop> {
+        let idx = self.fetch_idx;
+        match &mut self.feed {
+            Feed::Whole(p) => p.uops.get(idx).copied(),
+            Feed::Stream(s) => {
+                let keep_from = self
+                    .rob
+                    .front()
+                    .map_or(idx, |e| (e.idx as usize).min(idx));
+                s.uop_at(idx, keep_from)
+            }
+        }
     }
 
     /// Fetch/dispatch stage. Returns true if anything dispatched.
@@ -648,13 +717,12 @@ impl<'p> Core<'p> {
         }
         let mut any = false;
         for _ in 0..self.cfg.fetch_width {
-            if self.fetch_idx >= self.program.len() {
-                break;
-            }
             if self.rob.len() >= self.cfg.rob_size {
                 break;
             }
-            let uop = &self.program.uops[self.fetch_idx];
+            let Some(uop) = self.fetch_uop() else {
+                break;
+            };
             match uop.kind {
                 UopKind::Load { .. }
                     if self.lq_busy.len() + self.rob_loads_unissued >= self.cfg.load_buffer => {
@@ -685,11 +753,11 @@ impl<'p> Core<'p> {
                 complete_at: NOT_ISSUED,
                 sq_free_at: NO_SQ,
             };
-            // Keep the barren-scan bound exact: a dispatched entry may be
-            // ready earlier than everything already waiting. `reg_ready`
-            // is unchanged since the scan that set the bound (any issue
-            // clears it), so this ready cycle is the one the next scan
-            // would compute.
+            // Keep the idle bound exact: a dispatched entry may be ready
+            // earlier than everything already waiting. `reg_ready` only
+            // changes inside issue scans and the bound is recomputed at
+            // the end of each, so the ready cycle computed here is the
+            // one the next scan would compute.
             if self.issue_idle_until != 0 {
                 let ready_at = self.reg_ready[entry.srcs[0] as usize]
                     .max(self.reg_ready[entry.srcs[1] as usize]);
@@ -781,6 +849,16 @@ impl<'p> Core<'p> {
             enc.u64(self.stall_run);
             hist.save_state(enc);
         }
+        // Feed kind last: a whole-program snapshot carries no extra
+        // state; a streaming snapshot appends its window and the source's
+        // generation cursor so resume replays bit-identical uops.
+        match &self.feed {
+            Feed::Whole(_) => enc.bool(false),
+            Feed::Stream(s) => {
+                enc.bool(true);
+                s.save_state(enc);
+            }
+        }
     }
 
     /// Restores state written by [`Core::save_state`] into a freshly
@@ -797,10 +875,14 @@ impl<'p> Core<'p> {
     ) -> Result<(), cdp_types::SnapshotError> {
         use cdp_types::SnapshotError;
         let fetch_idx = dec.usize("core fetch_idx")?;
-        if fetch_idx > self.program.len() {
-            return Err(SnapshotError::Corrupt {
-                context: "core fetch_idx",
-            });
+        // Streaming feeds validate index coverage after their window is
+        // restored (end of this function).
+        if let Feed::Whole(p) = &self.feed {
+            if fetch_idx > p.len() {
+                return Err(SnapshotError::Corrupt {
+                    context: "core fetch_idx",
+                });
+            }
         }
         self.fetch_idx = fetch_idx;
         self.fetch_resume_at = dec.u64("core fetch_resume_at")?;
@@ -830,10 +912,12 @@ impl<'p> Core<'p> {
         self.rob.clear();
         for _ in 0..rob_len {
             let idx = dec.u32("core rob idx")?;
-            if idx as usize >= self.program.len() {
-                return Err(SnapshotError::Corrupt {
-                    context: "core rob idx",
-                });
+            if let Feed::Whole(p) = &self.feed {
+                if idx as usize >= p.len() {
+                    return Err(SnapshotError::Corrupt {
+                        context: "core rob idx",
+                    });
+                }
             }
             let srcs = [dec.u8("core rob src0")?, dec.u8("core rob src1")?];
             if srcs.iter().any(|&s| s > NO_REG) {
@@ -889,6 +973,32 @@ impl<'p> Core<'p> {
             self.stall_hist = Some(Box::new(cdp_obs::Hist::restore_state(dec)?));
         } else {
             self.stall_run = 0;
+        }
+        // Feed kind must match the restoring core's construction (same
+        // rule as the histogram above): a snapshot taken streaming is not
+        // restorable into a materialized core, or vice versa.
+        let is_stream = dec.bool("core feed kind")?;
+        match (&mut self.feed, is_stream) {
+            (Feed::Whole(_), false) => {}
+            (Feed::Stream(s), true) => {
+                s.restore_state(dec)?;
+                let produced = s.produced();
+                if self.fetch_idx > produced
+                    || self
+                        .rob
+                        .iter()
+                        .any(|e| (e.idx as usize) < s.base || e.idx as usize >= produced)
+                {
+                    return Err(SnapshotError::Corrupt {
+                        context: "core feed coverage",
+                    });
+                }
+            }
+            _ => {
+                return Err(SnapshotError::Corrupt {
+                    context: "core feed kind",
+                });
+            }
         }
         Ok(())
     }
@@ -1319,5 +1429,143 @@ mod tests {
         assert!((30..60).contains(&r1), "r1 {r1}");
         assert!(core.run_until_retired(&mut mem, 10_000));
         assert_eq!(core.stats().retired, 90);
+    }
+
+    /// Feeds a pre-built uop list in fixed-size chunks — the reference
+    /// streaming source for differential tests.
+    #[derive(Clone, Debug)]
+    struct SliceSource {
+        uops: Vec<Uop>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl crate::feed::UopSource for SliceSource {
+        fn fill(&mut self, out: &mut std::collections::VecDeque<Uop>) -> usize {
+            let n = self.chunk.min(self.uops.len() - self.pos);
+            out.extend(self.uops[self.pos..self.pos + n].iter().copied());
+            self.pos += n;
+            n
+        }
+
+        fn exhausted(&self) -> bool {
+            self.pos >= self.uops.len()
+        }
+
+        fn box_clone(&self) -> Box<dyn crate::feed::UopSource> {
+            Box::new(self.clone())
+        }
+
+        fn save_cursor(&self, enc: &mut cdp_snap::Enc) {
+            enc.usize(self.pos);
+        }
+
+        fn restore_cursor(
+            &mut self,
+            dec: &mut cdp_snap::Dec<'_>,
+        ) -> Result<(), cdp_types::SnapshotError> {
+            self.pos = dec.usize("slice cursor")?;
+            Ok(())
+        }
+    }
+
+    fn mixed_program(n: u32, seed: u64) -> Program {
+        let mut x = seed;
+        let mut uops = Vec::new();
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = i * 4;
+            uops.push(match x % 5 {
+                0 => Uop::load(pc, VirtAddr(0x1000 + (x as u32 % 512) * 64), (i % 32) as u8 + 8, Some(1)),
+                1 => Uop::store(pc, VirtAddr(0x9000 + (x as u32 % 64) * 4), None, Some(2)),
+                2 => Uop::branch(pc, (x >> 63) == 1, None),
+                3 => Uop::alu_dep(pc, 1, [Some(1), None], 2),
+                _ => Uop::alu(pc),
+            });
+        }
+        Program::new(uops)
+    }
+
+    /// A streaming core over the same uop sequence must trace the exact
+    /// trajectory of the materialized core — every statistic and the
+    /// final cycle count — while keeping only a bounded window resident.
+    #[test]
+    fn streaming_feed_matches_materialized() {
+        for seed in [0x12345678u64, 0xdeadbeef, 7] {
+            let p = mixed_program(5000, seed);
+            let mut mem = FixedLatencyMemory { latency: 40 };
+            let mut whole = Core::new(CoreConfig::default(), &p);
+            whole.run_to_completion(&mut mem);
+
+            let src = SliceSource {
+                uops: p.uops.clone(),
+                pos: 0,
+                chunk: 64,
+            };
+            let mut mem2 = FixedLatencyMemory { latency: 40 };
+            let mut stream = Core::new_streaming(CoreConfig::default(), Box::new(src));
+            let cap = CoreConfig::default().rob_size + 2 * 64;
+            while !stream.done() {
+                stream.step(&mut mem2);
+                if let Feed::Stream(s) = &stream.feed {
+                    assert!(s.window.len() <= cap, "window {} > {cap}", s.window.len());
+                }
+            }
+            assert_eq!(whole.stats(), stream.stats(), "seed {seed:#x}");
+            assert_eq!(whole.now(), stream.now(), "seed {seed:#x}");
+        }
+    }
+
+    /// Snapshot a streaming core mid-run and restore into a fresh
+    /// streaming core over an un-advanced source: the cursor round-trip
+    /// must continue bit-identically.
+    #[test]
+    fn streaming_snapshot_resumes_bit_identically() {
+        let p = mixed_program(3000, 0xfeed_f00d);
+        let make = || SliceSource {
+            uops: p.uops.clone(),
+            pos: 0,
+            chunk: 128,
+        };
+        let mut mem_a = FixedLatencyMemory { latency: 17 };
+        let mut a = Core::new_streaming(CoreConfig::default(), Box::new(make()));
+        a.run_until_retired(&mut mem_a, 1200);
+
+        let mut enc = cdp_snap::Enc::new();
+        a.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b = Core::new_streaming(CoreConfig::default(), Box::new(make()));
+        let mut dec = cdp_snap::Dec::new(&bytes);
+        b.restore_state(&mut dec).unwrap();
+        assert!(dec.is_exhausted(), "trailing bytes");
+        assert_eq!(a.now(), b.now());
+
+        let mut mem_b = FixedLatencyMemory { latency: 17 };
+        a.run_to_completion(&mut mem_a);
+        b.run_to_completion(&mut mem_b);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    /// A whole-program snapshot must not restore into a streaming core
+    /// (and vice versa) — mirroring the histogram-presence rule.
+    #[test]
+    fn feed_kind_mismatch_is_rejected() {
+        let p = mixed_program(500, 3);
+        let mut mem = FixedLatencyMemory { latency: 5 };
+        let mut whole = Core::new(CoreConfig::default(), &p);
+        whole.run_until_retired(&mut mem, 100);
+        let mut enc = cdp_snap::Enc::new();
+        whole.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let src = SliceSource {
+            uops: p.uops.clone(),
+            pos: 0,
+            chunk: 64,
+        };
+        let mut stream = Core::new_streaming(CoreConfig::default(), Box::new(src));
+        let mut dec = cdp_snap::Dec::new(&bytes);
+        assert!(stream.restore_state(&mut dec).is_err());
     }
 }

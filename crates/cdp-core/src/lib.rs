@@ -19,10 +19,12 @@
 #![warn(missing_docs)]
 
 pub mod core;
+pub mod feed;
 pub mod gshare;
 pub mod uop;
 
 pub use crate::core::{Core, CoreStats};
+pub use feed::UopSource;
 pub use gshare::Gshare;
 pub use uop::{Program, Uop, UopKind, NUM_REGS};
 

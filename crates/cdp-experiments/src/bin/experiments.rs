@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]
+//! experiments <id>... [--smoke|--quick|--full|--scale NAME] [--stream]
+//!             [--jobs N] [--csv <dir>]
 //!             [--keep-going] [--fault SPEC]... [--cell-timeout SECS]
 //!             [--retries N] [--emit-manifest <dir>] [--trace]
 //!             [--trace-filter SPEC] [--metrics-window UOPS]
@@ -92,13 +93,22 @@
 //! Exit codes: `0` success, `2` usage error, `3` partial failure (some
 //! cells failed under `--keep-going`).
 //!
+//! `--scale NAME` selects any tier by name (`smoke`/`quick`/`full`/
+//! `large`/`huge`); the streaming tiers `large` (~100M uops/cell) and
+//! `huge` (~1B uops/cell) synthesize uops on the fly with
+//! O(instruction-window) resident memory. `--stream` forces the
+//! streaming engine at every tier — stdout is byte-identical to the
+//! materialized engine (see DESIGN.md §16), so the flag exists for CI
+//! differential runs.
+//!
 //! Ids: `table1 fig1 table2 fig2 fig34 fig7 fig8 fig9 fig10 fig11 tlb
-//! pollution`.
+//! pollution` (plus `onecell`, a single-cell scale driver for the
+//! streaming tiers; not part of `all`).
 
 use std::time::{Duration, Instant};
 
 use cdp_experiments::{
-    context, extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, pollution,
+    context, extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, onecell, pollution,
     sensitivity, suite_summary, table1, table2, tlb, ExpScale,
 };
 use cdp_experiments::obs;
@@ -194,6 +204,7 @@ fn run_one(
         "latency" => Ok(sensitivity::latency(scale, pool).render()),
         "l2size" => Ok(sensitivity::l2size(scale, pool).render()),
         "backward" => Ok(extensions::backward(scale, pool).render()),
+        "onecell" => Ok(onecell::run(scale, pool).render()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }
@@ -302,6 +313,13 @@ fn main() {
                         std::process::exit(2);
                     }
                 },
+                "--scale" => match ExpScale::parse(a) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("--scale requires one of smoke/quick/full/large/huge, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
                 "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
                 "--status-jsonl" => status_jsonl = Some(a.clone()),
                 "--result-store" => result_store_dir = Some(std::path::PathBuf::from(a)),
@@ -321,6 +339,7 @@ fn main() {
             "--smoke" => scale = ExpScale::Smoke,
             "--quick" => scale = ExpScale::Quick,
             "--full" => scale = ExpScale::Full,
+            "--stream" => cdp_workloads::set_force_streaming(true),
             "--keep-going" => context::set_keep_going(true),
             "--trace" => trace = true,
             "--profile-hist" => profile_hist = true,
@@ -329,7 +348,7 @@ fn main() {
             "--no-fast-forward" => cdp_sim::set_fast_forward(false),
             "--resume" => resume = true,
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
-            | "--trace-filter" | "--metrics-window" | "--emit-manifest"
+            | "--trace-filter" | "--metrics-window" | "--scale" | "--emit-manifest"
             | "--status-jsonl" | "--result-store" | "--checkpoint-dir"
             | "--checkpoint-every" => {
                 expecting = Some(a.as_str());
@@ -344,7 +363,8 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <id>... [--smoke|--quick|--full] [--jobs N] [--csv <dir>]"
+            "usage: experiments <id>... [--smoke|--quick|--full|--scale NAME] [--stream] \
+             [--jobs N] [--csv <dir>]"
         );
         eprintln!(
             "       [--keep-going] [--fault SPEC]... [--cell-timeout SECS] [--retries N]"
@@ -358,7 +378,7 @@ fn main() {
         eprintln!(
             "       [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]"
         );
-        eprintln!("ids: {}  (or: all)", ALL.join(" "));
+        eprintln!("ids: {} onecell  (or: all, which excludes onecell)", ALL.join(" "));
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
         std::process::exit(2);
     }

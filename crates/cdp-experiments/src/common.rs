@@ -24,6 +24,12 @@ pub enum ExpScale {
     Quick,
     /// Full runs (the EXPERIMENTS.md numbers).
     Full,
+    /// Streaming-tier runs (~100M uops/cell); workloads above the
+    /// streaming threshold synthesize uops on the fly with O(window)
+    /// resident memory.
+    Large,
+    /// The top streaming tier (~1B uops/cell).
+    Huge,
 }
 
 impl ExpScale {
@@ -33,6 +39,8 @@ impl ExpScale {
             ExpScale::Smoke => Scale::smoke(),
             ExpScale::Quick => Scale::quick(),
             ExpScale::Full => Scale::full(),
+            ExpScale::Large => Scale::large(),
+            ExpScale::Huge => Scale::huge(),
         }
     }
 
@@ -43,15 +51,19 @@ impl ExpScale {
             ExpScale::Smoke => "smoke",
             ExpScale::Quick => "quick",
             ExpScale::Full => "full",
+            ExpScale::Large => "large",
+            ExpScale::Huge => "huge",
         }
     }
 
-    /// Parses `smoke` / `quick` / `full`.
+    /// Parses `smoke` / `quick` / `full` / `large` / `huge`.
     pub fn parse(s: &str) -> Option<ExpScale> {
         match s {
             "smoke" => Some(ExpScale::Smoke),
             "quick" => Some(ExpScale::Quick),
             "full" => Some(ExpScale::Full),
+            "large" => Some(ExpScale::Large),
+            "huge" => Some(ExpScale::Huge),
             _ => None,
         }
     }
@@ -216,6 +228,10 @@ pub fn run_grid_cells(
                 checkpoint: checkpoint_statuses[index]
                     .as_ref()
                     .map_or("off", |s| s.get().as_str()),
+                retired: match &outcome {
+                    JobOutcome::Ok(stats) => stats.retired,
+                    _ => 0,
+                },
             });
         }
         match outcome {
@@ -383,7 +399,12 @@ mod tests {
     #[test]
     fn scale_parse() {
         assert_eq!(ExpScale::parse("quick"), Some(ExpScale::Quick));
+        assert_eq!(ExpScale::parse("large"), Some(ExpScale::Large));
+        assert_eq!(ExpScale::parse("huge"), Some(ExpScale::Huge));
         assert_eq!(ExpScale::parse("bogus"), None);
+        assert_eq!(ExpScale::parse(ExpScale::Large.name()), Some(ExpScale::Large));
+        assert!(ExpScale::Large.scale().target_uops > ExpScale::Full.scale().target_uops);
+        assert!(ExpScale::Huge.scale().target_uops > ExpScale::Large.scale().target_uops);
     }
 
     #[test]

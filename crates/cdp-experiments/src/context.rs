@@ -349,6 +349,7 @@ mod tests {
             wall_ms: 1,
             config_fingerprint: String::new(),
             checkpoint: "off",
+            retired: 0,
         });
         // Enabled with an all-off ObsConfig: records accumulate but jobs
         // get no sink attachment (plain try_run path).
@@ -363,6 +364,7 @@ mod tests {
             wall_ms: 5,
             config_fingerprint: "deadbeefdeadbeef".into(),
             checkpoint: "off",
+            retired: 9_000,
         });
         obs_record_experiment("ctx-obs-test", 9);
         let taken = take_obs().expect("collection was on");

@@ -398,6 +398,7 @@ pub fn backward(scale: ExpScale, pool: &Pool) -> BackwardStudy {
             suite: Suite::Workstation,
             program: tb.build(),
             space,
+            stream: None,
         }
     };
 

@@ -37,6 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod obs;
+pub mod onecell;
 pub mod pollution;
 pub mod report;
 pub mod sensitivity;

@@ -41,9 +41,26 @@ pub struct CellRecord {
     /// Checkpoint provenance: `off` (checkpointing disabled), `fresh`,
     /// `resumed`, or `corrupt-fallback` (see DESIGN.md §12).
     pub checkpoint: &'static str,
+    /// Uops retired in the cell's measurement window (0 for failed
+    /// cells). Deterministic — unlike `wall_ms` — so run-explain diffs
+    /// it across runs.
+    pub retired: u64,
 }
 
 impl CellRecord {
+    /// The cell's throughput in millions of uops per wall-clock second.
+    /// Wall time lives only here, at the manifest layer — [`RunStats`]
+    /// stays wall-free so simulation results remain bit-comparable.
+    ///
+    /// [`RunStats`]: cdp_sim::RunStats
+    #[must_use]
+    pub fn muops(&self) -> f64 {
+        if self.retired == 0 || self.wall_ms == 0 {
+            return 0.0;
+        }
+        self.retired as f64 / (self.wall_ms as f64 * 1000.0)
+    }
+
     fn to_json(&self) -> Json {
         let mut o = Json::obj();
         o.set("experiment", Json::Str(self.experiment.clone()));
@@ -56,6 +73,8 @@ impl CellRecord {
             Json::Str(self.config_fingerprint.clone()),
         );
         o.set("checkpoint", Json::Str(self.checkpoint.to_string()));
+        o.set("retired", Json::U64(self.retired));
+        o.set("muops", Json::F64(self.muops()));
         o
     }
 }
@@ -135,6 +154,7 @@ impl ObsTaken {
 pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
     let mut counts = (0u64, 0u64, 0u64); // ok, failed, timeout
     let mut wall_ms_total = 0u64;
+    let mut retired_total = 0u64;
     for c in &taken.cells {
         match c.status {
             "ok" => counts.0 += 1,
@@ -142,6 +162,7 @@ pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
             _ => counts.2 += 1,
         }
         wall_ms_total += c.wall_ms;
+        retired_total += c.retired;
     }
     let windows_total: u64 = taken
         .entries
@@ -161,6 +182,18 @@ pub fn build_manifest(scale: &str, jobs: usize, taken: &ObsTaken) -> Json {
     aggregates.set("cells_failed", Json::U64(counts.1));
     aggregates.set("cells_timeout", Json::U64(counts.2));
     aggregates.set("cell_wall_ms_total", Json::U64(wall_ms_total));
+    aggregates.set("uops_retired_total", Json::U64(retired_total));
+    // Aggregate throughput: simulated uops per wall-clock second across
+    // every cell, in millions. Summed cell wall time (not suite wall
+    // time) so the figure is comparable at any --jobs count.
+    aggregates.set(
+        "muops",
+        Json::F64(if retired_total == 0 || wall_ms_total == 0 {
+            0.0
+        } else {
+            retired_total as f64 / (wall_ms_total as f64 * 1000.0)
+        }),
+    );
     aggregates.set("metrics_windows_total", Json::U64(windows_total));
     aggregates.set("trace_events_total", Json::U64(events_total));
     aggregates.set("trace_recorded_total", Json::U64(recorded));
@@ -317,6 +350,7 @@ mod tests {
                     wall_ms: 12,
                     config_fingerprint: "00baddecafc0ffee".into(),
                     checkpoint: "off",
+                    retired: 24_000,
                 },
                 CellRecord {
                     experiment: "tlb".into(),
@@ -326,6 +360,7 @@ mod tests {
                     wall_ms: 900,
                     config_fingerprint: "00baddecafc0ffee".into(),
                     checkpoint: "resumed",
+                    retired: 0,
                 },
             ],
             experiments: vec![ExperimentRecord {
@@ -366,6 +401,13 @@ mod tests {
         assert_eq!(agg.get("cells_ok").unwrap().as_u64(), Some(1));
         assert_eq!(agg.get("cells_timeout").unwrap().as_u64(), Some(1));
         assert_eq!(agg.get("metrics_windows_total").unwrap().as_u64(), Some(1));
+        assert_eq!(agg.get("uops_retired_total").unwrap().as_u64(), Some(24_000));
+        // 24_000 uops over 912 ms of summed cell wall time.
+        let muops = agg.get("muops").unwrap().as_f64().unwrap();
+        assert!((muops - 24_000.0 / 912_000.0).abs() < 1e-12, "got {muops}");
+        let cell = doc.get("cells").unwrap().as_arr().unwrap()[0].clone();
+        assert_eq!(cell.get("retired").unwrap().as_u64(), Some(24_000));
+        assert!(cell.get("muops").unwrap().as_f64().unwrap() > 0.0);
         assert_eq!(doc.get("suite_wall_ms").unwrap().as_u64(), Some(950));
         assert_eq!(doc.get("result_cache_hits").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("result_cache_misses").unwrap().as_u64(), Some(5));

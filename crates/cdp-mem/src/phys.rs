@@ -29,6 +29,56 @@ struct Frame {
 /// Fibonacci multiplier (2^64 / golden ratio).
 const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
 
+/// A contiguous physical span whose content is synthesized on first
+/// touch from a seed instead of being materialized at build time.
+///
+/// Streamed large/huge workload tiers register their flat data arrays
+/// this way: the array occupies a contiguous frame range (virtual pages
+/// are mapped in ascending order against sequentially allocated frames),
+/// so one `(start, len, seed)` triple stands in for megabytes of frames.
+/// The synthesized shape matches the eager array fill — one little-endian
+/// u32 per 64-byte line at line offset 0, bit pattern of an `f32` uniform
+/// in `[0, 1e6)`, remaining bytes zero — so VAM scans see the same value
+/// distribution either way.
+#[derive(Clone, Copy, Debug)]
+struct LazyRegion {
+    start: PhysAddr,
+    len: u32,
+    seed: u64,
+}
+
+impl LazyRegion {
+    /// Offset of `addr` within the region, if covered.
+    #[inline]
+    fn offset_of(&self, addr: PhysAddr) -> Option<u32> {
+        let off = addr.0.wrapping_sub(self.start.0);
+        (off < self.len).then_some(off)
+    }
+
+    /// The synthesized byte at region offset `off`.
+    fn byte_at(&self, off: u32) -> u8 {
+        let word_base = off & !(LINE_SIZE as u32 - 1);
+        let lane = (off - word_base) as usize;
+        if lane >= 4 || word_base + 4 > self.len {
+            return 0;
+        }
+        self.word(word_base / LINE_SIZE as u32).to_le_bytes()[lane]
+    }
+
+    /// The synthesized u32 at line index `i` (SplitMix64 of the region
+    /// seed and `i`, shaped like `(f32_uniform * 1e6).to_bits()`).
+    fn word(&self, i: u32) -> u32 {
+        let mut z = self
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(HASH_MUL));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let f = (z >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        (f * 1e6).to_bits()
+    }
+}
+
 /// Hint value meaning "no cached lookup" — the frame half is all-ones,
 /// which no real frame number reaches (frames are `addr >> 12`).
 const HINT_EMPTY: u64 = u64::MAX;
@@ -58,6 +108,9 @@ pub struct PhysMem {
     /// (e.g. after a rehash) is harmless. Relaxed is sufficient for the
     /// same reason.
     hint: AtomicU64,
+    /// Seed-synthesized spans consulted when a frame is absent (empty for
+    /// every fully-materialized image, keeping the miss path one check).
+    lazy: Vec<LazyRegion>,
 }
 
 impl Default for PhysMem {
@@ -72,6 +125,7 @@ impl Clone for PhysMem {
             slots: self.slots.clone(),
             len: self.len,
             hint: AtomicU64::new(self.hint.load(Ordering::Relaxed)),
+            lazy: self.lazy.clone(),
         }
     }
 }
@@ -83,6 +137,51 @@ impl PhysMem {
             slots: Vec::new(),
             len: 0,
             hint: AtomicU64::new(HINT_EMPTY),
+            lazy: Vec::new(),
+        }
+    }
+
+    /// Registers a lazily-synthesized span: reads of non-resident frames
+    /// inside `[start, start + len)` return seeded content instead of
+    /// zeros, and a frame materialized inside the span is pre-filled with
+    /// that content. `start` must be line-aligned (the builder allocates
+    /// lazy arrays line-aligned).
+    pub fn add_lazy_region(&mut self, start: PhysAddr, len: u32, seed: u64) {
+        debug_assert_eq!(start.0 % LINE_SIZE as u32, 0, "lazy region alignment");
+        self.lazy.push(LazyRegion { start, len, seed });
+    }
+
+    /// Number of registered lazy regions.
+    pub fn lazy_regions(&self) -> usize {
+        self.lazy.len()
+    }
+
+    /// Synthesized content for an absent frame, or 0 outside any region.
+    #[inline]
+    fn lazy_u8(&self, addr: PhysAddr) -> u8 {
+        if self.lazy.is_empty() {
+            return 0;
+        }
+        self.lazy
+            .iter()
+            .find_map(|r| r.offset_of(addr).map(|off| r.byte_at(off)))
+            .unwrap_or(0)
+    }
+
+    /// Line-granular synthesis for the fill-scan path (`line_base` is the
+    /// line's base address; the whole line lies in one region or none —
+    /// regions are line-aligned).
+    #[cold]
+    fn lazy_line(&self, line_base: PhysAddr, out: &mut [u8; LINE_SIZE]) {
+        out.fill(0);
+        for r in &self.lazy {
+            if let Some(off) = r.offset_of(line_base) {
+                debug_assert_eq!(off % LINE_SIZE as u32, 0);
+                if off + 4 <= r.len {
+                    out[..4].copy_from_slice(&r.word(off / LINE_SIZE as u32).to_le_bytes());
+                }
+                return;
+            }
         }
     }
 
@@ -164,9 +263,18 @@ impl PhysMem {
                 Some(f) if f.number == frame => break,
                 Some(_) => i = (i + 1) & mask,
                 None => {
+                    let mut data = Box::new([0u8; PAGE_SIZE]);
+                    if !self.lazy.is_empty() {
+                        // Materializing a page inside a lazy region must
+                        // capture its synthesized content, not zeros.
+                        let base = (frame as u64 * PAGE_SIZE as u64) as u32;
+                        for (off, b) in data.iter_mut().enumerate() {
+                            *b = self.lazy_u8(PhysAddr(base.wrapping_add(off as u32)));
+                        }
+                    }
                     self.slots[i] = Some(Frame {
                         number: frame,
-                        data: Box::new([0u8; PAGE_SIZE]),
+                        data,
                     });
                     self.len += 1;
                     break;
@@ -180,7 +288,7 @@ impl PhysMem {
     pub fn read_u8(&self, addr: PhysAddr) -> u8 {
         match self.frame(addr.frame()) {
             Some(f) => f[addr.page_offset() as usize],
-            None => 0,
+            None => self.lazy_u8(addr),
         }
     }
 
@@ -198,7 +306,13 @@ impl PhysMem {
         if off + 4 <= PAGE_SIZE {
             match self.frame(addr.frame()) {
                 Some(f) => u32::from_le_bytes([f[off], f[off + 1], f[off + 2], f[off + 3]]),
-                None => 0,
+                None if self.lazy.is_empty() => 0,
+                None => u32::from_le_bytes([
+                    self.lazy_u8(addr),
+                    self.lazy_u8(PhysAddr(addr.0.wrapping_add(1))),
+                    self.lazy_u8(PhysAddr(addr.0.wrapping_add(2))),
+                    self.lazy_u8(PhysAddr(addr.0.wrapping_add(3))),
+                ]),
             }
         } else {
             let b = self.read_bytes(addr, 4);
@@ -236,7 +350,8 @@ impl PhysMem {
         debug_assert!(off + LINE_SIZE <= PAGE_SIZE, "line straddles page");
         match self.frame(addr.frame()) {
             Some(f) => out.copy_from_slice(&f[off..off + LINE_SIZE]),
-            None => out.fill(0),
+            None if self.lazy.is_empty() => out.fill(0),
+            None => self.lazy_line(addr, out),
         }
     }
 
@@ -294,6 +409,14 @@ impl PhysMem {
         for (number, data) in self.frames() {
             h.write_u32(number);
             h.write(&data[..]);
+        }
+        // Lazy regions are part of the image identity: the same frames
+        // with different synthesized spans are different memories.
+        h.write_u64(self.lazy.len() as u64);
+        for r in &self.lazy {
+            h.write_u32(r.start.0);
+            h.write_u32(r.len);
+            h.write_u64(r.seed);
         }
         h.finish()
     }
@@ -489,6 +612,53 @@ mod tests {
                 assert_eq!(mem.read_u8(PhysAddr(line.0 + i as u32)), expected);
             }
         }
+    }
+
+    #[test]
+    fn lazy_region_synthesis_is_consistent_across_read_paths() {
+        let mut mem = PhysMem::new();
+        mem.add_lazy_region(PhysAddr(0x40_0000), 4096 * 3, 0x5eed);
+        assert_eq!(mem.lazy_regions(), 1);
+        assert_eq!(mem.resident_frames(), 0, "no frames materialized");
+
+        let line = LineAddr(0x40_0080);
+        let full = mem.read_line(line);
+        let word = u32::from_le_bytes([full[0], full[1], full[2], full[3]]);
+        assert_ne!(word, 0, "line word is seeded");
+        assert!(full[4..].iter().all(|&b| b == 0), "rest of line is zero");
+        assert_eq!(mem.read_u32(PhysAddr(0x40_0080)), word);
+        assert_eq!(mem.read_u8(PhysAddr(0x40_0080)), word.to_le_bytes()[0]);
+        // The synthesized value looks like the eager array fill:
+        // an f32 in [0, 1e6).
+        let f = f32::from_bits(word);
+        assert!((0.0..1e6).contains(&f), "{f}");
+        // Outside the region, zero-fill semantics are untouched.
+        assert_eq!(mem.read_u32(PhysAddr(0x40_0000 + 4096 * 3)), 0);
+        assert_eq!(mem.read_u8(PhysAddr(0x3f_ffff)), 0);
+    }
+
+    #[test]
+    fn lazy_region_materialization_preserves_content() {
+        let mut mem = PhysMem::new();
+        mem.add_lazy_region(PhysAddr(0x10_0000), 4096 * 2, 99);
+        let before = mem.read_line(LineAddr(0x10_0040));
+        // A write elsewhere in the same page materializes the frame; the
+        // synthesized content must be captured, not zeroed.
+        mem.write_u8(PhysAddr(0x10_0fff), 0xaa);
+        assert_eq!(mem.resident_frames(), 1);
+        assert_eq!(mem.read_line(LineAddr(0x10_0040)), before);
+        assert_eq!(mem.read_u8(PhysAddr(0x10_0fff)), 0xaa);
+    }
+
+    #[test]
+    fn lazy_regions_change_the_fingerprint() {
+        let base = PhysMem::new().state_fingerprint();
+        let mut a = PhysMem::new();
+        a.add_lazy_region(PhysAddr(0x1000), 4096, 1);
+        let mut b = PhysMem::new();
+        b.add_lazy_region(PhysAddr(0x1000), 4096, 2);
+        assert_ne!(a.state_fingerprint(), base);
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
     }
 
     /// Reference-check the open-addressed table against a plain map over

@@ -27,7 +27,7 @@ use std::path::Path;
 use cdp_obs::Json;
 
 /// Per-cell keys that vary run to run without a behavioral difference.
-const VOLATILE_CELL_KEYS: &[&str] = &["wall_ms", "attempts", "checkpoint"];
+const VOLATILE_CELL_KEYS: &[&str] = &["wall_ms", "attempts", "checkpoint", "muops"];
 
 /// One behavioral difference between the two runs.
 #[derive(Debug)]

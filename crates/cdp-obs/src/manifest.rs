@@ -12,8 +12,10 @@ use crate::json::Json;
 /// Manifest schema version; bump when a required key changes meaning.
 /// v1: initial flat schema. v2: cells may additionally carry a
 /// `profile` object (latency histograms, `--profile-hist`) — purely
-/// additive, so v1 documents stay valid.
-pub const SCHEMA_VERSION: u64 = 2;
+/// additive, so v1 documents stay valid. v3: cells and aggregates may
+/// additionally carry uop-throughput accounting (`retired`, `muops`,
+/// `uops_retired_total`) — also additive.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`validate`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -132,6 +134,14 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         }
         if let Some(profile) = cell.get("profile") {
             validate_profile(i, profile)?;
+        }
+        // Throughput accounting (schema v3) is optional but typed.
+        for key in ["retired", "muops"] {
+            if let Some(v) = cell.get(key) {
+                if v.as_f64().is_none() {
+                    return Err(format!("cells[{i}].{key} must be numeric"));
+                }
+            }
         }
     }
     if !matches!(doc.get("aggregates"), Some(Json::Obj(_))) {
@@ -312,6 +322,23 @@ mod tests {
         validate(&doc).expect("v1 manifests stay valid under the v2 schema");
         doc.set("schema_version", Json::U64(SCHEMA_VERSION + 1));
         assert!(validate(&doc).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn validate_types_throughput_keys() {
+        // v3 throughput keys are optional but must be numeric when present.
+        let mut doc = minimal_manifest();
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        let cells = &mut pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1;
+        let Json::Arr(cells) = cells else { unreachable!() };
+        cells[0].set("retired", Json::U64(5_000_000));
+        cells[0].set("muops", Json::F64(12.5));
+        validate(&doc).expect("numeric throughput keys are valid");
+        let Json::Obj(ref mut pairs) = doc else { unreachable!() };
+        let cells = &mut pairs.iter_mut().find(|(k, _)| k == "cells").unwrap().1;
+        let Json::Arr(cells) = cells else { unreachable!() };
+        cells[0].set("muops", Json::Str("fast".into()));
+        assert!(validate(&doc).unwrap_err().contains("muops"));
     }
 
     #[test]

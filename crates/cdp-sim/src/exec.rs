@@ -32,7 +32,7 @@ use crate::fault::WalkFault;
 use crate::hierarchy::PollutionConfig;
 use crate::observe::{ObsEntry, ObsSink, Observation};
 use crate::runner::build_workload;
-use crate::status::{status_sink, ResultSource, SourceSlot, StatusSink};
+use crate::status::{status_sink, CellHeartbeat, ResultSource, SourceSlot, StatusSink};
 use crate::system::{RunStats, Simulator};
 
 /// How a [`Pool::run_with_status`] job ended.
@@ -500,7 +500,9 @@ impl Pool {
         let tasks: Vec<_> = jobs
             .into_iter()
             .zip(sources.iter().map(Arc::clone))
-            .map(|(j, slot)| {
+            .enumerate()
+            .map(|(i, (j, slot))| {
+                let j = j.with_status_index(i);
                 move || {
                     j.try_execute_sourced(Some(&slot))
                         .map_err(|e| e.to_string())
@@ -869,6 +871,9 @@ pub struct SimJob {
     pub result_cache: Option<(Arc<ResultCache>, u64)>,
     /// Optional periodic checkpointing / resume (see [`CheckpointSpec`]).
     pub checkpoint: Option<CheckpointSpec>,
+    /// Batch submission index carried on in-cell `heartbeat` events (set
+    /// by [`Pool::run_sims_profiled`]; 0 for standalone execution).
+    pub status_index: usize,
 }
 
 impl SimJob {
@@ -883,7 +888,14 @@ impl SimJob {
             obs: None,
             result_cache: None,
             checkpoint: None,
+            status_index: 0,
         }
+    }
+
+    /// Sets the batch submission index carried on heartbeat events.
+    pub fn with_status_index(mut self, index: usize) -> SimJob {
+        self.status_index = index;
+        self
     }
 
     /// Adds injected page-walk failures.
@@ -1023,17 +1035,27 @@ impl SimJob {
             return Ok(stats);
         }
         report(ResultSource::Fresh);
+        // The same windowed driving loop `Simulator::try_run` /
+        // `try_run_observed` are built on, surfaced here so the cell can
+        // emit throttled in-cell heartbeats between windows. Window
+        // boundaries change no simulated state, so stats are identical
+        // to the convenience wrappers.
+        let sim = self.simulator()?;
+        let obs_cfg = self.obs.as_ref().map(|o| &o.cfg);
+        let mut session = sim.session(&self.workload, obs_cfg);
+        let mut hb = self.heartbeat();
+        while !session.step()? {
+            hb.tick(session.retired());
+        }
+        let (stats, observation) = session.finish();
         match &self.obs {
             None => {
-                let stats = self.simulator()?.try_run(&self.workload)?;
                 if let Some((cache, key)) = &self.result_cache {
                     cache.put(*key, stats, None);
                 }
                 Ok(stats)
             }
             Some(o) => {
-                let (stats, observation) =
-                    self.simulator()?.try_run_observed(&self.workload, &o.cfg)?;
                 if let Some((cache, key)) = &self.result_cache {
                     cache.put(*key, stats, Some(observation.clone()));
                 }
@@ -1046,6 +1068,23 @@ impl SimJob {
                 Ok(stats)
             }
         }
+    }
+
+    /// The cell's post-warm-up measurement budget in uops (streamed
+    /// workloads report their generator target; materialized ones their
+    /// trace length).
+    fn measurement_uops(&self) -> u64 {
+        let total = match &self.workload.stream {
+            Some(spec) => spec.target_uops() as u64,
+            None => self.workload.program.len() as u64,
+        };
+        total.saturating_sub(self.cfg.warmup_uops)
+    }
+
+    /// A throttled heartbeat reporter for this cell (no-op without an
+    /// installed status sink).
+    fn heartbeat(&self) -> CellHeartbeat {
+        CellHeartbeat::new(&self.label, self.status_index, self.measurement_uops())
     }
 
     /// Drives the cell through a [`SimSession`](crate::system::SimSession)
@@ -1088,12 +1127,14 @@ impl SimJob {
         }
         let mut session = session.unwrap_or_else(|| sim.session(&self.workload, obs_cfg));
         let mut last_checkpoint = session.cycles();
+        let mut hb = self.heartbeat();
         // One snapshot arena recycled across every checkpoint write.
         let mut snap_buf = Vec::new();
         loop {
             if session.step()? {
                 break;
             }
+            hb.tick(session.retired());
             if spec.every > 0 && session.cycles().saturating_sub(last_checkpoint) >= spec.every {
                 last_checkpoint = session.cycles();
                 snap_buf = session.snapshot_into(snap_buf);

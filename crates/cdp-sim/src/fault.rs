@@ -235,10 +235,37 @@ pub fn corrupt_pointer_words(w: &mut Workload, seed: u64, words: u32) -> u32 {
 /// Returns how many pages were unmapped.
 pub fn unmap_trace_pages(w: &mut Workload, seed: u64, pages: u32) -> u32 {
     let mut touched: Vec<PageNum> = Vec::new();
-    for u in &w.program.uops {
+    let note = |u: &cdp_core::Uop, touched: &mut Vec<PageNum>| {
         if let Some(a) = u.vaddr() {
             if !touched.contains(&a.page()) {
                 touched.push(a.page());
+            }
+        }
+    };
+    match &w.stream {
+        // A streamed workload has no materialized trace to scan; walk a
+        // bounded prefix of a fresh generator cursor instead. The prefix
+        // is O(window) resident and the pages it touches are guaranteed
+        // demand traffic, which is all the unmap fault needs.
+        Some(spec) => {
+            const FAULT_SCAN_UOPS: usize = 262_144;
+            let mut src = spec.make_source();
+            let mut buf = std::collections::VecDeque::new();
+            let mut scanned = 0usize;
+            while scanned < FAULT_SCAN_UOPS {
+                let n = src.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                scanned += n;
+                for u in buf.drain(..) {
+                    note(&u, &mut touched);
+                }
+            }
+        }
+        None => {
+            for u in &w.program.uops {
+                note(u, &mut touched);
             }
         }
     }
@@ -332,6 +359,23 @@ mod tests {
             .expect("corruption only perturbs speculation");
         assert_eq!(dirty.retired, clean.retired);
         assert!(dirty.mem.content.issued > 0, "prefetcher still ran");
+    }
+
+    #[test]
+    fn unmap_faults_streamed_workloads_too() {
+        // The streamed variant has no materialized trace; the injector
+        // must still find demand pages (via a generator prefix) and the
+        // streaming run must surface the same typed error.
+        let mut w = Benchmark::Slsb.build_with_engine(Scale::smoke(), 5, true);
+        assert!(w.is_streamed());
+        assert_eq!(unmap_trace_pages(&mut w, 5, 2), 2);
+        let err = Simulator::new(SystemConfig::with_content())
+            .try_run(&w)
+            .unwrap_err();
+        assert!(
+            matches!(err, CdpError::UnmappedAccess { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

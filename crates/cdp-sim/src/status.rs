@@ -169,6 +169,18 @@ impl StatusSink {
         self.emit(o);
     }
 
+    /// Mid-cell progress: `uops_done` of `uops_total` measurement uops
+    /// retired so far. Long cells (large/huge tiers) emit these between
+    /// stepping windows so a `--status-jsonl` consumer sees intra-cell
+    /// progress, not just job-level transitions.
+    pub fn heartbeat(&self, label: &str, index: usize, uops_done: u64, uops_total: u64) {
+        let mut o = self.base("heartbeat", label, index);
+        o.set("uops_done", Json::U64(uops_done));
+        o.set("uops_total", Json::U64(uops_total));
+        o.set("uops_remaining", Json::U64(uops_total.saturating_sub(uops_done)));
+        self.emit(o);
+    }
+
     /// The job finished with `status` (`ok` / `failed` / `timeout`),
     /// provenance `source`, after `wall_ms`. Also reports sweep progress
     /// and a naive ETA extrapolated from throughput so far.
@@ -184,6 +196,66 @@ impl StatusSink {
         let elapsed = self.start.elapsed().as_millis() as u64;
         o.set("eta_ms", Json::U64(elapsed / done * (total - done)));
         self.emit(o);
+    }
+}
+
+/// A throttled in-cell progress reporter: the stepping loop calls
+/// [`CellHeartbeat::tick`] after every window and the helper emits at
+/// most one `heartbeat` event per period (default 1 s). Costs one
+/// `Instant::now` per window when a sink is installed and nothing at
+/// all otherwise, so it is safe to leave in every driving loop.
+#[derive(Debug)]
+pub struct CellHeartbeat {
+    sink: Option<Arc<StatusSink>>,
+    label: String,
+    index: usize,
+    total_uops: u64,
+    last: Instant,
+    period: std::time::Duration,
+}
+
+impl CellHeartbeat {
+    /// A reporter bound to the process-global sink (no-op when none is
+    /// installed). `total_uops` is the cell's post-warm-up measurement
+    /// budget; progress is reported against it.
+    #[must_use]
+    pub fn new(label: &str, index: usize, total_uops: u64) -> CellHeartbeat {
+        CellHeartbeat::with_sink(status_sink(), label, index, total_uops)
+    }
+
+    /// A reporter bound to an explicit sink (tests; `None` disables).
+    #[must_use]
+    pub fn with_sink(
+        sink: Option<Arc<StatusSink>>,
+        label: &str,
+        index: usize,
+        total_uops: u64,
+    ) -> CellHeartbeat {
+        CellHeartbeat {
+            sink,
+            label: label.to_string(),
+            index,
+            total_uops,
+            last: Instant::now(),
+            period: std::time::Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides the emission period (tests use zero to force emission).
+    #[must_use]
+    pub fn with_period(mut self, period: std::time::Duration) -> CellHeartbeat {
+        self.period = period;
+        self
+    }
+
+    /// Reports `uops_done` retired so far; emits if the period elapsed.
+    pub fn tick(&mut self, uops_done: u64) {
+        let Some(sink) = &self.sink else { return };
+        if self.last.elapsed() < self.period {
+            return;
+        }
+        self.last = Instant::now();
+        sink.heartbeat(&self.label, self.index, uops_done, self.total_uops);
     }
 }
 
@@ -237,6 +309,32 @@ mod tests {
             assert_eq!(slot.get(), s);
             assert!(!s.as_str().is_empty());
         }
+    }
+
+    #[test]
+    fn cell_heartbeat_throttles_and_reports_progress() {
+        let cap = Capture::default();
+        let sink = Arc::new(StatusSink::new(Box::new(cap.clone())));
+        let mut hb = CellHeartbeat::with_sink(Some(sink), "cell/a", 3, 1_000)
+            .with_period(std::time::Duration::ZERO);
+        hb.tick(250);
+        hb.tick(600);
+        // A long period suppresses the third tick.
+        hb = hb.with_period(std::time::Duration::from_secs(3600));
+        hb.tick(900);
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let j = Json::parse(lines[1]).unwrap();
+        assert_eq!(j.get("event").unwrap().to_string(), "\"heartbeat\"");
+        assert_eq!(j.get("index").unwrap().to_string(), "3");
+        assert_eq!(j.get("uops_done").unwrap().to_string(), "600");
+        assert_eq!(j.get("uops_total").unwrap().to_string(), "1000");
+        assert_eq!(j.get("uops_remaining").unwrap().to_string(), "400");
+        // No sink installed: tick is a no-op, not a panic.
+        let mut silent = CellHeartbeat::with_sink(None, "x", 0, 1)
+            .with_period(std::time::Duration::ZERO);
+        silent.tick(1);
     }
 
     #[test]

@@ -35,8 +35,18 @@ pub fn set_fast_forward(on: bool) {
 }
 
 /// Builds a core with the process-global fast-forward setting applied.
-fn build_core<'p>(cfg: &SystemConfig, program: &'p cdp_core::Program) -> Core<'p> {
-    let mut core = Core::new(cfg.core.clone(), program);
+///
+/// Streamed workloads (large/huge tiers) get a [`Core::new_streaming`]
+/// fed by a fresh cursor over the workload's generator, so only a sliding
+/// uop window is ever resident; materialized workloads borrow the program
+/// as before. The two engines retire bit-identical streams (asserted by
+/// the differential tests below), so everything downstream — stats,
+/// snapshots, caches — is engine-agnostic.
+fn build_core<'w>(cfg: &SystemConfig, workload: &'w Workload) -> Core<'w> {
+    let mut core = match &workload.stream {
+        Some(spec) => Core::new_streaming(cfg.core.clone(), spec.make_source()),
+        None => Core::new(cfg.core.clone(), &workload.program),
+    };
     core.set_fast_forward(FAST_FORWARD.load(std::sync::atomic::Ordering::Relaxed));
     core
 }
@@ -50,6 +60,10 @@ pub enum RunLength {
     Quick,
     /// Full experiment runs (the EXPERIMENTS.md numbers).
     Full,
+    /// ~100 M uops; streamed (O(window) resident memory).
+    Large,
+    /// ~1 B uops; streamed. Overnight-scale runs.
+    Huge,
 }
 
 impl RunLength {
@@ -59,6 +73,8 @@ impl RunLength {
             RunLength::Smoke => Scale::smoke(),
             RunLength::Quick => Scale::quick(),
             RunLength::Full => Scale::full(),
+            RunLength::Large => Scale::large(),
+            RunLength::Huge => Scale::huge(),
         }
     }
 
@@ -331,7 +347,7 @@ impl Simulator {
             None => FAULT_CHECK_WINDOW,
             Some(_) => metrics_window.unwrap_or(FAULT_CHECK_WINDOW).max(1),
         };
-        let mut core = build_core(&self.cfg, &workload.program);
+        let mut core = build_core(&self.cfg, workload);
         if profile_hist {
             core.set_stall_hist(Box::new(cdp_obs::Hist::new()));
         }
@@ -382,7 +398,7 @@ impl Simulator {
     /// [`Simulator::try_run`]).
     pub fn run_timeline(&self, workload: &Workload, window_uops: u64) -> Vec<WindowSample> {
         let mut hierarchy = self.build_hierarchy(workload);
-        let mut core = build_core(&self.cfg, &workload.program);
+        let mut core = build_core(&self.cfg, workload);
         let mut samples = Vec::new();
         let mut target = window_uops;
         let mut prev_retired = 0u64;
@@ -425,7 +441,7 @@ impl Simulator {
     /// [`Simulator::try_run`]).
     pub fn run_mptu_trace(&self, workload: &Workload, window_uops: u64) -> Vec<f64> {
         let mut hierarchy = self.build_hierarchy(workload);
-        let mut core = build_core(&self.cfg, &workload.program);
+        let mut core = build_core(&self.cfg, workload);
         let mut samples = Vec::new();
         let mut target = window_uops;
         let mut prev_misses = 0u64;
@@ -770,7 +786,70 @@ mod tests {
     fn run_lengths_are_ordered() {
         assert!(RunLength::Smoke.scale().target_uops < RunLength::Quick.scale().target_uops);
         assert!(RunLength::Quick.scale().target_uops < RunLength::Full.scale().target_uops);
+        assert!(RunLength::Full.scale().target_uops < RunLength::Large.scale().target_uops);
+        assert!(RunLength::Large.scale().target_uops < RunLength::Huge.scale().target_uops);
         assert!(RunLength::Full.warmup_uops() > 0);
+        // The new tiers stream unconditionally (above the threshold).
+        assert!(RunLength::Large.scale().streamed());
+        assert!(RunLength::Huge.scale().streamed());
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialized_stats() {
+        // The tentpole differential: the same benchmark/seed/scale run
+        // through the streaming feed must produce byte-identical RunStats
+        // (every counter, every prefetcher internal) to the materialized
+        // engine.
+        let sim = Simulator::new(SystemConfig::with_content());
+        for (bench, seed) in [(Benchmark::Slsb, 11), (Benchmark::Tpcc2, 7)] {
+            let eager = bench.build_with_engine(Scale::smoke(), seed, false);
+            let streamed = bench.build_with_engine(Scale::smoke(), seed, true);
+            assert!(streamed.is_streamed() && !eager.is_streamed());
+            assert_eq!(streamed.program.len(), 0, "no materialized trace");
+            let a = sim.run(&eager);
+            let b = sim.run(&streamed);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{} diverged between engines",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_session_snapshot_resumes_bit_identically() {
+        // Snapshot taken mid-stream (generator cursor + in-flight window
+        // serialized) must resume to the exact same final stats.
+        let w = Benchmark::Tpcc1.build_with_engine(Scale::smoke(), 17, true);
+        let mut cfg = SystemConfig::with_content();
+        cfg.warmup_uops = 5_000;
+        let sim = Simulator::new(cfg.clone());
+        let reference = sim.try_run(&w).unwrap();
+
+        let mut session = sim.session(&w, None);
+        assert!(!session.step().unwrap(), "smoke run ended during warm-up");
+        let bytes = session.snapshot();
+        drop(session);
+
+        let mut resumed = Simulator::new(cfg).resume(&w, None, &bytes).unwrap();
+        while !resumed.step().unwrap() {}
+        let (stats, _) = resumed.finish();
+        assert_eq!(format!("{reference:?}"), format!("{stats:?}"));
+    }
+
+    #[test]
+    fn streamed_timeline_matches_materialized() {
+        let eager = Benchmark::Tpcc1.build_with_engine(Scale::smoke(), 6, false);
+        let streamed = Benchmark::Tpcc1.build_with_engine(Scale::smoke(), 6, true);
+        let sim = Simulator::new(SystemConfig::with_content());
+        assert_eq!(
+            sim.run_timeline(&eager, 4_000),
+            sim.run_timeline(&streamed, 4_000)
+        );
+        let a = sim.run_mptu_trace(&eager, 2_000);
+        let b = sim.run_mptu_trace(&streamed, 2_000);
+        assert_eq!(a, b);
     }
 
     fn observed_cfg() -> ObsConfig {

@@ -1,0 +1,64 @@
+//! Streaming scale-tier contract: the huge tier simulates tens of
+//! millions of uops with O(instruction-window) resident memory, because
+//! the trace is synthesized chunk-by-chunk and never materialized.
+//!
+//! The RSS ceiling is the documented one (EXPERIMENTS.md): a ≥50M-uop
+//! huge-tier run must peak under 256 MiB. A materialized trace of that
+//! length alone would be well over a gigabyte, so the ceiling fails
+//! loudly if streaming ever regresses to up-front generation.
+//!
+//! This file intentionally holds a single test: `VmHWM` is process-wide,
+//! and integration-test binaries get their own process, so nothing else
+//! can inflate the measurement.
+
+use cdp_sim::Simulator;
+use cdp_types::SystemConfig;
+use cdp_workloads::suite::{Benchmark, Scale};
+
+/// Uops the test must retire (the acceptance floor for the huge tier).
+const TARGET_UOPS: u64 = 50_000_000;
+
+/// Documented peak-RSS ceiling for the run, in KiB (256 MiB).
+const RSS_CEILING_KIB: u64 = 256 * 1024;
+
+/// Peak resident set (`VmHWM`) of this process, in KiB.
+#[cfg(target_os = "linux")]
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn huge_tier_streams_50m_uops_within_the_rss_ceiling() {
+    let w = Benchmark::Tpcc1.build(Scale::huge(), 0x5eed_2002);
+    assert!(w.stream.is_some(), "the huge tier must stream");
+    assert_eq!(w.program.len(), 0, "streamed builds materialize no trace");
+
+    // No warm-up: `retired()` then counts from the first uop, so the
+    // loop can stop as soon as the acceptance floor is reached instead
+    // of running the full ~1B-uop budget.
+    let mut cfg = SystemConfig::asplos2002();
+    cfg.warmup_uops = 0;
+    let sim = Simulator::new(cfg);
+    let mut session = sim.session(&w, None);
+    while session.retired() < TARGET_UOPS {
+        if session.step().expect("huge-tier run is fault-free") {
+            break;
+        }
+    }
+    assert!(
+        session.retired() >= TARGET_UOPS,
+        "huge tier ended early: {} of {TARGET_UOPS} uops",
+        session.retired()
+    );
+
+    #[cfg(target_os = "linux")]
+    {
+        let kib = peak_rss_kib().expect("/proc/self/status is readable on linux");
+        assert!(
+            kib < RSS_CEILING_KIB,
+            "peak RSS {kib} KiB breaches the documented {RSS_CEILING_KIB} KiB ceiling"
+        );
+    }
+}

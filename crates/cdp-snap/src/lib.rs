@@ -30,7 +30,9 @@ use cdp_types::SnapshotError;
 pub const MAGIC: [u8; 8] = *b"CDPSNAP\0";
 
 /// Format version this build writes (and the highest it reads).
-pub const VERSION: u32 = 1;
+/// Version 2 appended the core's feed kind (and, for streaming feeds,
+/// the uop window + generation cursor) to the core section.
+pub const VERSION: u32 = 2;
 
 /// FNV-1a offset basis (64-bit).
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -57,6 +57,17 @@ impl Rng {
         Rng { s }
     }
 
+    /// The full generator state, for checkpointing a stream mid-sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`Rng::state`]; the restored generator
+    /// continues the original sequence exactly.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Next raw 64-bit output (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

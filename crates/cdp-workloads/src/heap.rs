@@ -116,6 +116,18 @@ impl Heap {
         addr
     }
 
+    /// Rounds the next allocation up to `align` (a power of two) without
+    /// mapping anything — used to page-align lazily synthesized arrays so
+    /// they occupy a fresh, physically contiguous frame range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_next(&mut self, align: u32) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.next = ((self.next + align - 1) & !(align - 1)).min(self.end);
+    }
+
     /// Allocates with random padding before the object (if configured).
     pub fn alloc_padded(&mut self, space: &mut AddressSpace, size: usize, rng: &mut Rng) -> VirtAddr {
         if self.max_pad > 0 {

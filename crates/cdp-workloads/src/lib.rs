@@ -35,5 +35,8 @@ pub mod suite;
 pub mod trace;
 
 pub use heap::Heap;
-pub use suite::{Benchmark, Suite, Workload};
+pub use suite::{
+    force_streaming, set_force_streaming, Benchmark, Scale, StreamSpec, Suite, Workload,
+    STREAM_THRESHOLD_UOPS,
+};
 pub use trace::TraceBuilder;

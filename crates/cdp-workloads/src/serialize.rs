@@ -238,6 +238,7 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
         suite,
         program: Program::new(uops),
         space: AddressSpace::from_parts(phys, cursors),
+        stream: None,
     })
 }
 

@@ -452,6 +452,56 @@ pub fn build_array(space: &mut AddressSpace, heap: &mut Heap, rng: &mut Rng, len
     Array { base, len }
 }
 
+/// Builds an array like [`build_array`] but without writing a byte: content
+/// is synthesized on first touch by the physical backing store's lazy
+/// regions, so building stays O(pages) and resident memory stays O(touched
+/// pages). Used by the large/huge scale tiers, where eagerly filling the
+/// footprint would dominate build time.
+///
+/// The array is page-aligned so its backing frames are mapped fresh and in
+/// order; each physically contiguous run of frames becomes one lazy region
+/// (page-table frames interleave with data frames at 4 MB boundaries, so a
+/// big array is usually several runs).
+pub fn build_array_lazy(
+    space: &mut AddressSpace,
+    heap: &mut Heap,
+    rng: &mut Rng,
+    len: usize,
+) -> Array {
+    use cdp_types::PAGE_SIZE;
+
+    heap.align_next(PAGE_SIZE as u32);
+    let base = heap.alloc(space, len);
+    debug_assert_eq!(base.0 as usize % PAGE_SIZE, 0);
+    let seed = rng.next_u64();
+
+    let mut run_virt = 0usize; // virtual offset where the current run began
+    let mut run_phys = space.translate(base).expect("array just mapped");
+    let mut off = PAGE_SIZE;
+    while off < len {
+        let p = space
+            .translate(VirtAddr(base.0 + off as u32))
+            .expect("array just mapped");
+        let expected = run_phys.0 + (off - run_virt) as u32;
+        if p.0 != expected {
+            space.phys_mut().add_lazy_region(
+                run_phys,
+                (off - run_virt) as u32,
+                seed.wrapping_add(run_virt as u64),
+            );
+            run_virt = off;
+            run_phys = p;
+        }
+        off += PAGE_SIZE;
+    }
+    space.phys_mut().add_lazy_region(
+        run_phys,
+        (len - run_virt) as u32,
+        seed.wrapping_add(run_virt as u64),
+    );
+    Array { base, len }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,14 +15,18 @@
 //!
 //! Workloads are fully deterministic given `(benchmark, scale, seed)`.
 
-use cdp_core::{Program, UopKind};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use cdp_core::{Program, Uop, UopKind, UopSource};
 use cdp_mem::AddressSpace;
 use cdp_types::rng::Rng;
+use cdp_types::SnapshotError;
 
 use crate::heap::Heap;
 use crate::structures::{
-    build_array, build_binary_tree, build_hash_table, build_index_array, build_list, Array,
-    BinaryTree, HashTable, IndexArray, LinkedList,
+    build_array, build_array_lazy, build_binary_tree, build_hash_table, build_index_array,
+    build_list, Array, BinaryTree, HashTable, IndexArray, LinkedList,
 };
 use crate::trace::TraceBuilder;
 
@@ -55,6 +59,30 @@ impl std::fmt::Display for Suite {
         };
         f.write_str(s)
     }
+}
+
+/// Uop budget above which [`Benchmark::build`] returns a streaming
+/// workload: the trace is generated on demand in chunks instead of being
+/// materialized as a `Vec<Uop>`, and the stride array's content is
+/// synthesized lazily on first touch. Everything at or below the
+/// threshold builds exactly as before, byte for byte.
+pub const STREAM_THRESHOLD_UOPS: usize = 4_000_000;
+
+static FORCE_STREAMING: AtomicBool = AtomicBool::new(false);
+
+/// Forces [`Benchmark::build`] to return streaming workloads at *every*
+/// scale (tests and the differential harness use this to compare the
+/// streaming engine against the materialized one on small runs). Unlike
+/// true large/huge tiers, force-streamed small scales keep their eagerly
+/// written memory image, so results are bit-identical to materialized
+/// builds.
+pub fn set_force_streaming(on: bool) {
+    FORCE_STREAMING.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_force_streaming`] is currently on.
+pub fn force_streaming() -> bool {
+    FORCE_STREAMING.load(Ordering::SeqCst)
 }
 
 /// Run-size scaling: uop budget plus a divisor applied to every structure
@@ -96,6 +124,29 @@ impl Scale {
         }
     }
 
+    /// Large runs (~100 M uops, full footprints): only reachable through
+    /// the streaming engine — the trace is never materialized.
+    pub fn large() -> Self {
+        Scale {
+            target_uops: 100_000_000,
+            footprint_div: 1,
+        }
+    }
+
+    /// Huge runs (~1 B uops, full footprints), streaming only.
+    pub fn huge() -> Self {
+        Scale {
+            target_uops: 1_000_000_000,
+            footprint_div: 1,
+        }
+    }
+
+    /// Whether builds at this scale stream their trace (over the
+    /// [`STREAM_THRESHOLD_UOPS`] budget, or [`set_force_streaming`] is on).
+    pub fn streamed(&self) -> bool {
+        self.target_uops > STREAM_THRESHOLD_UOPS || force_streaming()
+    }
+
     fn div(&self, x: usize) -> usize {
         (x / self.footprint_div).max(1)
     }
@@ -108,13 +159,23 @@ pub struct Workload {
     pub name: String,
     /// Suite category.
     pub suite: Suite,
-    /// The uop trace.
+    /// The uop trace (empty when the workload streams — see
+    /// [`Workload::stream`]).
     pub program: Program,
     /// The memory image (page tables included).
     pub space: AddressSpace,
+    /// Streaming recipe for large/huge tiers: when set, the trace is
+    /// generated on demand by a [`cdp_core::UopSource`] built from
+    /// [`StreamSpec::make_source`] and `program` stays empty.
+    pub stream: Option<StreamSpec>,
 }
 
 impl Workload {
+    /// Whether this workload streams its trace instead of materializing it.
+    pub fn is_streamed(&self) -> bool {
+        self.stream.is_some()
+    }
+
     /// Checks that every load/store in the trace targets mapped memory —
     /// the invariant the simulator's demand path relies on. Returns the
     /// first offending (uop index, address) if any.
@@ -123,6 +184,30 @@ impl Workload {
     ///
     /// Returns `Err((index, address))` for the first unmapped access.
     pub fn validate(&self) -> Result<(), (usize, cdp_types::VirtAddr)> {
+        if let Some(spec) = &self.stream {
+            // Streamed traces are too long to check exhaustively; generate
+            // and check a bounded prefix (the generator revisits the same
+            // structures throughout, so an unmapped target shows up early).
+            const PREFIX_UOPS: usize = 65_536;
+            let mut source = spec.make_source();
+            let mut chunk = VecDeque::new();
+            let mut idx = 0usize;
+            while idx < PREFIX_UOPS {
+                chunk.clear();
+                if source.fill(&mut chunk) == 0 {
+                    break;
+                }
+                for u in &chunk {
+                    if let Some(a) = u.vaddr() {
+                        if self.space.translate(a).is_none() {
+                            return Err((idx, a));
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+            return Ok(());
+        }
         for (i, u) in self.program.uops.iter().enumerate() {
             if let Some(a) = u.vaddr() {
                 if self.space.translate(a).is_none() {
@@ -159,6 +244,22 @@ impl Workload {
     pub fn fingerprint(&self) -> u64 {
         let mut h = cdp_snap::Fnv1a::new();
         h.write(self.name.as_bytes());
+        if let Some(spec) = &self.stream {
+            // The trace is a pure function of (generator, tier, seed), so
+            // hash the recipe instead of the uops. Tier parameters are
+            // part of the key: a `large` workload can never collide with
+            // a `smoke` one, even at the same seed.
+            h.write(b"stream");
+            h.write_u64(spec.target_uops as u64);
+            h.write_u64(spec.footprint_div as u64);
+            h.write_u64(spec.seed);
+            let (heap, table, rng) = self.space.cursors();
+            h.write_u32(heap);
+            h.write_u32(table);
+            h.write_u64(rng);
+            h.write_u64(self.space.phys().state_fingerprint());
+            return h.finish();
+        }
         h.write_u64(self.program.uops.len() as u64);
         for u in &self.program.uops {
             h.write_u32(u.pc);
@@ -188,6 +289,15 @@ impl Workload {
     /// A one-paragraph characterization: uop mix percentages and the
     /// mapped footprint (a debugging/reporting aid).
     pub fn summary(&self) -> String {
+        if let Some(spec) = &self.stream {
+            return format!(
+                "{} [{}]: streaming {} uops (window-resident), {} KB mapped",
+                self.name,
+                self.suite,
+                spec.target_uops,
+                self.space.mapped_pages() * 4
+            );
+        }
         let n = self.program.len().max(1) as f64;
         let loads = self.program.num_loads() as f64 / n * 100.0;
         let stores = self.program.num_stores() as f64 / n * 100.0;
@@ -199,6 +309,220 @@ impl Workload {
             self.program.len(),
             self.space.mapped_pages() * 4
         )
+    }
+}
+
+/// Streaming recipe for a workload's trace: a pristine generator plus the
+/// tier parameters that produced it. The generator inside is never
+/// advanced — [`StreamSpec::make_source`] clones it, so every source
+/// starts at uop 0 and replays the identical stream.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    gen: TraceGen,
+    target_uops: usize,
+    footprint_div: usize,
+    seed: u64,
+}
+
+impl StreamSpec {
+    /// A fresh [`UopSource`] positioned at uop 0.
+    pub fn make_source(&self) -> Box<dyn UopSource> {
+        Box::new(self.gen.clone())
+    }
+
+    /// The tier's uop budget.
+    pub fn target_uops(&self) -> usize {
+        self.target_uops
+    }
+
+    /// The tier's footprint divisor.
+    pub fn footprint_div(&self) -> usize {
+        self.footprint_div
+    }
+
+    /// The workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// How many uops a streaming fill accumulates before handing them to the
+/// core: large enough to amortize per-chunk dispatch, small enough that
+/// the resident window stays a few hundred KB.
+const STREAM_CHUNK_UOPS: usize = 4096;
+
+/// The phase-loop generator behind both build modes: materialized builds
+/// drive it to completion up front, streaming builds drive it chunk by
+/// chunk from the core's fetch stage. Both modes draw the same rng
+/// trajectory, so they emit identical uop streams.
+#[derive(Clone, Debug)]
+struct TraceGen {
+    profile: Profile,
+    list: Option<LinkedList>,
+    tree: Option<BinaryTree>,
+    hash: Option<HashTable>,
+    array: Option<Array>,
+    index: Option<IndexArray>,
+    store_buf: cdp_types::VirtAddr,
+    rng: Rng,
+    tb: TraceBuilder,
+    stride_cursor: u32,
+    /// Uops handed out via [`UopSource::fill`] so far (streaming only).
+    emitted: usize,
+    target: usize,
+}
+
+impl TraceGen {
+    /// Emits one phase burst (plus the trailing store burst for OLTP
+    /// profiles) into the internal builder. This is the loop body of the
+    /// original materialized build, verbatim.
+    fn fill_burst(&mut self) {
+        let p = self.profile;
+        let TraceGen {
+            ref list,
+            ref tree,
+            ref hash,
+            ref array,
+            ref index,
+            store_buf,
+            ref mut rng,
+            ref mut tb,
+            ref mut stride_cursor,
+            ..
+        } = *self;
+        let total_w: u32 = p.weights.iter().sum();
+        let mut pick = rng.gen_range_u32(0..total_w);
+        let mut phase = 0;
+        for (i, &w) in p.weights.iter().enumerate() {
+            if pick < w {
+                phase = i;
+                break;
+            }
+            pick -= w;
+        }
+        match phase {
+            0 => {
+                let l = list.as_ref().expect("chase weight requires a list");
+                let seg = p.segment.min(l.nodes.len());
+                let hot_span =
+                    ((l.nodes.len() as f64 * p.hot_frac) as usize).min(l.nodes.len() - seg);
+                let pick = |rng: &mut Rng| {
+                    if rng.gen_bool(p.locality.clamp(0.0, 1.0)) {
+                        rng.gen_range_usize_incl(0..=hot_span.min(l.nodes.len() - seg))
+                    } else {
+                        rng.gen_range_usize_incl(0..=(l.nodes.len() - seg))
+                    }
+                };
+                let a = pick(&mut *rng);
+                let b = pick(&mut *rng);
+                tb.chase_interleaved(
+                    10,
+                    &l.nodes[a..a + seg],
+                    &l.nodes[b..b + seg],
+                    p.payload_loads,
+                    p.alu,
+                );
+            }
+            1 => {
+                let t = tree.as_ref().expect("tree weight requires a tree");
+                tb.tree_search(20, t, 6, &mut *rng);
+            }
+            2 => {
+                let h = hash.as_ref().expect("hash weight requires a table");
+                tb.hash_probe_hot_frac(30, h, 12, &mut *rng, p.locality, p.hot_frac);
+            }
+            3 => {
+                let a = array.as_ref().expect("stride weight requires an array");
+                let stride = 64i64;
+                // Burst length clamped to the (possibly scaled-down)
+                // array so the sweep never walks past its end.
+                let elems = 256usize.min(a.len / stride as usize).max(1);
+                let span = (elems as i64 * stride) as u32;
+                // Sweep the array sequentially across phases (wrapping),
+                // like a frame/vertex buffer pass: capacity behavior,
+                // and the stride prefetcher's bread and butter.
+                if *stride_cursor + span > a.len as u32 {
+                    *stride_cursor = 0;
+                }
+                tb.stride_scan(
+                    40,
+                    a.base.offset(*stride_cursor as i64),
+                    stride,
+                    elems,
+                    p.alu,
+                );
+                *stride_cursor += span;
+            }
+            5 => {
+                let ia = index.as_ref().expect("index weight requires an array");
+                let count = (p.segment * 2).min(ia.order.len());
+                let hot_span = (ia.order.len() as f64 * p.hot_frac) as usize;
+                let start = if rng.gen_bool(p.locality.clamp(0.0, 1.0)) && hot_span > 0 {
+                    rng.gen_range_usize(0..hot_span)
+                } else {
+                    rng.gen_range_usize(0..ia.order.len())
+                };
+                tb.index_chase(60, ia, start, count, p.alu);
+            }
+            _ => {
+                tb.alu_burst(50, 160);
+                if p.fp {
+                    tb.fp_burst(51, 32, 4);
+                }
+                tb.branch_noise(52, 8, p.branch_noise, &mut *rng);
+            }
+        }
+        // OLTP-style benchmarks write back the rows they touch: a
+        // store burst follows every phase.
+        if p.stores {
+            let off = rng.gen_range_u32(0..900) * 64;
+            tb.store_burst(53, store_buf.offset(off as i64), 64, 16);
+        }
+    }
+}
+
+impl UopSource for TraceGen {
+    fn fill(&mut self, out: &mut VecDeque<Uop>) -> usize {
+        while self.emitted + self.tb.len() < self.target && self.tb.len() < STREAM_CHUNK_UOPS {
+            self.fill_burst();
+        }
+        let n = self.tb.drain_into(out);
+        self.emitted += n;
+        n
+    }
+
+    fn exhausted(&self) -> bool {
+        self.emitted + self.tb.len() >= self.target
+    }
+
+    fn box_clone(&self) -> Box<dyn UopSource> {
+        Box::new(self.clone())
+    }
+
+    fn save_cursor(&self, enc: &mut cdp_snap::Enc) {
+        // `fill` always drains the builder, so between fills only the
+        // scratch-register rotation survives in it.
+        debug_assert_eq!(self.tb.len(), 0, "cursor saved between fills");
+        for w in self.rng.state() {
+            enc.u64(w);
+        }
+        enc.u32(self.stride_cursor);
+        enc.usize(self.emitted);
+        enc.u8(self.tb.scratch_cursor());
+    }
+
+    fn restore_cursor(&mut self, dec: &mut cdp_snap::Dec<'_>) -> Result<(), SnapshotError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.u64("tracegen rng state")?;
+        }
+        self.rng = Rng::from_state(s);
+        self.stride_cursor = dec.u32("tracegen stride cursor")?;
+        self.emitted = dec.usize("tracegen emitted")?;
+        self.tb = TraceBuilder::new();
+        self.tb
+            .set_scratch_cursor(dec.u8("tracegen scratch cursor")?);
+        Ok(())
     }
 }
 
@@ -566,8 +890,19 @@ impl Benchmark {
     }
 
     /// Builds the workload: allocates and links its structures into a
-    /// fresh address space, then emits `scale.target_uops` of trace.
+    /// fresh address space, then emits `scale.target_uops` of trace —
+    /// materialized below [`STREAM_THRESHOLD_UOPS`], streaming above it
+    /// (or everywhere when [`set_force_streaming`] is on).
     pub fn build(&self, scale: Scale, seed: u64) -> Workload {
+        self.build_with_engine(scale, seed, scale.streamed())
+    }
+
+    /// [`Benchmark::build`] with an explicit engine choice: `streamed`
+    /// selects the chunked on-demand generator regardless of scale.
+    /// Both engines draw the same rng trajectory, so they produce the
+    /// identical uop stream; the differential tests compare them directly
+    /// without touching the process-wide [`set_force_streaming`] toggle.
+    pub fn build_with_engine(&self, scale: Scale, seed: u64, streamed: bool) -> Workload {
         let p = self.profile();
         let mut space = AddressSpace::new();
         // Heap capacity: generous upper bound on all structures.
@@ -620,8 +955,18 @@ impl Benchmark {
                 p.hash_node,
             )
         });
+        // True large/huge tiers synthesize array content lazily on first
+        // touch (one seed draw instead of one draw per line); smaller
+        // tiers — including force-streamed ones — keep the eager fill so
+        // their rng trajectory and memory image match historical builds
+        // byte for byte.
+        let lazy_image = scale.target_uops > STREAM_THRESHOLD_UOPS;
         let array: Option<Array> = (p.array_bytes > 0).then(|| {
-            build_array(&mut space, &mut heap, &mut rng, scale.div(p.array_bytes))
+            if lazy_image {
+                build_array_lazy(&mut space, &mut heap, &mut rng, scale.div(p.array_bytes))
+            } else {
+                build_array(&mut space, &mut heap, &mut rng, scale.div(p.array_bytes))
+            }
         });
         let index: Option<IndexArray> = (p.index_elems > 0).then(|| {
             build_index_array(&mut space, &mut heap, &mut rng, scale.div(p.index_elems), 32)
@@ -629,100 +974,51 @@ impl Benchmark {
         // A scratch buffer for store bursts.
         let store_buf = heap.alloc(&mut space, 64 << 10);
 
-        // Phase loop.
-        let mut tb = TraceBuilder::new();
-        let mut stride_cursor: u32 = 0;
         let total_w: u32 = p.weights.iter().sum();
         assert!(total_w > 0, "benchmark must have at least one phase");
-        while tb.len() < scale.target_uops {
-            let mut pick = rng.gen_range_u32(0..total_w);
-            let mut phase = 0;
-            for (i, &w) in p.weights.iter().enumerate() {
-                if pick < w {
-                    phase = i;
-                    break;
-                }
-                pick -= w;
-            }
-            match phase {
-                0 => {
-                    let l = list.as_ref().expect("chase weight requires a list");
-                    let seg = p.segment.min(l.nodes.len());
-                    let hot_span =
-                        ((l.nodes.len() as f64 * p.hot_frac) as usize).min(l.nodes.len() - seg);
-                    let pick = |rng: &mut Rng| {
-                        if rng.gen_bool(p.locality.clamp(0.0, 1.0)) {
-                            rng.gen_range_usize_incl(0..=hot_span.min(l.nodes.len() - seg))
-                        } else {
-                            rng.gen_range_usize_incl(0..=(l.nodes.len() - seg))
-                        }
-                    };
-                    let a = pick(&mut rng);
-                    let b = pick(&mut rng);
-                    tb.chase_interleaved(
-                        10,
-                        &l.nodes[a..a + seg],
-                        &l.nodes[b..b + seg],
-                        p.payload_loads,
-                        p.alu,
-                    );
-                }
-                1 => {
-                    let t = tree.as_ref().expect("tree weight requires a tree");
-                    tb.tree_search(20, t, 6, &mut rng);
-                }
-                2 => {
-                    let h = hash.as_ref().expect("hash weight requires a table");
-                    tb.hash_probe_hot_frac(30, h, 12, &mut rng, p.locality, p.hot_frac);
-                }
-                3 => {
-                    let a = array.as_ref().expect("stride weight requires an array");
-                    let stride = 64i64;
-                    // Burst length clamped to the (possibly scaled-down)
-                    // array so the sweep never walks past its end.
-                    let elems = 256usize.min(a.len / stride as usize).max(1);
-                    let span = (elems as i64 * stride) as u32;
-                    // Sweep the array sequentially across phases (wrapping),
-                    // like a frame/vertex buffer pass: capacity behavior,
-                    // and the stride prefetcher's bread and butter.
-                    if stride_cursor + span > a.len as u32 {
-                        stride_cursor = 0;
-                    }
-                    tb.stride_scan(40, a.base.offset(stride_cursor as i64), stride, elems, p.alu);
-                    stride_cursor += span;
-                }
-                5 => {
-                    let ia = index.as_ref().expect("index weight requires an array");
-                    let count = (p.segment * 2).min(ia.order.len());
-                    let hot_span = (ia.order.len() as f64 * p.hot_frac) as usize;
-                    let start = if rng.gen_bool(p.locality.clamp(0.0, 1.0)) && hot_span > 0 {
-                        rng.gen_range_usize(0..hot_span)
-                    } else {
-                        rng.gen_range_usize(0..ia.order.len())
-                    };
-                    tb.index_chase(60, ia, start, count, p.alu);
-                }
-                _ => {
-                    tb.alu_burst(50, 160);
-                    if p.fp {
-                        tb.fp_burst(51, 32, 4);
-                    }
-                    tb.branch_noise(52, 8, p.branch_noise, &mut rng);
-                }
-            }
-            // OLTP-style benchmarks write back the rows they touch: a
-            // store burst follows every phase.
-            if p.stores {
-                let off = rng.gen_range_u32(0..900) * 64;
-                tb.store_burst(53, store_buf.offset(off as i64), 64, 16);
-            }
+        let mut gen = TraceGen {
+            profile: p,
+            list,
+            tree,
+            hash,
+            array,
+            index,
+            store_buf,
+            rng,
+            tb: TraceBuilder::new(),
+            stride_cursor: 0,
+            emitted: 0,
+            target: scale.target_uops,
+        };
+
+        if streamed {
+            return Workload {
+                name: self.name().to_string(),
+                suite: p.suite,
+                program: Program::new(Vec::new()),
+                space,
+                stream: Some(StreamSpec {
+                    gen,
+                    target_uops: scale.target_uops,
+                    footprint_div: scale.footprint_div,
+                    seed,
+                }),
+            };
+        }
+
+        // Materialized build: drive the generator to completion up front.
+        // This draws the exact rng trajectory of the historical phase
+        // loop, so traces are byte-identical to pre-streaming builds.
+        while gen.tb.len() < gen.target {
+            gen.fill_burst();
         }
 
         Workload {
             name: self.name().to_string(),
             suite: p.suite,
-            program: tb.build(),
+            program: gen.tb.build(),
             space,
+            stream: None,
         }
     }
 }
@@ -921,6 +1217,122 @@ mod tests {
                 .any(|a| a.0 % 4 == 2)
         });
         assert!(any_packed, "slsb must touch 2-byte-aligned fields");
+    }
+
+    /// Drains a streaming workload's source to a flat uop vector.
+    fn drain_stream(w: &Workload) -> Vec<Uop> {
+        let mut source = w.stream.as_ref().expect("streamed workload").make_source();
+        let mut all = VecDeque::new();
+        while source.fill(&mut all) > 0 {}
+        assert!(source.exhausted());
+        all.into_iter().collect()
+    }
+
+    #[test]
+    fn streamed_source_replays_the_materialized_trace() {
+        for b in [Benchmark::Tpcc2, Benchmark::Quake, Benchmark::VerilogGate] {
+            let mat = b.build_with_engine(Scale::smoke(), 7, false);
+            let st = b.build_with_engine(Scale::smoke(), 7, true);
+            assert!(st.is_streamed() && st.program.uops.is_empty());
+            assert_eq!(drain_stream(&st), mat.program.uops, "{b}");
+            // The memory image is byte-identical too (no lazy pages at
+            // smoke scale).
+            assert_eq!(
+                st.space.phys().state_fingerprint(),
+                mat.space.phys().state_fingerprint(),
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_cursor_roundtrip_resumes_mid_trace() {
+        // Bursts can run to ~20 K uops, so give the stream enough budget
+        // that a checkpoint after one fill still has plenty left to run.
+        let scale = Scale {
+            target_uops: 120_000,
+            ..Scale::smoke()
+        };
+        let w = Benchmark::Tpcc1.build_with_engine(scale, 3, true);
+        let spec = w.stream.as_ref().unwrap();
+        let mut source = spec.make_source();
+        let mut prefix = VecDeque::new();
+        assert!(source.fill(&mut prefix) > 0);
+        let mut enc = cdp_snap::Enc::new();
+        source.save_cursor(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut resumed = spec.make_source();
+        let mut dec = cdp_snap::Dec::new(&bytes);
+        resumed.restore_cursor(&mut dec).expect("cursor restores");
+        let (mut rest_a, mut rest_b) = (VecDeque::new(), VecDeque::new());
+        while source.fill(&mut rest_a) > 0 {}
+        while resumed.fill(&mut rest_b) > 0 {}
+        assert_eq!(rest_a, rest_b, "resumed source continues identically");
+        assert!(!rest_a.is_empty());
+    }
+
+    #[test]
+    fn stream_fingerprint_keys_on_tier_parameters() {
+        let at = |scale: Scale, seed: u64| {
+            Benchmark::B2e
+                .build_with_engine(scale, seed, true)
+                .fingerprint()
+        };
+        let smoke = at(Scale::smoke(), 5);
+        assert_eq!(smoke, at(Scale::smoke(), 5), "fingerprint is stable");
+        let more_uops = Scale {
+            target_uops: Scale::smoke().target_uops * 2,
+            ..Scale::smoke()
+        };
+        assert_ne!(smoke, at(more_uops, 5), "uop budget is part of the key");
+        assert_ne!(smoke, at(Scale::smoke(), 6), "seed is part of the key");
+        // Footprint divisor changes the image itself *and* the key field.
+        let denser = Scale {
+            footprint_div: Scale::smoke().footprint_div * 2,
+            ..Scale::smoke()
+        };
+        assert_ne!(smoke, at(denser, 5), "footprint divisor is part of the key");
+    }
+
+    #[test]
+    fn streamed_workload_validates_and_summarizes() {
+        let w = Benchmark::Tpcc2.build_with_engine(Scale::smoke(), 4, true);
+        w.check().expect("streamed prefix fully mapped");
+        let s = w.summary();
+        assert!(s.contains("streaming"), "{s}");
+        assert!(s.contains("tpcc-2"), "{s}");
+    }
+
+    #[test]
+    fn large_tiers_stream_and_synthesize_lazily() {
+        // A true large-tier build installs lazy regions for its stride
+        // array instead of writing it eagerly, and builds quickly because
+        // no trace is materialized.
+        let w = Benchmark::Quake.build(Scale::large(), 1);
+        assert!(w.is_streamed());
+        assert!(
+            w.space.phys().lazy_regions() > 0,
+            "large tier synthesizes the array lazily"
+        );
+        assert_eq!(w.stream.as_ref().unwrap().target_uops(), 100_000_000);
+        w.check().expect("large-tier prefix fully mapped");
+    }
+
+    #[test]
+    fn scale_streaming_predicate_and_toggle() {
+        // The toggle is process-wide, so every `!streamed()` assertion
+        // lives in this one test (others pass the engine explicitly and
+        // never read the toggle).
+        assert!(Scale::large().streamed());
+        assert!(Scale::huge().streamed());
+        assert!(!Scale::smoke().streamed());
+        assert!(!Scale::full().streamed());
+        set_force_streaming(true);
+        let forced = Scale::smoke().streamed();
+        set_force_streaming(false);
+        assert!(forced, "force-streaming covers small scales");
+        assert!(!Scale::smoke().streamed());
     }
 
     #[test]

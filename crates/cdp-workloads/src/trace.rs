@@ -67,6 +67,26 @@ impl TraceBuilder {
         Program::new(self.uops)
     }
 
+    /// Drains every pending uop into `out` (streaming generation: bursts
+    /// accumulate here, then move to the core's sliding window). The
+    /// scratch-register rotation persists across drains, so a drained
+    /// builder continues the exact uop stream an undrained one would.
+    pub fn drain_into(&mut self, out: &mut std::collections::VecDeque<Uop>) -> usize {
+        let n = self.uops.len();
+        out.extend(self.uops.drain(..));
+        n
+    }
+
+    /// The scratch-register rotation cursor (streaming checkpoint state).
+    pub fn scratch_cursor(&self) -> u8 {
+        self.scratch_rr
+    }
+
+    /// Restores the rotation cursor saved by [`TraceBuilder::scratch_cursor`].
+    pub fn set_scratch_cursor(&mut self, cursor: u8) {
+        self.scratch_rr = cursor;
+    }
+
     #[inline]
     fn pc(site: u32, local: u32) -> u32 {
         site.wrapping_mul(256).wrapping_add(local * 4)

@@ -40,6 +40,9 @@ fn main() {
         suite: Suite::Workstation,
         program,
         space,
+        // A hand-built trace is materialized up front; only the suite's
+        // large/huge tiers synthesize uops through a streaming source.
+        stream: None,
     };
     println!(
         "workload: {} ({} uops, {} loads)\n",

@@ -39,6 +39,7 @@ fn list_walk(nodes: usize, node_size: usize, shuffle: bool, passes: usize) -> Wo
         suite: Suite::Workstation,
         program,
         space,
+        stream: None,
     }
 }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pinned observability sweep: runs a fixed experiment set with metrics
 # windowing and manifest emission, validates the artifacts, and snapshots
-# the manifest as BENCH_<utc-stamp>.json in the repo root so a
-# machine-readable performance trajectory accumulates across commits.
+# the manifest as bench/BENCH_<utc-stamp>.json so a machine-readable
+# performance trajectory accumulates across commits without cluttering
+# the repo root.
 #
 # The sweep is repeated SAMPLES times (after one discarded warm-up run)
 # and the per-run wall times are folded into `suite_wall_stats`
@@ -21,10 +22,11 @@
 #            `micro` key (per-kernel `_stats` objects when SAMPLES > 1).
 #
 # Knobs (environment variables):
-#   SCALE    smoke|quick|full  run size            (default: smoke)
+#   SCALE    smoke|quick|full|large|huge  run size (default: smoke)
 #   JOBS     N                 worker threads      (default: 2)
 #   SAMPLES  N                 timed sweep repeats (default: 5)
-#   OUT      dir               artifact directory  (default: target/bench-manifest)
+#   OUT      dir               scratch artifact dir (default: bench/scratch,
+#                              gitignored)
 #   EXTRA    flags             extra experiment flags, e.g. --no-fast-forward
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,8 +45,9 @@ done
 SCALE="${SCALE:-smoke}"
 JOBS="${JOBS:-2}"
 SAMPLES="${SAMPLES:-5}"
-OUT="${OUT:-target/bench-manifest}"
+OUT="${OUT:-bench/scratch}"
 EXTRA="${EXTRA:-}"
+mkdir -p bench
 # The pinned sweep: one TLB-pressure grid and one depth/width/reinforce
 # grid — together they exercise every prefetch engine and drop path.
 IDS=(tlb fig9)
@@ -54,7 +57,7 @@ cargo build --release -p cdp-experiments -p cdp-obs -p cdp-bench
 # shellcheck disable=SC2086  # EXTRA is intentionally word-split
 run_sweep() {
     rm -rf "$OUT"
-    ./target/release/experiments "${IDS[@]}" "--${SCALE}" --jobs "$JOBS" \
+    ./target/release/experiments "${IDS[@]}" --scale "$SCALE" --jobs "$JOBS" \
         --metrics-window 65536 --emit-manifest "$OUT" $EXTRA > /dev/null
     grep -o '"suite_wall_ms":[0-9]*' "$OUT/manifest.json" | cut -d: -f2
 }
@@ -72,16 +75,17 @@ done
 ./target/release/validate-manifest "$OUT/manifest.json" "$OUT/metrics.jsonl"
 
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
-cp "$OUT/manifest.json" "BENCH_${stamp}.json"
-./target/release/bench-stats --inject "BENCH_${stamp}.json" --suite-wall-ms "$walls"
+snap="bench/BENCH_${stamp}.json"
+cp "$OUT/manifest.json" "$snap"
+./target/release/bench-stats --inject "$snap" --suite-wall-ms "$walls"
 if [ "$MICRO" -eq 1 ]; then
     ./target/release/microbench --samples "$SAMPLES" \
-        --inject "BENCH_${stamp}.json" > /dev/null
+        --inject "$snap" > /dev/null
 fi
-./target/release/validate-manifest --bench "BENCH_${stamp}.json"
+./target/release/validate-manifest --bench "$snap"
 
-wall="$(grep -o '"suite_wall_ms":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
-hits="$(grep -o '"result_cache_hits":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
-cells="$(grep -o '"cells_total":[0-9]*' "BENCH_${stamp}.json" | cut -d: -f2)"
-echo "bench: wrote BENCH_${stamp}.json (scale=$SCALE jobs=$JOBS samples=$SAMPLES ids=${IDS[*]})"
+wall="$(grep -o '"suite_wall_ms":[0-9]*' "$snap" | cut -d: -f2)"
+hits="$(grep -o '"result_cache_hits":[0-9]*' "$snap" | cut -d: -f2)"
+cells="$(grep -o '"cells_total":[0-9]*' "$snap" | cut -d: -f2)"
+echo "bench: wrote $snap (scale=$SCALE jobs=$JOBS samples=$SAMPLES ids=${IDS[*]})"
 echo "bench: suite_wall_ms=$wall samples=[$walls] cells=$cells result_cache_hits=$hits micro=$MICRO"

@@ -99,12 +99,37 @@ echo "== bench smoke (statistical harness + self-comparison) =="
 # tracked metric as unchanged (exit 0) — the CI-overlap classifier can
 # never call identical confidence intervals a regression.
 SAMPLES=3 OUT=/tmp/cdp-bench-ci ./scripts/bench.sh --micro > /dev/null 2>&1
-bench_snap=$(ls -t BENCH_*.json | head -1)
+bench_snap=$(ls -t bench/BENCH_*.json | head -1)
 ./target/release/bench-compare "$bench_snap" "$bench_snap" > /dev/null || {
     echo "bench smoke: self-comparison of $bench_snap not clean" >&2
     exit 1
 }
 rm -f "$bench_snap"
+
+echo "== streaming smoke (byte-identity + capped large tier) =="
+# The streaming engine must be behavior-neutral: forcing it everywhere
+# with --stream renders byte-identical stdout at any --jobs count. Then
+# one capped large-tier cell (~100M uops, one benchmark) must complete
+# with the streaming engine and record uop-throughput accounting
+# (`muops`) in its manifest — the tier is only reachable streamed, so
+# completion alone proves the O(window) path end to end.
+./target/release/experiments tlb --smoke --jobs 2 > /tmp/cdp-stream-plain.out
+for jobs in 1 4; do
+    ./target/release/experiments tlb --smoke --stream --jobs "$jobs" \
+        > /tmp/cdp-stream-on.out
+    cmp /tmp/cdp-stream-plain.out /tmp/cdp-stream-on.out || {
+        echo "streaming smoke: stdout differs with --stream at --jobs $jobs" >&2
+        exit 1
+    }
+done
+rm -rf /tmp/cdp-stream-large
+./target/release/experiments onecell --scale large --jobs 1 \
+    --emit-manifest /tmp/cdp-stream-large > /dev/null 2> /dev/null
+./target/release/validate-manifest /tmp/cdp-stream-large/manifest.json
+grep -q '"muops":' /tmp/cdp-stream-large/manifest.json || {
+    echo "streaming smoke: large-tier manifest missing muops accounting" >&2
+    exit 1
+}
 
 echo "== checkpoint smoke (kill mid-flight, resume, byte-identity) =="
 # Snapshot/resume (DESIGN.md §12): a sweep killed mid-flight and resumed

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use cdp::experiments::obs::{build_manifest, CellRecord, ExperimentRecord, ObsTaken};
 use cdp::obs::{Json, TraceData};
-use cdp::sim::{JobObs, ObsSink, Pool, RunPolicy, SimJob, Simulator};
+use cdp::sim::{JobObs, JobOutcome, ObsSink, Pool, RunPolicy, SimJob, Simulator};
 use cdp::types::{ObsConfig, SystemConfig, TraceConfig, TraceFilter};
 use cdp_testutil::default_workload as workload;
 
@@ -175,6 +175,10 @@ fn manifest_from_real_runs_validates_and_round_trips() {
                 wall_ms: r.wall.as_millis() as u64,
                 config_fingerprint: cdp::obs::fingerprint_hex(r.label.as_bytes()),
                 checkpoint: "off",
+                retired: match &r.outcome {
+                    JobOutcome::Ok(stats) => stats.retired,
+                    _ => 0,
+                },
             })
             .collect(),
         experiments: vec![ExperimentRecord {
