@@ -98,18 +98,24 @@
 //! `huge` (~1B uops/cell) synthesize uops on the fly with
 //! O(instruction-window) resident memory. `--stream` forces the
 //! streaming engine at every tier — stdout is byte-identical to the
-//! materialized engine (see DESIGN.md §16), so the flag exists for CI
-//! differential runs.
+//! materialized engine (see the `cdp-workloads` streaming module docs),
+//! so the flag exists for CI differential runs.
 //!
 //! Ids: `table1 fig1 table2 fig2 fig34 fig7 fig8 fig9 fig10 fig11 tlb
 //! pollution` (plus `onecell`, a single-cell scale driver for the
-//! streaming tiers; not part of `all`).
+//! streaming tiers, and `tournament`, the equal-silicon prefetcher-zoo
+//! sweep; neither is part of `all`).
+//!
+//! `--budget BYTES` (repeatable, tournament only) sets the equal-silicon
+//! table budgets to sweep; the default is 16 KiB and 64 KiB. A budget no
+//! engine geometry can realize within ±5% is refused with exit code 2
+//! before anything simulates.
 
 use std::time::{Duration, Instant};
 
 use cdp_experiments::{
     context, extensions, fig1, fig10, fig11, fig2, fig34, fig7, fig8, fig9, onecell, pollution,
-    sensitivity, suite_summary, table1, table2, tlb, ExpScale,
+    sensitivity, suite_summary, table1, table2, tlb, tournament, ExpScale,
 };
 use cdp_experiments::obs;
 use cdp_sim::{FaultPlan, FaultSpec, Pool, RunPolicy};
@@ -135,6 +141,7 @@ fn run_one(
     scale: ExpScale,
     pool: &Pool,
     csv_dir: Option<&std::path::Path>,
+    budgets: &[usize],
 ) -> Result<String, String> {
     use cdp_experiments::report::ToDataset;
     let save = |d: cdp_experiments::report::Dataset| -> Result<(), String> {
@@ -205,6 +212,14 @@ fn run_one(
         "l2size" => Ok(sensitivity::l2size(scale, pool).render()),
         "backward" => Ok(extensions::backward(scale, pool).render()),
         "onecell" => Ok(onecell::run(scale, pool).render()),
+        "tournament" => {
+            let budgets: &[usize] = if budgets.is_empty() {
+                &tournament::DEFAULT_BUDGETS
+            } else {
+                budgets
+            };
+            tournament::run(scale, pool, budgets).map(|t| t.render())
+        }
         other => Err(format!("unknown experiment id: {other}")),
     }
 }
@@ -217,12 +232,13 @@ fn run_one_guarded(
     scale: ExpScale,
     pool: &Pool,
     csv_dir: Option<&std::path::Path>,
+    budgets: &[usize],
 ) -> Result<String, String> {
     if !context::keep_going() {
-        return run_one(id, scale, pool, csv_dir);
+        return run_one(id, scale, pool, csv_dir, budgets);
     }
     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_one(id, scale, pool, csv_dir)
+        run_one(id, scale, pool, csv_dir, budgets)
     }));
     match res {
         Ok(r) => r,
@@ -257,6 +273,7 @@ fn main() {
     let mut checkpoint_dir: Option<std::path::PathBuf> = None;
     let mut checkpoint_every: u64 = DEFAULT_CHECKPOINT_EVERY;
     let mut resume = false;
+    let mut budgets: Vec<usize> = Vec::new();
     let mut expecting: Option<&str> = None;
     for a in &args {
         if let Some(flag) = expecting.take() {
@@ -320,6 +337,13 @@ fn main() {
                         std::process::exit(2);
                     }
                 },
+                "--budget" => match a.parse::<usize>() {
+                    Ok(n) if n > 0 => budgets.push(n),
+                    _ => {
+                        eprintln!("--budget requires a positive number of bytes, got {a:?}");
+                        std::process::exit(2);
+                    }
+                },
                 "--emit-manifest" => manifest_dir = Some(std::path::PathBuf::from(a)),
                 "--status-jsonl" => status_jsonl = Some(a.clone()),
                 "--result-store" => result_store_dir = Some(std::path::PathBuf::from(a)),
@@ -350,7 +374,7 @@ fn main() {
             "--csv" | "--jobs" | "--fault" | "--cell-timeout" | "--retries"
             | "--trace-filter" | "--metrics-window" | "--scale" | "--emit-manifest"
             | "--status-jsonl" | "--result-store" | "--checkpoint-dir"
-            | "--checkpoint-every" => {
+            | "--checkpoint-every" | "--budget" => {
                 expecting = Some(a.as_str());
             }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
@@ -378,7 +402,11 @@ fn main() {
         eprintln!(
             "       [--checkpoint-dir <dir>] [--checkpoint-every CYCLES] [--resume]"
         );
-        eprintln!("ids: {} onecell  (or: all, which excludes onecell)", ALL.join(" "));
+        eprintln!("       [--budget BYTES]...  (tournament only; default 16KiB and 64KiB)");
+        eprintln!(
+            "ids: {} onecell tournament  (or: all, which excludes onecell and tournament)",
+            ALL.join(" ")
+        );
         eprintln!("exit codes: 0 ok, 2 usage, 3 partial failure under --keep-going");
         std::process::exit(2);
     }
@@ -460,7 +488,7 @@ fn main() {
     for id in ids {
         let t0 = Instant::now();
         context::set_current_experiment(&id);
-        match run_one_guarded(&id, scale, &pool, csv_dir.as_deref()) {
+        match run_one_guarded(&id, scale, &pool, csv_dir.as_deref(), &budgets) {
             Ok(text) => {
                 // Wall time goes to stderr (and only under
                 // --verbose-timing): stdout must be byte-identical at any

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use cdp_sim::runner::{build_workload, with_warmup, DEFAULT_SEED};
 use cdp_sim::{
-    CheckpointSpec, CheckpointStatus, JobOutcome, JobReport, Pool, RunStats, SimJob, Simulator,
-    WorkloadCache,
+    CheckpointSpec, CheckpointStatus, EngineCounters, JobOutcome, JobReport, Pool, RunStats,
+    SimJob, Simulator, WorkloadCache,
 };
 use cdp_types::SystemConfig;
 use cdp_workloads::suite::{Benchmark, Scale};
@@ -100,6 +100,19 @@ pub fn run_cfg(ws: &WorkloadSet, cfg: &SystemConfig, bench: Benchmark, scale: Sc
     let cfg = with_warmup(cfg.clone(), scale);
     let w = ws.get(bench, scale);
     Simulator::new(cfg).run(&w)
+}
+
+/// Every prefetch engine's counters in one run, for the manifest's
+/// cross-engine coverage/accuracy/wasted accounting.
+fn engines(stats: &RunStats) -> impl Iterator<Item = &EngineCounters> {
+    [
+        &stats.mem.stride,
+        &stats.mem.content,
+        &stats.mem.markov,
+        &stats.mem.delta,
+        &stats.mem.jump,
+    ]
+    .into_iter()
 }
 
 /// One failed sweep cell of a [`run_grid_cells`] grid.
@@ -230,6 +243,18 @@ pub fn run_grid_cells(
                     .map_or("off", |s| s.get().as_str()),
                 retired: match &outcome {
                     JobOutcome::Ok(stats) => stats.retired,
+                    _ => 0,
+                },
+                pf_issued: match &outcome {
+                    JobOutcome::Ok(stats) => engines(stats).map(|e| e.issued).sum(),
+                    _ => 0,
+                },
+                pf_useful: match &outcome {
+                    JobOutcome::Ok(stats) => engines(stats).map(EngineCounters::useful).sum(),
+                    _ => 0,
+                },
+                pf_wasted: match &outcome {
+                    JobOutcome::Ok(stats) => engines(stats).map(|e| e.wasted_evictions).sum(),
                     _ => 0,
                 },
             });

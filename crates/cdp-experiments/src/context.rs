@@ -350,6 +350,9 @@ mod tests {
             config_fingerprint: String::new(),
             checkpoint: "off",
             retired: 0,
+            pf_issued: 0,
+            pf_useful: 0,
+            pf_wasted: 0,
         });
         // Enabled with an all-off ObsConfig: records accumulate but jobs
         // get no sink attachment (plain try_run path).
@@ -365,6 +368,9 @@ mod tests {
             config_fingerprint: "deadbeefdeadbeef".into(),
             checkpoint: "off",
             retired: 9_000,
+            pf_issued: 0,
+            pf_useful: 0,
+            pf_wasted: 0,
         });
         obs_record_experiment("ctx-obs-test", 9);
         let taken = take_obs().expect("collection was on");

@@ -18,6 +18,7 @@
 //! | [`suite_summary`] | abstract / §4.2.1 | per-benchmark speedups, stateless vs reinforced |
 //! | [`extensions`] | §4.1 / Fig 4(c) / ref \[11\] | adaptive knobs, rescan margins, stream buffers |
 //! | [`sensitivity`] | §2.1 motivation | bus-latency and L2-size sweeps |
+//! | [`tournament`] | §5 methodology | equal-silicon prefetcher zoo (Markov, delta, jump, CDP, perceptron hybrids) |
 //!
 //! Every experiment takes an [`ExpScale`] (how big a run) and returns a
 //! typed result with a `render()` method producing the table/series the
@@ -45,5 +46,6 @@ pub mod suite_summary;
 pub mod table1;
 pub mod table2;
 pub mod tlb;
+pub mod tournament;
 
 pub use common::{CellFailure, ExpScale};

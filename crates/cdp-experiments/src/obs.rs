@@ -45,6 +45,16 @@ pub struct CellRecord {
     /// cells). Deterministic — unlike `wall_ms` — so run-explain diffs
     /// it across runs.
     pub retired: u64,
+    /// Prefetches issued across every engine in the cell (0 for failed
+    /// cells). With `pf_useful`/`pf_wasted` this lets manifest consumers
+    /// compute coverage and accuracy without re-running the cell.
+    pub pf_issued: u64,
+    /// Issued prefetches a demand later touched (fully or partially
+    /// masked).
+    pub pf_useful: u64,
+    /// Prefetched lines evicted untouched (the wasted-prefetch counter
+    /// the tournament's hybrid assertions read).
+    pub pf_wasted: u64,
 }
 
 impl CellRecord {
@@ -75,6 +85,9 @@ impl CellRecord {
         o.set("checkpoint", Json::Str(self.checkpoint.to_string()));
         o.set("retired", Json::U64(self.retired));
         o.set("muops", Json::F64(self.muops()));
+        o.set("pf_issued", Json::U64(self.pf_issued));
+        o.set("pf_useful", Json::U64(self.pf_useful));
+        o.set("pf_wasted", Json::U64(self.pf_wasted));
         o
     }
 }
@@ -351,6 +364,9 @@ mod tests {
                     config_fingerprint: "00baddecafc0ffee".into(),
                     checkpoint: "off",
                     retired: 24_000,
+                    pf_issued: 120,
+                    pf_useful: 90,
+                    pf_wasted: 10,
                 },
                 CellRecord {
                     experiment: "tlb".into(),
@@ -361,6 +377,9 @@ mod tests {
                     config_fingerprint: "00baddecafc0ffee".into(),
                     checkpoint: "resumed",
                     retired: 0,
+                    pf_issued: 0,
+                    pf_useful: 0,
+                    pf_wasted: 0,
                 },
             ],
             experiments: vec![ExperimentRecord {
@@ -408,6 +427,9 @@ mod tests {
         let cell = doc.get("cells").unwrap().as_arr().unwrap()[0].clone();
         assert_eq!(cell.get("retired").unwrap().as_u64(), Some(24_000));
         assert!(cell.get("muops").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(cell.get("pf_issued").unwrap().as_u64(), Some(120));
+        assert_eq!(cell.get("pf_useful").unwrap().as_u64(), Some(90));
+        assert_eq!(cell.get("pf_wasted").unwrap().as_u64(), Some(10));
         assert_eq!(doc.get("suite_wall_ms").unwrap().as_u64(), Some(950));
         assert_eq!(doc.get("result_cache_hits").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("result_cache_misses").unwrap().as_u64(), Some(5));

@@ -2,7 +2,7 @@
 //! byte-identical at any job count, because the pool returns results in
 //! submission order no matter which worker finished first.
 
-use cdp_experiments::{fig11, fig9, tlb, ExpScale};
+use cdp_experiments::{fig11, fig9, tlb, tournament, ExpScale};
 use cdp_sim::Pool;
 use cdp_workloads::suite::Benchmark;
 
@@ -17,6 +17,19 @@ fn fig9_render_is_identical_serial_and_parallel() {
 fn tlb_render_is_identical_serial_and_parallel() {
     let serial = tlb::run(ExpScale::Smoke, &Pool::new(1)).render();
     let parallel = tlb::run(ExpScale::Smoke, &Pool::new(4)).render();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn tournament_subset_render_is_identical_serial_and_parallel() {
+    let benches = [Benchmark::Slsb, Benchmark::Tpcc2];
+    let budgets = [16 * 1024];
+    let serial = tournament::run_on(ExpScale::Smoke, &benches, &budgets, &Pool::new(1))
+        .expect("budget normalizes")
+        .render();
+    let parallel = tournament::run_on(ExpScale::Smoke, &benches, &budgets, &Pool::new(4))
+        .expect("budget normalizes")
+        .render();
     assert_eq!(serial, parallel);
 }
 

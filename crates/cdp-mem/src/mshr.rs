@@ -418,6 +418,8 @@ pub(crate) fn save_request_kind(kind: RequestKind, enc: &mut cdp_snap::Enc) {
         RequestKind::Stride => (2, 0),
         RequestKind::Content { depth } => (3, depth),
         RequestKind::Markov => (4, 0),
+        RequestKind::Delta => (5, 0),
+        RequestKind::Jump => (6, 0),
     };
     enc.u8(tag);
     enc.u8(depth);
@@ -435,6 +437,8 @@ pub(crate) fn load_request_kind(
         2 => RequestKind::Stride,
         3 => RequestKind::Content { depth },
         4 => RequestKind::Markov,
+        5 => RequestKind::Delta,
+        6 => RequestKind::Jump,
         _ => {
             return Err(cdp_types::SnapshotError::Corrupt {
                 context: "request kind tag",

@@ -14,7 +14,9 @@ use crate::json::Json;
 /// `profile` object (latency histograms, `--profile-hist`) — purely
 /// additive, so v1 documents stay valid. v3: cells and aggregates may
 /// additionally carry uop-throughput accounting (`retired`, `muops`,
-/// `uops_retired_total`) — also additive.
+/// `uops_retired_total`) — also additive, as are the per-cell prefetch
+/// counters (`pf_issued`, `pf_useful`, `pf_wasted`) the tournament and
+/// its CI assertions read back.
 pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`validate`] still accepts.
@@ -135,8 +137,9 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if let Some(profile) = cell.get("profile") {
             validate_profile(i, profile)?;
         }
-        // Throughput accounting (schema v3) is optional but typed.
-        for key in ["retired", "muops"] {
+        // Throughput accounting and prefetch counters (schema v3) are
+        // optional but typed.
+        for key in ["retired", "muops", "pf_issued", "pf_useful", "pf_wasted"] {
             if let Some(v) = cell.get(key) {
                 if v.as_f64().is_none() {
                     return Err(format!("cells[{i}].{key} must be numeric"));

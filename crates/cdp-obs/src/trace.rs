@@ -75,6 +75,10 @@ pub enum EngineTag {
     Content,
     /// Markov prefetcher.
     Markov,
+    /// Delta-space Markov prefetcher.
+    Delta,
+    /// Pointer-chase/jump-pointer prefetcher.
+    Jump,
 }
 
 impl EngineTag {
@@ -84,6 +88,8 @@ impl EngineTag {
             EngineTag::Stride => "stride",
             EngineTag::Content => "content",
             EngineTag::Markov => "markov",
+            EngineTag::Delta => "delta",
+            EngineTag::Jump => "jump",
         }
     }
 }
@@ -438,6 +444,8 @@ fn engine_tag_code(e: EngineTag) -> u8 {
         EngineTag::Stride => 1,
         EngineTag::Content => 2,
         EngineTag::Markov => 3,
+        EngineTag::Delta => 4,
+        EngineTag::Jump => 5,
     }
 }
 
@@ -447,6 +455,8 @@ fn engine_tag_from(code: u8) -> Result<EngineTag, cdp_types::SnapshotError> {
         1 => EngineTag::Stride,
         2 => EngineTag::Content,
         3 => EngineTag::Markov,
+        4 => EngineTag::Delta,
+        5 => EngineTag::Jump,
         _ => {
             return Err(cdp_types::SnapshotError::Corrupt {
                 context: "trace engine tag",

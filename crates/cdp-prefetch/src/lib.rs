@@ -11,6 +11,12 @@
 //!   measured relative to it.
 //! * [`markov`] — a 1-history Markov prefetcher with a fan-out-4
 //!   state-transition table (STAB), the §5 comparator.
+//! * [`delta`] — a Pangloss-style delta-space Markov prefetcher with a
+//!   compact fixed-size transition table (tournament comparator).
+//! * [`jump`] — a pointer-chase/jump-pointer engine for linked data
+//!   structures (tournament comparator).
+//! * [`perceptron`] — a learned confidence filter that gates any engine's
+//!   issue stream on predicted accuracy.
 //! * [`stream`] — Jouppi stream buffers (the paper's reference \[11\]), a
 //!   second classical baseline.
 //! * [`adaptive`] — run-time heuristic adjustment, the paper's stated
@@ -24,14 +30,20 @@
 
 pub mod adaptive;
 pub mod content;
+pub mod delta;
+pub mod jump;
 pub mod markov;
+pub mod perceptron;
 pub mod stream;
 pub mod stride;
 pub mod vam;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveVam};
 pub use content::{ContentPrefetcher, ContentStats};
+pub use delta::{DeltaPrefetcher, DeltaStats};
+pub use jump::{JumpPrefetcher, JumpStats};
 pub use markov::{MarkovPrefetcher, MarkovStats};
+pub use perceptron::{PerceptronFilter, PerceptronStats};
 pub use stream::{StreamConfig, StreamPrefetcher, StreamStats};
 pub use stride::{StridePrefetcher, StrideStats};
 pub use vam::{
@@ -95,6 +107,24 @@ impl PrefetchRequest {
             width: false,
         }
     }
+
+    /// Convenience constructor for a delta-Markov prefetch.
+    pub fn delta(vaddr: VirtAddr) -> Self {
+        PrefetchRequest {
+            vaddr,
+            kind: RequestKind::Delta,
+            width: false,
+        }
+    }
+
+    /// Convenience constructor for a jump-pointer prefetch.
+    pub fn jump(vaddr: VirtAddr) -> Self {
+        PrefetchRequest {
+            vaddr,
+            kind: RequestKind::Jump,
+            width: false,
+        }
+    }
 }
 
 /// Common interface over the prefetch engines, for downstream users who
@@ -122,6 +152,15 @@ pub trait Prefetcher {
         _kind: RequestKind,
         _out: &mut Vec<PrefetchRequest>,
     ) {
+    }
+
+    /// Table storage this engine occupies, in bytes — *capacity*, not
+    /// residency, so the figure is stable over a run. The equal-silicon
+    /// tournament normalizes every entrant to a matched budget through
+    /// this method. Stateless engines (the content prefetcher's whole
+    /// point) report 0.
+    fn budget_bytes(&self) -> usize {
+        0
     }
 }
 

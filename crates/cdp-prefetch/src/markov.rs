@@ -285,6 +285,11 @@ impl Prefetcher for MarkovPrefetcher {
         _out: &mut Vec<PrefetchRequest>,
     ) {
     }
+
+    /// STAB storage at capacity (tag + fan-out successors per entry).
+    fn budget_bytes(&self) -> usize {
+        self.capacity() * (4 + 4 * self.fanout)
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,12 @@ impl Prefetcher for StreamPrefetcher {
     fn on_l1_miss(&mut self, _pc: u32, vaddr: VirtAddr, out: &mut Vec<PrefetchRequest>) {
         self.observe(vaddr, out);
     }
+
+    /// Per stream: 4-byte expected line, 4-byte prefetched-to line, and
+    /// a 1-byte confidence counter.
+    fn budget_bytes(&self) -> usize {
+        self.max_streams * 9
+    }
 }
 
 #[cfg(test)]

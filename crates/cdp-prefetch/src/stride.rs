@@ -236,6 +236,12 @@ impl Prefetcher for StridePrefetcher {
     fn on_l1_miss(&mut self, pc: u32, vaddr: VirtAddr, out: &mut Vec<PrefetchRequest>) {
         self.observe(pc, vaddr, out);
     }
+
+    /// RPT storage: per entry a 4-byte tag, 4-byte last address, 4-byte
+    /// stride, and a 1-byte state.
+    fn budget_bytes(&self) -> usize {
+        self.table.len() * 13
+    }
 }
 
 #[cfg(test)]

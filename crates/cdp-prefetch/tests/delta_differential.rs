@@ -1,0 +1,166 @@
+//! Differential test: the delta-space Markov engine in its address-keyed,
+//! history-1 compatibility configuration must produce a prediction stream
+//! *equivalent to the existing Markov STAB* on randomized miss traces.
+//!
+//! This is the anchor that lets the tournament treat the two engines as
+//! points on one axis (key space) rather than unrelated mechanisms: at
+//! equal geometry, `DeltaKeySpace::Address` with `history == 1` *is* the
+//! 1-history STAB — same set indexing, same MRU successor order, same
+//! LRU victim selection — so any divergence is a bug in one of them.
+//! Same pattern as the `vam::classify` differential fuzz.
+
+use cdp_prefetch::{DeltaPrefetcher, MarkovPrefetcher};
+use cdp_types::rng::Rng;
+use cdp_types::{DeltaConfig, DeltaKeySpace, MarkovConfig, VirtAddr};
+
+/// Drives both engines over `trace` and asserts hit-for-hit equivalent
+/// prediction streams (addresses, in order) plus matching table stats.
+fn check(markov_cfg: &MarkovConfig, trace: &[u32], ctx: &str) {
+    let delta_cfg = DeltaConfig {
+        table_bytes: markov_cfg.stab_bytes,
+        associativity: markov_cfg.associativity,
+        fanout: markov_cfg.fanout,
+        history: 1,
+        key_space: DeltaKeySpace::Address,
+    };
+    assert_eq!(
+        delta_cfg.entry_bytes(),
+        markov_cfg.entry_bytes(),
+        "{ctx}: equal byte budgets must mean equal entry counts"
+    );
+    let mut mk = MarkovPrefetcher::new(markov_cfg);
+    let mut dp = DeltaPrefetcher::new(&delta_cfg);
+    let mut mk_out = Vec::new();
+    let mut dp_out = Vec::new();
+    for (i, &addr) in trace.iter().enumerate() {
+        mk_out.clear();
+        dp_out.clear();
+        mk.observe_miss(VirtAddr(addr), &mut mk_out);
+        dp.observe_miss(VirtAddr(addr), &mut dp_out);
+        let mk_preds: Vec<u32> = mk_out.iter().map(|r| r.vaddr.0).collect();
+        let dp_preds: Vec<u32> = dp_out.iter().map(|r| r.vaddr.0).collect();
+        assert_eq!(
+            mk_preds, dp_preds,
+            "{ctx}: prediction streams diverge at miss {i} ({addr:#x})"
+        );
+    }
+    let (ms, ds) = (mk.stats(), dp.stats());
+    assert_eq!(ms.observed, ds.observed, "{ctx}: observed");
+    assert_eq!(ms.stab_hits, ds.table_hits, "{ctx}: table hits");
+    assert_eq!(ms.emitted, ds.emitted, "{ctx}: emitted");
+    assert_eq!(ms.trained, ds.trained, "{ctx}: trained");
+    assert_eq!(ms.evictions, ds.evictions, "{ctx}: evictions");
+}
+
+/// A randomized miss trace mixing the patterns the suite's benchmarks
+/// produce: sequential runs, pointer-chase hops within a region, revisits
+/// of hot lines, and occasional far jumps.
+fn random_trace(rng: &mut Rng, len: usize) -> Vec<u32> {
+    let mut trace = Vec::with_capacity(len);
+    let mut cursor: u32 = 0x10_0000 + rng.gen_range_u32(0..0x1000) * 64;
+    let mut hot: Vec<u32> = (0..8)
+        .map(|_| 0x40_0000 + rng.gen_range_u32(0..0x400) * 64)
+        .collect();
+    while trace.len() < len {
+        match rng.gen_range_u32(0..10) {
+            // Sequential run of 2..10 lines.
+            0..=3 => {
+                let run = rng.gen_range_usize(2..10);
+                for _ in 0..run {
+                    trace.push(cursor);
+                    cursor = cursor.wrapping_add(64);
+                }
+            }
+            // Hot-line revisit (creates trainable transitions).
+            4..=6 => {
+                let i = rng.gen_range_usize(0..hot.len());
+                trace.push(hot[i]);
+            }
+            // Local pointer-chase hop.
+            7..=8 => {
+                cursor = cursor.wrapping_add(rng.gen_range_u32(1..64) * 64);
+                trace.push(cursor);
+            }
+            // Far jump; occasionally rotate a hot line.
+            _ => {
+                cursor = 0x10_0000 + rng.gen_range_u32(0..0x8000) * 64;
+                trace.push(cursor);
+                let i = rng.gen_range_usize(0..hot.len());
+                hot[i] = cursor;
+            }
+        }
+    }
+    trace.truncate(len);
+    trace
+}
+
+#[test]
+fn equivalent_on_randomized_traces() {
+    let mut rng = Rng::seed_from_u64(0xD1FF);
+    for round in 0..200 {
+        // Small tables force evictions; large ones exercise pure MRU.
+        let stab_bytes = [640, 2048, 16 * 1024, 512 * 1024][round % 4];
+        let cfg = MarkovConfig {
+            stab_bytes,
+            associativity: [2, 4, 16][round % 3],
+            fanout: [1, 2, 4][round % 3],
+        };
+        let trace = random_trace(&mut rng, 2000);
+        check(&cfg, &trace, &format!("round {round} cfg {cfg:?}"));
+    }
+}
+
+#[test]
+fn equivalent_on_knob_grid() {
+    // Exhaustive small grid over the geometry knobs with a fixed
+    // adversarial trace (dense revisits + conflict-heavy footprint).
+    let mut rng = Rng::seed_from_u64(42);
+    let trace: Vec<u32> = (0..3000)
+        .map(|_| 0x20_0000 + rng.gen_range_u32(0..96) * 64)
+        .collect();
+    for assoc in [1, 2, 8, 16] {
+        for fanout in [1, 2, 4, 8] {
+            for stab_bytes in [320, 4096, 64 * 1024] {
+                let cfg = MarkovConfig {
+                    stab_bytes,
+                    associativity: assoc,
+                    fanout,
+                };
+                check(&cfg, &trace, &format!("grid {cfg:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalent_on_adversarial_patterns() {
+    let cfg = MarkovConfig::eighth();
+    // Same-line repeats (no self-training), strict alternation (MRU
+    // churn), and a rotating set exactly at the fan-out boundary.
+    let mut alternate = Vec::new();
+    for _ in 0..100 {
+        alternate.extend_from_slice(&[0x1000, 0x1010, 0x2000, 0x1000, 0x3000]);
+    }
+    check(&cfg, &alternate, "alternation");
+    let mut rotate = Vec::new();
+    for i in 0..400u32 {
+        rotate.push(0x8000 + (i % 5) * 4096);
+    }
+    check(&cfg, &rotate, "fanout-boundary rotation");
+}
+
+#[test]
+fn shipped_compat_preset_matches_table3_markov() {
+    // The preset the tournament actually uses.
+    let mut rng = Rng::seed_from_u64(7);
+    let trace = random_trace(&mut rng, 5000);
+    for bytes in [128 * 1024, 512 * 1024] {
+        let compat = DeltaConfig::markov_compat(bytes);
+        let markov = MarkovConfig {
+            stab_bytes: bytes,
+            associativity: compat.associativity,
+            fanout: compat.fanout,
+        };
+        check(&markov, &trace, &format!("preset {bytes}"));
+    }
+}

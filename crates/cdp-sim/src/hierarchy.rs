@@ -25,8 +25,8 @@ use cdp_mem::{AddressSpace, Bus, Cache, MshrFile, Tlb};
 use cdp_obs::trace::{DropReason, EngineTag, FaultTag, TraceData, TraceRing, VamCause};
 use cdp_prefetch::adaptive::AdaptiveVam;
 use cdp_prefetch::{
-    ContentPrefetcher, MarkovPrefetcher, PrefetchRequest, StreamPrefetcher, StridePrefetcher,
-    VamVerdict,
+    ContentPrefetcher, DeltaPrefetcher, JumpPrefetcher, MarkovPrefetcher, PerceptronFilter,
+    Prefetcher, PrefetchRequest, StreamPrefetcher, StridePrefetcher, VamVerdict,
 };
 use cdp_types::{
     AccessKind, CdpError, LineAddr, PhysAddr, RequestKind, SystemConfig, TraceFilter, VirtAddr,
@@ -91,6 +91,22 @@ fn engine_of(kind: RequestKind) -> Engine {
         RequestKind::Stride => Engine::Stride,
         RequestKind::Content { .. } => Engine::Content,
         RequestKind::Markov => Engine::Markov,
+        RequestKind::Delta => Engine::Delta,
+        RequestKind::Jump => Engine::Jump,
+    }
+}
+
+/// Inverse of [`engine_of`] for sites that only kept the owning engine
+/// (L2 metadata, MSHR entries): reconstructs a request kind carrying the
+/// same perceptron features the original request hashed to.
+fn kind_of_engine(owner: Engine, depth: u8) -> RequestKind {
+    match owner {
+        Engine::Demand => RequestKind::Demand,
+        Engine::Stride => RequestKind::Stride,
+        Engine::Content => RequestKind::Content { depth },
+        Engine::Markov => RequestKind::Markov,
+        Engine::Delta => RequestKind::Delta,
+        Engine::Jump => RequestKind::Jump,
     }
 }
 
@@ -101,6 +117,8 @@ fn engine_tag(kind: RequestKind) -> EngineTag {
         RequestKind::Stride => EngineTag::Stride,
         RequestKind::Content { .. } => EngineTag::Content,
         RequestKind::Markov => EngineTag::Markov,
+        RequestKind::Delta => EngineTag::Delta,
+        RequestKind::Jump => EngineTag::Jump,
     }
 }
 
@@ -118,6 +136,11 @@ pub struct Hierarchy<'w> {
     markov: Option<MarkovPrefetcher>,
     stream: Option<StreamPrefetcher>,
     adaptive: Option<AdaptiveVam>,
+    delta: Option<DeltaPrefetcher>,
+    jump: Option<JumpPrefetcher>,
+    /// Perceptron confidence filter: consulted between request generation
+    /// and `issue_prefetch`, trained at the useful/wasted accounting sites.
+    perceptron: Option<PerceptronFilter>,
     stats: MemStats,
     pollution: Option<PollutionConfig>,
     next_pollution: u64,
@@ -173,6 +196,13 @@ impl<'w> Hierarchy<'w> {
         let markov = cfg.prefetchers.markov.as_ref().map(MarkovPrefetcher::new);
         let stream = cfg.prefetchers.stream.as_ref().map(StreamPrefetcher::new);
         let adaptive = cfg.prefetchers.adaptive.map(AdaptiveVam::new);
+        let delta = cfg.prefetchers.delta.as_ref().map(DeltaPrefetcher::new);
+        let jump = cfg.prefetchers.jump.as_ref().map(JumpPrefetcher::new);
+        let perceptron = cfg
+            .prefetchers
+            .perceptron
+            .as_ref()
+            .map(PerceptronFilter::new);
         Hierarchy {
             l1: Cache::from_config(&cfg.l1d),
             l2: Cache::from_config(&cfg.ul2),
@@ -184,6 +214,9 @@ impl<'w> Hierarchy<'w> {
             markov,
             stream,
             adaptive,
+            delta,
+            jump,
+            perceptron,
             stats: MemStats::default(),
             pollution: None,
             next_pollution: 0,
@@ -294,6 +327,21 @@ impl<'w> Hierarchy<'w> {
         self.stream.as_ref().map(|s| s.stats())
     }
 
+    /// Delta-prefetcher internals.
+    pub fn delta_stats(&self) -> Option<cdp_prefetch::DeltaStats> {
+        self.delta.as_ref().map(|d| d.stats())
+    }
+
+    /// Jump-prefetcher internals.
+    pub fn jump_stats(&self) -> Option<cdp_prefetch::JumpStats> {
+        self.jump.as_ref().map(|j| j.stats())
+    }
+
+    /// Perceptron-filter internals.
+    pub fn perceptron_stats(&self) -> Option<cdp_prefetch::PerceptronStats> {
+        self.perceptron.as_ref().map(|p| p.stats())
+    }
+
     /// Adaptive-controller internals (and the content configuration it has
     /// steered to, for inspection).
     pub fn adaptive_state(&self) -> Option<(cdp_prefetch::adaptive::AdaptiveStats, cdp_types::ContentConfig)> {
@@ -376,17 +424,33 @@ impl<'w> Hierarchy<'w> {
                     Engine::Stride => self.stats.stride.wasted_evictions += 1,
                     Engine::Content => self.stats.content.wasted_evictions += 1,
                     Engine::Markov => self.stats.markov.wasted_evictions += 1,
+                    Engine::Delta => self.stats.delta.wasted_evictions += 1,
+                    Engine::Jump => self.stats.jump.wasted_evictions += 1,
                     Engine::Demand => {}
+                }
+                // A wasted prefetch is the perceptron's negative sample.
+                if let Some(p) = self.perceptron.as_mut() {
+                    p.train(
+                        evicted.meta.vline,
+                        kind_of_engine(evicted.meta.owner, evicted.meta.depth),
+                        false,
+                    );
                 }
             }
         }
         if is_demand {
             self.l1.fill(trigger_ea.line().0, ());
         }
-        // Content prefetcher sees a copy of every fill except page walks.
+        // Content prefetcher sees a copy of every fill except page walks;
+        // the jump prefetcher harvests its pointer link from the same copy.
         if !matches!(kind, RequestKind::PageWalk) {
             let mut data = [0u8; LINE_SIZE];
             self.space.phys().read_line_into(line, &mut data);
+            if let Some(jp) = self.jump.as_mut() {
+                let mut out = Vec::new();
+                jp.on_l2_fill(trigger_ea, trigger_ea.line(), &data, kind, &mut out);
+                debug_assert!(out.is_empty(), "jump trains on fills, chases on misses");
+            }
             self.scan_and_issue(trigger_ea, &data, kind.depth(), at, false);
         }
     }
@@ -577,6 +641,18 @@ impl<'w> Hierarchy<'w> {
     /// threshold, translation, residency (with the reinforcement cascade),
     /// in-flight matching, and queue capacity.
     fn issue_prefetch(&mut self, req: PrefetchRequest, now: u64) {
+        // Confidence gate: every prefetch consults the perceptron filter
+        // before spending any bandwidth. Rejected requests vanish here —
+        // they never reach translation, the MSHRs, or the bus — but the
+        // filter remembers their lines so a later demand miss on one
+        // (a false negative) trains the weights back open.
+        if req.kind.is_prefetch() {
+            if let Some(p) = self.perceptron.as_mut() {
+                if !p.accept(&req) {
+                    return;
+                }
+            }
+        }
         if let RequestKind::Content { depth } = req.kind {
             let threshold = self
                 .content
@@ -684,6 +760,8 @@ impl<'w> Hierarchy<'w> {
             Engine::Stride => self.stats.stride.issued += 1,
             Engine::Content => self.stats.content.issued += 1,
             Engine::Markov => self.stats.markov.issued += 1,
+            Engine::Delta => self.stats.delta.issued += 1,
+            Engine::Jump => self.stats.jump.issued += 1,
             Engine::Demand => {}
         }
         self.trace(TraceFilter::ISSUE, now, || TraceData::PrefetchIssue {
@@ -748,6 +826,8 @@ impl<'w> Hierarchy<'w> {
                 Engine::Stride => 1,
                 Engine::Content => 2,
                 Engine::Markov => 3,
+                Engine::Delta => 4,
+                Engine::Jump => 5,
             });
             e.u8(m.depth);
             e.u32(m.vline.0);
@@ -777,6 +857,18 @@ impl<'w> Hierarchy<'w> {
         }
         enc.bool(self.adaptive.is_some());
         if let Some(p) = &self.adaptive {
+            p.save_state(enc);
+        }
+        enc.bool(self.delta.is_some());
+        if let Some(p) = &self.delta {
+            p.save_state(enc);
+        }
+        enc.bool(self.jump.is_some());
+        if let Some(p) = &self.jump {
+            p.save_state(enc);
+        }
+        enc.bool(self.perceptron.is_some());
+        if let Some(p) = &self.perceptron {
             p.save_state(enc);
         }
         self.stats.save_state(enc);
@@ -824,6 +916,8 @@ impl<'w> Hierarchy<'w> {
                     1 => Engine::Stride,
                     2 => Engine::Content,
                     3 => Engine::Markov,
+                    4 => Engine::Delta,
+                    5 => Engine::Jump,
                     _ => {
                         return Err(SnapshotError::Corrupt {
                             context: "l2 meta owner",
@@ -856,6 +950,9 @@ impl<'w> Hierarchy<'w> {
         restore_opt!(markov, "markov presence");
         restore_opt!(stream, "stream presence");
         restore_opt!(adaptive, "adaptive presence");
+        restore_opt!(delta, "delta presence");
+        restore_opt!(jump, "jump presence");
+        restore_opt!(perceptron, "perceptron presence");
         self.stats.restore_state(dec)?;
         self.next_pollution = dec.u64("next_pollution")?;
         self.pollution_rng = dec.u64("pollution_rng")?;
@@ -966,7 +1063,16 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                             self.stats.markov.useful_full += 1;
                             self.stats.distribution.markov_full += 1;
                         }
+                        Engine::Delta => self.stats.delta.useful_full += 1,
+                        Engine::Jump => self.stats.jump.useful_full += 1,
                         Engine::Demand => {}
+                    }
+                    // A fully-masked prefetch is the perceptron's positive
+                    // sample.
+                    if owner != Engine::Demand {
+                        if let Some(p) = self.perceptron.as_mut() {
+                            p.train(vaddr, kind_of_engine(owner, stored_depth), true);
+                        }
                     }
                 }
                 // A demand hitting the L2 installs the line in the L1.
@@ -1042,7 +1148,14 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                                 self.stats.markov.useful_partial += 1;
                                 self.stats.distribution.markov_partial += 1;
                             }
+                            Engine::Delta => self.stats.delta.useful_partial += 1,
+                            Engine::Jump => self.stats.jump.useful_partial += 1,
                             Engine::Demand => {}
+                        }
+                        // A partially-masked prefetch still counts as a
+                        // positive perceptron sample.
+                        if let Some(p) = self.perceptron.as_mut() {
+                            p.train(vaddr, inflight.kind, true);
                         }
                         self.mshrs.promote(pline, RequestKind::Demand);
                     }
@@ -1054,14 +1167,27 @@ impl<'w> MemoryModel for Hierarchy<'w> {
                     }
                     self.stats.l2_demand_misses += 1;
                     self.stats.distribution.unmasked_misses += 1;
+                    // An unmasked demand miss on a line the perceptron
+                    // rejected is a false negative: reopen the gate.
+                    if let Some(p) = self.perceptron.as_mut() {
+                        p.on_demand_miss(vaddr);
+                    }
+                    let before = reqs.len();
                     if let Some(mk) = self.markov.as_mut() {
-                        let before = reqs.len();
                         mk.observe_miss(vaddr, &mut reqs);
-                        if stride_issued_here {
-                            // Stride precedence blocks Markov issue (§5),
-                            // though training still occurs.
-                            reqs.truncate(before);
-                        }
+                    }
+                    if let Some(dp) = self.delta.as_mut() {
+                        dp.observe_miss(vaddr, &mut reqs);
+                    }
+                    if let Some(jp) = self.jump.as_mut() {
+                        jp.on_l2_miss(vaddr, &mut reqs);
+                    }
+                    if stride_issued_here {
+                        // Stride precedence blocks correlation-engine issue
+                        // (§5), though training still occurs. Delta and
+                        // jump get the same treatment as Markov so the
+                        // tournament compares them under one policy.
+                        reqs.truncate(before);
                     }
                     let fill_at = self.bus.schedule(base + self.cfg.ul2.latency, true);
                     self.mshrs.insert(pline, vaddr, RequestKind::Demand, now, fill_at);

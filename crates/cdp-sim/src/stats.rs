@@ -16,6 +16,10 @@ pub enum Engine {
     Content,
     /// The Markov prefetcher.
     Markov,
+    /// The delta-space Markov prefetcher.
+    Delta,
+    /// The pointer-chase/jump-pointer prefetcher.
+    Jump,
 }
 
 /// Per-engine prefetch counters.
@@ -191,6 +195,10 @@ pub struct MemStats {
     pub content: EngineCounters,
     /// Markov-engine counters.
     pub markov: EngineCounters,
+    /// Delta-engine counters.
+    pub delta: EngineCounters,
+    /// Jump-engine counters.
+    pub jump: EngineCounters,
     /// Prefetch drop accounting.
     pub drops: DropCounters,
     /// Figure 10 classification.
@@ -220,6 +228,8 @@ impl MemStats {
             Engine::Stride => Some(&self.stride),
             Engine::Content => Some(&self.content),
             Engine::Markov => Some(&self.markov),
+            Engine::Delta => Some(&self.delta),
+            Engine::Jump => Some(&self.jump),
             Engine::Demand => None,
         }
     }
@@ -330,6 +340,8 @@ impl MemStats {
         self.stride.save_state(enc);
         self.content.save_state(enc);
         self.markov.save_state(enc);
+        self.delta.save_state(enc);
+        self.jump.save_state(enc);
         self.drops.save_state(enc);
         self.distribution.save_state(enc);
         enc.u64(self.injected_pollution);
@@ -361,6 +373,8 @@ impl MemStats {
         self.stride.restore_state(dec)?;
         self.content.restore_state(dec)?;
         self.markov.restore_state(dec)?;
+        self.delta.restore_state(dec)?;
+        self.jump.restore_state(dec)?;
         self.drops.restore_state(dec)?;
         self.distribution.restore_state(dec)?;
         self.injected_pollution = dec.u64("mem injected_pollution")?;
@@ -435,5 +449,7 @@ mod tests {
         assert!(s.engine(Engine::Stride).is_some());
         assert!(s.engine(Engine::Content).is_some());
         assert!(s.engine(Engine::Markov).is_some());
+        assert!(s.engine(Engine::Delta).is_some());
+        assert!(s.engine(Engine::Jump).is_some());
     }
 }

@@ -4,7 +4,9 @@ use cdp_core::{Core, CoreStats};
 use cdp_mem::BusStats;
 use cdp_obs::TraceRing;
 use cdp_prefetch::adaptive::AdaptiveStats;
-use cdp_prefetch::{ContentStats, MarkovStats, StreamStats, StrideStats};
+use cdp_prefetch::{
+    ContentStats, DeltaStats, JumpStats, MarkovStats, PerceptronStats, StreamStats, StrideStats,
+};
 use cdp_types::{ObsConfig, SystemConfig};
 use cdp_workloads::suite::Scale;
 use cdp_workloads::Workload;
@@ -106,6 +108,12 @@ pub struct RunStats {
     pub stream: Option<StreamStats>,
     /// Adaptive-controller stats and final steering, if configured.
     pub adaptive: Option<(AdaptiveStats, cdp_types::ContentConfig)>,
+    /// Delta-prefetcher internals, if configured.
+    pub delta: Option<DeltaStats>,
+    /// Jump-prefetcher internals, if configured.
+    pub jump: Option<JumpStats>,
+    /// Perceptron-filter internals, if configured.
+    pub perceptron: Option<PerceptronStats>,
     /// Bus counters.
     pub bus: BusStats,
 }
@@ -660,6 +668,9 @@ impl<'w> SimSession<'w> {
             markov: self.hierarchy.markov_stats(),
             stream: self.hierarchy.stream_stats(),
             adaptive: self.hierarchy.adaptive_state(),
+            delta: self.hierarchy.delta_stats(),
+            jump: self.hierarchy.jump_stats(),
+            perceptron: self.hierarchy.perceptron_stats(),
             bus: self.hierarchy.bus_stats(),
         };
         let profile = self.hierarchy.take_profile().map(|mut p| {

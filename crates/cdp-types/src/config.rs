@@ -411,6 +411,178 @@ impl MarkovConfig {
     }
 }
 
+/// Key space of the delta-Markov prefetcher's transition table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeltaKeySpace {
+    /// Keys are absolute miss-line addresses. With `history == 1` this
+    /// degenerates to the classic 1-history Markov STAB and must produce
+    /// the exact same prediction stream (the differential-test anchor).
+    Address,
+    /// Keys are recent line *deltas* (Pangloss, arXiv 1906.00877): the
+    /// table correlates delta history with the next delta, which compacts
+    /// regular non-unit-stride and mixed patterns into far fewer entries
+    /// than absolute addresses need.
+    #[default]
+    Delta,
+}
+
+/// Delta-space Markov prefetcher configuration (the Pangloss-style
+/// tournament comparator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaConfig {
+    /// Transition-table capacity in bytes (the engine's silicon budget).
+    pub table_bytes: usize,
+    /// Table associativity.
+    pub associativity: usize,
+    /// Successor slots stored (and prefetched) per key.
+    pub fanout: usize,
+    /// Delta-history depth of the key (1 = first-order chain).
+    pub history: usize,
+    /// Whether keys are absolute addresses or delta history.
+    pub key_space: DeltaKeySpace,
+}
+
+impl DeltaConfig {
+    /// Bytes consumed by one table entry.
+    ///
+    /// Address keys cost a 4-byte line tag plus `fanout` 4-byte successor
+    /// lines (identical to [`MarkovConfig::entry_bytes`], so equal byte
+    /// budgets mean equal entry counts in the compat configuration).
+    /// Delta keys are compact: 2 bytes per history slot plus 3 bytes
+    /// (2-byte delta + 1-byte confidence) per successor.
+    pub fn entry_bytes(&self) -> usize {
+        match self.key_space {
+            DeltaKeySpace::Address => 4 + 4 * self.fanout,
+            DeltaKeySpace::Delta => 2 * self.history.max(1) + 3 * self.fanout,
+        }
+    }
+
+    /// Entries that fit in the byte budget (at least one set's worth).
+    pub fn num_entries(&self) -> usize {
+        (self.table_bytes / self.entry_bytes()).max(self.associativity)
+    }
+
+    /// A Pangloss-style delta-space configuration at `table_bytes`.
+    pub fn pangloss(table_bytes: usize) -> Self {
+        DeltaConfig {
+            table_bytes,
+            associativity: 16,
+            fanout: 4,
+            history: 2,
+            key_space: DeltaKeySpace::Delta,
+        }
+    }
+
+    /// The address-keyed, history-1 compatibility configuration: must be
+    /// prediction-equivalent to [`MarkovConfig`] at the same byte budget.
+    pub fn markov_compat(table_bytes: usize) -> Self {
+        DeltaConfig {
+            table_bytes,
+            associativity: 16,
+            fanout: 4,
+            history: 1,
+            key_space: DeltaKeySpace::Address,
+        }
+    }
+}
+
+/// Number of hashed feature tables the perceptron filter combines
+/// (line, page, and originating-engine features).
+pub const PERCEPTRON_FEATURES: usize = 3;
+
+/// Perceptron prefetch-confidence filter configuration (arXiv 1712.00905):
+/// gates any engine's issue stream on a learned accuracy estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerceptronConfig {
+    /// Weight rows per feature table ([`PERCEPTRON_FEATURES`] tables of
+    /// signed-byte weights; not required to be a power of two, so byte
+    /// budgets can be matched exactly).
+    pub entries_per_feature: usize,
+    /// Issue a prefetch when the summed weights reach this value.
+    pub threshold: i32,
+    /// Recently-rejected line tags kept to detect false negatives: a
+    /// demand miss on a rejected line trains the filter back up.
+    pub reject_entries: usize,
+}
+
+impl PerceptronConfig {
+    /// Total table storage in bytes: one signed byte per weight plus a
+    /// 4-byte tag per reject-buffer slot.
+    pub fn table_bytes(&self) -> usize {
+        PERCEPTRON_FEATURES * self.entries_per_feature + 4 * self.reject_entries
+    }
+
+    /// Smallest meaningful geometry (one weight row per feature, no
+    /// reject buffer).
+    pub const MIN_BYTES: usize = PERCEPTRON_FEATURES;
+
+    /// Sizes the weight tables to land exactly on `budget` bytes
+    /// (64-slot reject buffer, remainder split across the feature
+    /// tables). Returns `None` when the budget cannot hold the minimum
+    /// geometry.
+    pub fn with_budget(budget: usize) -> Option<Self> {
+        let reject_entries = if budget >= 512 { 64 } else { 0 };
+        let weight_bytes = budget.checked_sub(4 * reject_entries)?;
+        let entries_per_feature = weight_bytes / PERCEPTRON_FEATURES;
+        if entries_per_feature == 0 {
+            return None;
+        }
+        Some(PerceptronConfig {
+            entries_per_feature,
+            threshold: 0,
+            reject_entries,
+        })
+    }
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig {
+            entries_per_feature: 1024,
+            threshold: 0,
+            reject_entries: 64,
+        }
+    }
+}
+
+/// Pointer-chase / jump-pointer prefetcher configuration: learns
+/// node-to-node jump targets of linked traversals and chases them ahead
+/// of the demand stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JumpConfig {
+    /// Jump-table capacity in bytes (the engine's silicon budget).
+    pub table_bytes: usize,
+    /// Jump-table associativity.
+    pub associativity: usize,
+    /// Hops chased through the table per triggering miss.
+    pub chase_depth: u32,
+    /// Pointer-recognition heuristic used when harvesting jump targets
+    /// from filled lines.
+    pub vam: VamConfig,
+}
+
+impl JumpConfig {
+    /// Bytes per jump-table entry: 4-byte node-line tag + 4-byte target.
+    pub fn entry_bytes(&self) -> usize {
+        8
+    }
+
+    /// Entries that fit in the byte budget (at least one set's worth).
+    pub fn num_entries(&self) -> usize {
+        (self.table_bytes / self.entry_bytes()).max(self.associativity)
+    }
+
+    /// A jump-pointer table at `table_bytes` with depth-2 chasing.
+    pub fn sized(table_bytes: usize) -> Self {
+        JumpConfig {
+            table_bytes,
+            associativity: 8,
+            chase_depth: 2,
+            vam: VamConfig::tuned(),
+        }
+    }
+}
+
 /// Which prefetchers are plugged into the memory system.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct PrefetchersConfig {
@@ -427,6 +599,12 @@ pub struct PrefetchersConfig {
     /// Run-time adaptation of the content prefetcher's knobs (requires
     /// `content`; §4.1 future work).
     pub adaptive: Option<AdaptiveConfig>,
+    /// The delta-space Markov prefetcher (tournament comparator).
+    pub delta: Option<DeltaConfig>,
+    /// The pointer-chase/jump-pointer prefetcher (tournament comparator).
+    pub jump: Option<JumpConfig>,
+    /// Perceptron confidence filter gating every engine's issue stream.
+    pub perceptron: Option<PerceptronConfig>,
 }
 
 /// Complete system configuration.
@@ -492,6 +670,30 @@ impl SystemConfig {
         cfg.ul2.associativity = assoc;
         cfg.prefetchers.markov = Some(markov);
         cfg
+    }
+
+    /// The baseline plus a delta-space Markov prefetcher (tournament
+    /// comparator; the UL2 keeps its Table 1 geometry — equal-silicon
+    /// comparisons hold the *table* budget constant across entrants).
+    pub fn with_delta(delta: DeltaConfig) -> Self {
+        let mut cfg = SystemConfig::asplos2002();
+        cfg.prefetchers.delta = Some(delta);
+        cfg
+    }
+
+    /// The baseline plus a pointer-chase/jump-pointer prefetcher.
+    pub fn with_jump(jump: JumpConfig) -> Self {
+        let mut cfg = SystemConfig::asplos2002();
+        cfg.prefetchers.jump = Some(jump);
+        cfg
+    }
+
+    /// Adds a perceptron confidence filter in front of every configured
+    /// engine's issue stream (builder-style, for hybrid configurations).
+    #[must_use]
+    pub fn gated(mut self, perceptron: PerceptronConfig) -> Self {
+        self.prefetchers.perceptron = Some(perceptron);
+        self
     }
 }
 
@@ -834,6 +1036,48 @@ mod tests {
         assert_eq!(half.entry_bytes(), 20);
         assert_eq!(half.num_entries(), 512 * 1024 / 20);
         assert!(MarkovConfig::unbounded().num_entries() >= 1 << 24);
+    }
+
+    #[test]
+    fn delta_budgets() {
+        let compat = DeltaConfig::markov_compat(512 * 1024);
+        assert_eq!(compat.entry_bytes(), MarkovConfig::half().entry_bytes());
+        assert_eq!(compat.num_entries(), MarkovConfig::half().num_entries());
+        let pangloss = DeltaConfig::pangloss(64 * 1024);
+        // 2B/history-slot * 2 + 3B/successor * 4 = 16 bytes.
+        assert_eq!(pangloss.entry_bytes(), 16);
+        assert_eq!(pangloss.num_entries(), 64 * 1024 / 16);
+    }
+
+    #[test]
+    fn perceptron_budget_is_exact() {
+        for budget in [PERCEPTRON_FEATURES, 333, 512, 16 * 1024, 64 * 1024] {
+            let p = PerceptronConfig::with_budget(budget).unwrap();
+            assert!(p.table_bytes() <= budget, "{budget}");
+            // Exact up to integer division across the feature tables.
+            assert!(budget - p.table_bytes() < PERCEPTRON_FEATURES, "{budget}");
+        }
+        assert!(PerceptronConfig::with_budget(0).is_none());
+        assert!(PerceptronConfig::with_budget(PERCEPTRON_FEATURES - 1).is_none());
+    }
+
+    #[test]
+    fn jump_budgets() {
+        let j = JumpConfig::sized(32 * 1024);
+        assert_eq!(j.entry_bytes(), 8);
+        assert_eq!(j.num_entries(), 4096);
+    }
+
+    #[test]
+    fn zoo_system_constructors() {
+        let d = SystemConfig::with_delta(DeltaConfig::pangloss(64 * 1024));
+        assert!(d.prefetchers.delta.is_some());
+        assert_eq!(d.ul2.size_bytes, 1024 * 1024);
+        let j = SystemConfig::with_jump(JumpConfig::sized(64 * 1024));
+        assert!(j.prefetchers.jump.is_some());
+        let g = SystemConfig::with_content().gated(PerceptronConfig::default());
+        assert!(g.prefetchers.perceptron.is_some());
+        assert!(g.prefetchers.content.is_some());
     }
 
     #[test]

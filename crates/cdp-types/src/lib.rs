@@ -34,9 +34,10 @@ pub mod validate;
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr};
 pub use error::{CdpError, SnapshotError, StoreError};
 pub use config::{
-    AdaptiveConfig, ArbiterConfig, BusConfig, CacheConfig, ContentConfig, CoreConfig,
-    MarkovConfig, ObsConfig, PrefetchersConfig, ReplacementPolicy, StreamConfig, StrideConfig,
-    SystemConfig, TlbConfig, TraceConfig, TraceFilter, VamConfig,
+    AdaptiveConfig, ArbiterConfig, BusConfig, CacheConfig, ContentConfig, CoreConfig, DeltaConfig,
+    DeltaKeySpace, JumpConfig, MarkovConfig, ObsConfig, PerceptronConfig, PrefetchersConfig,
+    ReplacementPolicy, StreamConfig, StrideConfig, SystemConfig, TlbConfig, TraceConfig,
+    TraceFilter, VamConfig, PERCEPTRON_FEATURES,
 };
 pub use request::{AccessKind, Priority, RequestKind, MAX_REQUEST_DEPTH};
 pub use validate::ConfigError;

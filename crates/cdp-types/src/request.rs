@@ -38,6 +38,13 @@ pub enum RequestKind {
     /// A request issued by the Markov prefetcher (used only in the §5
     /// comparison configurations).
     Markov,
+    /// A request issued by the delta-space Markov prefetcher (the
+    /// Pangloss-style tournament comparator): predictions come from a
+    /// compact delta-transition table rather than absolute miss addresses.
+    Delta,
+    /// A request issued by the pointer-chase/jump-pointer engine: the
+    /// predicted next node of a linked traversal.
+    Jump,
 }
 
 impl RequestKind {
@@ -48,7 +55,7 @@ impl RequestKind {
         match self {
             RequestKind::Demand | RequestKind::PageWalk => 0,
             RequestKind::Content { depth } => depth,
-            RequestKind::Stride | RequestKind::Markov => 1,
+            RequestKind::Stride | RequestKind::Markov | RequestKind::Delta | RequestKind::Jump => 1,
         }
     }
 
@@ -65,6 +72,11 @@ impl RequestKind {
             RequestKind::Demand | RequestKind::PageWalk => Priority(u8::MAX),
             RequestKind::Stride => Priority(200),
             RequestKind::Markov => Priority(190),
+            // Tournament comparators slot between Markov and content:
+            // delta-Markov carries history context (more accurate than
+            // raw pointer guesses), so it outranks jump-pointer chases.
+            RequestKind::Delta => Priority(185),
+            RequestKind::Jump => Priority(180),
             // Content prefetches: shallower chains are less speculative and
             // therefore outrank deeper ones.
             RequestKind::Content { depth } => {
@@ -82,6 +94,8 @@ impl fmt::Display for RequestKind {
             RequestKind::Stride => write!(f, "stride"),
             RequestKind::Content { depth } => write!(f, "content(d{depth})"),
             RequestKind::Markov => write!(f, "markov"),
+            RequestKind::Delta => write!(f, "delta"),
+            RequestKind::Jump => write!(f, "jump"),
         }
     }
 }
@@ -131,6 +145,8 @@ mod tests {
         for k in [
             RequestKind::Stride,
             RequestKind::Markov,
+            RequestKind::Delta,
+            RequestKind::Jump,
             RequestKind::Content { depth: 1 },
             RequestKind::Content { depth: 9 },
         ] {
@@ -142,6 +158,13 @@ mod tests {
     #[test]
     fn stride_outranks_content() {
         assert!(RequestKind::Stride.priority() > RequestKind::Content { depth: 1 }.priority());
+    }
+
+    #[test]
+    fn comparator_engines_sit_between_markov_and_content() {
+        assert!(RequestKind::Markov.priority() > RequestKind::Delta.priority());
+        assert!(RequestKind::Delta.priority() > RequestKind::Jump.priority());
+        assert!(RequestKind::Jump.priority() > RequestKind::Content { depth: 1 }.priority());
     }
 
     #[test]
@@ -160,6 +183,8 @@ mod tests {
         assert_eq!(RequestKind::PageWalk.depth(), 0);
         assert_eq!(RequestKind::Content { depth: 3 }.depth(), 3);
         assert_eq!(RequestKind::Stride.depth(), 1);
+        assert_eq!(RequestKind::Delta.depth(), 1);
+        assert_eq!(RequestKind::Jump.depth(), 1);
     }
 
     #[test]
@@ -168,12 +193,16 @@ mod tests {
         assert!(!RequestKind::PageWalk.is_prefetch());
         assert!(RequestKind::Stride.is_prefetch());
         assert!(RequestKind::Markov.is_prefetch());
+        assert!(RequestKind::Delta.is_prefetch());
+        assert!(RequestKind::Jump.is_prefetch());
         assert!(RequestKind::Content { depth: 1 }.is_prefetch());
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(RequestKind::Content { depth: 2 }.to_string(), "content(d2)");
+        assert_eq!(RequestKind::Delta.to_string(), "delta");
+        assert_eq!(RequestKind::Jump.to_string(), "jump");
         assert_eq!(Priority(3).to_string(), "p3");
     }
 }

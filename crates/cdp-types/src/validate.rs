@@ -63,6 +63,12 @@ pub enum ConfigError {
     /// The adaptive controller is configured without a content prefetcher
     /// to steer.
     AdaptiveWithoutContent,
+    /// A zoo engine's table geometry is degenerate (zero associativity,
+    /// fanout, history, or perceptron rows).
+    ZeroEngineResource {
+        /// Which engine resource.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -99,6 +105,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::AdaptiveWithoutContent => {
                 write!(f, "adaptive controller configured without a content prefetcher")
+            }
+            ConfigError::ZeroEngineResource { what } => {
+                write!(f, "engine resource '{what}' must be nonzero")
             }
         }
     }
@@ -177,6 +186,31 @@ impl SystemConfig {
         }
         if self.prefetchers.adaptive.is_some() && self.prefetchers.content.is_none() {
             return Err(ConfigError::AdaptiveWithoutContent);
+        }
+        if let Some(delta) = &self.prefetchers.delta {
+            for (what, v) in [
+                ("delta associativity", delta.associativity),
+                ("delta fanout", delta.fanout),
+                ("delta history", delta.history),
+            ] {
+                if v == 0 {
+                    return Err(ConfigError::ZeroEngineResource { what });
+                }
+            }
+        }
+        if let Some(jump) = &self.prefetchers.jump {
+            if jump.associativity == 0 {
+                return Err(ConfigError::ZeroEngineResource {
+                    what: "jump associativity",
+                });
+            }
+        }
+        if let Some(p) = &self.prefetchers.perceptron {
+            if p.entries_per_feature == 0 {
+                return Err(ConfigError::ZeroEngineResource {
+                    what: "perceptron entries_per_feature",
+                });
+            }
         }
         Ok(())
     }
@@ -268,6 +302,27 @@ mod tests {
         assert_eq!(cfg.validate(), Err(ConfigError::AdaptiveWithoutContent));
         cfg.prefetchers.content = Some(crate::ContentConfig::tuned());
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zoo_engine_geometry_is_checked() {
+        let mut cfg = SystemConfig::with_delta(crate::DeltaConfig::pangloss(64 * 1024));
+        assert!(cfg.validate().is_ok());
+        cfg.prefetchers.delta.as_mut().unwrap().fanout = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ZeroEngineResource {
+                what: "delta fanout"
+            })
+        ));
+        let mut cfg = SystemConfig::with_jump(crate::JumpConfig::sized(64 * 1024));
+        assert!(cfg.validate().is_ok());
+        cfg.prefetchers.jump.as_mut().unwrap().associativity = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::with_content().gated(crate::PerceptronConfig::default());
+        assert!(cfg.validate().is_ok());
+        cfg.prefetchers.perceptron.as_mut().unwrap().entries_per_feature = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -227,4 +227,45 @@ grep -q '"result_store_misses":0' /tmp/cdp-store-ci-manifest/manifest.json || {
     exit 1
 }
 
+echo "== tournament smoke (equal-silicon zoo, gating win, budget refusal) =="
+# The prefetcher tournament must run every engine plus both perceptron
+# hybrids at a matched table budget, render byte-identically at any
+# --jobs count, emit a manifest (with the per-cell wasted-prefetch
+# counters) that validates, show the perceptron gate actually cutting
+# waste (hybrid wasted < bare CDP on at least one benchmark), and refuse
+# a budget no engine geometry can realize (exit 2, before simulating).
+rm -rf /tmp/cdp-tourney-ci
+./target/release/experiments tournament --quick --jobs 2 --budget 8192 \
+    --emit-manifest /tmp/cdp-tourney-ci > /tmp/cdp-tourney-2.out 2> /dev/null
+./target/release/experiments tournament --quick --jobs 4 --budget 8192 \
+    > /tmp/cdp-tourney-4.out
+cmp /tmp/cdp-tourney-2.out /tmp/cdp-tourney-4.out || {
+    echo "tournament smoke: stdout differs between --jobs 2 and --jobs 4" >&2
+    exit 1
+}
+for engine in markov delta jump cdp 'cdp+perceptron' 'stride+perceptron'; do
+    grep -q "^$engine " /tmp/cdp-tourney-2.out || {
+        echo "tournament smoke: engine $engine missing from the grid" >&2
+        exit 1
+    }
+done
+./target/release/validate-manifest /tmp/cdp-tourney-ci/manifest.json
+grep -q '"pf_wasted":' /tmp/cdp-tourney-ci/manifest.json || {
+    echo "tournament smoke: manifest missing wasted-prefetch counters" >&2
+    exit 1
+}
+grep -Eq 'gating check: cdp\+perceptron wasted < cdp on [1-9][0-9]*/' \
+    /tmp/cdp-tourney-2.out || {
+    echo "tournament smoke: perceptron gate never beat bare CDP on waste" >&2
+    exit 1
+}
+set +e
+./target/release/experiments tournament --smoke --budget 64 > /dev/null 2> /dev/null
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "tournament smoke: expected exit 2 for un-normalizable budget, got $code" >&2
+    exit 1
+fi
+
 echo "ci: OK"

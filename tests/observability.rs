@@ -179,6 +179,9 @@ fn manifest_from_real_runs_validates_and_round_trips() {
                     JobOutcome::Ok(stats) => stats.retired,
                     _ => 0,
                 },
+                pf_issued: 0,
+                pf_useful: 0,
+                pf_wasted: 0,
             })
             .collect(),
         experiments: vec![ExperimentRecord {

@@ -18,7 +18,10 @@ use cdp::sim::{
     CheckpointProvenance, CheckpointSpec, CheckpointStatus, SimJob, SimSession, Simulator,
     WalkFault,
 };
-use cdp::types::{CdpError, ObsConfig, SnapshotError, SystemConfig, TraceConfig};
+use cdp::types::{
+    CdpError, DeltaConfig, JumpConfig, ObsConfig, PerceptronConfig, SnapshotError, SystemConfig,
+    TraceConfig,
+};
 use cdp::workloads::suite::{Benchmark, Scale};
 use cdp::workloads::Workload;
 use cdp_testutil::{seeded_rng, tiny_workload};
@@ -145,6 +148,62 @@ fn randomized_cuts_across_benchmarks_are_bit_identical() {
         let cut = 1 + rng.gen_range_usize(1..steps);
         assert_roundtrip_at(&cfg, Some(fault), &w, Some(&obs), cut);
         assert_roundtrip_at(&cfg, Some(fault), &w, Some(&obs), 1);
+    }
+}
+
+#[test]
+fn zoo_engines_roundtrip_at_randomized_cuts() {
+    // Every engine added by the tournament zoo carries its own snapshot
+    // section (delta table, jump table, perceptron weights); each gets
+    // the same randomized-cut differential treatment as the content
+    // engine — resume mid-cell, bit-identical finish — plus the
+    // corrupt-section checks on its snapshot bytes.
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        (
+            "delta",
+            SystemConfig::with_delta(DeltaConfig::pangloss(16 * 1024)),
+        ),
+        ("jump", SystemConfig::with_jump(JumpConfig::sized(16 * 1024))),
+        (
+            "cdp+perceptron",
+            SystemConfig::with_content()
+                .gated(PerceptronConfig::with_budget(16 * 1024).expect("budget fits")),
+        ),
+    ];
+    let obs = obs_cfg();
+    let mut rng = seeded_rng(0x5eed_0004);
+    for (i, (name, cfg)) in configs.into_iter().enumerate() {
+        let w = tiny_workload(Benchmark::Tpcc1, 77 + i as u64);
+        let sim = Simulator::new(cfg.clone());
+        let steps = count_steps(&sim, &w, Some(&obs));
+        assert!(steps >= 2, "{name}: too short to cut ({steps} step(s))");
+        let cut = 1 + rng.gen_range_usize(1..steps);
+        let bytes = assert_roundtrip_at(&cfg, None, &w, Some(&obs), cut);
+        // A corrupted engine section must surface as a typed error: flip
+        // a byte in the back half of the snapshot, where the hierarchy's
+        // engine chain (and thus the new engine's table) lives.
+        for _ in 0..4 {
+            let mut flipped = bytes.clone();
+            let at = rng.gen_range_usize(bytes.len() / 2..bytes.len());
+            flipped[at] ^= 0x01;
+            assert!(
+                matches!(
+                    sim.resume(&w, Some(&obs), &flipped),
+                    Err(CdpError::Snapshot(_))
+                ),
+                "{name}: flipped byte at {at} must be a typed error"
+            );
+        }
+        // And a snapshot from a zoo config must refuse to resume on a
+        // system without that engine (fingerprint mismatch).
+        let other = Simulator::new(SystemConfig::asplos2002());
+        assert!(
+            matches!(
+                other.resume(&w, Some(&obs), &bytes),
+                Err(CdpError::Snapshot(SnapshotError::FingerprintMismatch { .. }))
+            ),
+            "{name}: snapshot must be pinned to its engine config"
+        );
     }
 }
 
